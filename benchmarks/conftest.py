@@ -1,0 +1,194 @@
+"""Shared benchmark fixtures: the four Table-2 designs and their workloads.
+
+Each workload follows the paper's §5.1 methodology: run a real testbench
+once while recording the top-level inputs to a VCD, then benchmark a
+*minimal replay testbench* that only pokes the recorded inputs — isolating
+raw simulator throughput from stimulus generation.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.backends import TreadleBackend
+from repro.designs.neuroproc import NeuroProc
+from repro.designs.riscv_mini import RiscvMini, assemble
+from repro.designs.serv import SerialGcd
+from repro.designs.tlram import TlRam
+from repro.hcl import elaborate
+from repro.vcd import InputReplay, VcdRecorder
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a table/figure reproduction (also printed to the log)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n===== {name} =====\n{text}")
+
+
+# -- workload drivers (the "real testbench" side) ------------------------------
+
+
+def drive_riscv_mini(sim, cycles: int) -> None:
+    """Boot-like workload: load and run a loop-heavy program repeatedly."""
+    program = assemble(
+        """
+        addi x1, x0, 0
+        addi x2, x0, 1
+        addi x3, x0, 40
+    loop:
+        add  x4, x1, x2
+        mv   x1, x2
+        mv   x2, x4
+        sw   x4, 0x80(x0)
+        lw   x5, 0x80(x0)
+        addi x3, x3, -1
+        bne  x3, x0, loop
+        ebreak
+        """
+    )
+    sim.poke("reset", 1)
+    sim.step(2)
+    sim.poke("reset", 0)
+    sim.poke("init_en", 1)
+    for offset, word in enumerate(program):
+        sim.poke("init_addr", offset)
+        sim.poke("init_data", word)
+        sim.step()
+    sim.poke("init_en", 0)
+    sim.step(cycles)
+
+
+def drive_tlram(sim, cycles: int) -> None:
+    rng = random.Random(42)
+    sim.poke("reset", 1)
+    sim.step()
+    sim.poke("reset", 0)
+    sim.poke("d_ready", 1)
+    for _ in range(cycles):
+        sim.poke("a_valid", rng.randint(0, 1))
+        sim.poke("a_opcode", rng.choice([0, 0, 4]))
+        sim.poke("a_address", rng.randint(0, 255))
+        sim.poke("a_data", rng.randint(0, 0xFFFFFFFF))
+        sim.poke("a_mask", rng.randint(0, 15))
+        sim.step()
+
+
+def drive_serial_gcd(sim, cycles: int) -> None:
+    rng = random.Random(7)
+    sim.poke("reset", 1)
+    sim.step()
+    sim.poke("reset", 0)
+    sim.poke("resp_ready", 1)
+    issued = 0
+    for _ in range(cycles):
+        if sim.peek("req_ready"):
+            a, b = rng.randint(1, 4000), rng.randint(1, 4000)
+            sim.poke("req_valid", 1)
+            sim.poke("req_bits", (b << 32) | a)
+        else:
+            sim.poke("req_valid", 0)
+        sim.step()
+
+
+def drive_neuroproc(sim, cycles: int) -> None:
+    rng = random.Random(3)
+    sim.poke("reset", 1)
+    sim.step()
+    sim.poke("reset", 0)
+    sim.poke("w_en", 1)
+    for address in range(16 * 16):
+        sim.poke("w_addr", address)
+        sim.poke("w_data", rng.randint(0, 300))
+        sim.step()
+    sim.poke("w_en", 0)
+    done = 16 * 16 + 1
+    while done < cycles:
+        sim.poke("in_spikes", rng.randint(0, 0xFFFF))
+        sim.poke("start", 1)
+        sim.step()
+        done += 1
+        sim.poke("start", 0)
+        while done < cycles and not sim.peek("done"):
+            sim.step()
+            done += 1
+        sim.step(2)
+        done += 2
+
+
+#: design name -> (module factory, driver, recorded cycles, input widths)
+BENCH_DESIGNS = {
+    "riscv-mini": (
+        lambda: RiscvMini(),
+        drive_riscv_mini,
+        2500,
+        {"reset": 1, "init_en": 1, "init_addr": 10, "init_data": 32},
+    ),
+    "TLRAM": (
+        lambda: TlRam(),
+        drive_tlram,
+        3000,
+        {
+            "reset": 1,
+            "a_valid": 1,
+            "a_opcode": 3,
+            "a_address": 8,
+            "a_data": 32,
+            "a_mask": 4,
+            "d_ready": 1,
+        },
+    ),
+    "serv-chisel": (
+        lambda: SerialGcd(),
+        drive_serial_gcd,
+        4000,
+        {"reset": 1, "req_valid": 1, "req_bits": 64, "resp_ready": 1},
+    ),
+    "NeuroProc": (
+        lambda: NeuroProc(),
+        drive_neuroproc,
+        4000,
+        {"reset": 1, "start": 1, "in_spikes": 16, "w_en": 1, "w_addr": 8, "w_data": 16},
+    ),
+}
+
+
+_replay_cache: dict[str, InputReplay] = {}
+
+
+def recorded_replay(name: str) -> InputReplay:
+    """The recorded input trace for one design (cached per session)."""
+    if name not in _replay_cache:
+        factory, driver, cycles, widths = BENCH_DESIGNS[name]
+        circuit = elaborate(factory())
+        recorder_sim = TreadleBackend().compile(circuit)
+        recorder = VcdRecorder(recorder_sim, widths)
+        original_step = recorder_sim.step
+
+        class _Recording:
+            """Wraps the sim so the driver's steps are recorded."""
+
+            def __getattr__(self, item):
+                return getattr(recorder_sim, item)
+
+            def step(self, n: int = 1):
+                for _ in range(n):
+                    values = {k: recorder_sim.peek(k) for k in widths}
+                    recorder.writer.sample(recorder.cycles, values)
+                    recorder.cycles += 1
+                    original_step(1)
+
+        driver(_Recording(), cycles)
+        _replay_cache[name] = InputReplay(recorder.finish())
+    return _replay_cache[name]
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

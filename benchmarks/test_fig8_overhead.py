@@ -1,0 +1,93 @@
+"""Figure 8: run-time overhead of coverage instrumentation on the compiled
+(Verilator-like) backend.
+
+For each benchmark design, the recorded input trace replays on:
+
+* an uninstrumented baseline,
+* our line / toggle / FSM / ready-valid instrumentation (the
+  simulator-independent approach), and
+* the backend's *built-in* line coverage (standing in for
+  ``verilator --coverage-line``).
+
+The paper's finding to reproduce: the generic cover-statement approach
+causes the same or slightly less overhead than the simulator's built-in
+coverage, and line coverage overhead is small (near zero for TLRAM).
+"""
+
+import time
+
+import pytest
+
+from repro.backends.verilator import VerilatorBackend
+from repro.coverage import instrument
+from repro.hcl import elaborate
+from repro.passes import lower
+
+from .conftest import BENCH_DESIGNS, recorded_replay, write_result
+
+VARIANTS = ["baseline", "line", "toggle", "fsm", "ready_valid", "native-line"]
+
+_times: dict[tuple[str, str], float] = {}
+
+
+def _build(name: str, variant: str):
+    factory, _driver, _cycles, _widths = BENCH_DESIGNS[name]
+    circuit = elaborate(factory())
+    if variant == "baseline":
+        return VerilatorBackend().compile_state(lower(circuit))
+    if variant == "native-line":
+        sim, _db = VerilatorBackend().compile_with_native_coverage(circuit)
+        return sim
+    state, _db = instrument(circuit, metrics=[variant])
+    return VerilatorBackend().compile_state(state)
+
+
+@pytest.mark.benchmark(group="fig8")
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("name", list(BENCH_DESIGNS))
+def test_fig8_overhead(benchmark, name, variant):
+    replay = recorded_replay(name)
+    sim = _build(name, variant)
+
+    def run():
+        fresh = sim.fork()
+        replay.run(fresh)
+        return fresh
+
+    benchmark(run)
+    _times[(name, variant)] = benchmark.stats.stats.median
+
+    if len(_times) == len(BENCH_DESIGNS) * len(VARIANTS):
+        _finish()
+
+
+def _finish():
+    header = f"{'Design':<14}" + "".join(f"{v:>14}" for v in VARIANTS[1:])
+    lines = [
+        "run-time overhead vs uninstrumented baseline (1.00 = no overhead)",
+        header,
+    ]
+    for name in BENCH_DESIGNS:
+        base = _times[(name, "baseline")]
+        row = f"{name:<14}"
+        for variant in VARIANTS[1:]:
+            row += f"{_times[(name, variant)] / base:>13.2f}x"
+        lines.append(row)
+    write_result("fig8_overhead", "\n".join(lines))
+
+    # the paper's headline comparison: our line coverage causes the same or
+    # slightly less overhead than the simulator's built-in line coverage —
+    # in this reproduction the built-in mode instruments through the same
+    # mechanism, so the two must be within measurement noise (geomean)
+    ratio_product = 1.0
+    for name in BENCH_DESIGNS:
+        ratio_product *= _times[(name, "line")] / _times[(name, "native-line")]
+    geomean = ratio_product ** (1.0 / len(BENCH_DESIGNS))
+    assert 0.6 < geomean < 1.45, (
+        f"generic covers vs built-in coverage geomean ratio {geomean:.2f} "
+        "should be ~1.0 (same mechanism underneath)"
+    )
+    # line coverage overhead on TLRAM is close to zero (paper: "for TLRAM,
+    # the measured overhead of our FIRRTL line coverage is close to zero")
+    tlram_overhead = _times[("TLRAM", "line")] / _times[("TLRAM", "baseline")]
+    assert tlram_overhead < 1.6

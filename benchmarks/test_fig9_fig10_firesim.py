@@ -1,0 +1,152 @@
+"""Figures 9 and 10: FireSim FPGA resource usage and F_max vs counter width.
+
+Two SoC configurations (Rocket-like multi-core in-order, BOOM-like wide
+out-of-order) are line-coverage instrumented, scan-chain transformed, and
+costed with the analytical VU9P model, sweeping the coverage counter width
+over the paper's range {0 (baseline), 1, 2, 4, 8, 16, 32, 48}.
+
+Shapes to reproduce:
+
+* LUT/FF usage grows linearly with counter width; at 32 bit, coverage
+  hardware dominates (the paper reports 2.8x LUTs on Rocket),
+* §5.3's removal variant (42 % fewer counters after merging software-sim
+  coverage) pulls the 32-bit LUT ratio down toward 2.0x,
+* F_max stays within placement noise for narrow counters and drops for
+  wide ones; an oversized configuration fails to place (48-bit BOOM).
+"""
+
+import pytest
+
+from repro.backends.firesim import (
+    VU9P_LUTS,
+    coverage_counter_resources,
+    estimate_fmax,
+    estimate_module,
+)
+from repro.coverage import instrument
+from repro.designs.soc import BoomLikeSoC, RocketLikeSoC
+from repro.hcl import elaborate
+
+from .conftest import write_result
+
+WIDTHS = [0, 1, 2, 4, 8, 16, 32, 48]
+
+#: paper-scale cover counts for the model-extrapolation columns
+PAPER_COVERS = {"rocket": 8060, "boom": 12059}
+#: estimated base logic of the paper's SoCs on a VU9P (fractions of device)
+PAPER_BASE_LUTS = {"rocket": 280_000, "boom": 420_000}
+PAPER_BASE_DEPTH = {"rocket": 22, "boom": 30}
+
+
+def build_soc(kind: str):
+    if kind == "rocket":
+        return elaborate(RocketLikeSoC(n_cores=4, addr_width=6, cache_sets=4))
+    return elaborate(BoomLikeSoC(rob_entries=48, addr_width=6))
+
+
+_soc_cache = {}
+
+
+def instrumented_flat(kind: str):
+    if kind not in _soc_cache:
+        state, _db = instrument(build_soc(kind), metrics=["line"], flatten=True)
+        _soc_cache[kind] = state
+    return _soc_cache[kind]
+
+
+@pytest.mark.benchmark(group="fig9")
+@pytest.mark.parametrize("kind", ["rocket", "boom"])
+def test_fig9_resources(benchmark, kind):
+    state = instrumented_flat(kind)
+    n_covers = len(state.cover_paths)
+    base = benchmark(lambda: estimate_module(state.circuit.top))
+
+    lines = [
+        f"{kind}-like SoC: {n_covers} cover statements "
+        f"(paper: {PAPER_COVERS[kind]})",
+        f"{'width':>6} {'LUTs':>12} {'FFs':>12} {'LUT ratio':>10} {'removed(42%) ratio':>19}",
+    ]
+    ratios = {}
+    for width in WIDTHS:
+        coverage = coverage_counter_resources(n_covers, width) if width else None
+        luts = base.luts + (coverage.luts if coverage else 0)
+        ffs = base.ffs + (coverage.ffs if coverage else 0)
+        ratio = luts / base.luts
+        # §5.3: removing already-covered points drops 42% of the counters
+        kept = int(n_covers * 0.58)
+        removed = coverage_counter_resources(kept, width) if width else None
+        removed_ratio = (base.luts + (removed.luts if removed else 0)) / base.luts
+        ratios[width] = (ratio, removed_ratio)
+        lines.append(
+            f"{width:>6} {luts:>12.0f} {ffs:>12.0f} {ratio:>9.2f}x {removed_ratio:>18.2f}x"
+        )
+    # paper-scale extrapolation: the model at the original SoCs' cover
+    # density (8060 covers over ~280k base LUTs for Rocket)
+    paper_base = PAPER_BASE_LUTS[kind]
+    paper_n = PAPER_COVERS[kind]
+    lines.append("")
+    lines.append(f"paper-scale model: {paper_n} covers over {paper_base} base LUTs")
+    paper_ratios = {}
+    for width in WIDTHS:
+        cov = coverage_counter_resources(paper_n, width) if width else None
+        full = (paper_base + (cov.luts if cov else 0)) / paper_base
+        kept = coverage_counter_resources(int(paper_n * 0.58), width) if width else None
+        removed = (paper_base + (kept.luts if kept else 0)) / paper_base
+        paper_ratios[width] = (full, removed)
+        lines.append(f"{width:>6} {'':>12} {'':>12} {full:>9.2f}x {removed:>18.2f}x")
+    write_result(f"fig9_resources_{kind}", "\n".join(lines))
+
+    # shape assertions on the measured analog SoC
+    assert ratios[1][0] < 1.3, "narrow counters must be nearly free"
+    assert ratios[48][0] > ratios[32][0] > ratios[8][0] > ratios[1][0]
+    full, removed = ratios[32]
+    assert removed < full
+    # paper-scale shape: 32-bit counters dominate (paper: 2.8x LUTs on
+    # Rocket), and the §5.3 removal pulls it toward 2.0x
+    paper_full, paper_removed = paper_ratios[32]
+    if kind == "rocket":
+        assert 2.3 < paper_full < 3.3, f"expected ~2.8x, got {paper_full:.2f}x"
+        assert 1.7 < paper_removed < 2.4, f"expected ~2.0x, got {paper_removed:.2f}x"
+    assert (paper_full - paper_removed) / (paper_full - 1.0) > 0.3
+
+
+@pytest.mark.benchmark(group="fig10")
+@pytest.mark.parametrize("kind", ["rocket", "boom"])
+def test_fig10_fmax(benchmark, kind):
+    state = instrumented_flat(kind)
+    n_covers = len(state.cover_paths)
+    base = estimate_module(state.circuit.top)
+    # graft the paper-scale base design onto the model so utilization and
+    # congestion land in the regime the paper's figures show
+    base.luts = PAPER_BASE_LUTS[kind]
+    base.logic_depth = PAPER_BASE_DEPTH[kind]
+    paper_covers = PAPER_COVERS[kind]
+
+    def sweep():
+        return {
+            width: estimate_fmax(base, paper_covers, width, seed=kind)
+            for width in WIDTHS
+        }
+
+    estimates = benchmark(sweep)
+    lines = [
+        f"{kind}-like SoC, paper-scale model ({paper_covers} covers)",
+        f"{'width':>6} {'fmax MHz':>10} {'utilization':>12}",
+    ]
+    for width, est in estimates.items():
+        fmax = f"{est.fmax_mhz:.1f}" if est.fmax_mhz else "FAILED"
+        lines.append(f"{width:>6} {fmax:>10} {est.utilization:>11.1%}")
+    write_result(f"fig10_fmax_{kind}", "\n".join(lines))
+
+    baseline = estimates[0].fmax_mhz
+    assert baseline is not None
+    # narrow counters: within placement noise of the baseline
+    for width in (1, 2):
+        assert estimates[width].fmax_mhz is not None
+        assert abs(estimates[width].fmax_mhz - baseline) / baseline < 0.08
+    # wide counters: clearly slower
+    wide = estimates[32].fmax_mhz
+    assert wide is not None and wide < baseline * 0.97
+    if kind == "boom":
+        # the paper's 48-bit BOOM configuration did not place
+        assert estimates[48].fmax_mhz is None or estimates[48].utilization > 0.95

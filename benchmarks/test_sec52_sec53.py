@@ -1,0 +1,126 @@
+"""§5.2 and §5.3: FireSim boot-scale runs; coverage merging and removal.
+
+§5.2: the paper boots Linux on instrumented SoCs — 3.3 B cycles in 50.4 s
+at 65 MHz for the Rocket config, scanning out 8060 16-bit counters in
+12 ms.  We reproduce the *pipeline*: a real scan-chain run on the analog
+SoC plus the wall-clock/scan-out timing model evaluated at paper scale.
+
+§5.3: running a RISC-V test-suite-like set of programs under the software
+simulator covers a large fraction of the points; excluding points covered
+at least 10 times shrank the paper's FPGA counter count by 42 %.
+"""
+
+import pytest
+
+from repro.backends import FireSimBackend, VerilatorBackend
+from repro.backends.firesim import (
+    SCAN_CLOCK_HZ,
+    FireSimTimingModel,
+    ScanChainInfo,
+    estimate_fmax,
+    estimate_module,
+)
+from repro.coverage import covered_points, filter_covered, instrument, merge_counts
+from repro.designs.riscv_mini import RiscvMini, assemble
+from repro.designs.soc import RocketLikeSoC
+from repro.hcl import elaborate
+from repro.passes import lower
+
+from .conftest import write_result
+
+
+@pytest.mark.benchmark(group="sec52")
+def test_sec52_firesim_boot_pipeline(benchmark):
+    # real scan-chain simulation at analog scale
+    state, _db = instrument(
+        elaborate(RocketLikeSoC(n_cores=2, addr_width=6, cache_sets=2)),
+        metrics=["line"],
+        flatten=True,
+    )
+    firesim = FireSimBackend(counter_width=16).compile_state(state)
+
+    def boot_run():
+        firesim.poke("reset", 1)
+        firesim.step(2)
+        firesim.poke("reset", 0)
+        firesim.step(300)
+        return firesim.cover_counts()
+
+    counts = benchmark.pedantic(boot_run, rounds=1, iterations=1)
+    assert any(v > 0 for v in counts.values())
+
+    # paper-scale timing model
+    rows = ["config          covers  width  fmax     sim 3.3B cycles  scan-out"]
+    for config, n_covers, base_luts, depth, cycles in [
+        ("RocketChip", 8060, 280_000, 22, 3_300_000_000),
+        ("BOOM", 12059, 420_000, 30, 1_700_000_000),
+    ]:
+        from repro.backends.firesim.resources import Resources
+
+        base = Resources(base_luts, base_luts // 2, 0, depth)
+        fmax = estimate_fmax(base, n_covers, 16, seed=config)
+        chain = ScanChainInfo(16, [f"c{i}" for i in range(n_covers)])
+        model = FireSimTimingModel(fmax, chain)
+        sim_s = model.simulation_seconds(cycles)
+        scan_s = model.scan_out_seconds()
+        rows.append(
+            f"{config:<14} {n_covers:>7} {16:>6} {fmax.fmax_mhz:>5.0f}MHz"
+            f" {sim_s:>14.1f}s {scan_s * 1000:>7.1f}ms"
+        )
+        # paper: 50.4s @ 65 MHz (Rocket), scan-out 12/17 ms
+        assert 10 < sim_s < 300
+        assert 0.001 < scan_s < 0.1
+    rows.append("(paper: Rocket 3.3B cycles in 50.4s @65MHz, scan 12ms;")
+    rows.append(" BOOM 1.7B cycles in 42.6s @40MHz, scan 17ms)")
+    rows.append(f"real scan-chain run at analog scale: {len(counts)} counters scanned")
+    write_result("sec52_boot", "\n".join(rows))
+
+
+@pytest.mark.benchmark(group="sec53")
+def test_sec53_merge_and_removal(benchmark):
+    """Run a test-suite of programs, merge counts, filter >=10-hit points."""
+    circuit = elaborate(RiscvMini())
+    state, db = instrument(circuit, metrics=["line", "toggle", "fsm"])
+    sim = VerilatorBackend().compile_state(state)
+
+    test_suite = [
+        "addi x1, x0, 5\naddi x2, x0, 6\nadd x3, x1, x2\nebreak",
+        "addi x1, x0, 10\nloop: addi x1, x1, -1\nbne x1, x0, loop\nebreak",
+        "addi x1, x0, 0x55\nsw x1, 0x40(x0)\nlw x2, 0x40(x0)\nebreak",
+        "lui x1, 0xF\nsrli x2, x1, 8\nandi x3, x2, 0xF0\nebreak",
+        "addi x1, x0, 3\nslli x2, x1, 4\nsub x3, x2, x1\nxor x4, x3, x1\nebreak",
+        "jal x1, f\nebreak\nf: addi x5, x0, 1\njalr x0, x1, 0",
+    ]
+
+    def run_suite():
+        from repro.designs.riscv_mini import run_program
+
+        results = []
+        for program in test_suite:
+            fresh = sim.fork()
+            run_program(fresh, assemble(program), max_cycles=3000)
+            results.append(fresh.cover_counts())
+        return results
+
+    per_test = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    merged = merge_counts(*per_test)
+
+    total = len(merged)
+    removable = covered_points(merged, threshold=10)
+    remaining = filter_covered(merged, threshold=10)
+    percent_removed = 100.0 * len(removable) / total
+
+    lines = [
+        f"cover points total:          {total}",
+        f"covered >=10x by test suite: {len(removable)} ({percent_removed:.0f}%)",
+        f"counters still needed:       {len(remaining)}",
+        "(paper: 42% of counters removable after the RISC-V test suite)",
+    ]
+    write_result("sec53_removal", "\n".join(lines))
+
+    # shape: the suite removes a substantial fraction but not everything
+    assert 15 <= percent_removed <= 85
+    assert remaining, "some deep points must survive (they motivate FPGA runs)"
+    # merging across runs is exactly per-point addition
+    probe = next(iter(merged))
+    assert merged[probe] == sum(r.get(probe, 0) for r in per_test)

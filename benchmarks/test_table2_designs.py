@@ -1,0 +1,62 @@
+"""Table 2: benchmark designs — cycles, run time, # line and toggle covers.
+
+Reproduces the paper's benchmark census.  Absolute cover-point counts
+differ (our analog designs are smaller than the originals), but the shape
+holds: TLRAM has almost no line cover points but thousands-scale toggle
+points relative to its size; riscv-mini/NeuroProc are branch-heavy;
+toggle counts exceed line counts everywhere.
+"""
+
+import pytest
+
+from repro.backends.verilator import VerilatorBackend
+from repro.coverage import instrument
+from repro.hcl import elaborate
+
+from .conftest import BENCH_DESIGNS, recorded_replay, write_result
+
+PAPER_TABLE2 = {
+    "riscv-mini": (126_550, 157, 4_042),
+    "TLRAM": (816_473, 8, 2_532),
+    "serv-chisel": (828_931, 79, 725),
+    "NeuroProc": (53_455_204, 809, 4_786),
+}
+
+_rows: dict[str, tuple] = {}
+
+
+@pytest.mark.benchmark(group="table2")
+@pytest.mark.parametrize("name", list(BENCH_DESIGNS))
+def test_table2_design(benchmark, name):
+    factory, _driver, cycles, _widths = BENCH_DESIGNS[name]
+    circuit = elaborate(factory())
+    state, db = instrument(circuit, metrics=["line", "toggle"])
+    replay = recorded_replay(name)
+    sim = VerilatorBackend().compile_state(state)
+
+    def run():
+        fresh = sim.fork()
+        replay.run(fresh)
+        return fresh
+
+    fresh = benchmark(run)
+    n_line = db.count("line")
+    n_toggle = db.count("toggle")
+    _rows[name] = (replay.cycles, n_line, n_toggle)
+
+    assert n_toggle > n_line, "toggle instruments per bit: always more points"
+    if name == "TLRAM":
+        assert n_line < 20, "TLRAM is branch-poor (paper: 8 line points)"
+
+    if len(_rows) == len(BENCH_DESIGNS):
+        lines = [
+            f"{'Design':<14} {'Cycles':>10} {'#Line':>7} {'#Toggle':>8}"
+            f"   {'paper: cycles/#line/#toggle':>30}"
+        ]
+        for design, (cyc, nl, nt) in _rows.items():
+            p = PAPER_TABLE2[design]
+            lines.append(
+                f"{design:<14} {cyc:>10} {nl:>7} {nt:>8}   "
+                f"{p[0]:>12} /{p[1]:>5} /{p[2]:>6}"
+            )
+        write_result("table2_designs", "\n".join(lines))

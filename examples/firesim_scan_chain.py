@@ -1,0 +1,77 @@
+"""FPGA-accelerated coverage: scan chains, resources, and merging (§3.3, §5.2-5.3).
+
+Shows the full FireSim-style flow:
+
+1. instrument an SoC with line coverage,
+2. run a software simulation first and *remove* the points it already
+   covered (§5.3 — saving FPGA area),
+3. insert the saturating-counter scan chain, estimate FPGA resources and
+   F_max for several counter widths (Figures 9/10),
+4. run the scan-chain design and clock the counts out through the chain.
+
+Run:  python examples/firesim_scan_chain.py
+"""
+
+from repro.backends import FireSimBackend, VerilatorBackend
+from repro.backends.firesim import (
+    coverage_counter_resources,
+    estimate_fmax,
+    estimate_module,
+)
+from repro.coverage import covered_points, instrument
+from repro.designs.soc import RocketLikeSoC
+from repro.hcl import elaborate
+from repro.ir import Cover
+
+
+def main() -> None:
+    circuit = elaborate(RocketLikeSoC(n_cores=2, addr_width=6, cache_sets=2))
+    state, db = instrument(circuit, metrics=["line"], flatten=True)
+    n_covers = len(state.cover_paths)
+    print(f"SoC instrumented: {n_covers} cover statements after flattening")
+
+    # -- step 1: software simulation covers the easy points -------------------
+    sw = VerilatorBackend().compile_state(state)
+    sw.poke("reset", 1)
+    sw.step(2)
+    sw.poke("reset", 0)
+    sw.step(400)
+    already = covered_points(sw.cover_counts(), threshold=10)
+    print(f"software simulation covered {len(already)} points >= 10x; removing them")
+
+    kept_flat_names = {
+        flat for flat, canonical in state.cover_paths.items() if canonical not in already
+    }
+    state.circuit.top.body = [
+        s
+        for s in state.circuit.top.body
+        if not (isinstance(s, Cover) and s.name not in kept_flat_names)
+    ]
+
+    # -- step 2: cost the instrumentation at several counter widths ------------
+    base = estimate_module(state.circuit.top)
+    remaining = len(kept_flat_names)
+    print(f"\n{'width':>6} {'coverage LUTs':>14} {'F_max':>9}")
+    for width in (1, 8, 16, 32):
+        cov = coverage_counter_resources(remaining, width)
+        fmax = estimate_fmax(base, remaining, width, seed="example")
+        fmax_text = f"{fmax.fmax_mhz:.0f} MHz" if fmax.fmax_mhz else "FAILED"
+        print(f"{width:>6} {cov.luts:>14.0f} {fmax_text:>9}")
+
+    # -- step 3: run with the real scan chain ----------------------------------
+    firesim = FireSimBackend(counter_width=16).compile_state(state)
+    firesim.poke("reset", 1)
+    firesim.step(2)
+    firesim.poke("reset", 0)
+    firesim.step(500)
+    counts = firesim.cover_counts()  # pauses + scans the chain
+    hit = sum(1 for v in counts.values() if v)
+    print(
+        f"\nscan-out complete: {len(counts)} counters "
+        f"({firesim.info.length_bits} bits), {hit} points hit"
+    )
+    print(f"modeled scan-out time at 10 MHz: {firesim.scan_out_seconds() * 1e3:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Formal cover-trace generation — the §3.4/§5.5 flow.
+
+Bounded model checking drives every cover point: for reachable points the
+solver synthesizes an input trace (which replays on any simulator);
+unreachable points expose dead code.  The read-only instruction cache
+demonstration is the paper's own finding: the I$ and D$ share RTL, but the
+I$ write path can never execute.
+
+Run:  python examples/formal_trace_generation.py
+"""
+
+from repro.backends import TreadleBackend
+from repro.backends.formal import generate_cover_traces, replay_trace
+from repro.coverage import instrument
+from repro.designs.riscv_mini.cache import Cache
+from repro.hcl import Module, elaborate
+
+
+class ReadOnlyCache(Module):
+    """The cache wrapped exactly as riscv-mini wraps its I$: wen tied low."""
+
+    def build(self, m):
+        req_valid = m.input("req_valid")
+        req_addr = m.input("req_addr", 6)
+        resp_valid = m.output("resp_valid", 1)
+        mem_resp_valid = m.input("mem_resp_valid")
+        mem_resp_data = m.input("mem_resp_data", 8)
+
+        cache = m.instance("icache", Cache(n_sets=2, addr_width=6, xlen=8))
+        cache.cpu_req_valid <<= req_valid
+        cache.cpu_req_addr <<= req_addr
+        cache.cpu_req_data <<= 0
+        cache.cpu_req_wen <<= 0  # read-only!
+        cache.mem_req_ready <<= 1
+        cache.mem_resp_valid <<= mem_resp_valid
+        cache.mem_resp_data <<= mem_resp_data
+        resp_valid <<= cache.cpu_resp_valid
+
+
+def main() -> None:
+    state, db = instrument(
+        elaborate(ReadOnlyCache()), metrics=["line", "fsm"], flatten=True
+    )
+    print("running bounded model checking (k=10) over every cover point...")
+    result = generate_cover_traces(state, bound=10)
+    print(result.format())
+
+    dead = [n for n in result.unreachable if "write" in n]
+    print(f"\ndead code finding: {len(dead)} write-path points unreachable")
+    print("(the same cache RTL with wen exposed reaches all of them — the")
+    print(" instruction cache is read-only, exactly the paper's discovery)")
+
+    print("\nreplaying one witness on the treadle backend:")
+    name = result.reachable[0]
+    sim = TreadleBackend().compile_state(state)
+    counts = replay_trace(sim, result.traces[name])
+    print(f"  {name}: covered {counts[name]}x after replay")
+
+
+if __name__ == "__main__":
+    main()

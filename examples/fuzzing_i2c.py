@@ -1,0 +1,54 @@
+"""Coverage-directed fuzzing of the I2C peripheral (the §5.4 flow).
+
+Any instrumented metric can drive the fuzzer — here we race line coverage
+against the rfuzz mux-toggle metric and a random baseline, tracking line
+coverage of everything each campaign executed (Figure 11's setup).
+
+Run:  python examples/fuzzing_i2c.py
+"""
+
+from repro.coverage import instrument, line_report
+from repro.designs.i2c import I2cPeripheral
+from repro.fuzz import AflFuzzer, FuzzHarness, metric_filter
+from repro.hcl import elaborate
+
+EXECUTIONS = 600
+
+
+def main() -> None:
+    circuit = elaborate(I2cPeripheral())
+    state, db = instrument(circuit, metrics=["line", "mux_toggle"])
+    track_line = metric_filter(db, state, "line")
+
+    campaigns = {
+        "line feedback": metric_filter(db, state, "line"),
+        "mux-toggle feedback": metric_filter(db, state, "mux_toggle"),
+        "no feedback (random)": None,
+    }
+
+    print(f"fuzzing the I2C peripheral, {EXECUTIONS} executions per campaign\n")
+    results = {}
+    for name, feedback in campaigns.items():
+        harness = FuzzHarness(state, max_cycles=128)
+        fuzzer = AflFuzzer(
+            harness.execute,
+            feedback=feedback,
+            track=track_line,
+            seeds=(b"\x00" * 32,),
+            seed=1234,
+        )
+        stats = fuzzer.run(EXECUTIONS)
+        results[name] = stats
+        print(
+            f"{name:<22}: {len(stats.covered):>3} line points covered, "
+            f"queue grew to {stats.queue_size}"
+        )
+
+    best = max(results.values(), key=lambda s: len(s.covered))
+    print("\ncoverage growth of the best campaign:")
+    for execution, covered in best.coverage_curve:
+        print(f"  after {execution:>4} executions: {covered} points")
+
+
+if __name__ == "__main__":
+    main()

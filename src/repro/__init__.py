@@ -1,0 +1,30 @@
+"""Simulator independent coverage for RTL hardware languages.
+
+A Python reproduction of the ASPLOS 2023 paper: automated coverage
+metrics as compiler passes over a FIRRTL-like IR, lowered to one
+``cover`` primitive that five very different backends implement.
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.hcl` — the Chisel-like construction language
+* :mod:`repro.coverage` — instrumentation passes and report generators
+* :mod:`repro.backends` — treadle / verilator / essent / firesim / formal
+* :mod:`repro.designs` — the benchmark designs
+"""
+
+from .backends import TreadleBackend, VerilatorBackend
+from .coverage import instrument, merge_counts
+from .hcl import ChiselEnum, Module, elaborate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChiselEnum",
+    "Module",
+    "TreadleBackend",
+    "VerilatorBackend",
+    "__version__",
+    "elaborate",
+    "instrument",
+    "merge_counts",
+]

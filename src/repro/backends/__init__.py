@@ -1,0 +1,72 @@
+"""Simulation and verification backends implementing the cover primitive.
+
+The five backends of the paper's §3, all behind one interface:
+
+========== ==================================== =======================
+backend    stands in for                        character
+========== ==================================== =======================
+treadle    Treadle (JVM FIRRTL interpreter)     zero build, slow run
+verilator  Verilator (compile to C++)           slow build, fast run
+essent     ESSENT (activity-driven simulator)   compiled + activity gate
+firesim    FireSim (FPGA-accelerated)           scan-chain counters
+formal     SymbiYosys (BMC cover traces)        proves/finds reachability
+========== ==================================== =======================
+"""
+
+from .api import (
+    BackendInfo,
+    CoverCounts,
+    Simulation,
+    SimulatorBackend,
+    StepResult,
+    reset_and_run,
+    saturate,
+)
+from .essent import EssentBackend, EssentSimulation
+from .firesim import FireSimBackend, FireSimSimulation
+from .treadle import TreadleBackend, TreadleSimulation
+from .verilator import (
+    VerilatorBackend,
+    VerilatorSimulation,
+    convert_coverage_dat,
+    parse_coverage_dat,
+    write_coverage_dat,
+)
+
+BACKENDS = {
+    "treadle": TreadleBackend,
+    "verilator": VerilatorBackend,
+    "essent": EssentBackend,
+    "firesim": FireSimBackend,
+}
+
+BACKEND_INFO = [
+    BackendInfo("treadle", "tree-walking IR interpreter", "interpreter", "none"),
+    BackendInfo("verilator", "compiles the circuit to Python", "compiled", "compile"),
+    BackendInfo("essent", "compiled with activity gating", "compiled", "compile"),
+    BackendInfo("firesim", "scan-chain counters + host driver", "fpga", "synthesis"),
+    BackendInfo("formal", "SAT-based bounded model checking", "formal", "encode"),
+]
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_INFO",
+    "BackendInfo",
+    "CoverCounts",
+    "EssentBackend",
+    "EssentSimulation",
+    "FireSimBackend",
+    "FireSimSimulation",
+    "Simulation",
+    "SimulatorBackend",
+    "StepResult",
+    "TreadleBackend",
+    "TreadleSimulation",
+    "VerilatorBackend",
+    "VerilatorSimulation",
+    "convert_coverage_dat",
+    "parse_coverage_dat",
+    "reset_and_run",
+    "saturate",
+    "write_coverage_dat",
+]

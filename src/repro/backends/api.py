@@ -1,0 +1,95 @@
+"""The simulator-independent coverage interface (§3 of the paper).
+
+Every backend — software interpreter, compiled simulator, FPGA-accelerated
+model, formal engine — implements a single contract:
+
+* it can simulate any synchronous circuit expressible in the IR, and
+* it implements the ``cover`` primitive: a saturating counter, keyed by the
+  cover statement's name joined with its instance path, incremented on every
+  rising clock edge where the covered predicate is true.
+
+Coverage results are plain ``dict[str, int]`` maps from canonical
+hierarchical cover names to counts, which is what makes results from
+different backends trivially mergeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, runtime_checkable
+
+from ..ir.nodes import Circuit
+
+#: canonical coverage result: hierarchical cover name -> saturating count
+CoverCounts = dict[str, int]
+
+
+def saturate(count: int, counter_width: Optional[int]) -> int:
+    """Clamp a count to the maximum value of a ``counter_width``-bit counter."""
+    if counter_width is None:
+        return count
+    limit = (1 << counter_width) - 1
+    return count if count < limit else limit
+
+
+@dataclass
+class StepResult:
+    """Outcome of advancing the simulation by some clock cycles."""
+
+    cycles: int
+    stopped: bool = False
+    stop_name: Optional[str] = None
+    exit_code: int = 0
+
+
+@runtime_checkable
+class Simulation(Protocol):
+    """A live simulation instance.
+
+    Ports are addressed by their top-level names; values are raw
+    (non-negative) bit patterns.
+    """
+
+    def poke(self, port: str, value: int) -> None:
+        """Drive a top-level input."""
+        ...
+
+    def peek(self, port: str) -> int:
+        """Sample a top-level port (inputs or outputs)."""
+        ...
+
+    def step(self, cycles: int = 1) -> StepResult:
+        """Advance by rising clock edges; stops early if a Stop fires."""
+        ...
+
+    def cover_counts(self) -> CoverCounts:
+        """Saturating cover counters keyed by canonical hierarchical name."""
+        ...
+
+
+class SimulatorBackend(Protocol):
+    """A factory turning circuits into simulations."""
+
+    name: str
+
+    def compile(self, circuit: Circuit, counter_width: Optional[int] = None) -> Simulation:
+        ...
+
+
+@dataclass
+class BackendInfo:
+    """Registry entry describing a backend (mirrors the paper's Table of §3)."""
+
+    name: str
+    description: str
+    kind: str  # interpreter | compiled | fpga | formal
+    startup_cost: str  # qualitative: none | compile | synthesis
+
+
+def reset_and_run(sim: Simulation, cycles: int, reset_cycles: int = 1) -> StepResult:
+    """Common harness helper: hold reset, then run for ``cycles``."""
+    if reset_cycles:
+        sim.poke("reset", 1)
+        sim.step(reset_cycles)
+        sim.poke("reset", 0)
+    return sim.step(cycles)

@@ -1,0 +1,35 @@
+"""FPGA-accelerated simulation model: scan chains, resources, timing."""
+
+from .driver import (
+    SCAN_CLOCK_HZ,
+    FireSimBackend,
+    FireSimSimulation,
+    FireSimTimingModel,
+)
+from .resources import (
+    VU9P_FFS,
+    VU9P_LUTS,
+    FmaxEstimate,
+    Resources,
+    coverage_counter_resources,
+    estimate_fmax,
+    estimate_module,
+)
+from .scanchain import CoverageScanChainPass, ScanChainInfo, insert_scan_chain
+
+__all__ = [
+    "CoverageScanChainPass",
+    "FireSimBackend",
+    "FireSimSimulation",
+    "FireSimTimingModel",
+    "FmaxEstimate",
+    "Resources",
+    "SCAN_CLOCK_HZ",
+    "ScanChainInfo",
+    "VU9P_FFS",
+    "VU9P_LUTS",
+    "coverage_counter_resources",
+    "estimate_fmax",
+    "estimate_module",
+    "insert_scan_chain",
+]

@@ -1,0 +1,147 @@
+"""FireSim-like simulation driver (§3.3, §5.2).
+
+Wraps a scan-chain-transformed circuit running on any software backend and
+plays the role of FireSim's FPGA-hosted controller plus C++ driver: it can
+pause the target, freeze the coverage counters, clock out the whole scan
+chain, and re-associate the bits with cover names using the chain metadata.
+
+Scanning is non-destructive: the driver recirculates ``scan_out`` back into
+``scan_in`` so that after one full rotation every counter holds its
+original value again.
+
+The wall-clock model (:class:`FireSimTimingModel`) converts simulated
+cycles into FPGA time using the F_max estimate, reproducing the §5.2
+"boot Linux at 65 MHz, scan out 8060 counters in 12 ms" style numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...passes.base import CompileState
+from ..api import CoverCounts, StepResult
+from .resources import FmaxEstimate, Resources, estimate_fmax, estimate_module
+from .scanchain import CoverageScanChainPass, ScanChainInfo
+
+#: scan chain shift clock on the host interface (paper: ~10 MHz effective)
+SCAN_CLOCK_HZ = 10_000_000
+
+
+class FireSimSimulation:
+    """Simulation protocol over a scan-chain-instrumented design."""
+
+    def __init__(self, base_sim, info: ScanChainInfo) -> None:
+        self._sim = base_sim
+        self.info = info
+        self.scan_cycles_total = 0
+        base_sim.poke("cover_en", 1)
+        base_sim.poke("scan_en", 0)
+        base_sim.poke("scan_in", 0)
+
+    # -- pass-through ----------------------------------------------------------
+
+    def poke(self, port: str, value: int) -> None:
+        if port in ("cover_en", "scan_en", "scan_in"):
+            raise KeyError(f"port {port} is owned by the FireSim driver")
+        self._sim.poke(port, value)
+
+    def peek(self, port: str) -> int:
+        return self._sim.peek(port)
+
+    def step(self, cycles: int = 1) -> StepResult:
+        return self._sim.step(cycles)
+
+    @property
+    def cycle(self) -> int:
+        return self._sim.cycle
+
+    # -- the scan-out protocol ---------------------------------------------------
+
+    def cover_counts(self) -> CoverCounts:
+        """Pause, freeze counters, clock out the chain, restore, resume."""
+        sim = self._sim
+        sim.poke("cover_en", 0)  # freeze counts
+        sim.poke("scan_en", 1)
+        bits: list[int] = []
+        for _ in range(self.info.length_bits):
+            bit = sim.peek("scan_out")
+            bits.append(bit)
+            sim.poke("scan_in", bit)  # recirculate: scanning is non-destructive
+            sim.step(1)
+        sim.poke("scan_en", 0)
+        sim.poke("scan_in", 0)
+        sim.poke("cover_en", 1)
+        self.scan_cycles_total += self.info.length_bits
+        return self.info.decode(bits)
+
+    def scan_out_seconds(self, scan_clock_hz: int = SCAN_CLOCK_HZ) -> float:
+        """Host-side wall-clock cost of one full scan-out."""
+        return self.info.length_bits / scan_clock_hz
+
+
+@dataclass
+class FireSimTimingModel:
+    """Converts target cycles to FPGA wall clock (the §5.2 numbers)."""
+
+    fmax: FmaxEstimate
+    chain: ScanChainInfo
+
+    @property
+    def fmax_hz(self) -> float:
+        if self.fmax.fmax_mhz is None:
+            raise RuntimeError("design failed to place; no timing model")
+        return self.fmax.fmax_mhz * 1e6
+
+    def simulation_seconds(self, cycles: int) -> float:
+        return cycles / self.fmax_hz
+
+    def scan_out_seconds(self, scan_clock_hz: int = SCAN_CLOCK_HZ) -> float:
+        return self.chain.length_bits / scan_clock_hz
+
+
+class FireSimBackend:
+    """Factory: scan-chain transform + software host simulation + driver.
+
+    ``host_backend`` chooses what stands in for the FPGA (default: the
+    compiled backend); ``counter_width`` is the user-selected LUT/accuracy
+    trade-off from §3.3.
+    """
+
+    name = "firesim"
+
+    def __init__(self, host_backend=None, counter_width: int = 16) -> None:
+        if host_backend is None:
+            from ..verilator import VerilatorBackend
+
+            host_backend = VerilatorBackend()
+        self.host_backend = host_backend
+        self.counter_width = counter_width
+
+    def compile(self, circuit, counter_width: Optional[int] = None) -> FireSimSimulation:
+        from ...passes import lower
+
+        state = lower(circuit, flatten=True)
+        return self.compile_state(state, counter_width)
+
+    def compile_state(self, state: CompileState, counter_width: Optional[int] = None) -> FireSimSimulation:
+        width = counter_width if counter_width is not None else self.counter_width
+        chain_pass = CoverageScanChainPass(width)
+        transformed = chain_pass.run(state)
+        assert chain_pass.info is not None
+        base = self.host_backend.compile_state(transformed)
+        return FireSimSimulation(base, chain_pass.info)
+
+    def timing_model(self, state: CompileState, counter_width: Optional[int] = None) -> FireSimTimingModel:
+        """Resource/F_max estimate for the instrumented design."""
+        width = counter_width if counter_width is not None else self.counter_width
+        chain_pass = CoverageScanChainPass(width)
+        module = state.circuit.top
+        n_covers = sum(
+            1 for s in module.body if type(s).__name__ == "Cover"
+        )
+        base = estimate_module(module)
+        fmax = estimate_fmax(base, n_covers, width, seed=module.name)
+        transformed = chain_pass.run(state)
+        assert chain_pass.info is not None
+        return FireSimTimingModel(fmax, chain_pass.info)

@@ -1,0 +1,212 @@
+"""Analytical FPGA resource and F_max model (Figures 9 and 10).
+
+The paper reports Vivado place & route results on a Xilinx Ultrascale+
+VU9P.  We cannot run P&R, so this module provides a transparent analytical
+model with the properties the paper's figures exhibit:
+
+* LUT/FF usage grows linearly with the number of coverage counters and
+  their bit width; wide counters dominate total utilization (2.8x LUTs for
+  32-bit counters on the paper's Rocket SoC),
+* F_max degrades as utilization rises (routing congestion) and as counter
+  carry chains lengthen; for narrow counters the effect stays within
+  placement noise,
+* designs whose utilization exceeds the device fail to place (the paper's
+  48-bit BOOM configuration).
+
+Every constant is documented; the figures produced from this model are
+shape reproductions, not absolute-number reproductions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from ...ir.nodes import Expr, MemRead, Module, Mux, PrimOp
+from ...ir.traversal import stmt_exprs, walk_expr, walk_stmts
+from ...ir.nodes import DefMemory, DefRegister
+from ...ir.types import bit_width
+
+# -- device: Xilinx Ultrascale+ VU9P (as on EC2 F1) ---------------------------
+VU9P_LUTS = 1_182_240
+VU9P_FFS = 2_364_480
+VU9P_BRAM_KB = 9_449
+
+# -- logic cost constants (LUT6 fabric) ----------------------------------------
+_LUT_PER_BIT = {
+    "add": 1.0,  # carry chain: one LUT+CARRY per bit
+    "sub": 1.0,
+    "lt": 0.55,
+    "leq": 0.55,
+    "gt": 0.55,
+    "geq": 0.55,
+    "eq": 0.4,  # wide compare tree packs ~2.5 bits/LUT
+    "neq": 0.4,
+    "and": 0.34,  # 3 two-input gates per LUT6
+    "or": 0.34,
+    "xor": 0.5,
+    "not": 0.2,
+    "neg": 1.0,
+    "andr": 0.2,
+    "orr": 0.2,
+    "xorr": 0.5,
+}
+_LUT_PER_MUX_BIT = 0.5  # 2:1 mux packs 2 bits per LUT6
+_LUT_PER_MULT_BIT = 1.8  # soft multiplier cost per partial-product bit pair
+_DYN_SHIFT_LUT_PER_BIT = 1.6  # barrel shifter: log2 stages of muxes
+
+_T_LUT_NS = 0.45  # LUT + local routing delay
+_T_CLK_NS = 1.7  # clock-to-out plus setup
+_T_CARRY_NS = 0.03  # per-bit carry chain delay
+_CONGESTION_KNEE = 0.55  # utilization where routing delay starts climbing
+_NOISE_PERCENT = 2.5  # placement noise on F_max, +/-
+
+
+@dataclass
+class Resources:
+    """Estimated FPGA resource usage."""
+
+    luts: float
+    ffs: float
+    bram_kb: float
+    logic_depth: int
+
+    def __add__(self, other: "Resources") -> "Resources":
+        return Resources(
+            self.luts + other.luts,
+            self.ffs + other.ffs,
+            self.bram_kb + other.bram_kb,
+            max(self.logic_depth, other.logic_depth),
+        )
+
+
+def _expr_luts(expr: Expr) -> float:
+    total = 0.0
+    for node in walk_expr(expr):
+        if isinstance(node, PrimOp):
+            width = bit_width(node.type)
+            if node.op == "mul":
+                total += _LUT_PER_MULT_BIT * min(
+                    bit_width(node.args[0].tpe) * bit_width(node.args[1].tpe) / 2, 2000
+                )
+            elif node.op in ("dshl", "dshr"):
+                total += _DYN_SHIFT_LUT_PER_BIT * width
+            elif node.op in ("div", "rem"):
+                total += 3.0 * width * width / 4  # restoring divider array
+            elif node.op in _LUT_PER_BIT:
+                total += _LUT_PER_BIT[node.op] * max(
+                    bit_width(node.args[0].tpe), width
+                )
+            # cat/bits/pad/shl/shr/as* are wiring: zero LUTs
+        elif isinstance(node, Mux):
+            total += _LUT_PER_MUX_BIT * bit_width(node.type)
+    return total
+
+
+def _expr_depth(expr: Expr) -> int:
+    depth = 0
+    stack = [(expr, 0)]
+    while stack:
+        node, d = stack.pop()
+        if isinstance(node, (PrimOp, Mux)):
+            d += 1
+        depth = max(depth, d)
+        if isinstance(node, PrimOp):
+            stack.extend((a, d) for a in node.args)
+        elif isinstance(node, Mux):
+            stack.extend(((node.cond, d), (node.tval, d), (node.fval, d)))
+        elif isinstance(node, MemRead):
+            stack.append((node.addr, d + 1))
+    return depth
+
+
+def estimate_module(module: Module) -> Resources:
+    """Estimate resources of one (flat) module's logic."""
+    luts = 0.0
+    ffs = 0.0
+    bram_kb = 0.0
+    depth = 0
+    for stmt in walk_stmts(module.body):
+        for expr in stmt_exprs(stmt):
+            luts += _expr_luts(expr)
+            depth = max(depth, _expr_depth(expr))
+        if isinstance(stmt, DefRegister):
+            ffs += bit_width(stmt.type)
+        elif isinstance(stmt, DefMemory):
+            bits = bit_width(stmt.data_type) * stmt.depth
+            if bits >= 8192:
+                bram_kb += bits / 8192.0 * 4.5  # 36kb BRAM granularity
+            else:
+                luts += bits / 64.0  # distributed LUTRAM
+    return Resources(luts, ffs, bram_kb, depth)
+
+
+def coverage_counter_resources(n_covers: int, counter_width: int) -> Resources:
+    """Cost of the scan-chain coverage hardware (per Figure 4's structure).
+
+    Per counter: ``width`` flip-flops, a saturating incrementer (carry chain
+    plus saturation compare) and the scan/count/hold input mux.
+    """
+    luts_per_counter = (
+        1.0 * counter_width  # incrementer carry chain
+        + 0.4 * counter_width  # saturation comparator
+        + 0.5 * counter_width  # scan/count/hold mux (2 bits per LUT, 2 levels)
+        + 1.5  # fire-gating control
+    )
+    return Resources(
+        luts=n_covers * luts_per_counter,
+        ffs=n_covers * counter_width,
+        bram_kb=0.0,
+        logic_depth=0,
+    )
+
+
+def _noise(seed: str) -> float:
+    digest = hashlib.sha256(seed.encode()).digest()
+    fraction = int.from_bytes(digest[:4], "big") / 0xFFFFFFFF
+    return (fraction * 2 - 1) * _NOISE_PERCENT / 100.0
+
+
+@dataclass
+class FmaxEstimate:
+    """Result of the timing model."""
+
+    fmax_mhz: Optional[float]  # None = failed to place
+    utilization: float
+    critical_path_ns: float
+
+
+def estimate_fmax(
+    base: Resources,
+    n_covers: int = 0,
+    counter_width: int = 0,
+    device_luts: int = VU9P_LUTS,
+    seed: str = "",
+) -> FmaxEstimate:
+    """F_max of a design plus optional coverage hardware.
+
+    Counter width 0 models the uninstrumented baseline (as in Figure 10's
+    x-axis).
+    """
+    coverage = (
+        coverage_counter_resources(n_covers, counter_width)
+        if counter_width > 0
+        else Resources(0, 0, 0, 0)
+    )
+    total_luts = base.luts + coverage.luts
+    utilization = total_luts / device_luts
+    if utilization > 1.0:
+        # the paper's 48-bit BOOM configuration "did not place"
+        return FmaxEstimate(None, utilization, float("inf"))
+
+    path = _T_CLK_NS + base.logic_depth * _T_LUT_NS
+    if counter_width > 0:
+        # counter carry chain may become the critical path
+        counter_path = _T_CLK_NS + 2 * _T_LUT_NS + counter_width * _T_CARRY_NS
+        path = max(path, counter_path)
+    if utilization > _CONGESTION_KNEE:
+        # routing congestion: delays climb towards full utilization
+        path *= 1.0 + 1.8 * (utilization - _CONGESTION_KNEE) / (1.0 - _CONGESTION_KNEE)
+    path *= 1.0 + _noise(f"{seed}:{counter_width}:{n_covers}")
+    return FmaxEstimate(1000.0 / path, utilization, path)

@@ -1,0 +1,27 @@
+"""Formal verification backend: SAT-based cover trace generation."""
+
+from .bmc import (
+    BmcResult,
+    BoundedModelChecker,
+    CoverTrace,
+    generate_cover_traces,
+    replay_trace,
+)
+from .encode import ExprEncoder, FormalUnsupported, GateBuilder
+from .sat import Solver, SolveResult, make_lit, neg, var_of
+
+__all__ = [
+    "BmcResult",
+    "BoundedModelChecker",
+    "CoverTrace",
+    "ExprEncoder",
+    "FormalUnsupported",
+    "GateBuilder",
+    "SolveResult",
+    "Solver",
+    "generate_cover_traces",
+    "make_lit",
+    "neg",
+    "replay_trace",
+    "var_of",
+]

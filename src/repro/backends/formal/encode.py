@@ -1,0 +1,350 @@
+"""Bit-blasting of IR expressions to CNF (Tseitin encoding).
+
+Values are lists of *bits*, LSB first.  A bit is ``0`` (constant false),
+``1`` (constant true), or a solver literal (``>= 2``).  The gate layer
+performs constant folding and structural hashing so repeated subcircuits
+encode once.
+
+Division/remainder are unsupported (the formal flow targets control logic;
+the software backends cover full arithmetic) — attempting to encode them
+raises :class:`FormalUnsupported`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ...ir.nodes import Expr, MemRead, Mux, PrimOp, Ref, SIntLiteral, UIntLiteral
+from ...ir.types import bit_width, is_signed, mask
+from .sat import Solver, neg
+
+Bit = int  # 0 | 1 | literal (>= 2)
+Bits = list  # list[Bit], LSB first
+
+
+class FormalUnsupported(Exception):
+    """Raised for IR constructs the formal engine does not encode."""
+
+
+class GateBuilder:
+    """CNF gate construction with constant folding and structural hashing."""
+
+    def __init__(self, solver: Solver) -> None:
+        self.solver = solver
+        self._cache: dict[tuple, Bit] = {}
+
+    def new_bit(self) -> Bit:
+        return self.solver.new_var() * 2
+
+    def not_(self, a: Bit) -> Bit:
+        if a in (0, 1):
+            return 1 - a
+        return a ^ 1
+
+    def and_(self, a: Bit, b: Bit) -> Bit:
+        if a == 0 or b == 0:
+            return 0
+        if a == 1:
+            return b
+        if b == 1:
+            return a
+        if a == b:
+            return a
+        if a == (b ^ 1):
+            return 0
+        key = ("and", min(a, b), max(a, b))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        z = self.new_bit()
+        add = self.solver.add_clause
+        add([neg(z), a])
+        add([neg(z), b])
+        add([z, neg(a), neg(b)])
+        self._cache[key] = z
+        return z
+
+    def or_(self, a: Bit, b: Bit) -> Bit:
+        return self.not_(self.and_(self.not_(a), self.not_(b)))
+
+    def xor(self, a: Bit, b: Bit) -> Bit:
+        if a in (0, 1) and b in (0, 1):
+            return a ^ b
+        if a in (0, 1):
+            return b if a == 0 else self.not_(b)
+        if b in (0, 1):
+            return a if b == 0 else self.not_(a)
+        if a == b:
+            return 0
+        if a == (b ^ 1):
+            return 1
+        key = ("xor", min(a, b), max(a, b))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        z = self.new_bit()
+        add = self.solver.add_clause
+        add([neg(z), a, b])
+        add([neg(z), neg(a), neg(b)])
+        add([z, neg(a), b])
+        add([z, a, neg(b)])
+        self._cache[key] = z
+        return z
+
+    def mux(self, c: Bit, t: Bit, f: Bit) -> Bit:
+        if c == 1:
+            return t
+        if c == 0:
+            return f
+        if t == f:
+            return t
+        # z = (c & t) | (!c & f)
+        return self.or_(self.and_(c, t), self.and_(self.not_(c), f))
+
+    # -- word-level helpers ----------------------------------------------------
+
+    def add_words(self, a: Bits, b: Bits) -> Bits:
+        """Ripple-carry addition; result has len(a) bits (a and b same length)."""
+        assert len(a) == len(b)
+        out: Bits = []
+        carry: Bit = 0
+        for bit_a, bit_b in zip(a, b):
+            s = self.xor(self.xor(bit_a, bit_b), carry)
+            carry = self.or_(
+                self.and_(bit_a, bit_b), self.and_(carry, self.xor(bit_a, bit_b))
+            )
+            out.append(s)
+        return out
+
+    def negate_word(self, a: Bits) -> Bits:
+        inverted = [self.not_(bit) for bit in a]
+        one = [1] + [0] * (len(a) - 1)
+        return self.add_words(inverted, one)
+
+    def equal_words(self, a: Bits, b: Bits) -> Bit:
+        assert len(a) == len(b)
+        result: Bit = 1
+        for bit_a, bit_b in zip(a, b):
+            result = self.and_(result, self.not_(self.xor(bit_a, bit_b)))
+        return result
+
+    def less_than_unsigned(self, a: Bits, b: Bits) -> Bit:
+        """a < b over equal-length unsigned words."""
+        assert len(a) == len(b)
+        result: Bit = 0
+        for bit_a, bit_b in zip(a, b):  # LSB to MSB
+            lt = self.and_(self.not_(bit_a), bit_b)
+            eq = self.not_(self.xor(bit_a, bit_b))
+            result = self.or_(lt, self.and_(eq, result))
+        return result
+
+    def or_tree(self, bits: Sequence[Bit]) -> Bit:
+        result: Bit = 0
+        for bit in bits:
+            result = self.or_(result, bit)
+        return result
+
+    def and_tree(self, bits: Sequence[Bit]) -> Bit:
+        result: Bit = 1
+        for bit in bits:
+            result = self.and_(result, bit)
+        return result
+
+    def xor_tree(self, bits: Sequence[Bit]) -> Bit:
+        result: Bit = 0
+        for bit in bits:
+            result = self.xor(result, bit)
+        return result
+
+
+def const_bits(value: int, width: int) -> Bits:
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_value(bits: Bits, model: dict[int, bool]) -> int:
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit == 1:
+            value |= 1 << i
+        elif bit >= 2:
+            if model.get(bit >> 1, False) != bool(bit & 1):
+                # positive literal true, or negative literal with var false
+                value |= 1 << i
+    return value
+
+
+class ExprEncoder:
+    """Encodes IR expressions over an environment of named bit-vectors."""
+
+    def __init__(self, gates: GateBuilder, env: dict[str, Bits], mems: dict[str, list]) -> None:
+        self.gates = gates
+        self.env = env
+        self.mems = mems
+        self._memo: dict[int, Bits] = {}
+
+    def _extend(self, bits: Bits, width: int, signed: bool) -> Bits:
+        if len(bits) >= width:
+            return bits[:width]
+        fill: Bit = bits[-1] if (signed and bits) else 0
+        return bits + [fill] * (width - len(bits))
+
+    def _operand(self, expr: Expr, width: int) -> Bits:
+        """Encode an operand, sign/zero-extended to ``width``."""
+        return self._extend(self.encode(expr), width, is_signed(expr.tpe))
+
+    def encode(self, expr: Expr) -> Bits:
+        key = id(expr)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        bits = self._encode(expr)
+        assert len(bits) == max(bit_width(expr.tpe), 0), f"width bug on {expr}"
+        self._memo[key] = bits
+        return bits
+
+    def _encode(self, expr: Expr) -> Bits:
+        g = self.gates
+        if isinstance(expr, Ref):
+            if expr.name not in self.env:
+                raise FormalUnsupported(f"unbound signal {expr.name}")
+            return self.env[expr.name]
+        if isinstance(expr, UIntLiteral):
+            return const_bits(expr.value, expr.width)
+        if isinstance(expr, SIntLiteral):
+            return const_bits(expr.value & mask(expr.width), expr.width)
+        if isinstance(expr, Mux):
+            width = bit_width(expr.type)
+            cond = self.encode(expr.cond)[0]
+            tval = self._operand(expr.tval, width)
+            fval = self._operand(expr.fval, width)
+            return [g.mux(cond, t, f) for t, f in zip(tval, fval)]
+        if isinstance(expr, MemRead):
+            return self._encode_mem_read(expr)
+        if isinstance(expr, PrimOp):
+            return self._encode_primop(expr)
+        raise FormalUnsupported(f"cannot encode {expr!r}")
+
+    def _encode_mem_read(self, expr: MemRead) -> Bits:
+        g = self.gates
+        words = self.mems.get(expr.mem)
+        if words is None:
+            raise FormalUnsupported(f"unbound memory {expr.mem}")
+        addr = self.encode(expr.addr)
+        width = bit_width(expr.type)
+        result = const_bits(0, width)
+        for index, word in enumerate(words):
+            hit = g.equal_words(addr, const_bits(index, len(addr)))
+            result = [g.mux(hit, w, r) for w, r in zip(word, result)]
+        return result
+
+    def _encode_primop(self, expr: PrimOp) -> Bits:
+        g = self.gates
+        op = expr.op
+        args = expr.args
+        width = bit_width(expr.type)
+        signed = is_signed(args[0].tpe) if args else False
+
+        if op in ("add", "sub"):
+            a = self._operand(args[0], width)
+            b = self._operand(args[1], width)
+            if op == "sub":
+                b = g.negate_word(b)
+            return g.add_words(a, b)
+        if op == "mul":
+            a = self._operand(args[0], width)
+            b = self._operand(args[1], width)
+            acc = const_bits(0, width)
+            for i in range(width):
+                partial = [0] * i + [g.and_(b[i], bit) for bit in a[: width - i]]
+                acc = g.add_words(acc, partial)
+            return acc
+        if op in ("div", "rem"):
+            raise FormalUnsupported("division is not supported by the formal engine")
+        if op in ("lt", "leq", "gt", "geq"):
+            common = max(bit_width(args[0].tpe), bit_width(args[1].tpe)) + 1
+            a = self._operand(args[0], common)
+            b = self._operand(args[1], common)
+            if signed:
+                # flip sign bits to reduce to unsigned comparison
+                a = a[:-1] + [g.not_(a[-1])]
+                b = b[:-1] + [g.not_(b[-1])]
+            if op == "lt":
+                return [g.less_than_unsigned(a, b)]
+            if op == "gt":
+                return [g.less_than_unsigned(b, a)]
+            if op == "leq":
+                return [g.not_(g.less_than_unsigned(b, a))]
+            return [g.not_(g.less_than_unsigned(a, b))]
+        if op in ("eq", "neq"):
+            common = max(bit_width(args[0].tpe), bit_width(args[1].tpe))
+            a = self._operand(args[0], common)
+            b = self._operand(args[1], common)
+            equal = g.equal_words(a, b)
+            return [equal if op == "eq" else g.not_(equal)]
+        if op in ("and", "or", "xor"):
+            a = self._operand(args[0], width)
+            b = self._operand(args[1], width)
+            fn = {"and": g.and_, "or": g.or_, "xor": g.xor}[op]
+            return [fn(x, y) for x, y in zip(a, b)]
+        if op == "not":
+            a = self._operand(args[0], width)
+            return [g.not_(bit) for bit in a]
+        if op == "neg":
+            a = self._operand(args[0], width)
+            return g.negate_word(a)
+        if op in ("asUInt", "asSInt"):
+            return self._extend(self.encode(args[0]), width, False)
+        if op == "cat":
+            low = self.encode(args[1])
+            high = self.encode(args[0])
+            return low + high
+        if op == "bits":
+            hi, lo = expr.consts
+            return self.encode(args[0])[lo : hi + 1]
+        if op == "head":
+            (count,) = expr.consts
+            inner = self.encode(args[0])
+            return inner[len(inner) - count :]
+        if op == "tail":
+            (count,) = expr.consts
+            inner = self.encode(args[0])
+            return inner[: len(inner) - count]
+        if op == "shl":
+            (count,) = expr.consts
+            return const_bits(0, count) + self.encode(args[0])
+        if op == "shr":
+            (count,) = expr.consts
+            inner = self.encode(args[0])
+            if count >= len(inner):
+                fill: Bit = inner[-1] if (signed and inner) else 0
+                return [fill] * width
+            return self._extend(inner[count:], width, signed)
+        if op in ("dshl", "dshr"):
+            return self._encode_dynamic_shift(expr, signed)
+        if op == "andr":
+            return [g.and_tree(self.encode(args[0]))]
+        if op == "orr":
+            return [g.or_tree(self.encode(args[0]))]
+        if op == "xorr":
+            return [g.xor_tree(self.encode(args[0]))]
+        if op == "pad":
+            return self._extend(self.encode(args[0]), width, signed)
+        raise FormalUnsupported(f"cannot encode primop {op}")
+
+    def _encode_dynamic_shift(self, expr: PrimOp, signed: bool) -> Bits:
+        g = self.gates
+        width = bit_width(expr.type)
+        value = self._extend(self.encode(expr.args[0]), width, signed)
+        amount = self.encode(expr.args[1])
+        left = expr.op == "dshl"
+        for stage, select in enumerate(amount):
+            shift = 1 << stage
+            if shift >= width and not left:
+                shifted = [value[-1] if signed else 0] * width
+            elif left:
+                shifted = ([0] * min(shift, width) + value)[:width]
+            else:
+                fill: Bit = value[-1] if signed else 0
+                shifted = value[shift:] + [fill] * min(shift, width)
+            value = [g.mux(select, s, v) for s, v in zip(shifted, value)]
+        return value

@@ -1,0 +1,327 @@
+"""A CDCL SAT solver (the engine behind the SymbiYosys-like formal flow).
+
+Implements the standard modern architecture: two-watched-literal unit
+propagation, first-UIP conflict clause learning, VSIDS-style activity
+ordering with decay, phase saving, and Luby restarts.  Written for clarity
+over raw speed — it comfortably handles the bounded-model-checking
+instances our cover-trace generation produces (tens of thousands of
+variables).
+
+Literal encoding: variable ``v`` (1-based) has positive literal ``2*v`` and
+negative literal ``2*v + 1``; ``lit ^ 1`` negates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+def var_of(lit: int) -> int:
+    return lit >> 1
+
+
+def neg(lit: int) -> int:
+    return lit ^ 1
+
+
+def make_lit(var: int, positive: bool = True) -> int:
+    return var * 2 + (0 if positive else 1)
+
+
+UNASSIGNED = -1
+
+
+@dataclass
+class SolveResult:
+    sat: bool
+    model: dict[int, bool] = field(default_factory=dict)
+    conflicts: int = 0
+    decisions: int = 0
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence (1,1,2,1,1,2,4,...), 1-indexed."""
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+
+
+class Solver:
+    """CDCL SAT solver over integer-encoded literals."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+        self.watches: dict[int, list[int]] = {}
+        self.assign: list[int] = [UNASSIGNED]  # indexed by var, 1-based
+        self.level: list[int] = [0]
+        self.reason: list[Optional[int]] = [None]
+        self.activity: list[float] = [0.0]
+        self.phase: list[bool] = [False]
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.prop_head = 0
+        self.var_inc = 1.0
+        self.ok = True
+        self.conflicts = 0
+        self.decisions = 0
+
+    # -- problem construction ----------------------------------------------------
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self.assign.append(UNASSIGNED)
+        self.level.append(0)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        self.phase.append(False)
+        return self.num_vars
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially UNSAT."""
+        if not self.ok:
+            return False
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in lits:
+            if lit in seen:
+                continue
+            if neg(lit) in seen:
+                return True  # tautology
+            seen.add(lit)
+            clause.append(lit)
+        # drop literals already false at level 0; satisfied clauses vanish
+        filtered: list[int] = []
+        for lit in clause:
+            value = self._value(lit)
+            if value == 1 and self.level[var_of(lit)] == 0:
+                return True
+            if value == 0 and self.level[var_of(lit)] == 0:
+                continue
+            filtered.append(lit)
+        if not filtered:
+            self.ok = False
+            return False
+        if len(filtered) == 1:
+            if not self._enqueue(filtered[0], None):
+                self.ok = False
+                return False
+            return self._propagate() is None or self._fail()
+        index = len(self.clauses)
+        self.clauses.append(filtered)
+        self.watches.setdefault(filtered[0], []).append(index)
+        self.watches.setdefault(filtered[1], []).append(index)
+        return True
+
+    def _fail(self) -> bool:
+        self.ok = False
+        return False
+
+    # -- assignment helpers ---------------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        """1 = true, 0 = false, UNASSIGNED otherwise."""
+        a = self.assign[var_of(lit)]
+        if a == UNASSIGNED:
+            return UNASSIGNED
+        return a ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason_clause: Optional[int]) -> bool:
+        value = self._value(lit)
+        if value == 0:
+            return False
+        if value == 1:
+            return True
+        var = var_of(lit)
+        self.assign[var] = 1 - (lit & 1)
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason_clause
+        self.phase[var] = not (lit & 1)
+        self.trail.append(lit)
+        return True
+
+    # -- unit propagation -------------------------------------------------------------
+
+    def _propagate(self) -> Optional[int]:
+        """Propagate; returns the index of a conflicting clause or None."""
+        while self.prop_head < len(self.trail):
+            lit = self.trail[self.prop_head]
+            self.prop_head += 1
+            false_lit = neg(lit)
+            watch_list = self.watches.get(false_lit, [])
+            new_list: list[int] = []
+            for pos, clause_index in enumerate(watch_list):
+                clause = self.clauses[clause_index]
+                # ensure false_lit is at position 1
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    new_list.append(clause_index)
+                    continue
+                # find a new watch
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches.setdefault(clause[1], []).append(clause_index)
+                        break
+                else:
+                    new_list.append(clause_index)
+                    if not self._enqueue(first, clause_index):
+                        new_list.extend(watch_list[pos + 1:])
+                        self.watches[false_lit] = new_list
+                        return clause_index
+                    continue
+            self.watches[false_lit] = new_list
+        return None
+
+    # -- conflict analysis ------------------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
+        """First-UIP learning; returns (learned clause, backtrack level)."""
+        learned: list[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = -1
+        index = len(self.trail) - 1
+        clause = self.clauses[conflict]
+        current_level = len(self.trail_lim)
+
+        while True:
+            for q in clause if lit == -1 else clause[1:]:
+                var = q >> 1
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] == current_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            while not seen[self.trail[index] >> 1]:
+                index -= 1
+            lit = self.trail[index]
+            index -= 1
+            var = lit >> 1
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                learned[0] = neg(lit)
+                break
+            reason_index = self.reason[var]
+            assert reason_index is not None
+            clause = self.clauses[reason_index]
+            if clause[0] != lit:
+                clause = [lit] + [q for q in clause if q != lit]
+
+        back_level = 0
+        if len(learned) > 1:
+            max_pos = 1
+            for k in range(2, len(learned)):
+                if self.level[learned[k] >> 1] > self.level[learned[max_pos] >> 1]:
+                    max_pos = k
+            learned[1], learned[max_pos] = learned[max_pos], learned[1]
+            back_level = self.level[learned[1] >> 1]
+        return learned, back_level
+
+    def _backtrack(self, target_level: int) -> None:
+        while len(self.trail_lim) > target_level:
+            limit = self.trail_lim.pop()
+            while len(self.trail) > limit:
+                lit = self.trail.pop()
+                self.assign[lit >> 1] = UNASSIGNED
+                self.reason[lit >> 1] = None
+        self.prop_head = min(self.prop_head, len(self.trail))
+
+    def _decide(self) -> Optional[int]:
+        best = -1
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.assign[var] == UNASSIGNED and self.activity[var] > best_activity:
+                best = var
+                best_activity = self.activity[var]
+        if best < 0:
+            return None
+        return make_lit(best, self.phase[best])
+
+    # -- main loop ----------------------------------------------------------------------
+
+    def solve(self, assumptions: Iterable[int] = (), max_conflicts: Optional[int] = None) -> SolveResult:
+        """Solve under optional assumption literals."""
+        if not self.ok:
+            return SolveResult(False)
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self.ok = False
+            return SolveResult(False)
+
+        # assumptions become decision levels of their own
+        for lit in assumptions:
+            if self._value(lit) == 1:
+                continue
+            if self._value(lit) == 0:
+                self._backtrack(0)
+                return SolveResult(False)
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(lit, None)
+            conflict = self._propagate()
+            if conflict is not None:
+                self._backtrack(0)
+                return SolveResult(False)
+        assumption_level = len(self.trail_lim)
+
+        restart_index = 1
+        conflicts_here = 0
+        budget = _luby(restart_index) * 64
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if max_conflicts is not None and self.conflicts >= max_conflicts:
+                    self._backtrack(0)
+                    return SolveResult(False, conflicts=self.conflicts, decisions=self.decisions)
+                if len(self.trail_lim) == assumption_level:
+                    self._backtrack(0)
+                    return SolveResult(False, conflicts=self.conflicts, decisions=self.decisions)
+                learned, back_level = self._analyze(conflict)
+                self._backtrack(max(back_level, assumption_level))
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], None):
+                        self._backtrack(0)
+                        return SolveResult(False, conflicts=self.conflicts, decisions=self.decisions)
+                else:
+                    index = len(self.clauses)
+                    self.clauses.append(learned)
+                    self.watches.setdefault(learned[0], []).append(index)
+                    self.watches.setdefault(learned[1], []).append(index)
+                    self._enqueue(learned[0], index)
+                self.var_inc *= 1.052
+                if conflicts_here >= budget:
+                    conflicts_here = 0
+                    restart_index += 1
+                    budget = _luby(restart_index) * 64
+                    self._backtrack(assumption_level)
+            else:
+                lit = self._decide()
+                if lit is None:
+                    model = {
+                        var: self.assign[var] == 1
+                        for var in range(1, self.num_vars + 1)
+                    }
+                    result = SolveResult(True, model, self.conflicts, self.decisions)
+                    self._backtrack(0)
+                    return result
+                self.decisions += 1
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, None)

@@ -1,0 +1,148 @@
+"""Python code generation shared by the compiled simulator backends.
+
+Translates IR expressions into Python source over *raw masked integers*.
+The invariant: every generated sub-expression evaluates to the operand's
+raw bit pattern (non-negative, already truncated to its width).  Signed
+interpretation happens locally inside each op via inline sign-fixup
+expressions, mirroring :mod:`repro.ir.ops` exactly — a property test pins
+the two against each other.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..ir.nodes import Expr, MemRead, Mux, PrimOp, Ref, SIntLiteral, UIntLiteral
+from ..ir.types import bit_width, is_signed, mask
+
+RefFn = Callable[[str], str]
+MemFn = Callable[[str], str]
+
+
+def _s(text: str, width: int) -> str:
+    """Sign-interpret a raw ``width``-bit value (inline expression)."""
+    sign_bit = 1 << (width - 1)
+    offset = 1 << width
+    return f"({text} - {offset} if {text} & {sign_bit} else {text})"
+
+
+def _val(expr: Expr, text: str) -> str:
+    """The numeric value of an operand (signed interpretation if needed)."""
+    if is_signed(expr.tpe):
+        return _s(text, bit_width(expr.tpe))
+    return text
+
+
+def gen_expr(expr: Expr, ref: RefFn, mem: MemFn) -> str:
+    """Generate a Python expression computing ``expr``'s raw value."""
+    if isinstance(expr, Ref):
+        return ref(expr.name)
+    if isinstance(expr, UIntLiteral):
+        return str(expr.value)
+    if isinstance(expr, SIntLiteral):
+        return str(expr.value & mask(expr.width))
+    if isinstance(expr, Mux):
+        cond = gen_expr(expr.cond, ref, mem)
+        width = bit_width(expr.type)
+        arms = []
+        for arm in (expr.tval, expr.fval):
+            text = gen_expr(arm, ref, mem)
+            if is_signed(arm.tpe) and bit_width(arm.tpe) < width:
+                text = f"({_s(text, bit_width(arm.tpe))} & {mask(width)})"
+            arms.append(text)
+        return f"({arms[0]} if {cond} else {arms[1]})"
+    if isinstance(expr, MemRead):
+        addr = gen_expr(expr.addr, ref, mem)
+        return f"{mem(expr.mem)}[{addr}]"
+    if isinstance(expr, PrimOp):
+        return _gen_primop(expr, ref, mem)
+    raise TypeError(f"cannot generate code for {expr!r}")
+
+
+def _gen_primop(expr: PrimOp, ref: RefFn, mem: MemFn) -> str:
+    op = expr.op
+    args = expr.args
+    texts = [gen_expr(a, ref, mem) for a in args]
+    result_w = bit_width(expr.type)
+    result_mask = mask(result_w)
+
+    if op in ("add", "sub", "mul"):
+        symbol = {"add": "+", "sub": "-", "mul": "*"}[op]
+        return f"(({_val(args[0], texts[0])} {symbol} {_val(args[1], texts[1])}) & {result_mask})"
+    if op == "div":
+        return f"(_tdiv({_val(args[0], texts[0])}, {_val(args[1], texts[1])}) & {result_mask})"
+    if op == "rem":
+        return f"(_trem({_val(args[0], texts[0])}, {_val(args[1], texts[1])}) & {result_mask})"
+    if op in ("lt", "leq", "gt", "geq", "eq", "neq"):
+        symbol = {"lt": "<", "leq": "<=", "gt": ">", "geq": ">=", "eq": "==", "neq": "!="}[op]
+        return f"(1 if {_val(args[0], texts[0])} {symbol} {_val(args[1], texts[1])} else 0)"
+    if op in ("and", "or", "xor"):
+        symbol = {"and": "&", "or": "|", "xor": "^"}[op]
+        return f"(({_val(args[0], texts[0])} {symbol} {_val(args[1], texts[1])}) & {result_mask})"
+    if op == "not":
+        return f"(({_val(args[0], texts[0])} ^ -1) & {result_mask})"
+    if op == "neg":
+        return f"((-{_val(args[0], texts[0])}) & {result_mask})"
+    if op in ("asUInt", "asSInt"):
+        return texts[0]
+    if op == "cat":
+        lo_w = bit_width(args[1].tpe)
+        return f"(({texts[0]} << {lo_w}) | {texts[1]})"
+    if op == "bits":
+        hi, lo = expr.consts
+        if lo == 0:
+            return f"({texts[0]} & {mask(hi + 1)})"
+        return f"(({texts[0]} >> {lo}) & {mask(hi - lo + 1)})"
+    if op == "head":
+        (count,) = expr.consts
+        shift = bit_width(args[0].tpe) - count
+        return f"(({texts[0]} >> {shift}) & {mask(count)})"
+    if op == "tail":
+        (count,) = expr.consts
+        return f"({texts[0]} & {mask(bit_width(args[0].tpe) - count)})"
+    if op == "shl":
+        (count,) = expr.consts
+        return f"({texts[0]} << {count})"
+    if op == "shr":
+        (count,) = expr.consts
+        if is_signed(args[0].tpe):
+            return f"(({_val(args[0], texts[0])} >> {count}) & {result_mask})"
+        if count >= bit_width(args[0].tpe):
+            return "0"
+        return f"({texts[0]} >> {count})"
+    if op == "dshl":
+        if is_signed(args[0].tpe):
+            return f"(({_val(args[0], texts[0])} << {texts[1]}) & {result_mask})"
+        return f"({texts[0]} << {texts[1]})"
+    if op == "dshr":
+        if is_signed(args[0].tpe):
+            return f"(({_val(args[0], texts[0])} >> {texts[1]}) & {result_mask})"
+        return f"({texts[0]} >> {texts[1]})"
+    if op == "andr":
+        return f"(1 if {texts[0]} == {mask(bit_width(args[0].tpe))} else 0)"
+    if op == "orr":
+        return f"(1 if {texts[0]} else 0)"
+    if op == "xorr":
+        return f"(({texts[0]}).bit_count() & 1)"
+    if op == "pad":
+        if is_signed(args[0].tpe) and bit_width(args[0].tpe) < result_w:
+            return f"({_val(args[0], texts[0])} & {result_mask})"
+        return texts[0]
+    raise TypeError(f"cannot generate code for primop {op}")
+
+
+RUNTIME_HELPERS = '''
+def _tdiv(a, b):
+    """Division truncating toward zero; x/0 == 0 (matches repro.ir.ops)."""
+    if b == 0:
+        return 0
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _trem(a, b):
+    """Remainder with the dividend's sign; x%0 == x."""
+    if b == 0:
+        return a
+    return a - _tdiv(a, b) * b
+'''

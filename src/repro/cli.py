@@ -1,0 +1,209 @@
+"""Command-line interface: instrument, simulate, report, emit, check.
+
+Works on circuits in the textual IR form (see :mod:`repro.ir.printer`)::
+
+    python -m repro check design.fir
+    python -m repro verilog design.fir -o design.v
+    python -m repro instrument design.fir -m line -m fsm -o instrumented.fir
+    python -m repro simulate instrumented.fir --cycles 1000 --random-inputs \
+        --counts counts.json
+    python -m repro report instrumented.fir --counts counts.json --html out.html
+    python -m repro bmc instrumented.fir --bound 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from pathlib import Path
+
+from .backends import TreadleBackend, VerilatorBackend
+from .coverage import (
+    CoverageDB,
+    counts_from_json,
+    counts_to_json,
+    fsm_report,
+    instrument,
+    line_report,
+    merge_counts,
+    ready_valid_report,
+    toggle_report,
+)
+from .coverage.htmlreport import html_report
+from .ir import parse_circuit, print_circuit
+from .passes import CheckForms, CompileState, lower
+from .verilog import emit_verilog
+
+DB_SUFFIX = ".covdb.json"
+
+
+def _load(path: str):
+    return parse_circuit(Path(path).read_text())
+
+
+def _write(text: str, path: str | None) -> None:
+    if path:
+        Path(path).write_text(text)
+    else:
+        sys.stdout.write(text)
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    circuit = _load(args.circuit)
+    CheckForms().run(CompileState(circuit))
+    modules = len(circuit.modules)
+    print(f"OK: {circuit.main} ({modules} modules)")
+    return 0
+
+
+def cmd_print(args: argparse.Namespace) -> int:
+    state = lower(_load(args.circuit), optimize=args.optimize, flatten=args.flatten)
+    _write(print_circuit(state.circuit), args.output)
+    return 0
+
+
+def cmd_verilog(args: argparse.Namespace) -> int:
+    state = lower(_load(args.circuit), flatten=args.flatten)
+    _write(emit_verilog(state.circuit), args.output)
+    return 0
+
+
+def cmd_instrument(args: argparse.Namespace) -> int:
+    circuit = _load(args.circuit)
+    state, db = instrument(circuit, metrics=args.metric or ["line"])
+    output = args.output or "instrumented.fir"
+    Path(output).write_text(print_circuit(state.circuit))
+    Path(output + DB_SUFFIX).write_text(db.to_json())
+    n = sum(db.count(m) for m in db.metrics())
+    print(f"wrote {output} (+{DB_SUFFIX}): {n} cover statements")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    circuit = _load(args.circuit)
+    backend = TreadleBackend() if args.backend == "treadle" else VerilatorBackend()
+    sim = backend.compile(circuit, counter_width=args.counter_width)
+    rng = random.Random(args.seed)
+    inputs = [
+        p.name
+        for p in circuit.top.inputs
+        if p.name not in ("clock", "reset")
+    ]
+    widths = {p.name: getattr(p.type, "width", 1) for p in circuit.top.inputs}
+    sim.poke("reset", 1)
+    sim.step(args.reset_cycles)
+    sim.poke("reset", 0)
+    for _ in range(args.cycles):
+        if args.random_inputs:
+            for name in inputs:
+                sim.poke(name, rng.getrandbits(widths.get(name, 1) or 1))
+        result = sim.step(1)
+        if result.stopped:
+            print(f"stopped by {result.stop_name} (exit {result.exit_code})")
+            break
+    counts = sim.cover_counts()
+    if args.merge_with:
+        counts = merge_counts(counts, counts_from_json(Path(args.merge_with).read_text()))
+    _write(counts_to_json(counts) + "\n", args.counts)
+    covered = sum(1 for c in counts.values() if c)
+    print(f"simulated {args.cycles} cycles: {covered}/{len(counts)} points covered")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    circuit = _load(args.circuit)
+    db = CoverageDB.from_json(Path(args.db or args.circuit + DB_SUFFIX).read_text())
+    counts = counts_from_json(Path(args.counts).read_text())
+    if args.html:
+        Path(args.html).write_text(html_report(db, counts, circuit))
+        print(f"wrote {args.html}")
+        return 0
+    sections = []
+    if "line" in db.entries:
+        sections.append(line_report(db, counts, circuit).format())
+    if "toggle" in db.entries:
+        sections.append(toggle_report(db, counts, circuit).format())
+    if "fsm" in db.entries:
+        sections.append(fsm_report(db, counts, circuit).format())
+    if "ready_valid" in db.entries:
+        sections.append(ready_valid_report(db, counts, circuit).format())
+    print("\n\n".join(sections))
+    return 0
+
+
+def cmd_bmc(args: argparse.Namespace) -> int:
+    from .backends.formal import generate_cover_traces
+
+    state = lower(_load(args.circuit), flatten=True)
+    result = generate_cover_traces(state, bound=args.bound)
+    print(result.format())
+    return 0 if not args.expect_all_reachable or not result.unreachable else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="simulator independent coverage toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="validate a circuit file")
+    p.add_argument("circuit")
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("print", help="lower and pretty-print a circuit")
+    p.add_argument("circuit")
+    p.add_argument("-o", "--output")
+    p.add_argument("--flatten", action="store_true")
+    p.add_argument("--no-optimize", dest="optimize", action="store_false")
+    p.set_defaults(fn=cmd_print)
+
+    p = sub.add_parser("verilog", help="emit structural Verilog")
+    p.add_argument("circuit")
+    p.add_argument("-o", "--output")
+    p.add_argument("--flatten", action="store_true")
+    p.set_defaults(fn=cmd_verilog)
+
+    p = sub.add_parser("instrument", help="add coverage instrumentation")
+    p.add_argument("circuit")
+    p.add_argument("-m", "--metric", action="append",
+                   choices=["line", "toggle", "fsm", "ready_valid", "mux_toggle"])
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_instrument)
+
+    p = sub.add_parser("simulate", help="run a simulation, dump cover counts")
+    p.add_argument("circuit")
+    p.add_argument("--backend", choices=["treadle", "verilator"], default="verilator")
+    p.add_argument("--cycles", type=int, default=1000)
+    p.add_argument("--reset-cycles", type=int, default=1)
+    p.add_argument("--random-inputs", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--counter-width", type=int, default=None)
+    p.add_argument("--counts", help="write counts JSON here (default stdout)")
+    p.add_argument("--merge-with", help="merge with an existing counts JSON")
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("report", help="generate coverage reports from counts")
+    p.add_argument("circuit")
+    p.add_argument("--counts", required=True)
+    p.add_argument("--db", help=f"coverage DB (default: <circuit>{DB_SUFFIX})")
+    p.add_argument("--html", help="write an HTML report to this path")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("bmc", help="formal cover trace generation")
+    p.add_argument("circuit")
+    p.add_argument("--bound", type=int, default=20)
+    p.add_argument("--expect-all-reachable", action="store_true")
+    p.set_defaults(fn=cmd_bmc)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

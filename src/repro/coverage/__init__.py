@@ -1,0 +1,126 @@
+"""Automated coverage metrics as compiler passes (the paper's contribution).
+
+Each metric is (a) an instrumentation pass that adds ``cover`` statements
+plus metadata to the circuit and (b) a report generator that joins the
+metadata with the counts any backend reports.  :func:`instrument` wires the
+passes into the lowering pipeline in the order each metric requires:
+
+* line coverage runs on high form, *before* ``ExpandWhens`` (it relies on
+  branch conditions becoming cover enables during lowering),
+* toggle/FSM/mux-toggle run on low form, *after* optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..ir.nodes import Circuit
+from ..passes import (
+    CheckForms,
+    CompileState,
+    ConstProp,
+    DeadCodeElimination,
+    ExpandWhens,
+    InlineInstances,
+    Pass,
+    PassManager,
+)
+from .alias import AliasInfo, analyze_aliases
+from .common import (
+    CoverageDB,
+    InstanceTree,
+    aggregate_by_module,
+    all_cover_names,
+    counts_from_json,
+    counts_to_json,
+    covered_points,
+    filter_covered,
+    merge_counts,
+)
+from .fsm import FsmCoveragePass, FsmCoverageReport, fsm_report
+from .line import LineCoveragePass, LineCoverageReport, line_report
+from .muxtoggle import MuxToggleCoveragePass, MuxToggleReport, mux_toggle_report
+from .readyvalid import ReadyValidCoveragePass, ReadyValidReport, ready_valid_report
+from .toggle import ToggleCoveragePass, ToggleCoverageReport, toggle_report
+
+#: metrics accepted by :func:`instrument`
+ALL_METRICS = ("line", "toggle", "fsm", "ready_valid", "mux_toggle")
+
+
+def instrument(
+    circuit: Circuit,
+    metrics: Iterable[str] = ("line",),
+    db: Optional[CoverageDB] = None,
+    optimize: bool = True,
+    flatten: bool = False,
+    toggle_categories: Iterable[str] = ("io", "reg", "wire"),
+    use_alias_analysis: bool = True,
+) -> tuple[CompileState, CoverageDB]:
+    """Instrument ``circuit`` with the requested coverage metrics.
+
+    Returns the lowered (optionally flattened) compile state plus the
+    coverage metadata database the report generators consume.
+    """
+    import copy
+
+    requested = list(metrics)
+    unknown = [m for m in requested if m not in ALL_METRICS]
+    if unknown:
+        raise ValueError(f"unknown metrics: {unknown}; choose from {ALL_METRICS}")
+    db = db if db is not None else CoverageDB()
+    # instrumentation passes mutate module bodies; never touch the caller's IR
+    circuit = copy.deepcopy(circuit)
+
+    pipeline: list[Pass] = [CheckForms()]
+    if "line" in requested:
+        pipeline.append(LineCoveragePass(db))
+    if "ready_valid" in requested:
+        pipeline.append(ReadyValidCoveragePass(db))
+    pipeline.append(ExpandWhens())
+    if optimize:
+        pipeline += [ConstProp(), DeadCodeElimination()]
+    if "fsm" in requested:
+        pipeline.append(FsmCoveragePass(db))
+    if "mux_toggle" in requested:
+        pipeline.append(MuxToggleCoveragePass(db))
+    if "toggle" in requested:
+        pipeline.append(
+            ToggleCoveragePass(db, toggle_categories, use_alias_analysis)
+        )
+    if flatten:
+        pipeline.append(InlineInstances())
+
+    state = PassManager(pipeline).run(CompileState(circuit))
+    return state, db
+
+
+__all__ = [
+    "ALL_METRICS",
+    "AliasInfo",
+    "CoverageDB",
+    "FsmCoveragePass",
+    "FsmCoverageReport",
+    "InstanceTree",
+    "LineCoveragePass",
+    "LineCoverageReport",
+    "MuxToggleCoveragePass",
+    "MuxToggleReport",
+    "ReadyValidCoveragePass",
+    "ReadyValidReport",
+    "ToggleCoveragePass",
+    "ToggleCoverageReport",
+    "aggregate_by_module",
+    "all_cover_names",
+    "analyze_aliases",
+    "counts_from_json",
+    "counts_to_json",
+    "covered_points",
+    "filter_covered",
+    "fsm_report",
+    "instrument",
+    "line_report",
+    "merge_counts",
+    "mux_toggle_report",
+    "ready_valid_report",
+    "toggle_report",
+]

@@ -1,0 +1,117 @@
+"""Global alias analysis for toggle coverage (§4.2 of the paper).
+
+Finds groups of signals that are guaranteed to always carry the same value,
+so the toggle pass instruments only one representative per group.  The
+motivating example from the paper: a global reset fanning out through every
+module's ``reset`` input port should be instrumented exactly once, in the
+top-level module.
+
+Two sources of aliasing are tracked:
+
+* *intra-module*: ``Connect(Ref a, Ref b)`` — the driven signal ``a``
+  always equals ``b``.
+* *cross-module*: a child input port that is driven by a plain named signal
+  in **every** instantiation of that child module is an alias of the parent
+  signal; a parent signal directly driven from a child instance output
+  aliases that output.
+
+Requires low form (single connect per target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.nodes import (
+    Circuit,
+    Connect,
+    DefInstance,
+    InstPort,
+    Module,
+    Ref,
+)
+from ..ir.types import ClockType
+
+
+@dataclass
+class AliasInfo:
+    """Result of the analysis.
+
+    ``skip[module]`` is the set of module-local signal names whose toggle
+    activity is fully represented by another signal (possibly in another
+    module) and which therefore need no instrumentation.
+    ``groups`` lists the alias classes found, for reporting/ablation.
+    """
+
+    skip: dict[str, set[str]] = field(default_factory=dict)
+    groups: list[list[str]] = field(default_factory=list)
+
+    def skipped(self, module: str) -> set[str]:
+        return self.skip.get(module, set())
+
+    @property
+    def total_skipped(self) -> int:
+        return sum(len(s) for s in self.skip.values())
+
+
+def analyze_aliases(circuit: Circuit) -> AliasInfo:
+    """Run the global alias analysis over a lowered circuit."""
+    info = AliasInfo()
+    instantiation_count: dict[str, int] = {}
+    # (child_module, port) -> number of instantiations where the driver is a
+    # plain named signal
+    plain_driven: dict[tuple[str, str], int] = {}
+
+    for module in circuit.modules:
+        skip = info.skip.setdefault(module.name, set())
+        groups: dict[str, list[str]] = {}
+        from ..ir.nodes import DefRegister
+
+        registers = {s.name for s in module.body if isinstance(s, DefRegister)}
+        for stmt in module.body:
+            if isinstance(stmt, DefInstance):
+                instantiation_count[stmt.module] = instantiation_count.get(stmt.module, 0) + 1
+            elif isinstance(stmt, Connect):
+                loc, expr = stmt.loc, stmt.expr
+                if isinstance(loc, Ref) and isinstance(expr, Ref):
+                    if isinstance(loc.tpe, ClockType):
+                        continue
+                    if loc.name in registers:
+                        # a register connect sets its *next* value, one
+                        # cycle later — never an alias
+                        continue
+                    # a <= b: a is redundant, b represents the group
+                    skip.add(loc.name)
+                    groups.setdefault(expr.name, [expr.name]).append(loc.name)
+                elif isinstance(loc, Ref) and isinstance(expr, InstPort):
+                    # parent signal mirrors a child output: child covers it
+                    skip.add(loc.name)
+                    groups.setdefault(str(expr), [str(expr)]).append(loc.name)
+                elif isinstance(loc, InstPort) and isinstance(expr, (Ref, InstPort)):
+                    key = (_instance_module(module, loc.instance), loc.port)
+                    plain_driven[key] = plain_driven.get(key, 0) + 1
+        for members in groups.values():
+            if len(members) > 1:
+                info.groups.append([f"{module.name}.{m}" for m in members])
+
+    # child input ports aliased in every instantiation need no instrumentation
+    for module in circuit.modules:
+        if module.name == circuit.main:
+            continue
+        count = instantiation_count.get(module.name, 0)
+        if count == 0:
+            continue
+        skip = info.skip.setdefault(module.name, set())
+        for port in module.ports:
+            if port.direction != "input" or isinstance(port.type, ClockType):
+                continue
+            if plain_driven.get((module.name, port.name), 0) == count:
+                skip.add(port.name)
+    return info
+
+
+def _instance_module(module: Module, instance: str) -> str:
+    for stmt in module.body:
+        if isinstance(stmt, DefInstance) and stmt.name == instance:
+            return stmt.module
+    raise KeyError(f"no instance {instance!r} in {module.name}")

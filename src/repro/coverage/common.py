@@ -1,0 +1,167 @@
+"""Common coverage library: metadata database, counts, merging, filtering.
+
+This is the "Common Library" row of the paper's Table 1.  The two data
+structures that cross the compiler/simulator boundary are:
+
+* :class:`CoverageDB` — metadata emitted by instrumentation passes, keyed by
+  ``(metric, module, cover_name)``.  Pure compile-time information.
+* cover counts — ``dict[str, int]`` from canonical hierarchical cover names
+  (``inst.path.name``) to saturating counts.  Pure run-time information.
+
+Because counts share one namespace across every backend, merging results
+from different simulators (§5.3) is dictionary addition with saturation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from ..ir.nodes import Circuit, Cover, DefInstance
+from ..ir.traversal import walk_stmts
+from ..backends.api import CoverCounts, saturate
+
+
+@dataclass
+class CoverageDB:
+    """Metadata produced by instrumentation passes.
+
+    ``entries[metric][module][cover_name]`` is a JSON-compatible payload
+    whose schema is metric specific (see each pass module).
+    """
+
+    entries: dict[str, dict[str, dict[str, Any]]] = field(default_factory=dict)
+
+    def add(self, metric: str, module: str, cover_name: str, payload: Any) -> None:
+        self.entries.setdefault(metric, {}).setdefault(module, {})[cover_name] = payload
+
+    def get(self, metric: str, module: str) -> dict[str, Any]:
+        return self.entries.get(metric, {}).get(module, {})
+
+    def metrics(self) -> list[str]:
+        return sorted(self.entries)
+
+    def covers_of(self, metric: str) -> Iterable[tuple[str, str, Any]]:
+        """Yield (module, cover_name, payload) for one metric."""
+        for module, covers in self.entries.get(metric, {}).items():
+            for name, payload in covers.items():
+                yield module, name, payload
+
+    def count(self, metric: str) -> int:
+        """Number of cover statements a metric declared (module level)."""
+        return sum(len(covers) for covers in self.entries.get(metric, {}).values())
+
+    def merge(self, other: "CoverageDB") -> "CoverageDB":
+        merged = CoverageDB(json.loads(json.dumps(self.entries)))
+        for metric, modules in other.entries.items():
+            for module, covers in modules.items():
+                for name, payload in covers.items():
+                    merged.add(metric, module, name, payload)
+        return merged
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({"version": 1, "entries": self.entries}, indent=2, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "CoverageDB":
+        data = json.loads(text)
+        return CoverageDB(data["entries"])
+
+
+class InstanceTree:
+    """The circuit's instance hierarchy, for resolving canonical cover keys."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.main = circuit.main
+        self.children: dict[str, dict[str, str]] = {}
+        for module in circuit.modules:
+            table: dict[str, str] = {}
+            for stmt in walk_stmts(module.body):
+                if isinstance(stmt, DefInstance):
+                    table[stmt.name] = stmt.module
+            self.children[module.name] = table
+
+    def resolve(self, key: str) -> tuple[str, str]:
+        """Map a canonical cover key to ``(module, local_cover_name)``."""
+        parts = key.split(".")
+        module = self.main
+        for part in parts[:-1]:
+            module = self.children[module][part]
+        return module, parts[-1]
+
+    def instance_paths(self, module: str) -> list[str]:
+        """All dotted instance paths at which ``module`` appears."""
+        out: list[str] = []
+
+        def walk(current: str, path: str) -> None:
+            if current == module:
+                out.append(path)
+            for inst, child in self.children.get(current, {}).items():
+                walk(child, f"{path}{inst}." if path else f"{inst}.")
+
+        walk(self.main, "")
+        return out
+
+
+def merge_counts(*results: CoverCounts, counter_width: Optional[int] = None) -> CoverCounts:
+    """Merge counts from any number of backends (saturating addition).
+
+    This is the paper's headline property: "by construction, coverage can be
+    trivially merged across backends".
+    """
+    merged: CoverCounts = {}
+    for counts in results:
+        for name, count in counts.items():
+            merged[name] = merged.get(name, 0) + count
+    if counter_width is not None:
+        merged = {name: saturate(c, counter_width) for name, c in merged.items()}
+    return merged
+
+
+def covered_points(counts: CoverCounts, threshold: int = 1) -> set[str]:
+    """Cover points hit at least ``threshold`` times."""
+    return {name for name, count in counts.items() if count >= threshold}
+
+
+def filter_covered(counts: CoverCounts, threshold: int = 1) -> set[str]:
+    """Cover points NOT yet covered ``threshold`` times (§5.3 removal).
+
+    These are the points that still need hardware counters in a subsequent
+    FPGA-accelerated run; already-covered points can be excluded, reducing
+    instrumentation area.
+    """
+    return {name for name, count in counts.items() if count < threshold}
+
+
+def aggregate_by_module(counts: CoverCounts, tree: InstanceTree) -> dict[tuple[str, str], int]:
+    """Sum counts over all instances of each module's cover statements."""
+    out: dict[tuple[str, str], int] = {}
+    for key, count in counts.items():
+        module_cover = tree.resolve(key)
+        out[module_cover] = out.get(module_cover, 0) + count
+    return out
+
+
+def counts_to_json(counts: CoverCounts) -> str:
+    return json.dumps(counts, indent=2, sort_keys=True)
+
+
+def counts_from_json(text: str) -> CoverCounts:
+    data = json.loads(text)
+    return {str(k): int(v) for k, v in data.items()}
+
+
+def all_cover_names(circuit: Circuit, tree: Optional[InstanceTree] = None) -> list[str]:
+    """Every canonical cover key the circuit will report (all instances)."""
+    tree = tree or InstanceTree(circuit)
+    out: list[str] = []
+    for module in circuit.modules:
+        local = [s.name for s in walk_stmts(module.body) if isinstance(s, Cover)]
+        if not local:
+            continue
+        for path in tree.instance_paths(module.name):
+            out.extend(f"{path}{name}" for name in local)
+    return sorted(out)

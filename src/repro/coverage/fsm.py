@@ -1,0 +1,306 @@
+"""Finite state machine coverage (§4.3 of the paper).
+
+Keyed on the ``EnumDefAnnotation`` that ChiselEnum state registers carry.
+For every annotated register the pass:
+
+1. inlines node/wire definitions into the register's next-state expression,
+2. for each legal state, substitutes the state constant and constant-folds
+   the expression (the paper's "apply constant propagation, replacing the
+   reset and state symbols with their assignments"),
+3. collects the possible next states: a literal contributes itself, a mux
+   contributes both arms, and anything else *over-approximates to all
+   states* — the analysis is conservative and may only over-report
+   transitions (the §5.5 experiment shows formal verification catching
+   exactly these over-approximated transitions),
+4. adds one cover statement per state and per possible transition.
+
+Runs on low form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ir.annotations import EnumDefAnnotation
+from ..ir.namespace import Namespace
+from ..ir.nodes import (
+    TRUE,
+    Circuit,
+    Connect,
+    Cover,
+    DefNode,
+    DefRegister,
+    DefWire,
+    Expr,
+    Module,
+    Mux,
+    Ref,
+    UIntLiteral,
+    and_,
+    not_,
+    prim,
+)
+from ..ir.traversal import declared_names, map_expr, walk_expr, walk_stmts
+from ..ir.types import bit_width
+from ..passes.base import CompileState, Pass, PassError
+from ..passes.constprop import simplify_deep
+from ..passes.expand_whens import has_whens
+from .common import CoverageDB
+from .line import find_clock
+
+METRIC = "fsm"
+
+#: node-count budget for inlined next-state expressions; beyond this we
+#: over-approximate rather than risk exponential blowup
+MAX_INLINED_NODES = 200_000
+
+
+@dataclass
+class FsmInfo:
+    """Analysis result for one state register."""
+
+    module: str
+    register: str
+    enum_name: str
+    states: dict[str, int]
+    start: Optional[str]
+    transitions: list[tuple[str, str]] = field(default_factory=list)
+    over_approximated: bool = False
+
+
+class _Inliner:
+    """Substitute node/wire definitions into an expression, with a budget."""
+
+    def __init__(self, module: Module) -> None:
+        self.defs: dict[str, Expr] = {}
+        for stmt in module.body:
+            if isinstance(stmt, DefNode):
+                self.defs[stmt.name] = stmt.value
+            elif isinstance(stmt, Connect) and isinstance(stmt.loc, Ref):
+                # wires: their single connect is their definition
+                self.defs.setdefault(stmt.loc.name, stmt.expr)
+        for stmt in module.body:
+            if isinstance(stmt, DefRegister):
+                self.defs.pop(stmt.name, None)  # registers are state, not defs
+        self.budget = MAX_INLINED_NODES
+        self._memo: dict[int, Expr] = {}
+
+    def inline(self, expr: Expr) -> Optional[Expr]:
+        """Fully inlined expression, or None when the budget is exceeded."""
+        import sys
+
+        limit = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(100_000)
+            return self._inline(expr)
+        except (_BudgetExceeded, RecursionError):
+            return None
+        finally:
+            sys.setrecursionlimit(limit)
+
+    def _inline(self, expr: Expr) -> Expr:
+        self.budget -= 1
+        if self.budget <= 0:
+            raise _BudgetExceeded()
+        if isinstance(expr, Ref) and expr.name in self.defs:
+            return self._inline(self.defs[expr.name])
+        from ..ir.traversal import map_expr_children
+
+        return map_expr_children(expr, self._inline)
+
+
+class _BudgetExceeded(Exception):
+    pass
+
+
+def possible_next_values(expr: Expr) -> Optional[set[int]]:
+    """Literal values the simplified expression can take; None = unknown."""
+    if isinstance(expr, UIntLiteral):
+        return {expr.value}
+    if isinstance(expr, Mux):
+        t = possible_next_values(expr.tval)
+        f = possible_next_values(expr.fval)
+        if t is None or f is None:
+            return None
+        return t | f
+    return None
+
+
+class FsmCoveragePass(Pass):
+    """Analyze annotated state registers; add state and transition covers."""
+
+    def __init__(self, db: Optional[CoverageDB] = None) -> None:
+        self.db = db if db is not None else CoverageDB()
+        self.infos: list[FsmInfo] = []
+
+    def run(self, state: CompileState) -> CompileState:
+        circuit = state.circuit
+        for module in circuit.modules:
+            if has_whens(module):
+                raise PassError("FSM coverage requires low form (run ExpandWhens first)")
+            annos = [
+                a
+                for a in circuit.annotations
+                if isinstance(a, EnumDefAnnotation) and a.module == module.name
+            ]
+            for anno in annos:
+                info = self._analyze(module, anno)
+                if info is not None:
+                    self.infos.append(info)
+                    self._instrument(module, anno, info)
+        state.metadata[METRIC] = self.db
+        return state
+
+    # -- analysis ---------------------------------------------------------------
+
+    def _analyze(self, module: Module, anno: EnumDefAnnotation) -> Optional[FsmInfo]:
+        reg = _find_register(module, anno.target)
+        if reg is None:
+            return None
+        connect = _find_connect(module, anno.target)
+        next_expr = connect.expr if connect is not None else Ref(reg.name, reg.type)
+        states = dict(anno.states)
+        by_value = {v: k for k, v in states.items()}
+        width = bit_width(reg.type)
+
+        start = None
+        if reg.init is not None and isinstance(reg.init, UIntLiteral):
+            start = by_value.get(reg.init.value)
+
+        inlined = _Inliner(module).inline(next_expr)
+        info = FsmInfo(module.name, reg.name, anno.enum_name, states, start)
+        all_states = sorted(states.values())
+
+        for from_name, from_value in states.items():
+            if inlined is None:
+                dests: Optional[set[int]] = None
+            else:
+                substituted = map_expr(
+                    inlined,
+                    lambda e: UIntLiteral(from_value, width)
+                    if isinstance(e, Ref) and e.name == reg.name
+                    else e,
+                )
+                simplified = simplify_deep(substituted)
+                dests = possible_next_values(simplified)
+            if dests is None:
+                # conservative over-approximation: all states reachable
+                dests = set(all_states)
+                info.over_approximated = True
+            for dest in sorted(dests):
+                dest_name = by_value.get(dest)
+                if dest_name is not None:
+                    info.transitions.append((from_name, dest_name))
+        return info
+
+    # -- instrumentation -----------------------------------------------------------
+
+    def _instrument(self, module: Module, anno: EnumDefAnnotation, info: FsmInfo) -> None:
+        clock = find_clock(module)
+        if clock is None:
+            return
+        reg = _find_register(module, anno.target)
+        assert reg is not None
+        connect = _find_connect(module, anno.target)
+        next_expr = connect.expr if connect is not None else Ref(reg.name, reg.type)
+        width = bit_width(reg.type)
+        state_ref = Ref(reg.name, reg.type)
+
+        ns = Namespace(declared_names(module))
+        for stmt in walk_stmts(module.body):
+            if isinstance(stmt, Cover):
+                ns.fresh(stmt.name)
+
+        additions = []
+        for name, value in info.states.items():
+            cover_name = ns.fresh(f"fsm_{reg.name}_{name}")
+            pred = prim("eq", state_ref, UIntLiteral(value, width))
+            additions.append(Cover(cover_name, clock, pred, TRUE))
+            self.db.add(
+                METRIC,
+                module.name,
+                cover_name,
+                {"kind": "state", "register": reg.name, "enum": info.enum_name, "state": name},
+            )
+        not_reset = not_(reg.reset) if reg.reset is not None else TRUE
+        for from_name, to_name in info.transitions:
+            cover_name = ns.fresh(f"fsm_{reg.name}_{from_name}_to_{to_name}")
+            pred = and_(
+                prim("eq", state_ref, UIntLiteral(info.states[from_name], width)),
+                prim("eq", next_expr, UIntLiteral(info.states[to_name], width)),
+                not_reset,
+            )
+            additions.append(Cover(cover_name, clock, pred, TRUE))
+            self.db.add(
+                METRIC,
+                module.name,
+                cover_name,
+                {
+                    "kind": "transition",
+                    "register": reg.name,
+                    "enum": info.enum_name,
+                    "from": from_name,
+                    "to": to_name,
+                },
+            )
+        module.body.extend(additions)
+
+
+def _find_register(module: Module, name: str) -> Optional[DefRegister]:
+    for stmt in module.body:
+        if isinstance(stmt, DefRegister) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _find_connect(module: Module, name: str) -> Optional[Connect]:
+    for stmt in module.body:
+        if isinstance(stmt, Connect) and isinstance(stmt.loc, Ref) and stmt.loc.name == name:
+            return stmt
+    return None
+
+
+@dataclass
+class FsmCoverageReport:
+    """State/transition coverage per FSM."""
+
+    fsms: dict[tuple[str, str], dict]  # (module, register) -> report data
+
+    def format(self) -> str:
+        lines = []
+        for (module, register), data in sorted(self.fsms.items()):
+            states, transitions = data["states"], data["transitions"]
+            covered_s = sum(1 for c in states.values() if c > 0)
+            covered_t = sum(1 for c in transitions.values() if c > 0)
+            lines.append(
+                f"FSM {module}.{register} ({data['enum']}): "
+                f"{covered_s}/{len(states)} states, "
+                f"{covered_t}/{len(transitions)} transitions covered"
+            )
+            for name, count in sorted(states.items()):
+                mark = " " if count else "!"
+                lines.append(f"  {mark} state {name}: {count}")
+            for (from_name, to_name), count in sorted(transitions.items()):
+                mark = " " if count else "!"
+                lines.append(f"  {mark} {from_name} -> {to_name}: {count}")
+        return "\n".join(lines)
+
+
+def fsm_report(db: CoverageDB, counts, circuit: Circuit) -> FsmCoverageReport:
+    from .common import InstanceTree, aggregate_by_module
+
+    tree = InstanceTree(circuit)
+    by_module = aggregate_by_module(counts, tree)
+    fsms: dict[tuple[str, str], dict] = {}
+    for module, cover_name, payload in db.covers_of(METRIC):
+        key = (module, payload["register"])
+        data = fsms.setdefault(
+            key, {"enum": payload["enum"], "states": {}, "transitions": {}}
+        )
+        count = by_module.get((module, cover_name), 0)
+        if payload["kind"] == "state":
+            data["states"][payload["state"]] = count
+        else:
+            data["transitions"][(payload["from"], payload["to"])] = count
+    return FsmCoverageReport(fsms)

@@ -1,0 +1,102 @@
+"""Mux toggle coverage — the rfuzz feedback metric (§5.4 of the paper).
+
+For every 2:1 multiplexer select signal in the lowered design, two cover
+statements observe the select being 1 and being 0.  This is the coverage
+definition used by rfuzz ("Coverage-Directed Fuzz Testing of RTL on
+FPGAs"); the paper re-implements it as a compiler pass so it can be swapped
+against line coverage as fuzzing feedback.
+
+Runs on low form.  Structurally identical select expressions are
+deduplicated (one pair of covers per distinct select).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.namespace import Namespace
+from ..ir.nodes import TRUE, Circuit, Cover, Expr, Module, Mux, not_
+from ..ir.printer import print_expr
+from ..ir.traversal import declared_names, stmt_exprs, walk_expr, walk_stmts
+from ..passes.base import CompileState, Pass, PassError
+from ..passes.expand_whens import has_whens
+from .common import CoverageDB
+from .line import find_clock
+
+METRIC = "mux_toggle"
+
+
+class MuxToggleCoveragePass(Pass):
+    """Two covers (taken / not taken) per distinct mux select."""
+
+    def __init__(self, db: Optional[CoverageDB] = None) -> None:
+        self.db = db if db is not None else CoverageDB()
+
+    def run(self, state: CompileState) -> CompileState:
+        for module in state.circuit.modules:
+            if has_whens(module):
+                raise PassError("mux toggle coverage requires low form")
+            self._instrument(module)
+        state.metadata[METRIC] = self.db
+        return state
+
+    def _instrument(self, module: Module) -> None:
+        clock = find_clock(module)
+        if clock is None:
+            return
+        selects: dict[str, Expr] = {}
+        for stmt in walk_stmts(module.body):
+            for root in stmt_exprs(stmt):
+                for expr in walk_expr(root):
+                    if isinstance(expr, Mux):
+                        selects.setdefault(print_expr(expr.cond), expr.cond)
+        if not selects:
+            return
+        ns = Namespace(declared_names(module))
+        for stmt in walk_stmts(module.body):
+            if isinstance(stmt, Cover):
+                ns.fresh(stmt.name)
+        for index, (text, cond) in enumerate(sorted(selects.items())):
+            for suffix, pred in (("T", cond), ("F", not_(cond))):
+                name = ns.fresh(f"mt_{index}_{suffix}")
+                module.body.append(Cover(name, clock, pred, TRUE))
+                self.db.add(
+                    METRIC,
+                    module.name,
+                    name,
+                    {"select": text, "polarity": suffix, "index": index},
+                )
+
+
+@dataclass
+class MuxToggleReport:
+    """Seen-both-polarities summary per mux select."""
+
+    selects: dict[tuple[str, int], dict[str, int]]  # (module, index) -> {T: n, F: n}
+
+    @property
+    def total(self) -> int:
+        return len(self.selects)
+
+    @property
+    def toggled(self) -> int:
+        return sum(1 for d in self.selects.values() if d.get("T", 0) > 0 and d.get("F", 0) > 0)
+
+    def format(self) -> str:
+        lines = [f"mux toggle coverage: {self.toggled}/{self.total} selects saw both polarities"]
+        return "\n".join(lines)
+
+
+def mux_toggle_report(db: CoverageDB, counts, circuit: Circuit) -> MuxToggleReport:
+    from .common import InstanceTree, aggregate_by_module
+
+    tree = InstanceTree(circuit)
+    by_module = aggregate_by_module(counts, tree)
+    selects: dict[tuple[str, int], dict[str, int]] = {}
+    for module, cover_name, payload in db.covers_of(METRIC):
+        key = (module, payload["index"])
+        selects.setdefault(key, {})[payload["polarity"]] = by_module.get(
+            (module, cover_name), 0
+        )
+    return MuxToggleReport(selects)

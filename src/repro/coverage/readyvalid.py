@@ -1,0 +1,107 @@
+"""Ready/valid (DecoupledIO) coverage — the paper's custom metric (§4.4).
+
+For every Decoupled interface annotation the pass adds a single cover
+statement counting cycles in which a transfer fires (``ready && valid``).
+The paper highlights this metric as evidence that ecosystem-specific
+metrics are cheap to add on top of the cover primitive (~3 hours, 78+26
+lines of Scala; comparable proportions here).
+
+Works on high or low form — the predicate only references module ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.annotations import DecoupledAnnotation
+from ..ir.namespace import Namespace
+from ..ir.nodes import TRUE, Circuit, Cover, Module, prim
+from ..ir.traversal import declared_names, walk_stmts
+from ..passes.base import CompileState, Pass
+from .common import CoverageDB
+from .line import find_clock
+
+METRIC = "ready_valid"
+
+
+class ReadyValidCoveragePass(Pass):
+    """One fire-counter per Decoupled interface."""
+
+    def __init__(self, db: Optional[CoverageDB] = None) -> None:
+        self.db = db if db is not None else CoverageDB()
+
+    def run(self, state: CompileState) -> CompileState:
+        circuit = state.circuit
+        for module in circuit.modules:
+            annos = [
+                a
+                for a in circuit.annotations
+                if isinstance(a, DecoupledAnnotation) and a.module == module.name
+            ]
+            if annos:
+                self._instrument(module, annos)
+        state.metadata[METRIC] = self.db
+        return state
+
+    def _instrument(self, module: Module, annos: list[DecoupledAnnotation]) -> None:
+        clock = find_clock(module)
+        if clock is None:
+            return
+        ns = Namespace(declared_names(module))
+        for stmt in walk_stmts(module.body):
+            if isinstance(stmt, Cover):
+                ns.fresh(stmt.name)
+        for anno in annos:
+            try:
+                ready = module.port(anno.ready).ref()
+                valid = module.port(anno.valid).ref()
+            except KeyError:
+                continue
+            name = ns.fresh(f"rv_{anno.target}_fire")
+            pred = prim("and", ready, valid)
+            module.body.append(Cover(name, clock, pred, TRUE))
+            self.db.add(
+                METRIC,
+                module.name,
+                name,
+                {
+                    "bundle": anno.target,
+                    "ready": anno.ready,
+                    "valid": anno.valid,
+                    "direction": "sink" if anno.is_sink else "source",
+                },
+            )
+
+
+@dataclass
+class ReadyValidReport:
+    """Fire counts per Decoupled interface."""
+
+    bundles: dict[tuple[str, str], int]  # (module, bundle) -> fire count
+
+    @property
+    def total(self) -> int:
+        return len(self.bundles)
+
+    @property
+    def fired(self) -> int:
+        return sum(1 for c in self.bundles.values() if c > 0)
+
+    def format(self) -> str:
+        lines = [f"ready/valid coverage: {self.fired}/{self.total} interfaces fired"]
+        for (module, bundle), count in sorted(self.bundles.items()):
+            mark = " " if count else "!"
+            lines.append(f"  {mark} {module}.{bundle}: {count} transfers")
+        return "\n".join(lines)
+
+
+def ready_valid_report(db: CoverageDB, counts, circuit: Circuit) -> ReadyValidReport:
+    from .common import InstanceTree, aggregate_by_module
+
+    tree = InstanceTree(circuit)
+    by_module = aggregate_by_module(counts, tree)
+    bundles: dict[tuple[str, str], int] = {}
+    for module, cover_name, payload in db.covers_of(METRIC):
+        bundles[(module, payload["bundle"])] = by_module.get((module, cover_name), 0)
+    return ReadyValidReport(bundles)

@@ -1,0 +1,243 @@
+"""Toggle coverage (§4.2 of the paper).
+
+Runs on *low form*, after optimization passes (constant propagation, DCE)
+have removed logic that could never toggle.  For every selected signal the
+pass adds:
+
+* a shadow register holding the previous cycle's value,
+* an XOR detecting per-bit changes,
+* a ``seen`` register that suppresses the first cycle (when the previous
+  value is not yet meaningful), and
+* one cover statement per bit.
+
+The global alias analysis (:mod:`repro.coverage.alias`) ensures each group
+of always-equal signals is instrumented exactly once — e.g. the global
+reset is counted only in the top-level module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..ir.namespace import Namespace
+from ..ir.nodes import (
+    TRUE,
+    Circuit,
+    Connect,
+    Cover,
+    DefInstance,
+    DefNode,
+    DefRegister,
+    DefWire,
+    InstPort,
+    Module,
+    Ref,
+    Stmt,
+    prim,
+)
+from ..ir.traversal import declared_names, walk_stmts
+from ..ir.types import ClockType, Type, UIntType, bit_width, is_signed
+from ..passes.base import CompileState, Pass, PassError
+from ..passes.expand_whens import has_whens
+from .alias import AliasInfo, analyze_aliases
+from .common import CoverageDB
+from .line import find_clock
+
+METRIC = "toggle"
+
+#: default signal categories to instrument (paper: user selectable)
+DEFAULT_CATEGORIES = ("io", "reg", "wire")
+
+
+@dataclass
+class _Candidate:
+    name: str
+    tpe: Type
+    category: str
+
+
+class ToggleCoveragePass(Pass):
+    """Per-bit toggle instrumentation with global alias analysis.
+
+    Args:
+        db: coverage metadata sink.
+        categories: any of ``io``, ``reg``, ``wire``, ``node``.
+        use_alias_analysis: disable only for the ablation benchmark.
+    """
+
+    def __init__(
+        self,
+        db: Optional[CoverageDB] = None,
+        categories: Iterable[str] = DEFAULT_CATEGORIES,
+        use_alias_analysis: bool = True,
+    ) -> None:
+        self.db = db if db is not None else CoverageDB()
+        self.categories = tuple(categories)
+        self.use_alias_analysis = use_alias_analysis
+
+    def run(self, state: CompileState) -> CompileState:
+        circuit = state.circuit
+        for module in circuit.modules:
+            if has_whens(module):
+                raise PassError("toggle coverage requires low form (run ExpandWhens first)")
+        alias = analyze_aliases(circuit) if self.use_alias_analysis else AliasInfo()
+        for module in circuit.modules:
+            self._instrument_module(circuit, module, alias)
+        state.metadata[METRIC] = self.db
+        return state
+
+    # -- per module ------------------------------------------------------------
+
+    def _select(self, module: Module) -> dict[str, _Candidate]:
+        selected: dict[str, _Candidate] = {}
+        if "io" in self.categories:
+            for port in module.ports:
+                if not isinstance(port.type, ClockType):
+                    selected[port.name] = _Candidate(port.name, port.type, "io")
+        for stmt in module.body:
+            if isinstance(stmt, DefRegister) and "reg" in self.categories:
+                selected[stmt.name] = _Candidate(stmt.name, stmt.type, "reg")
+            elif isinstance(stmt, DefWire) and "wire" in self.categories:
+                selected[stmt.name] = _Candidate(stmt.name, stmt.type, "wire")
+            elif isinstance(stmt, DefNode) and "node" in self.categories:
+                selected[stmt.name] = _Candidate(stmt.name, stmt.value.tpe, "node")
+        return selected
+
+    def _instrument_module(self, circuit: Circuit, module: Module, alias: AliasInfo) -> None:
+        clock = find_clock(module)
+        if clock is None:
+            return
+        skipped = set(alias.skipped(module.name))
+        selected = self._select(module)
+
+        # promote group representatives so every skipped signal stays covered
+        types: dict[str, Type] = {p.name: p.type for p in module.ports}
+        for stmt in module.body:
+            if isinstance(stmt, DefNode):
+                types[stmt.name] = stmt.value.tpe
+            elif isinstance(stmt, (DefWire, DefRegister)):
+                types[stmt.name] = stmt.type
+        child_skip: dict[str, set[str]] = {
+            m.name: alias.skipped(m.name) for m in circuit.modules
+        }
+        instances = {
+            s.name: s.module for s in module.body if isinstance(s, DefInstance)
+        }
+        changed = True
+        while changed:
+            changed = False
+            for stmt in module.body:
+                if not isinstance(stmt, Connect):
+                    continue
+                loc, expr = stmt.loc, stmt.expr
+                if isinstance(loc, Ref) and isinstance(expr, Ref):
+                    # a <= b with a selected-but-skipped: b must be covered
+                    if (
+                        loc.name in selected
+                        and loc.name in skipped
+                        and expr.name not in selected
+                        and not isinstance(expr.tpe, ClockType)
+                    ):
+                        selected[expr.name] = _Candidate(expr.name, types[expr.name], "alias_rep")
+                        changed = True
+                elif isinstance(loc, InstPort) and isinstance(expr, Ref):
+                    child = instances[loc.instance]
+                    if (
+                        loc.port in child_skip.get(child, set())
+                        and expr.name not in selected
+                        and not isinstance(expr.tpe, ClockType)
+                    ):
+                        selected[expr.name] = _Candidate(expr.name, types[expr.name], "alias_rep")
+                        changed = True
+
+        final = [c for name, c in selected.items() if name not in skipped or c.category == "alias_rep"]
+        if not final:
+            return
+        self._insert_hardware(module, clock, final)
+
+    def _insert_hardware(self, module: Module, clock: Ref, candidates: list[_Candidate]) -> None:
+        ns = Namespace(declared_names(module))
+        for stmt in walk_stmts(module.body):
+            if isinstance(stmt, Cover):
+                ns.fresh(stmt.name)
+        additions: list[Stmt] = []
+
+        # enable register: 0 in the first cycle, 1 afterwards
+        seen_name = ns.fresh("t_seen")
+        seen = Ref(seen_name, UIntType(1))
+        additions.append(DefRegister(seen_name, UIntType(1), clock))
+        additions.append(Connect(seen, TRUE))
+
+        for cand in candidates:
+            width = bit_width(cand.tpe)
+            signal = Ref(cand.name, cand.tpe)
+            raw = prim("asUInt", signal) if is_signed(cand.tpe) else signal
+            prev_name = ns.fresh(f"t_prev_{cand.name}")
+            prev = Ref(prev_name, UIntType(width))
+            additions.append(DefRegister(prev_name, UIntType(width), clock))
+            additions.append(Connect(prev, raw))
+            diff_name = ns.fresh(f"t_diff_{cand.name}")
+            additions.append(DefNode(diff_name, prim("xor", raw, prev)))
+            diff = Ref(diff_name, UIntType(width))
+            for bit in range(width):
+                cover_name = ns.fresh(f"t_{cand.name}_{bit}")
+                pred = prim("bits", diff, consts=[bit, bit])
+                additions.append(Cover(cover_name, clock, pred, seen))
+                self.db.add(
+                    METRIC,
+                    module.name,
+                    cover_name,
+                    {"signal": cand.name, "bit": bit, "category": cand.category, "width": width},
+                )
+        module.body.extend(additions)
+
+
+@dataclass
+class ToggleCoverageReport:
+    """Per-signal toggle summary."""
+
+    signals: dict[tuple[str, str], dict[int, int]]  # (module, signal) -> bit -> count
+
+    @property
+    def total_bits(self) -> int:
+        return sum(len(bits) for bits in self.signals.values())
+
+    @property
+    def toggled_bits(self) -> int:
+        return sum(1 for bits in self.signals.values() for c in bits.values() if c > 0)
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.toggled_bits / self.total_bits if self.total_bits else 100.0
+
+    def stuck_bits(self) -> list[tuple[str, str, int]]:
+        """Bits that never toggled — stuck at 0 or 1 for the whole run."""
+        out = []
+        for (module, signal), bits in sorted(self.signals.items()):
+            out.extend((module, signal, bit) for bit, c in sorted(bits.items()) if c == 0)
+        return out
+
+    def format(self) -> str:
+        lines = [
+            f"toggle coverage: {self.toggled_bits}/{self.total_bits} bits "
+            f"({self.percent:.1f}%)"
+        ]
+        for (module, signal), bits in sorted(self.signals.items()):
+            toggled = sum(1 for c in bits.values() if c > 0)
+            mark = " " if toggled == len(bits) else "!"
+            lines.append(f" {mark} {module}.{signal}: {toggled}/{len(bits)} bits toggled")
+        return "\n".join(lines)
+
+
+def toggle_report(db: CoverageDB, counts, circuit: Circuit) -> ToggleCoverageReport:
+    """Build the toggle report from simulator counts (summed over instances)."""
+    from .common import InstanceTree, aggregate_by_module
+
+    tree = InstanceTree(circuit)
+    by_module = aggregate_by_module(counts, tree)
+    signals: dict[tuple[str, str], dict[int, int]] = {}
+    for module, cover_name, payload in db.covers_of(METRIC):
+        key = (module, payload["signal"])
+        signals.setdefault(key, {})[payload["bit"]] = by_module.get((module, cover_name), 0)
+    return ToggleCoverageReport(signals)

@@ -1,0 +1,44 @@
+"""Benchmark designs: the paper's workloads re-built in our HCL."""
+
+from .gcd import Gcd
+from .i2c import I2cPeripheral
+from .lib import (
+    Arbiter,
+    Counter,
+    EdgeDetector,
+    Lfsr,
+    PopCount,
+    PulseStretcher,
+    Queue,
+    RoundRobinArbiter,
+    ShiftRegister,
+)
+from .neuroproc import NeuroProc
+from .riscv_mini import RiscvMini
+from .serv import SerialAlu, SerialGcd
+from .soc import BoomLikeSoC, ClintLike, RocketLikeSoC, SyntheticOoOCore, UartLike
+from .tlram import TlRam
+
+__all__ = [
+    "Arbiter",
+    "BoomLikeSoC",
+    "ClintLike",
+    "Counter",
+    "EdgeDetector",
+    "Gcd",
+    "I2cPeripheral",
+    "Lfsr",
+    "NeuroProc",
+    "PopCount",
+    "PulseStretcher",
+    "Queue",
+    "RiscvMini",
+    "RocketLikeSoC",
+    "RoundRobinArbiter",
+    "SerialAlu",
+    "SerialGcd",
+    "ShiftRegister",
+    "SyntheticOoOCore",
+    "TlRam",
+    "UartLike",
+]

@@ -1,0 +1,51 @@
+"""The classic GCD unit — the quickstart example design."""
+
+from __future__ import annotations
+
+from ..hcl import ChiselEnum, Module, ModuleBuilder
+
+GcdState = ChiselEnum("GcdState", "idle run done")
+
+
+class Gcd(Module):
+    """Euclid's algorithm by repeated subtraction, Decoupled in/out."""
+
+    def __init__(self, width: int = 16) -> None:
+        super().__init__()
+        self.width = width
+
+    def signature(self):
+        return ("Gcd", self.width)
+
+    def build(self, m: ModuleBuilder) -> None:
+        width = self.width
+        req = m.decoupled_input("req", 2 * width)
+        resp = m.decoupled_output("resp", width)
+
+        state = m.reg("state", enum=GcdState)
+        x = m.reg("x", width, init=0)
+        y = m.reg("y", width, init=0)
+
+        req.ready <<= state == GcdState.idle
+        resp.valid <<= state == GcdState.done
+        resp.bits <<= x
+
+        with m.switch(state):
+            with m.is_(GcdState.idle):
+                with m.when(req.fire):
+                    x <<= req.bits[width - 1 : 0]
+                    y <<= req.bits[2 * width - 1 : width]
+                    state <<= GcdState.run
+            with m.is_(GcdState.run):
+                with m.when(y == 0):
+                    state <<= GcdState.done
+                with m.elsewhen(x < y):
+                    x <<= y
+                    y <<= x
+                with m.otherwise():
+                    x <<= x - y
+            with m.is_(GcdState.done):
+                with m.when(resp.fire):
+                    state <<= GcdState.idle
+
+        m.cover((state == GcdState.run) & (x == y), "equal_operands")

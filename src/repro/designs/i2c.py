@@ -1,0 +1,161 @@
+"""I2C slave peripheral — the fuzzing target of §5.4 (Figure 11).
+
+A register-file peripheral behind an I2C slave interface: START/STOP
+detection, 7-bit address matching, register-pointer writes, and multi-byte
+reads/writes with ACK generation.  Deep sequential protocol state makes it
+a classic coverage-directed-fuzzing target: random inputs rarely produce a
+valid START + address match, so feedback quality directly shows in how far
+the fuzzer gets — which is exactly what Figure 11 measures.
+
+Inputs are the raw ``scl``/``sda_in`` lines; ``sda_out``/``sda_oe`` drive
+the open-drain data line.
+"""
+
+from __future__ import annotations
+
+from ..hcl import ChiselEnum, Module, ModuleBuilder, cat, mux
+
+I2cState = ChiselEnum(
+    "I2cState",
+    "idle addr addr_ack reg_ptr reg_ack write_data write_ack read_data read_ack",
+)
+
+
+class I2cPeripheral(Module):
+    """I2C slave with an 8-register file."""
+
+    def __init__(self, device_address: int = 0x42, n_regs: int = 8) -> None:
+        super().__init__()
+        if n_regs & (n_regs - 1):
+            raise ValueError("register count must be a power of two")
+        self.device_address = device_address
+        self.n_regs = n_regs
+
+    def signature(self):
+        return ("I2cPeripheral", self.device_address, self.n_regs)
+
+    def build(self, m: ModuleBuilder) -> None:
+        reg_bits = self.n_regs.bit_length() - 1
+
+        scl = m.input("scl")
+        sda_in = m.input("sda_in")
+        sda_out = m.output("sda_out", 1)
+        sda_oe = m.output("sda_oe", 1)
+
+        # observability for tests/fuzzing
+        state_out = m.output("dbg_state", I2cState.width)
+        reg0 = m.output("dbg_reg0", 8)
+        transfers = m.output("dbg_transfers", 8)
+
+        regs = m.mem("regs", 8, self.n_regs)
+
+        state = m.reg("state", enum=I2cState)
+        scl_last = m.reg("scl_last", 1, init=1)
+        sda_last = m.reg("sda_last", 1, init=1)
+        shift = m.reg("shift", 8, init=0)
+        bit_count = m.reg("bit_count", 4, init=0)
+        reg_ptr = m.reg("reg_ptr", reg_bits, init=0)
+        is_read = m.reg("is_read", 1, init=0)
+        drive_low = m.reg("drive_low", 1, init=0)
+        xfer_count = m.reg("xfer_count", 8, init=0)
+
+        scl_last <<= scl
+        sda_last <<= sda_in
+        scl_rise = scl & ~scl_last
+        scl_fall = ~scl & scl_last
+
+        # START: SDA falls while SCL high; STOP: SDA rises while SCL high
+        start_cond = scl & scl_last & sda_last & ~sda_in
+        stop_cond = scl & scl_last & ~sda_last & sda_in
+
+        sda_out <<= 0
+        sda_oe <<= drive_low
+        state_out <<= state.as_uint()
+        reg0 <<= regs[0]
+        transfers <<= xfer_count
+
+        with m.when(stop_cond):
+            state <<= I2cState.idle
+            drive_low <<= 0
+        with m.elsewhen(start_cond):
+            state <<= I2cState.addr
+            bit_count <<= 0
+            shift <<= 0
+            drive_low <<= 0
+        with m.otherwise():
+            with m.switch(state):
+                with m.is_(I2cState.idle):
+                    drive_low <<= 0
+                with m.is_(I2cState.addr):
+                    with m.when(scl_rise):
+                        shift <<= cat(shift[6:0], sda_in)
+                        bit_count <<= bit_count + 1
+                    with m.when(scl_fall & (bit_count == 8)):
+                        bit_count <<= 0
+                        with m.when(shift[7:1] == self.device_address):
+                            is_read <<= shift[0]
+                            drive_low <<= 1  # ACK
+                            state <<= I2cState.addr_ack
+                        with m.otherwise():
+                            state <<= I2cState.idle
+                with m.is_(I2cState.addr_ack):
+                    with m.when(scl_fall):
+                        drive_low <<= 0
+                        with m.when(is_read):
+                            shift <<= regs[reg_ptr]
+                            state <<= I2cState.read_data
+                        with m.otherwise():
+                            state <<= I2cState.reg_ptr
+                with m.is_(I2cState.reg_ptr):
+                    with m.when(scl_rise):
+                        shift <<= cat(shift[6:0], sda_in)
+                        bit_count <<= bit_count + 1
+                    with m.when(scl_fall & (bit_count == 8)):
+                        bit_count <<= 0
+                        reg_ptr <<= shift[reg_bits - 1 : 0]
+                        drive_low <<= 1  # ACK
+                        state <<= I2cState.reg_ack
+                with m.is_(I2cState.reg_ack):
+                    with m.when(scl_fall):
+                        drive_low <<= 0
+                        state <<= I2cState.write_data
+                with m.is_(I2cState.write_data):
+                    with m.when(scl_rise):
+                        shift <<= cat(shift[6:0], sda_in)
+                        bit_count <<= bit_count + 1
+                    with m.when(scl_fall & (bit_count == 8)):
+                        bit_count <<= 0
+                        regs[reg_ptr] = shift
+                        xfer_count <<= xfer_count + 1
+                        drive_low <<= 1  # ACK
+                        state <<= I2cState.write_ack
+                        m.cover(reg_ptr == self.n_regs - 1, "write_last_reg")
+                with m.is_(I2cState.write_ack):
+                    with m.when(scl_fall):
+                        drive_low <<= 0
+                        reg_ptr <<= reg_ptr + 1  # auto-increment
+                        state <<= I2cState.write_data
+                with m.is_(I2cState.read_data):
+                    drive_low <<= ~shift[7]  # msb first, open drain
+                    with m.when(scl_fall):
+                        shift <<= cat(shift[6:0], m.lit(0, 1))
+                        bit_count <<= bit_count + 1
+                        with m.when(bit_count == 7):
+                            bit_count <<= 0
+                            drive_low <<= 0
+                            xfer_count <<= xfer_count + 1
+                            state <<= I2cState.read_ack
+                with m.is_(I2cState.read_ack):
+                    with m.when(scl_rise):
+                        # master NACK ends the read burst
+                        with m.when(sda_in):
+                            state <<= I2cState.idle
+                        with m.otherwise():
+                            reg_ptr <<= reg_ptr + 1
+                            shift <<= regs[reg_ptr + 1]
+                            state <<= I2cState.read_data
+
+        m.cover(start_cond, "start_detected")
+        m.cover(stop_cond, "stop_detected")
+        m.cover(state == I2cState.write_data, "in_write")
+        m.cover(state == I2cState.read_data, "in_read")

@@ -1,0 +1,264 @@
+"""A small standard library of reusable hardware components.
+
+The Chisel-stdlib-flavoured building blocks the benchmark designs share:
+queues, arbiters, counters, shift registers, edge detectors, an LFSR.
+Everything uses Decoupled handshakes where data flows, so the ready/valid
+coverage pass has realistic material to key on.
+"""
+
+from __future__ import annotations
+
+from ..hcl import Module, ModuleBuilder, cat, mux, reduce_or
+
+
+class Queue(Module):
+    """A FIFO with Decoupled enqueue/dequeue (Chisel's ``Queue``)."""
+
+    def __init__(self, width: int = 8, depth: int = 4) -> None:
+        super().__init__()
+        if depth < 2 or depth & (depth - 1):
+            raise ValueError("queue depth must be a power of two >= 2")
+        self.width = width
+        self.depth = depth
+
+    def signature(self):
+        return ("Queue", self.width, self.depth)
+
+    def build(self, m: ModuleBuilder) -> None:
+        enq = m.decoupled_input("enq", self.width)
+        deq = m.decoupled_output("deq", self.width)
+        count_out = m.output("count", self.depth.bit_length())
+
+        ptr_width = (self.depth - 1).bit_length()
+        ram = m.mem("ram", self.width, self.depth)
+        enq_ptr = m.reg("enq_ptr", ptr_width, init=0)
+        deq_ptr = m.reg("deq_ptr", ptr_width, init=0)
+        maybe_full = m.reg("maybe_full", 1, init=0)
+
+        ptr_match = enq_ptr == deq_ptr
+        empty = ptr_match & (maybe_full == 0)
+        full = ptr_match & (maybe_full == 1)
+
+        enq.ready <<= ~full
+        deq.valid <<= ~empty
+        deq.bits <<= ram[deq_ptr]
+
+        do_enq = enq.fire
+        do_deq = deq.fire
+        with m.when(do_enq):
+            ram[enq_ptr] = enq.bits
+            enq_ptr <<= enq_ptr + 1
+        with m.when(do_deq):
+            deq_ptr <<= deq_ptr + 1
+        with m.when(do_enq != do_deq):
+            maybe_full <<= do_enq
+
+        level = (enq_ptr - deq_ptr) & ((1 << ptr_width) - 1)
+        count_out <<= mux(full, self.depth, level.zext(self.depth.bit_length()))
+
+
+class Arbiter(Module):
+    """Priority arbiter over N Decoupled inputs (lowest index wins)."""
+
+    def __init__(self, n: int = 2, width: int = 8) -> None:
+        super().__init__()
+        if n < 1:
+            raise ValueError("arbiter needs at least one input")
+        self.n = n
+        self.width = width
+
+    def signature(self):
+        return ("Arbiter", self.n, self.width)
+
+    def build(self, m: ModuleBuilder) -> None:
+        inputs = [m.decoupled_input(f"in{i}", self.width) for i in range(self.n)]
+        out = m.decoupled_output("out", self.width)
+        chosen_out = m.output("chosen", max(self.n.bit_length(), 1))
+
+        out.valid <<= reduce_or([inp.valid for inp in inputs])
+        bits = inputs[-1].bits
+        chosen = m.lit(self.n - 1, max(self.n.bit_length(), 1))
+        for i in reversed(range(self.n - 1)):
+            bits = mux(inputs[i].valid, inputs[i].bits, bits)
+            chosen = mux(inputs[i].valid, m.lit(i, max(self.n.bit_length(), 1)), chosen)
+        out.bits <<= bits
+        chosen_out <<= chosen
+
+        higher_valid = m.lit(0, 1)
+        for i, inp in enumerate(inputs):
+            inp.ready <<= out.ready & ~higher_valid
+            higher_valid = higher_valid | inp.valid
+
+
+class RoundRobinArbiter(Module):
+    """Round-robin arbiter: the last granted input gets lowest priority."""
+
+    def __init__(self, n: int = 2, width: int = 8) -> None:
+        super().__init__()
+        self.n = n
+        self.width = width
+
+    def signature(self):
+        return ("RoundRobinArbiter", self.n, self.width)
+
+    def build(self, m: ModuleBuilder) -> None:
+        n = self.n
+        sel_width = max((n - 1).bit_length(), 1)
+        inputs = [m.decoupled_input(f"in{i}", self.width) for i in range(n)]
+        out = m.decoupled_output("out", self.width)
+        last = m.reg("last_grant", sel_width, init=0)
+
+        # rotated priority, via two sweeps: first the inputs strictly after
+        # the previous grant, then wrap around to the rest
+        grant = m.wire("grant", sel_width)
+        grant_value = last
+        found = m.lit(0, 1)
+        for sweep in (1, 2):
+            for i in range(n):
+                is_after = (m.lit(i, sel_width) > last) if sweep == 1 else (m.lit(i, sel_width) <= last)
+                take = inputs[i].valid & is_after & ~found
+                grant_value = mux(take, m.lit(i, sel_width), grant_value)
+                found = found | take
+        grant <<= grant_value
+
+        out.valid <<= reduce_or([inp.valid for inp in inputs])
+        bits = inputs[0].bits
+        for i in range(1, n):
+            bits = mux(grant == i, inputs[i].bits, bits)
+        out.bits <<= bits
+        for i, inp in enumerate(inputs):
+            inp.ready <<= out.ready & (grant == i) & inp.valid
+        with m.when(out.fire):
+            last <<= grant
+
+
+class Counter(Module):
+    """Free-running counter with enable and wrap output."""
+
+    def __init__(self, width: int = 8, limit: int | None = None) -> None:
+        super().__init__()
+        self.width = width
+        self.limit = limit if limit is not None else (1 << width) - 1
+
+    def signature(self):
+        return ("Counter", self.width, self.limit)
+
+    def build(self, m: ModuleBuilder) -> None:
+        en = m.input("en")
+        value = m.output("value", self.width)
+        wrap = m.output("wrap", 1)
+        count = m.reg("count", self.width, init=0)
+        at_limit = count == self.limit
+        wrap <<= en & at_limit
+        with m.when(en):
+            with m.when(at_limit):
+                count <<= 0
+            with m.otherwise():
+                count <<= count + 1
+        value <<= count
+
+
+class ShiftRegister(Module):
+    """N-stage shift register with enable."""
+
+    def __init__(self, width: int = 1, stages: int = 4) -> None:
+        super().__init__()
+        self.width = width
+        self.stages = stages
+
+    def signature(self):
+        return ("ShiftRegister", self.width, self.stages)
+
+    def build(self, m: ModuleBuilder) -> None:
+        din = m.input("din", self.width)
+        en = m.input("en")
+        dout = m.output("dout", self.width)
+        taps = m.output("taps", self.width * self.stages)
+        regs = [m.reg(f"stage{i}", self.width, init=0) for i in range(self.stages)]
+        with m.when(en):
+            previous = din
+            for reg in regs:
+                reg <<= previous
+                previous = reg
+        dout <<= regs[-1]
+        taps <<= cat(*reversed(regs))
+
+
+class EdgeDetector(Module):
+    """Rising/falling edge pulses for a 1-bit input."""
+
+    def build(self, m: ModuleBuilder) -> None:
+        signal = m.input("signal")
+        rise = m.output("rise", 1)
+        fall = m.output("fall", 1)
+        last = m.reg("last", 1, init=0)
+        last <<= signal
+        rise <<= signal & ~last
+        fall <<= ~signal & last
+
+
+class Lfsr(Module):
+    """Galois LFSR (maximal for the default taps at 16 bits)."""
+
+    def __init__(self, width: int = 16, taps: int = 0xB400) -> None:
+        super().__init__()
+        self.width = width
+        self.taps = taps
+
+    def signature(self):
+        return ("Lfsr", self.width, self.taps)
+
+    def build(self, m: ModuleBuilder) -> None:
+        en = m.input("en")
+        out = m.output("value", self.width)
+        state = m.reg("state", self.width, init=1)
+        lsb = state[0]
+        shifted = state >> 1
+        with m.when(en):
+            with m.when(lsb == 1):
+                state <<= shifted ^ self.taps
+            with m.otherwise():
+                state <<= shifted
+        out <<= state
+
+
+class PopCount(Module):
+    """Combinational population count."""
+
+    def __init__(self, width: int = 8) -> None:
+        super().__init__()
+        self.width = width
+
+    def signature(self):
+        return ("PopCount", self.width)
+
+    def build(self, m: ModuleBuilder) -> None:
+        din = m.input("din", self.width)
+        out_width = self.width.bit_length()
+        dout = m.output("dout", out_width)
+        total = m.lit(0, out_width)
+        for i in range(self.width):
+            total = total + din[i].zext(out_width)
+        dout <<= total
+
+
+class PulseStretcher(Module):
+    """Stretches a single-cycle pulse to ``length`` cycles."""
+
+    def __init__(self, length: int = 4) -> None:
+        super().__init__()
+        self.length = length
+
+    def signature(self):
+        return ("PulseStretcher", self.length)
+
+    def build(self, m: ModuleBuilder) -> None:
+        pulse = m.input("pulse")
+        stretched = m.output("stretched", 1)
+        width = max(self.length.bit_length(), 1)
+        remaining = m.reg("remaining", width, init=0)
+        with m.when(pulse):
+            remaining <<= self.length
+        with m.elsewhen(remaining > 0):
+            remaining <<= remaining - 1
+        stretched <<= (remaining > 0) | pulse

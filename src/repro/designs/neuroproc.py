@@ -1,0 +1,137 @@
+"""NeuroProc analog: a time-multiplexed spiking neural network processor.
+
+Modeled after the "Power-efficient Hardware Platform for Spiking Neural
+Networks" design the paper benchmarks (NeuroProc, Table 2): leaky
+integrate-and-fire (LIF) neurons evaluated sequentially by a shared update
+pipeline, weights in a memory, input spikes arriving as a bit vector, and
+output spikes emitted per evaluation pass.  The workload character matches
+the original: very long runs (one pass per neuron per timestep), mostly
+regular datapath activity.
+"""
+
+from __future__ import annotations
+
+from ..hcl import ChiselEnum, Module, ModuleBuilder, mux
+
+ProcState = ChiselEnum("ProcState", "idle accumulate leak fire next_neuron done")
+
+
+class NeuroProc(Module):
+    """Sequential LIF neuron processor.
+
+    Each timestep: for every neuron, accumulate weighted input spikes,
+    apply leak, threshold-fire, reset on spike.
+
+    Parameters give the benchmark its scale: ``n_neurons * n_inputs``
+    accumulate cycles per timestep.
+    """
+
+    def __init__(
+        self,
+        n_neurons: int = 16,
+        n_inputs: int = 16,
+        width: int = 16,
+        threshold: int = 1000,
+        leak_shift: int = 4,
+    ) -> None:
+        super().__init__()
+        if n_neurons & (n_neurons - 1) or n_inputs & (n_inputs - 1):
+            raise ValueError("neuron/input counts must be powers of two")
+        self.n_neurons = n_neurons
+        self.n_inputs = n_inputs
+        self.width = width
+        self.threshold = threshold
+        self.leak_shift = leak_shift
+
+    def signature(self):
+        return (
+            "NeuroProc",
+            self.n_neurons,
+            self.n_inputs,
+            self.width,
+            self.threshold,
+            self.leak_shift,
+        )
+
+    def build(self, m: ModuleBuilder) -> None:
+        n_bits = self.n_neurons.bit_length() - 1 or 1
+        i_bits = self.n_inputs.bit_length() - 1 or 1
+        width = self.width
+
+        # control
+        start = m.input("start")
+        busy = m.output("busy", 1)
+        done_out = m.output("done", 1)
+
+        # input spike vector for this timestep
+        in_spikes = m.input("in_spikes", self.n_inputs)
+        # weight write port (configuration)
+        w_en = m.input("w_en")
+        w_addr = m.input("w_addr", n_bits + i_bits)
+        w_data = m.input("w_data", width)
+
+        out_spikes = m.output("out_spikes", self.n_neurons)
+        spike_count = m.output("spike_count", n_bits + 1)
+
+        weights = m.mem("weights", width, self.n_neurons * self.n_inputs)
+        potentials = m.mem("potentials", width, self.n_neurons)
+
+        state = m.reg("state", enum=ProcState)
+        neuron = m.reg("neuron", n_bits, init=0)
+        input_idx = m.reg("input_idx", i_bits, init=0)
+        acc = m.reg("acc", width, init=0)
+        spikes = m.reg("spikes", self.n_neurons, init=0)
+        n_spiked = m.reg("n_spiked", n_bits + 1, init=0)
+
+        with m.when(w_en):
+            weights[w_addr] = w_data
+
+        busy <<= ~((state == ProcState.idle) | (state == ProcState.done))
+        done_out <<= state == ProcState.done
+        out_spikes <<= spikes
+        spike_count <<= n_spiked
+
+        w_index = (neuron.zext(n_bits + i_bits) << i_bits) | input_idx.zext(n_bits + i_bits)
+        spike_in = in_spikes[input_idx]
+
+        with m.switch(state):
+            with m.is_(ProcState.idle):
+                with m.when(start):
+                    neuron <<= 0
+                    input_idx <<= 0
+                    spikes <<= 0
+                    n_spiked <<= 0
+                    state <<= ProcState.accumulate
+                    acc <<= potentials[0]
+            with m.is_(ProcState.accumulate):
+                with m.when(spike_in):
+                    acc <<= acc + weights[w_index]
+                with m.when(input_idx == self.n_inputs - 1):
+                    state <<= ProcState.leak
+                with m.otherwise():
+                    input_idx <<= input_idx + 1
+            with m.is_(ProcState.leak):
+                acc <<= acc - (acc >> self.leak_shift)
+                state <<= ProcState.fire
+            with m.is_(ProcState.fire):
+                with m.when(acc >= self.threshold):
+                    spikes <<= spikes | (m.lit(1, self.n_neurons) << neuron)
+                    n_spiked <<= n_spiked + 1
+                    potentials[neuron] = 0
+                    m.cover(n_spiked == self.n_neurons - 1, "all_spiked")
+                with m.otherwise():
+                    potentials[neuron] = acc
+                state <<= ProcState.next_neuron
+            with m.is_(ProcState.next_neuron):
+                with m.when(neuron == self.n_neurons - 1):
+                    state <<= ProcState.done
+                with m.otherwise():
+                    neuron <<= neuron + 1
+                    input_idx <<= 0
+                    acc <<= potentials[neuron + 1]
+                    state <<= ProcState.accumulate
+            with m.is_(ProcState.done):
+                with m.when(~start):
+                    state <<= ProcState.idle
+
+        m.cover((state == ProcState.fire) & (acc >= self.threshold), "neuron_fired")

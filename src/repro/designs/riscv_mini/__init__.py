@@ -1,0 +1,28 @@
+"""The riscv-mini analog: a multicycle RV32I-subset SoC with split caches."""
+
+from .alu import Alu
+from .asm import AsmError, RunResult, assemble, load_program, run_program
+from .cache import Cache, CacheState
+from .core import Core, CoreState
+from .datapath import BranchCond, ImmGen, RegFile
+from .memory import MainMemory, MemArbiter
+from .top import RiscvMini
+
+__all__ = [
+    "Alu",
+    "AsmError",
+    "BranchCond",
+    "Cache",
+    "CacheState",
+    "Core",
+    "CoreState",
+    "ImmGen",
+    "MainMemory",
+    "MemArbiter",
+    "RegFile",
+    "RiscvMini",
+    "RunResult",
+    "assemble",
+    "load_program",
+    "run_program",
+]

@@ -1,0 +1,58 @@
+"""ALU for the riscv-mini analog core."""
+
+from __future__ import annotations
+
+from ...hcl import Module, ModuleBuilder, mux
+
+# ALU operation encodings (internal control signals)
+ALU_ADD = 0
+ALU_SUB = 1
+ALU_AND = 2
+ALU_OR = 3
+ALU_XOR = 4
+ALU_SLT = 5
+ALU_SLTU = 6
+ALU_SLL = 7
+ALU_SRL = 8
+ALU_SRA = 9
+ALU_COPY_B = 10
+
+ALU_OP_WIDTH = 4
+
+
+class Alu(Module):
+    """Combinational 32-bit ALU (two's complement, RV32I operations)."""
+
+    def __init__(self, xlen: int = 32) -> None:
+        super().__init__()
+        self.xlen = xlen
+
+    def signature(self):
+        return ("Alu", self.xlen)
+
+    has_reset = False
+
+    def build(self, m: ModuleBuilder) -> None:
+        xlen = self.xlen
+        a = m.input("a", xlen)
+        b = m.input("b", xlen)
+        op = m.input("op", ALU_OP_WIDTH)
+        out = m.output("out", xlen)
+
+        shamt = b[4:0]
+        slt = m.node("slt", a.as_sint() < b.as_sint())
+        sltu = m.node("sltu", a < b)
+        sra = m.node("sra", ((a.as_sint() >> shamt).as_uint()).bits(xlen - 1, 0))
+
+        result = b  # ALU_COPY_B default
+        result = mux(op == ALU_ADD, a + b, result)
+        result = mux(op == ALU_SUB, a - b, result)
+        result = mux(op == ALU_AND, a & b, result)
+        result = mux(op == ALU_OR, a | b, result)
+        result = mux(op == ALU_XOR, a ^ b, result)
+        result = mux(op == ALU_SLT, slt.zext(xlen), result)
+        result = mux(op == ALU_SLTU, sltu.zext(xlen), result)
+        result = mux(op == ALU_SLL, a << shamt, result)
+        result = mux(op == ALU_SRL, a >> shamt, result)
+        result = mux(op == ALU_SRA, sra, result)
+        out <<= result

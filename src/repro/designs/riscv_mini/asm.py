@@ -1,0 +1,235 @@
+"""A tiny RV32I assembler and program runner for the riscv-mini analog.
+
+Supports the instruction subset the core implements, with labels for
+branches and jumps.  Good enough to write the test programs and the
+"RISC-V test suite"-like workloads the §5.3 merging experiment needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+REGS = {f"x{i}": i for i in range(32)}
+REGS.update(
+    {
+        "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+        "t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+        "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+        "a6": 16, "a7": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21,
+        "s6": 22, "s7": 23, "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+        "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+    }
+)
+
+
+class AsmError(Exception):
+    """Raised on malformed assembly."""
+
+
+def _reg(name: str) -> int:
+    try:
+        return REGS[name.strip()]
+    except KeyError:
+        raise AsmError(f"unknown register {name!r}") from None
+
+
+def _r_type(funct7: int, rs2: int, rs1: int, funct3: int, rd: int, opcode: int) -> int:
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def _i_type(imm: int, rs1: int, funct3: int, rd: int, opcode: int) -> int:
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def _s_type(imm: int, rs2: int, rs1: int, funct3: int, opcode: int) -> int:
+    imm &= 0xFFF
+    return (
+        ((imm >> 5) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+    )
+
+
+def _b_type(imm: int, rs2: int, rs1: int, funct3: int, opcode: int) -> int:
+    imm &= 0x1FFF
+    return (
+        (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | opcode
+    )
+
+
+def _u_type(imm: int, rd: int, opcode: int) -> int:
+    return ((imm & 0xFFFFF) << 12) | (rd << 7) | opcode
+
+
+def _j_type(imm: int, rd: int, opcode: int) -> int:
+    imm &= 0x1FFFFF
+    return (
+        (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (rd << 7)
+        | opcode
+    )
+
+
+_R_OPS = {
+    "add": (0b0000000, 0b000), "sub": (0b0100000, 0b000),
+    "sll": (0b0000000, 0b001), "slt": (0b0000000, 0b010),
+    "sltu": (0b0000000, 0b011), "xor": (0b0000000, 0b100),
+    "srl": (0b0000000, 0b101), "sra": (0b0100000, 0b101),
+    "or": (0b0000000, 0b110), "and": (0b0000000, 0b111),
+}
+_I_OPS = {
+    "addi": 0b000, "slti": 0b010, "sltiu": 0b011,
+    "xori": 0b100, "ori": 0b110, "andi": 0b111,
+}
+_SHIFT_OPS = {"slli": (0b0000000, 0b001), "srli": (0b0000000, 0b101), "srai": (0b0100000, 0b101)}
+_BRANCH_OPS = {"beq": 0b000, "bne": 0b001, "blt": 0b100, "bge": 0b101, "bltu": 0b110, "bgeu": 0b111}
+
+
+def assemble(source: Union[str, Sequence[str]]) -> list[int]:
+    """Assemble a program; returns the list of 32-bit instruction words."""
+    lines = source.splitlines() if isinstance(source, str) else list(source)
+    # pass 1: labels
+    labels: dict[str, int] = {}
+    cleaned: list[str] = []
+    for raw in lines:
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        while ":" in line:
+            label, _, rest = line.partition(":")
+            labels[label.strip()] = len(cleaned) * 4
+            line = rest.strip()
+        if line:
+            cleaned.append(line)
+
+    def value(token: str, pc: int, relative: bool) -> int:
+        token = token.strip()
+        if token in labels:
+            return labels[token] - pc if relative else labels[token]
+        try:
+            return int(token, 0)
+        except ValueError:
+            raise AsmError(f"bad immediate or unknown label {token!r}") from None
+
+    words: list[int] = []
+    for index, line in enumerate(cleaned):
+        pc = index * 4
+        mnemonic, _, rest = line.partition(" ")
+        mnemonic = mnemonic.lower()
+        args = [a.strip() for a in rest.split(",")] if rest.strip() else []
+        if mnemonic in _R_OPS:
+            funct7, funct3 = _R_OPS[mnemonic]
+            words.append(_r_type(funct7, _reg(args[2]), _reg(args[1]), funct3, _reg(args[0]), 0b0110011))
+        elif mnemonic in _I_OPS:
+            words.append(_i_type(value(args[2], pc, False), _reg(args[1]), _I_OPS[mnemonic], _reg(args[0]), 0b0010011))
+        elif mnemonic in _SHIFT_OPS:
+            funct7, funct3 = _SHIFT_OPS[mnemonic]
+            shamt = value(args[2], pc, False) & 0x1F
+            words.append(_i_type((funct7 << 5) | shamt, _reg(args[1]), funct3, _reg(args[0]), 0b0010011))
+        elif mnemonic in _BRANCH_OPS:
+            offset = value(args[2], pc, True)
+            words.append(_b_type(offset, _reg(args[1]), _reg(args[0]), _BRANCH_OPS[mnemonic], 0b1100011))
+        elif mnemonic == "lw":
+            imm, rs1 = _mem_operand(args[1])
+            words.append(_i_type(imm, rs1, 0b010, _reg(args[0]), 0b0000011))
+        elif mnemonic == "sw":
+            imm, rs1 = _mem_operand(args[1])
+            words.append(_s_type(imm, _reg(args[0]), rs1, 0b010, 0b0100011))
+        elif mnemonic == "lui":
+            words.append(_u_type(value(args[1], pc, False), _reg(args[0]), 0b0110111))
+        elif mnemonic == "auipc":
+            words.append(_u_type(value(args[1], pc, False), _reg(args[0]), 0b0010111))
+        elif mnemonic == "jal":
+            if len(args) == 1:
+                args = ["ra", args[0]]
+            words.append(_j_type(value(args[1], pc, True), _reg(args[0]), 0b1101111))
+        elif mnemonic == "jalr":
+            if len(args) == 1:
+                args = ["ra", args[0], "0"]
+            words.append(_i_type(value(args[2], pc, False), _reg(args[1]), 0b000, _reg(args[0]), 0b1100111))
+        elif mnemonic == "j":
+            words.append(_j_type(value(args[0], pc, True), 0, 0b1101111))
+        elif mnemonic == "nop":
+            words.append(0x13)
+        elif mnemonic == "mv":
+            words.append(_i_type(0, _reg(args[1]), 0b000, _reg(args[0]), 0b0010011))
+        elif mnemonic == "li":
+            imm = value(args[1], pc, False)
+            if -2048 <= imm < 2048:
+                words.append(_i_type(imm, 0, 0b000, _reg(args[0]), 0b0010011))
+            else:
+                upper = (imm + 0x800) >> 12
+                lower = imm - (upper << 12)
+                words.append(_u_type(upper, _reg(args[0]), 0b0110111))
+                words.append(_i_type(lower, _reg(args[0]), 0b000, _reg(args[0]), 0b0010011))
+                # note: a second word shifts subsequent labels; keep li small
+                # in label-heavy code or use lui+addi explicitly
+        elif mnemonic == "ebreak" or mnemonic == "ecall":
+            words.append(_i_type(1 if mnemonic == "ebreak" else 0, 0, 0, 0, 0b1110011))
+        else:
+            raise AsmError(f"unknown mnemonic {mnemonic!r}")
+    return words
+
+
+def _mem_operand(text: str) -> tuple[int, int]:
+    """Parse ``imm(reg)``."""
+    text = text.strip()
+    if "(" not in text or not text.endswith(")"):
+        raise AsmError(f"bad memory operand {text!r}")
+    imm_text, _, reg_text = text[:-1].partition("(")
+    imm = int(imm_text, 0) if imm_text.strip() else 0
+    return imm, _reg(reg_text)
+
+
+@dataclass
+class RunResult:
+    """Outcome of running a program on the riscv-mini simulation."""
+
+    cycles: int
+    halted: bool
+    illegal: bool
+    retired: int
+    pc: int
+
+
+def load_program(sim, words: Sequence[int], base_word: int = 0) -> None:
+    """Write a program into main memory through the loader port."""
+    sim.poke("init_en", 1)
+    for offset, word in enumerate(words):
+        sim.poke("init_addr", base_word + offset)
+        sim.poke("init_data", word)
+        sim.step(1)
+    sim.poke("init_en", 0)
+
+
+def run_program(sim, words: Sequence[int], max_cycles: int = 20_000) -> RunResult:
+    """Reset, load, and run until the core halts (or the cycle budget ends)."""
+    sim.poke("reset", 1)
+    sim.step(2)
+    sim.poke("reset", 0)
+    load_program(sim, words)
+    cycles = 0
+    while cycles < max_cycles and not sim.peek("halted"):
+        sim.step(1)
+        cycles += 1
+    return RunResult(
+        cycles=cycles,
+        halted=bool(sim.peek("halted")),
+        illegal=bool(sim.peek("illegal")),
+        retired=sim.peek("retired"),
+        pc=sim.peek("pc"),
+    )

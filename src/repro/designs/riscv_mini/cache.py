@@ -1,0 +1,140 @@
+"""Direct-mapped cache generator (the riscv-mini cache analog).
+
+One parameterized ``Cache`` module is instantiated twice in the SoC — once
+as the instruction cache and once as the data cache.  This mirrors the
+structure the paper's §5.5 experiment keys on: *the RTL for the instruction
+and data caches are the same, but the instruction cache is read-only, and
+thus the code blocks for write accesses are never exercised* — formal
+cover-trace generation flags the I$ write branches as unreachable.
+
+Geometry: word-sized blocks, direct mapped, write-through, allocate on
+read miss.
+
+CPU side (flattened Decoupled):
+    ``cpu_req_{valid,ready,addr,data,wen}`` in, ``cpu_resp_{valid,data}`` out.
+Memory side (request fire, then a later response pulse):
+    ``mem_req_{valid,ready,addr,data,wen}`` out,
+    ``mem_resp_{valid,data}`` in.
+Addresses are word addresses.
+"""
+
+from __future__ import annotations
+
+from ...hcl import ChiselEnum, Module, ModuleBuilder, mux
+
+CacheState = ChiselEnum(
+    "CacheState", "idle read_miss read_wait write_through write_wait respond"
+)
+
+
+class Cache(Module):
+    """Direct-mapped write-through cache with word blocks."""
+
+    def __init__(self, n_sets: int = 8, addr_width: int = 10, xlen: int = 32) -> None:
+        super().__init__()
+        if n_sets & (n_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self.n_sets = n_sets
+        self.addr_width = addr_width
+        self.xlen = xlen
+
+    def signature(self):
+        return ("Cache", self.n_sets, self.addr_width, self.xlen)
+
+    def build(self, m: ModuleBuilder) -> None:
+        xlen = self.xlen
+        addr_width = self.addr_width
+        index_bits = self.n_sets.bit_length() - 1
+        assert index_bits >= 1, "cache needs at least two sets"
+
+        # CPU interface
+        cpu_req_valid = m.input("cpu_req_valid")
+        cpu_req_ready = m.output("cpu_req_ready", 1)
+        cpu_req_addr = m.input("cpu_req_addr", addr_width)
+        cpu_req_data = m.input("cpu_req_data", xlen)
+        cpu_req_wen = m.input("cpu_req_wen")
+        cpu_resp_valid = m.output("cpu_resp_valid", 1)
+        cpu_resp_data = m.output("cpu_resp_data", xlen)
+
+        # memory interface
+        mem_req_valid = m.output("mem_req_valid", 1)
+        mem_req_ready = m.input("mem_req_ready")
+        mem_req_addr = m.output("mem_req_addr", addr_width)
+        mem_req_data = m.output("mem_req_data", xlen)
+        mem_req_wen = m.output("mem_req_wen", 1)
+        mem_resp_valid = m.input("mem_resp_valid")
+        mem_resp_data = m.input("mem_resp_data", xlen)
+
+        hit_out = m.output("hit", 1)
+
+        tags_width = addr_width - index_bits
+        tags = m.mem("tags", tags_width, self.n_sets)
+        valids = m.mem("valids", 1, self.n_sets)
+        data = m.mem("data", xlen, self.n_sets)
+
+        state = m.reg("state", enum=CacheState)
+        req_addr = m.reg("req_addr", addr_width, init=0)
+        req_data = m.reg("req_data", xlen, init=0)
+        resp_data = m.reg("resp_data", xlen, init=0)
+
+        index = req_addr[index_bits - 1 : 0]
+        tag = req_addr[addr_width - 1 : index_bits]
+        live_index = cpu_req_addr[index_bits - 1 : 0]
+        live_tag = cpu_req_addr[addr_width - 1 : index_bits]
+        live_hit = (valids[live_index] == 1) & (tags[live_index] == live_tag)
+
+        cpu_req_ready <<= state == CacheState.idle
+        cpu_resp_valid <<= state == CacheState.respond
+        cpu_resp_data <<= resp_data
+        mem_req_valid <<= 0
+        mem_req_addr <<= req_addr
+        mem_req_data <<= req_data
+        mem_req_wen <<= 0
+        hit_out <<= 0
+
+        with m.switch(state):
+            with m.is_(CacheState.idle):
+                with m.when(cpu_req_valid):
+                    req_addr <<= cpu_req_addr
+                    req_data <<= cpu_req_data
+                    with m.when(cpu_req_wen):
+                        # write path: update the line if present, then write
+                        # through to memory.  THIS is the branch a read-only
+                        # instruction cache never executes (paper §5.5).
+                        with m.when(live_hit):
+                            data[live_index] = cpu_req_data
+                        state <<= CacheState.write_through
+                    with m.otherwise():
+                        with m.when(live_hit):
+                            hit_out <<= 1
+                            resp_data <<= data[live_index]
+                            state <<= CacheState.respond
+                        with m.otherwise():
+                            state <<= CacheState.read_miss
+            with m.is_(CacheState.read_miss):
+                mem_req_valid <<= 1
+                mem_req_wen <<= 0
+                with m.when(mem_req_ready):
+                    state <<= CacheState.read_wait
+            with m.is_(CacheState.read_wait):
+                with m.when(mem_resp_valid):
+                    # allocate on read miss
+                    tags[index] = tag
+                    valids[index] = 1
+                    data[index] = mem_resp_data
+                    resp_data <<= mem_resp_data
+                    state <<= CacheState.respond
+            with m.is_(CacheState.write_through):
+                mem_req_valid <<= 1
+                mem_req_wen <<= 1
+                with m.when(mem_req_ready):
+                    state <<= CacheState.write_wait
+            with m.is_(CacheState.write_wait):
+                with m.when(mem_resp_valid):
+                    resp_data <<= req_data
+                    state <<= CacheState.respond
+            with m.is_(CacheState.respond):
+                state <<= CacheState.idle
+
+        m.cover((state == CacheState.idle) & cpu_req_valid & ~cpu_req_wen & ~live_hit, "read_miss")
+        m.cover((state == CacheState.idle) & cpu_req_valid & live_hit, "hit_request")

@@ -1,0 +1,113 @@
+"""Register file, immediate generator and branch condition units."""
+
+from __future__ import annotations
+
+from ...hcl import Module, ModuleBuilder, cat, mux
+
+# immediate formats
+IMM_I = 0
+IMM_S = 1
+IMM_B = 2
+IMM_U = 3
+IMM_J = 4
+IMM_WIDTH = 3
+
+# branch functions (funct3 encodings)
+BR_EQ = 0b000
+BR_NE = 0b001
+BR_LT = 0b100
+BR_GE = 0b101
+BR_LTU = 0b110
+BR_GEU = 0b111
+
+
+class RegFile(Module):
+    """32 x xlen register file; x0 reads as zero."""
+
+    def __init__(self, xlen: int = 32) -> None:
+        super().__init__()
+        self.xlen = xlen
+
+    def signature(self):
+        return ("RegFile", self.xlen)
+
+    def build(self, m: ModuleBuilder) -> None:
+        raddr1 = m.input("raddr1", 5)
+        raddr2 = m.input("raddr2", 5)
+        rdata1 = m.output("rdata1", self.xlen)
+        rdata2 = m.output("rdata2", self.xlen)
+        wen = m.input("wen")
+        waddr = m.input("waddr", 5)
+        wdata = m.input("wdata", self.xlen)
+
+        regs = m.mem("regs", self.xlen, 32)
+        rdata1 <<= mux(raddr1 == 0, 0, regs[raddr1])
+        rdata2 <<= mux(raddr2 == 0, 0, regs[raddr2])
+        with m.when(wen & (waddr != 0)):
+            regs[waddr] = wdata
+
+
+class ImmGen(Module):
+    """Immediate extraction for the five RV32I formats."""
+
+    has_reset = False
+
+    def __init__(self, xlen: int = 32) -> None:
+        super().__init__()
+        self.xlen = xlen
+
+    def signature(self):
+        return ("ImmGen", self.xlen)
+
+    def build(self, m: ModuleBuilder) -> None:
+        inst = m.input("inst", 32)
+        sel = m.input("sel", IMM_WIDTH)
+        imm = m.output("imm", self.xlen)
+
+        sign = inst[31]
+        imm_i = cat(inst[31:20].as_sint().sext(32))
+        imm_s = cat(inst[31:25], inst[11:7]).as_sint().sext(32)
+        imm_b = cat(inst[31], inst[7], inst[30:25], inst[11:8], m.lit(0, 1)).as_sint().sext(32)
+        imm_u = cat(inst[31:12], m.lit(0, 12))
+        imm_j = cat(
+            inst[31], inst[19:12], inst[20], inst[30:21], m.lit(0, 1)
+        ).as_sint().sext(32)
+
+        result = imm_i
+        result = mux(sel == IMM_S, imm_s, result)
+        result = mux(sel == IMM_B, imm_b, result)
+        result = mux(sel == IMM_U, imm_u, result)
+        result = mux(sel == IMM_J, imm_j, result)
+        imm <<= result
+
+
+class BranchCond(Module):
+    """Branch condition evaluation (funct3-encoded comparisons)."""
+
+    has_reset = False
+
+    def __init__(self, xlen: int = 32) -> None:
+        super().__init__()
+        self.xlen = xlen
+
+    def signature(self):
+        return ("BranchCond", self.xlen)
+
+    def build(self, m: ModuleBuilder) -> None:
+        rs1 = m.input("rs1", self.xlen)
+        rs2 = m.input("rs2", self.xlen)
+        funct = m.input("funct", 3)
+        taken = m.output("taken", 1)
+
+        eq = rs1 == rs2
+        lt = rs1.as_sint() < rs2.as_sint()
+        ltu = rs1 < rs2
+
+        result = m.lit(0, 1)
+        result = mux(funct == BR_EQ, eq, result)
+        result = mux(funct == BR_NE, ~eq, result)
+        result = mux(funct == BR_LT, lt, result)
+        result = mux(funct == BR_GE, ~lt, result)
+        result = mux(funct == BR_LTU, ltu, result)
+        result = mux(funct == BR_GEU, ~ltu, result)
+        taken <<= result

@@ -1,0 +1,138 @@
+"""Main memory and the two-master memory arbiter for the riscv-mini SoC."""
+
+from __future__ import annotations
+
+from ...hcl import ChiselEnum, Module, ModuleBuilder, mux
+
+MemState = ChiselEnum("MemState", "idle busy respond")
+
+
+class MainMemory(Module):
+    """Word-addressed backing memory with a fixed access latency.
+
+    Protocol: accepts a request when ``req_ready``; after ``latency``
+    cycles pulses ``resp_valid`` for one cycle (read data valid then; a
+    write is acknowledged by the same pulse).
+
+    The ``init_*`` port writes words directly — the program loader.
+    """
+
+    def __init__(self, addr_width: int = 10, xlen: int = 32, latency: int = 2) -> None:
+        super().__init__()
+        self.addr_width = addr_width
+        self.xlen = xlen
+        self.latency = latency
+
+    def signature(self):
+        return ("MainMemory", self.addr_width, self.xlen, self.latency)
+
+    def build(self, m: ModuleBuilder) -> None:
+        req_valid = m.input("req_valid")
+        req_ready = m.output("req_ready", 1)
+        req_addr = m.input("req_addr", self.addr_width)
+        req_data = m.input("req_data", self.xlen)
+        req_wen = m.input("req_wen")
+        resp_valid = m.output("resp_valid", 1)
+        resp_data = m.output("resp_data", self.xlen)
+
+        init_en = m.input("init_en")
+        init_addr = m.input("init_addr", self.addr_width)
+        init_data = m.input("init_data", self.xlen)
+
+        storage = m.mem("storage", self.xlen, 1 << self.addr_width)
+        state = m.reg("state", enum=MemState)
+        counter_width = max(self.latency.bit_length(), 1)
+        wait = m.reg("wait", counter_width, init=0)
+        addr = m.reg("addr", self.addr_width, init=0)
+        wdata = m.reg("wdata", self.xlen, init=0)
+        wen = m.reg("wen", 1, init=0)
+        rdata = m.reg("rdata", self.xlen, init=0)
+
+        with m.when(init_en):
+            storage[init_addr] = init_data
+
+        req_ready <<= state == MemState.idle
+        resp_valid <<= state == MemState.respond
+        resp_data <<= rdata
+
+        with m.switch(state):
+            with m.is_(MemState.idle):
+                with m.when(req_valid):
+                    addr <<= req_addr
+                    wdata <<= req_data
+                    wen <<= req_wen
+                    wait <<= self.latency
+                    state <<= MemState.busy
+            with m.is_(MemState.busy):
+                with m.when(wait == 0):
+                    with m.when(wen):
+                        storage[addr] = wdata
+                        rdata <<= wdata
+                    with m.otherwise():
+                        rdata <<= storage[addr]
+                    state <<= MemState.respond
+                with m.otherwise():
+                    wait <<= wait - 1
+            with m.is_(MemState.respond):
+                state <<= MemState.idle
+
+
+class MemArbiter(Module):
+    """Two-master (I$/D$) arbiter for one MainMemory port.
+
+    The data cache has priority; responses route back to the master that
+    issued the outstanding request.
+    """
+
+    def __init__(self, addr_width: int = 10, xlen: int = 32) -> None:
+        super().__init__()
+        self.addr_width = addr_width
+        self.xlen = xlen
+
+    def signature(self):
+        return ("MemArbiter", self.addr_width, self.xlen)
+
+    def build(self, m: ModuleBuilder) -> None:
+        aw, xlen = self.addr_width, self.xlen
+        # master 0: data cache (priority); master 1: instruction cache
+        req_valid = [m.input(f"m{i}_req_valid") for i in range(2)]
+        req_ready = [m.output(f"m{i}_req_ready", 1) for i in range(2)]
+        req_addr = [m.input(f"m{i}_req_addr", aw) for i in range(2)]
+        req_data = [m.input(f"m{i}_req_data", xlen) for i in range(2)]
+        req_wen = [m.input(f"m{i}_req_wen") for i in range(2)]
+        resp_valid = [m.output(f"m{i}_resp_valid", 1) for i in range(2)]
+        resp_data = [m.output(f"m{i}_resp_data", xlen) for i in range(2)]
+
+        out_req_valid = m.output("out_req_valid", 1)
+        out_req_ready = m.input("out_req_ready")
+        out_req_addr = m.output("out_req_addr", aw)
+        out_req_data = m.output("out_req_data", xlen)
+        out_req_wen = m.output("out_req_wen", 1)
+        out_resp_valid = m.input("out_resp_valid")
+        out_resp_data = m.input("out_resp_data", xlen)
+
+        busy = m.reg("busy", 1, init=0)
+        owner = m.reg("owner", 1, init=0)
+
+        pick0 = req_valid[0]
+        grant_valid = req_valid[0] | req_valid[1]
+        out_req_valid <<= grant_valid & ~busy
+        out_req_addr <<= mux(pick0, req_addr[0], req_addr[1])
+        out_req_data <<= mux(pick0, req_data[0], req_data[1])
+        out_req_wen <<= mux(pick0, req_wen[0], req_wen[1])
+        req_ready[0] <<= out_req_ready & ~busy
+        req_ready[1] <<= out_req_ready & ~busy & ~req_valid[0]
+
+        accept = grant_valid & out_req_ready & ~busy
+        with m.when(accept):
+            busy <<= 1
+            owner <<= ~pick0
+        with m.when(out_resp_valid):
+            busy <<= 0
+
+        resp_valid[0] <<= out_resp_valid & busy & (owner == 0)
+        resp_valid[1] <<= out_resp_valid & busy & (owner == 1)
+        resp_data[0] <<= out_resp_data
+        resp_data[1] <<= out_resp_data
+
+        m.cover(req_valid[0] & req_valid[1], "contention")

@@ -1,0 +1,107 @@
+"""The riscv-mini SoC top: core + I$/D$ (shared RTL) + arbiter + memory."""
+
+from __future__ import annotations
+
+from ...hcl import Module, ModuleBuilder
+
+from .cache import Cache
+from .core import Core
+from .memory import MainMemory, MemArbiter
+
+
+class RiscvMini(Module):
+    """Core with split caches over one backing memory.
+
+    The instruction and data caches are the *same generator* with the same
+    parameters — one IR module, two instances.  The I$ write port is tied
+    off (read-only), which is exactly the structure the paper's §5.5
+    formal experiment discovers dead code in.
+    """
+
+    def __init__(
+        self,
+        addr_width: int = 10,
+        xlen: int = 32,
+        cache_sets: int = 8,
+        mem_latency: int = 2,
+    ) -> None:
+        super().__init__()
+        self.addr_width = addr_width
+        self.xlen = xlen
+        self.cache_sets = cache_sets
+        self.mem_latency = mem_latency
+
+    def signature(self):
+        return ("RiscvMini", self.addr_width, self.xlen, self.cache_sets, self.mem_latency)
+
+    def build(self, m: ModuleBuilder) -> None:
+        aw, xlen = self.addr_width, self.xlen
+
+        halted = m.output("halted", 1)
+        illegal = m.output("illegal", 1)
+        pc = m.output("pc", xlen)
+        retired = m.output("retired", 32)
+
+        init_en = m.input("init_en")
+        init_addr = m.input("init_addr", aw)
+        init_data = m.input("init_data", xlen)
+
+        core = m.instance("core", Core(aw, xlen))
+        cache_gen = Cache(self.cache_sets, aw, xlen)
+        icache = m.instance("icache", cache_gen)
+        dcache = m.instance("dcache", Cache(self.cache_sets, aw, xlen))
+        arbiter = m.instance("arb", MemArbiter(aw, xlen))
+        memory = m.instance("mem", MainMemory(aw, xlen, self.mem_latency))
+
+        # core <-> icache (read only: wen tied to zero)
+        icache.cpu_req_valid <<= core.icache_req_valid
+        core.icache_req_ready <<= icache.cpu_req_ready
+        icache.cpu_req_addr <<= core.icache_req_addr
+        icache.cpu_req_data <<= 0
+        icache.cpu_req_wen <<= 0  # <- the read-only tie-off
+        core.icache_resp_valid <<= icache.cpu_resp_valid
+        core.icache_resp_data <<= icache.cpu_resp_data
+
+        # core <-> dcache
+        dcache.cpu_req_valid <<= core.dcache_req_valid
+        core.dcache_req_ready <<= dcache.cpu_req_ready
+        dcache.cpu_req_addr <<= core.dcache_req_addr
+        dcache.cpu_req_data <<= core.dcache_req_data
+        dcache.cpu_req_wen <<= core.dcache_req_wen
+        core.dcache_resp_valid <<= dcache.cpu_resp_valid
+        core.dcache_resp_data <<= dcache.cpu_resp_data
+
+        # caches <-> arbiter (dcache is master 0, priority)
+        arbiter.m0_req_valid <<= dcache.mem_req_valid
+        dcache.mem_req_ready <<= arbiter.m0_req_ready
+        arbiter.m0_req_addr <<= dcache.mem_req_addr
+        arbiter.m0_req_data <<= dcache.mem_req_data
+        arbiter.m0_req_wen <<= dcache.mem_req_wen
+        dcache.mem_resp_valid <<= arbiter.m0_resp_valid
+        dcache.mem_resp_data <<= arbiter.m0_resp_data
+
+        arbiter.m1_req_valid <<= icache.mem_req_valid
+        icache.mem_req_ready <<= arbiter.m1_req_ready
+        arbiter.m1_req_addr <<= icache.mem_req_addr
+        arbiter.m1_req_data <<= icache.mem_req_data
+        arbiter.m1_req_wen <<= icache.mem_req_wen
+        icache.mem_resp_valid <<= arbiter.m1_resp_valid
+        icache.mem_resp_data <<= arbiter.m1_resp_data
+
+        # arbiter <-> memory
+        memory.req_valid <<= arbiter.out_req_valid
+        arbiter.out_req_ready <<= memory.req_ready
+        memory.req_addr <<= arbiter.out_req_addr
+        memory.req_data <<= arbiter.out_req_data
+        memory.req_wen <<= arbiter.out_req_wen
+        arbiter.out_resp_valid <<= memory.resp_valid
+        arbiter.out_resp_data <<= memory.resp_data
+
+        memory.init_en <<= init_en
+        memory.init_addr <<= init_addr
+        memory.init_data <<= init_data
+
+        halted <<= core.halted
+        illegal <<= core.illegal
+        pc <<= core.pc
+        retired <<= core.retired

@@ -1,0 +1,166 @@
+"""serv-chisel analog: a bit-serial ALU datapath.
+
+SERV is "the award-winning bit-serial RISC-V core"; the paper benchmarks a
+Chisel port of it.  The defining property is that the datapath is one bit
+wide: a 32-bit operation takes 32 clock cycles, trading throughput for a
+tiny area.  This analog implements a bit-serial ALU engine with the same
+character: operands stream in LSB first, results stream out, and a small
+FSM sequences init/run/done phases.  Run time is dominated by many cycles
+of low-activity shifting — the workload profile that makes serv a good
+simulator benchmark.
+"""
+
+from __future__ import annotations
+
+from ..hcl import ChiselEnum, Module, ModuleBuilder, mux
+
+SerialState = ChiselEnum("SerialState", "idle run done")
+
+# operations
+SOP_ADD = 0
+SOP_SUB = 1
+SOP_AND = 2
+SOP_OR = 3
+SOP_XOR = 4
+SOP_SLT = 5
+
+
+class SerialAlu(Module):
+    """Bit-serial ALU: one result bit per cycle, LSB first."""
+
+    def __init__(self, xlen: int = 32) -> None:
+        super().__init__()
+        self.xlen = xlen
+
+    def signature(self):
+        return ("SerialAlu", self.xlen)
+
+    def build(self, m: ModuleBuilder) -> None:
+        xlen = self.xlen
+        count_width = xlen.bit_length()
+
+        start = m.input("start")
+        op = m.input("op", 3)
+        a = m.input("a", xlen)
+        b = m.input("b", xlen)
+        busy = m.output("busy", 1)
+        done = m.output("done", 1)
+        result = m.output("result", xlen)
+
+        state = m.reg("state", enum=SerialState)
+        sh_a = m.reg("sh_a", xlen, init=0)
+        sh_b = m.reg("sh_b", xlen, init=0)
+        sh_r = m.reg("sh_r", xlen, init=0)
+        carry = m.reg("carry", 1, init=0)
+        count = m.reg("count", count_width, init=0)
+        op_reg = m.reg("op_reg", 3, init=0)
+
+        bit_a = sh_a[0]
+        bit_b_raw = sh_b[0]
+        # subtraction: invert b and start with carry-in 1
+        is_sub = (op_reg == SOP_SUB) | (op_reg == SOP_SLT)
+        bit_b = mux(is_sub, ~bit_b_raw, bit_b_raw)
+
+        sum_bit = bit_a ^ bit_b ^ carry
+        carry_next = (bit_a & bit_b) | (carry & (bit_a ^ bit_b))
+
+        logic_bit = bit_a & bit_b_raw
+        logic_bit = mux(op_reg == SOP_OR, bit_a | bit_b_raw, logic_bit)
+        logic_bit = mux(op_reg == SOP_XOR, bit_a ^ bit_b_raw, logic_bit)
+
+        use_sum = (op_reg == SOP_ADD) | (op_reg == SOP_SUB) | (op_reg == SOP_SLT)
+        result_bit = mux(use_sum, sum_bit, logic_bit)
+
+        busy <<= state == SerialState.run
+        done <<= state == SerialState.done
+        result <<= sh_r
+
+        with m.switch(state):
+            with m.is_(SerialState.idle):
+                with m.when(start):
+                    sh_a <<= a
+                    sh_b <<= b
+                    sh_r <<= 0
+                    op_reg <<= op
+                    carry <<= mux((op == SOP_SUB) | (op == SOP_SLT), 1, 0)
+                    count <<= 0
+                    state <<= SerialState.run
+            with m.is_(SerialState.run):
+                sh_a <<= sh_a >> 1
+                sh_b <<= sh_b >> 1
+                sh_r <<= (result_bit.zext(xlen) << (xlen - 1)) | (sh_r >> 1)
+                carry <<= carry_next
+                count <<= count + 1
+                with m.when(count == xlen - 1):
+                    state <<= SerialState.done
+            with m.is_(SerialState.done):
+                # SLT: the final sign of (a - b) decides; overwrite result
+                with m.when(op_reg == SOP_SLT):
+                    # sign(a) != sign(b) ? sign(a) : msb(a-b)
+                    sign_bit = sh_r[xlen - 1]
+                    sh_r <<= sign_bit.zext(xlen)
+                state <<= SerialState.idle
+
+        m.cover((state == SerialState.run) & carry, "carry_active")
+        m.cover((state == SerialState.done) & (op_reg == SOP_SLT), "slt_done")
+
+
+class SerialGcd(Module):
+    """A GCD engine built on the bit-serial ALU — the serv-style workload.
+
+    Computes gcd(a, b) by repeated serial subtraction; each subtraction
+    costs xlen cycles, so even small inputs run for thousands of cycles.
+    """
+
+    def __init__(self, xlen: int = 32) -> None:
+        super().__init__()
+        self.xlen = xlen
+
+    def signature(self):
+        return ("SerialGcd", self.xlen)
+
+    def build(self, m: ModuleBuilder) -> None:
+        xlen = self.xlen
+        req = m.decoupled_input("req", 2 * xlen)
+        resp = m.decoupled_output("resp", xlen)
+
+        Phase = ChiselEnum(f"GcdPhase{xlen}", "idle compare subtract swap emit")
+        phase = m.reg("phase", enum=Phase)
+        va = m.reg("va", xlen, init=0)
+        vb = m.reg("vb", xlen, init=0)
+
+        alu = m.instance("alu", SerialAlu(xlen))
+        alu.start <<= 0
+        alu.op <<= SOP_SUB
+        alu.a <<= va
+        alu.b <<= vb
+
+        req.ready <<= phase == Phase.idle
+        resp.valid <<= phase == Phase.emit
+        resp.bits <<= va
+
+        with m.switch(phase):
+            with m.is_(Phase.idle):
+                with m.when(req.fire):
+                    va <<= req.bits[xlen - 1 : 0]
+                    vb <<= req.bits[2 * xlen - 1 : xlen]
+                    phase <<= Phase.compare
+            with m.is_(Phase.compare):
+                with m.when(vb == 0):
+                    phase <<= Phase.emit
+                with m.elsewhen(va < vb):
+                    phase <<= Phase.swap
+                with m.otherwise():
+                    alu.start <<= 1
+                    phase <<= Phase.subtract
+            with m.is_(Phase.subtract):
+                with m.when(alu.done):
+                    va <<= alu.result
+                    phase <<= Phase.compare
+            with m.is_(Phase.swap):
+                va <<= vb
+                vb <<= va
+                phase <<= Phase.compare
+            with m.is_(Phase.emit):
+                with m.when(resp.fire):
+                    phase <<= Phase.idle

@@ -1,0 +1,315 @@
+"""SoC generators for the FireSim-scale experiments (Figures 9, 10, §5.2).
+
+Two configurations mirror the paper's targets:
+
+* :class:`RocketLikeSoC` — N in-order scalar cores (our riscv-mini tile,
+  reused whole) plus peripherals, like the quad-core Rocket config.
+* :class:`BoomLikeSoC` — one wide, synthetic out-of-order core whose
+  unrolled ROB/issue structures generate substantially more control logic
+  (and therefore more line-coverage points) than the in-order tile, like
+  the BOOM config.
+
+Both are *generators*: the parameters scale the number of branch blocks and
+thus the number of cover statements the line-coverage pass emits after
+flattening — the independent variable of the Figure 9/10 resource study.  The paper's
+counts (8060 / 12059 covers) correspond to larger parameterizations than
+the defaults here; the benches report the shape at a Python-tractable scale
+and evaluate the analytical resource model at paper scale.
+"""
+
+from __future__ import annotations
+
+from ..hcl import ChiselEnum, Module, ModuleBuilder, mux, reduce_or
+
+from .riscv_mini.top import RiscvMini
+
+
+class UartLike(Module):
+    """A UART-ish peripheral: tx shift register with a baud divider."""
+
+    def __init__(self, divider: int = 16) -> None:
+        super().__init__()
+        self.divider = divider
+
+    def signature(self):
+        return ("UartLike", self.divider)
+
+    def build(self, m: ModuleBuilder) -> None:
+        wr_valid = m.input("wr_valid")
+        wr_data = m.input("wr_data", 8)
+        wr_ready = m.output("wr_ready", 1)
+        tx = m.output("tx", 1)
+
+        baud = m.reg("baud", max(self.divider.bit_length(), 1), init=0)
+        shifting = m.reg("shifting", 1, init=0)
+        bits_left = m.reg("bits_left", 4, init=0)
+        shift = m.reg("shift", 10, init=0x3FF)
+
+        tick = baud == self.divider - 1
+        with m.when(tick):
+            baud <<= 0
+        with m.otherwise():
+            baud <<= baud + 1
+
+        wr_ready <<= ~shifting
+        tx <<= shift[0]
+
+        with m.when(~shifting & wr_valid):
+            # start bit, data, stop bit
+            shift <<= (m.lit(1, 10) << 9) | (wr_data.zext(10) << 1)
+            bits_left <<= 10
+            shifting <<= 1
+        with m.elsewhen(shifting & tick):
+            shift <<= (shift >> 1) | (m.lit(1, 10) << 9)
+            bits_left <<= bits_left - 1
+            with m.when(bits_left == 1):
+                shifting <<= 0
+
+
+class ClintLike(Module):
+    """Core-local interruptor analog: timer compare per hart."""
+
+    def __init__(self, n_harts: int = 4) -> None:
+        super().__init__()
+        self.n_harts = n_harts
+
+    def signature(self):
+        return ("ClintLike", self.n_harts)
+
+    def build(self, m: ModuleBuilder) -> None:
+        set_cmp_en = m.input("set_cmp_en")
+        set_cmp_hart = m.input("set_cmp_hart", max(self.n_harts.bit_length(), 1))
+        set_cmp_value = m.input("set_cmp_value", 32)
+        timer_irq = m.output("timer_irq", self.n_harts)
+
+        mtime = m.reg("mtime", 32, init=0)
+        mtime <<= mtime + 1
+        irqs = []
+        for hart in range(self.n_harts):
+            cmp_reg = m.reg(f"mtimecmp_{hart}", 32, init=0xFFFFFFFF)
+            with m.when(set_cmp_en & (set_cmp_hart == hart)):
+                cmp_reg <<= set_cmp_value
+            irqs.append(mtime >= cmp_reg)
+        value = irqs[0].zext(self.n_harts)
+        for i in range(1, self.n_harts):
+            value = value | (irqs[i].zext(self.n_harts) << i)
+        timer_irq <<= value
+
+
+OoOState = ChiselEnum("OoOState", "fetch rename dispatch issue complete commit flush")
+
+
+class SyntheticOoOCore(Module):
+    """A synthetic out-of-order core skeleton (the BOOM stand-in).
+
+    Not a functional CPU — a *coverage-realistic* one: per-ROB-entry
+    valid/busy/complete state machines, per-issue-slot grant logic and a
+    branch-mispredict flush path, all unrolled, so the line-coverage pass
+    sees the branch-block density of a real OoO core.  The instruction
+    stream is driven by an LFSR so the logic genuinely toggles in
+    simulation.
+    """
+
+    def __init__(self, rob_entries: int = 16, issue_width: int = 2) -> None:
+        super().__init__()
+        self.rob_entries = rob_entries
+        self.issue_width = issue_width
+
+    def signature(self):
+        return ("SyntheticOoOCore", self.rob_entries, self.issue_width)
+
+    def build(self, m: ModuleBuilder) -> None:
+        n = self.rob_entries
+        ptr_bits = max((n - 1).bit_length(), 1)
+
+        stall_in = m.input("stall")
+        mispredict_in = m.input("mispredict")
+        committed = m.output("committed", 32)
+        occupancy = m.output("occupancy", ptr_bits + 1)
+
+        state = m.reg("state", enum=OoOState)
+        lfsr = m.reg("lfsr", 16, init=1)
+        head = m.reg("head", ptr_bits, init=0)
+        tail = m.reg("tail", ptr_bits, init=0)
+        count = m.reg("count", ptr_bits + 1, init=0)
+        commit_count = m.reg("commit_count", 32, init=0)
+
+        lfsr_lsb = lfsr[0]
+        with m.when(lfsr_lsb == 1):
+            lfsr <<= (lfsr >> 1) ^ 0xB400
+        with m.otherwise():
+            lfsr <<= lfsr >> 1
+
+        valids = [m.reg(f"rob_valid_{i}", 1, init=0) for i in range(n)]
+        busys = [m.reg(f"rob_busy_{i}", 1, init=0) for i in range(n)]
+        dones = [m.reg(f"rob_done_{i}", 1, init=0) for i in range(n)]
+        is_branch = [m.reg(f"rob_br_{i}", 1, init=0) for i in range(n)]
+
+        full = count == n
+        empty = count == 0
+        occupancy <<= count
+        committed <<= commit_count
+
+        # allocate at tail when not stalled/full
+        alloc = ~stall_in & ~full
+        with m.when(alloc):
+            tail <<= tail + 1
+            count <<= count + 1
+            for i in range(n):
+                with m.when(tail == i):
+                    valids[i] <<= 1
+                    busys[i] <<= 1
+                    dones[i] <<= 0
+                    is_branch[i] <<= lfsr[3] & lfsr[7]
+
+        # completion: pseudo-random per-entry completion events
+        for i in range(n):
+            with m.when(valids[i] & busys[i]):
+                with m.when(lfsr[i % 16] ^ lfsr[(i + 5) % 16]):
+                    busys[i] <<= 0
+                    dones[i] <<= 1
+
+        # commit at head when done; mispredicted branches flush
+        head_done = reduce_or(
+            [dones[i] & (head == i) & valids[i] for i in range(n)]
+        )
+        head_is_branch = reduce_or(
+            [is_branch[i] & (head == i) & valids[i] for i in range(n)]
+        )
+        do_commit = head_done & ~empty
+        flush = do_commit & head_is_branch & mispredict_in
+        with m.when(do_commit):
+            commit_count <<= commit_count + 1
+            head <<= head + 1
+            with m.when(~alloc):
+                count <<= count - 1
+            for i in range(n):
+                with m.when(head == i):
+                    valids[i] <<= 0
+        with m.when(flush):
+            # squash everything younger than head
+            head <<= 0
+            tail <<= 0
+            count <<= 0
+            for i in range(n):
+                valids[i] <<= 0
+                busys[i] <<= 0
+                dones[i] <<= 0
+            m.cover(count == n, "flush_when_full")
+
+        with m.switch(state):
+            with m.is_(OoOState.fetch):
+                with m.when(~stall_in):
+                    state <<= OoOState.rename
+            with m.is_(OoOState.rename):
+                state <<= OoOState.dispatch
+            with m.is_(OoOState.dispatch):
+                with m.when(full):
+                    state <<= OoOState.issue
+                with m.otherwise():
+                    state <<= OoOState.fetch
+            with m.is_(OoOState.issue):
+                with m.when(~full):
+                    state <<= OoOState.complete
+            with m.is_(OoOState.complete):
+                state <<= OoOState.commit
+            with m.is_(OoOState.commit):
+                with m.when(flush):
+                    state <<= OoOState.flush
+                with m.otherwise():
+                    state <<= OoOState.fetch
+            with m.is_(OoOState.flush):
+                state <<= OoOState.fetch
+
+        m.cover(full, "rob_full")
+        m.cover(flush, "pipeline_flush")
+
+
+class RocketLikeSoC(Module):
+    """N in-order tiles + peripherals — the 4xRocket configuration."""
+
+    def __init__(
+        self,
+        n_cores: int = 4,
+        addr_width: int = 8,
+        cache_sets: int = 8,
+    ) -> None:
+        super().__init__()
+        self.n_cores = n_cores
+        self.addr_width = addr_width
+        self.cache_sets = cache_sets
+
+    def signature(self):
+        return ("RocketLikeSoC", self.n_cores, self.addr_width, self.cache_sets)
+
+    def build(self, m: ModuleBuilder) -> None:
+        all_halted = m.output("all_halted", 1)
+        total_retired = m.output("total_retired", 32)
+
+        init_en = m.input("init_en")
+        init_addr = m.input("init_addr", self.addr_width)
+        init_data = m.input("init_data", 32)
+
+        tile_gen = RiscvMini(self.addr_width, 32, self.cache_sets)
+        tiles = [m.instance(f"tile{i}", tile_gen) for i in range(self.n_cores)]
+        for tile in tiles:
+            tile.init_en <<= init_en
+            tile.init_addr <<= init_addr
+            tile.init_data <<= init_data
+
+        uart = m.instance("uart", UartLike())
+        clint = m.instance("clint", ClintLike(self.n_cores))
+        uart.wr_valid <<= tiles[0].halted
+        uart.wr_data <<= tiles[0].pc[7:0]
+        clint.set_cmp_en <<= 0
+        clint.set_cmp_hart <<= 0
+        clint.set_cmp_value <<= 0
+
+        halted = tiles[0].halted
+        retired = tiles[0].retired
+        for tile in tiles[1:]:
+            halted = halted & tile.halted
+            retired = retired + tile.retired
+        all_halted <<= halted
+        total_retired <<= retired
+
+
+class BoomLikeSoC(Module):
+    """One wide synthetic OoO core + a tile + peripherals — the BOOM config."""
+
+    def __init__(
+        self,
+        rob_entries: int = 32,
+        issue_width: int = 4,
+        addr_width: int = 8,
+    ) -> None:
+        super().__init__()
+        self.rob_entries = rob_entries
+        self.issue_width = issue_width
+        self.addr_width = addr_width
+
+    def signature(self):
+        return ("BoomLikeSoC", self.rob_entries, self.issue_width, self.addr_width)
+
+    def build(self, m: ModuleBuilder) -> None:
+        all_halted = m.output("all_halted", 1)
+        committed = m.output("committed", 32)
+        init_en = m.input("init_en")
+        init_addr = m.input("init_addr", self.addr_width)
+        init_data = m.input("init_data", 32)
+        mispredict = m.input("mispredict")
+
+        core = m.instance("boom", SyntheticOoOCore(self.rob_entries, self.issue_width))
+        tile = m.instance("frontend_tile", RiscvMini(self.addr_width, 32, 8))
+        uart = m.instance("uart", UartLike())
+
+        tile.init_en <<= init_en
+        tile.init_addr <<= init_addr
+        tile.init_data <<= init_data
+        core.stall <<= 0
+        core.mispredict <<= mispredict
+        uart.wr_valid <<= core.committed[0]
+        uart.wr_data <<= core.committed[7:0]
+
+        all_halted <<= tile.halted
+        committed <<= core.committed

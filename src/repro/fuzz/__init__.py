@@ -1,0 +1,16 @@
+"""Coverage-directed fuzzing: AFL-style engine + rfuzz-style harness."""
+
+from .afl import AflFuzzer, FuzzStats, QueueEntry, bitmap_of, bucket
+from .harness import FuzzHarness, metric_filter
+from . import mutations
+
+__all__ = [
+    "AflFuzzer",
+    "FuzzHarness",
+    "FuzzStats",
+    "QueueEntry",
+    "bitmap_of",
+    "bucket",
+    "metric_filter",
+    "mutations",
+]

@@ -1,0 +1,125 @@
+"""rfuzz-style fuzzing harness: bytes in, coverage counts out (§5.4).
+
+Following rfuzz and RTL Fuzz Lab, a fuzz input is an opaque byte string
+that the harness deterministically decodes into per-cycle values for every
+top-level input port: each clock cycle consumes ``ceil(total_input_bits/8)``
+bytes, sliced bitwise across the ports.  The design is reset once, then
+driven until the input bytes run out.
+
+The *feedback* function is pluggable: because every metric is just cover
+statements behind the shared API, any instrumented metric — line, toggle,
+FSM, ready/valid, rfuzz's own mux toggle — can serve as the fuzzer's
+coverage map.  That interchangeability is the point of §5.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..backends.api import CoverCounts
+from ..coverage.common import CoverageDB, InstanceTree
+from ..passes.base import CompileState
+
+
+@dataclass
+class PortSpec:
+    name: str
+    width: int
+
+
+class FuzzHarness:
+    """Compiles the instrumented design once; executes byte-string inputs."""
+
+    def __init__(
+        self,
+        state: CompileState,
+        backend=None,
+        max_cycles: int = 512,
+        reset_cycles: int = 1,
+    ) -> None:
+        if backend is None:
+            from ..backends.verilator import VerilatorBackend
+
+            backend = VerilatorBackend()
+        from ..backends.model import build_model
+
+        self._model = build_model(state)
+        self._backend = backend
+        self._template = backend.compile_state(state) if hasattr(backend, "compile_state") else None
+        self._state = state
+        self.max_cycles = max_cycles
+        self.reset_cycles = reset_cycles
+        self.ports = [
+            PortSpec(p.name, self._model.widths[p.name])
+            for p in self._model.inputs
+            if p.name not in ("clock", "reset")
+        ]
+        self.bits_per_cycle = sum(p.width for p in self.ports)
+        self.bytes_per_cycle = max((self.bits_per_cycle + 7) // 8, 1)
+        self.executions = 0
+        self.cycles_executed = 0
+
+    def decode(self, data: bytes) -> list[dict[str, int]]:
+        """Deterministically decode bytes into per-cycle input vectors."""
+        vectors = []
+        n_cycles = min(max(len(data) // self.bytes_per_cycle, 1), self.max_cycles)
+        for cycle in range(n_cycles):
+            chunk = data[cycle * self.bytes_per_cycle : (cycle + 1) * self.bytes_per_cycle]
+            value = int.from_bytes(chunk.ljust(self.bytes_per_cycle, b"\0"), "little")
+            frame = {}
+            offset = 0
+            for port in self.ports:
+                frame[port.name] = (value >> offset) & ((1 << port.width) - 1)
+                offset += port.width
+            vectors.append(frame)
+        return vectors
+
+    def _fresh_sim(self):
+        template = self._template
+        if template is not None and hasattr(template, "fork"):
+            return template.fork()
+        if hasattr(self._backend, "compile_state"):
+            return self._backend.compile_state(self._state)
+        raise RuntimeError("backend cannot create simulations from a compile state")
+
+    def execute(self, data: bytes) -> CoverCounts:
+        """Run one fuzz input from reset; returns this run's cover counts."""
+        sim = self._fresh_sim()
+        if self.reset_cycles:
+            sim.poke("reset", 1)
+            sim.step(self.reset_cycles)
+            sim.poke("reset", 0)
+        vectors = self.decode(data)
+        for frame in vectors:
+            for name, value in frame.items():
+                sim.poke(name, value)
+            result = sim.step(1)
+            self.cycles_executed += 1
+            if result.stopped:
+                break
+        self.executions += 1
+        return sim.cover_counts()
+
+
+def metric_filter(db: CoverageDB, state: CompileState, metric: str) -> Callable[[CoverCounts], CoverCounts]:
+    """Build a filter keeping only the covers one metric contributed.
+
+    Canonical count keys resolve through the instance tree back to
+    (module, local-name) pairs, which are then matched against the metric's
+    metadata — mixing and matching feedback metrics is a dictionary filter.
+    """
+    tree = InstanceTree(state.circuit)
+    wanted: set[str] = set()
+    for module, cover_name, _payload in db.covers_of(metric):
+        wanted.add(f"{module}\x00{cover_name}")
+
+    def filter_counts(counts: CoverCounts) -> CoverCounts:
+        out = {}
+        for key, count in counts.items():
+            module, local = tree.resolve(key)
+            if f"{module}\x00{local}" in wanted:
+                out[key] = count
+        return out
+
+    return filter_counts

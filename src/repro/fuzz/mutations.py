@@ -1,0 +1,90 @@
+"""AFL-style input mutations.
+
+A faithful-in-spirit subset of AFL's mutation stages: deterministic
+bit/byte flips, arithmetic on bytes/words, interesting-value substitution,
+and a stacked "havoc" stage.  Inputs are plain byte strings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+INTERESTING_8 = [0, 1, 2, 4, 8, 16, 32, 64, 100, 127, 128, 255]
+INTERESTING_16 = [0, 1, 255, 256, 512, 1000, 4096, 32767, 32768, 65535]
+
+
+def bitflips(data: bytes) -> Iterator[bytes]:
+    """Deterministic single-bit flips."""
+    for bit in range(len(data) * 8):
+        out = bytearray(data)
+        out[bit // 8] ^= 1 << (bit % 8)
+        yield bytes(out)
+
+
+def byteflips(data: bytes) -> Iterator[bytes]:
+    """Deterministic whole-byte flips."""
+    for i in range(len(data)):
+        out = bytearray(data)
+        out[i] ^= 0xFF
+        yield bytes(out)
+
+
+def arith8(data: bytes, limit: int = 16) -> Iterator[bytes]:
+    """Deterministic +/- arithmetic on each byte."""
+    for i in range(len(data)):
+        for delta in range(1, limit + 1):
+            for signed_delta in (delta, -delta):
+                out = bytearray(data)
+                out[i] = (out[i] + signed_delta) & 0xFF
+                yield bytes(out)
+
+
+def interesting8(data: bytes) -> Iterator[bytes]:
+    """Deterministic interesting-value substitution per byte."""
+    for i in range(len(data)):
+        for value in INTERESTING_8:
+            if data[i] == value:
+                continue
+            out = bytearray(data)
+            out[i] = value
+            yield bytes(out)
+
+
+def havoc(data: bytes, rng: random.Random, stack_max: int = 6) -> bytes:
+    """Random stacked mutations (AFL's havoc stage)."""
+    out = bytearray(data) if data else bytearray([0])
+    for _ in range(1 << rng.randint(1, stack_max.bit_length())):
+        choice = rng.randint(0, 7)
+        pos = rng.randrange(len(out))
+        if choice == 0:
+            out[pos // 1] ^= 1 << rng.randint(0, 7)
+        elif choice == 1:
+            out[pos] = rng.choice(INTERESTING_8)
+        elif choice == 2:
+            out[pos] = (out[pos] + rng.randint(1, 35)) & 0xFF
+        elif choice == 3:
+            out[pos] = (out[pos] - rng.randint(1, 35)) & 0xFF
+        elif choice == 4:
+            out[pos] = rng.randint(0, 255)
+        elif choice == 5 and len(out) > 2:
+            # delete a random chunk
+            length = rng.randint(1, max(len(out) // 4, 1))
+            start = rng.randrange(max(len(out) - length, 1))
+            del out[start : start + length]
+        elif choice == 6:
+            # duplicate a random chunk
+            length = rng.randint(1, max(len(out) // 4, 1))
+            start = rng.randrange(max(len(out) - length, 1))
+            chunk = out[start : start + length]
+            insert_at = rng.randrange(len(out) + 1)
+            out[insert_at:insert_at] = chunk
+        else:
+            # overwrite with a copy from elsewhere
+            length = rng.randint(1, max(len(out) // 4, 1))
+            src = rng.randrange(max(len(out) - length, 1))
+            dst = rng.randrange(max(len(out) - length, 1))
+            out[dst : dst + length] = out[src : src + length]
+        if not out:
+            out = bytearray([0])
+    return bytes(out)

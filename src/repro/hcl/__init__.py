@@ -1,0 +1,67 @@
+"""A Chisel-like hardware construction language embedded in Python.
+
+Circuits are built by subclassing :class:`Module` and using the
+:class:`ModuleBuilder` API inside ``build``::
+
+    class Counter(Module):
+        def __init__(self, width=8):
+            super().__init__()
+            self.width = width
+
+        def build(self, m):
+            en = m.input("en")
+            out = m.output("count", self.width)
+            cnt = m.reg("cnt", self.width, init=0)
+            with m.when(en):
+                cnt <<= cnt + 1
+            out <<= cnt
+
+    circuit = elaborate(Counter())
+"""
+
+from .enum import ChiselEnum, EnumConst
+from .module import (
+    Connectable,
+    Decoupled,
+    Elaborator,
+    Instance,
+    Memory,
+    Module,
+    ModuleBuilder,
+    elaborate,
+)
+from .values import (
+    HclError,
+    Value,
+    cat,
+    fill,
+    literal,
+    mux,
+    reduce_and,
+    reduce_or,
+    s,
+    u,
+)
+
+__all__ = [
+    "ChiselEnum",
+    "Connectable",
+    "Decoupled",
+    "Elaborator",
+    "EnumConst",
+    "HclError",
+    "Instance",
+    "Memory",
+    "Module",
+    "ModuleBuilder",
+    "Value",
+    "cat",
+    "elaborate",
+    "fill",
+    "literal",
+    "mux",
+    "reduce_and",
+    "reduce_or",
+    "s",
+    "u",
+]

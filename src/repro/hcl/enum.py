@@ -1,0 +1,72 @@
+"""ChiselEnum reproduction: named state encodings with annotations.
+
+Registers declared with an enum type carry an
+:class:`repro.ir.annotations.EnumDefAnnotation`, which is what the FSM
+coverage pass (§4.3 of the paper) keys on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..ir import nodes as n
+from .values import HclError, Value
+
+
+class EnumConst(Value):
+    """A literal value belonging to a :class:`ChiselEnum`."""
+
+    __slots__ = ("enum", "name")
+
+    def __init__(self, enum: "ChiselEnum", name: str, value: int) -> None:
+        super().__init__(n.UIntLiteral(value, enum.width))
+        self.enum = enum
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"{self.enum.name}.{self.name}"
+
+
+class ChiselEnum:
+    """A set of named states, encoded as consecutive unsigned integers.
+
+    >>> S = ChiselEnum("S", ["idle", "busy", "done"])
+    >>> S.idle.width
+    2
+    """
+
+    def __init__(self, name: str, states: Iterable[str] | str) -> None:
+        if isinstance(states, str):
+            states = states.split()
+        names: Sequence[str] = list(states)
+        if not names:
+            raise HclError("an enum needs at least one state")
+        if len(set(names)) != len(names):
+            raise HclError(f"duplicate state names in enum {name}")
+        self.name = name
+        self.width = max((len(names) - 1).bit_length(), 1)
+        self.states: dict[str, int] = {s: i for i, s in enumerate(names)}
+        self._consts: dict[str, EnumConst] = {
+            s: EnumConst(self, s, i) for s, i in self.states.items()
+        }
+
+    def __getattr__(self, item: str) -> EnumConst:
+        try:
+            return self.__dict__["_consts"][item]
+        except KeyError:
+            raise AttributeError(f"enum {self.name} has no state {item!r}") from None
+
+    def __getitem__(self, item: str) -> EnumConst:
+        return self._consts[item]
+
+    def __iter__(self):
+        return iter(self._consts.values())
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def const(self, name: str) -> EnumConst:
+        return self._consts[name]
+
+    def items(self) -> tuple[tuple[str, int], ...]:
+        return tuple(self.states.items())

@@ -1,0 +1,480 @@
+"""Module construction: the builder API and elaboration to IR.
+
+A design is a subclass of :class:`Module` implementing ``build(self, m)``
+against a :class:`ModuleBuilder`.  Elaboration recursively builds child
+modules (depth-first, like Chisel) and produces a :class:`repro.ir.Circuit`.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Optional, Union
+
+from ..ir import annotations as anno
+from ..ir import nodes as n
+from ..ir.namespace import Namespace, sanitize
+from ..ir.types import CLOCK, SIntType, Type, UIntType, bit_width
+from .enum import ChiselEnum, EnumConst
+from .values import HclError, IntOrValue, Value, literal, mux, u
+
+_HCL_DIR = str(Path(__file__).parent)
+
+
+def _caller_info() -> n.SourceInfo:
+    """Source location of the first stack frame outside the HCL library."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not filename.startswith(_HCL_DIR):
+            return n.SourceInfo(Path(filename).name, frame.f_lineno)
+        frame = frame.f_back
+    return n.NO_INFO
+
+
+class Connectable(Value):
+    """A value that may appear on the left of ``<<=`` (wire/reg/output/input-port)."""
+
+    __slots__ = ("_builder", "_kind")
+
+    def __init__(self, expr: n.Expr, builder: "ModuleBuilder", kind: str) -> None:
+        super().__init__(expr)
+        self._builder = builder
+        self._kind = kind
+
+    def __ilshift__(self, rhs: IntOrValue) -> "Connectable":
+        self._builder._connect(self, rhs, _caller_info())
+        return self
+
+    def assign(self, rhs: IntOrValue) -> None:
+        """Explicit form of ``<<=`` (useful where augmented assign is awkward)."""
+        self._builder._connect(self, rhs, _caller_info())
+
+
+class Memory:
+    """A word-addressed memory with combinational read, synchronous write."""
+
+    def __init__(self, builder: "ModuleBuilder", name: str, data_type: Type, depth: int) -> None:
+        self._builder = builder
+        self.name = name
+        self.data_type = data_type
+        self.depth = depth
+
+    @property
+    def addr_width(self) -> int:
+        return max((self.depth - 1).bit_length(), 1)
+
+    def __getitem__(self, addr: IntOrValue) -> Value:
+        addr_v = self._builder._as_value(addr, self.addr_width)
+        return Value(n.MemRead(self.name, addr_v.expr, self.data_type))
+
+    def read(self, addr: IntOrValue) -> Value:
+        return self[addr]
+
+    def __setitem__(self, addr: IntOrValue, data: IntOrValue) -> None:
+        self.write(addr, data)
+
+    def write(self, addr: IntOrValue, data: IntOrValue, en: Optional[Value] = None) -> None:
+        self._builder._mem_write(self, addr, data, en, _caller_info())
+
+
+class Decoupled:
+    """A flattened DecoupledIO handshake bundle (§4.4)."""
+
+    def __init__(self, bits: Value, valid: Value, ready: Value, prefix: str) -> None:
+        self.bits = bits
+        self.valid = valid
+        self.ready = ready
+        self.prefix = prefix
+
+    @property
+    def fire(self) -> Value:
+        """True in cycles where a transfer happens (ready && valid)."""
+        return self.valid & self.ready
+
+
+class Instance:
+    """Handle to an instantiated child module: ports as attributes."""
+
+    def __init__(self, builder: "ModuleBuilder", name: str, ir_module: n.Module) -> None:
+        object.__setattr__(self, "_builder", builder)
+        object.__setattr__(self, "_name", name)
+        object.__setattr__(self, "_module", ir_module)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def io(self, port: str) -> Union[Value, Connectable]:
+        module: n.Module = self._module
+        p = module.port(port)
+        expr = n.InstPort(self._name, port, p.type)
+        if p.direction == n.INPUT:
+            return Connectable(expr, self._builder, "instport")
+        return Value(expr)
+
+    def __getattr__(self, port: str) -> Union[Value, Connectable]:
+        try:
+            return self.io(port)
+        except KeyError:
+            raise AttributeError(f"instance {self._name} has no port {port!r}") from None
+
+    def decoupled(self, prefix: str) -> Decoupled:
+        """View three child ports ``prefix_bits/_valid/_ready`` as a bundle."""
+        return Decoupled(
+            self.io(f"{prefix}_bits"),
+            self.io(f"{prefix}_valid"),
+            self.io(f"{prefix}_ready"),
+            prefix,
+        )
+
+
+class _WhenContext:
+    def __init__(self, builder: "ModuleBuilder", when: n.When, block: list) -> None:
+        self._builder = builder
+        self._when = when
+        self._block = block
+
+    def __enter__(self) -> "_WhenContext":
+        self._builder._push_block(self._block)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._builder._pop_block()
+        self._builder._pending_when = self._when
+
+
+class _SwitchContext:
+    def __init__(self, builder: "ModuleBuilder", subject: Value) -> None:
+        self._builder = builder
+        self._subject = subject
+        self._first = True
+
+    def __enter__(self) -> "_SwitchContext":
+        self._builder._switch_stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._builder._switch_stack.pop()
+
+
+class ModuleBuilder:
+    """Accumulates IR statements for one module under construction."""
+
+    def __init__(self, name: str, elaborator: "Elaborator", with_reset: bool = True) -> None:
+        self.name = name
+        self._elab = elaborator
+        self._ns = Namespace()
+        self._module = n.Module(name)
+        self._blocks: list[list[n.Stmt]] = [self._module.body]
+        self._pending_when: Optional[n.When] = None
+        self._switch_stack: list[_SwitchContext] = []
+        self._port_dirs: dict[str, str] = {}
+        self.clock = self._add_port("clock", n.INPUT, CLOCK)
+        self.reset: Value
+        if with_reset:
+            self.reset = self._add_port("reset", n.INPUT, UIntType(1))
+        else:
+            self.reset = literal(0, 1)
+
+    # -- internal plumbing ----------------------------------------------------
+
+    def _add_port(self, name: str, direction: str, tpe: Type) -> Connectable:
+        self._ns.reserve(name)
+        self._module.ports.append(n.Port(name, direction, tpe, _caller_info()))
+        self._port_dirs[name] = direction
+        kind = "input" if direction == n.INPUT else "output"
+        return Connectable(n.Ref(name, tpe), self, kind)
+
+    def _emit(self, stmt: n.Stmt) -> None:
+        self._pending_when = None
+        self._blocks[-1].append(stmt)
+
+    def _push_block(self, block: list) -> None:
+        self._blocks.append(block)
+
+    def _pop_block(self) -> None:
+        self._blocks.pop()
+
+    def _as_value(self, v: IntOrValue, width: int, signed: bool = False) -> Value:
+        if isinstance(v, Value):
+            return v
+        if isinstance(v, int):
+            return literal(v, width, signed=signed or v < 0)
+        raise HclError(f"expected a hardware value or int, got {v!r}")
+
+    def _connect(self, target: Connectable, rhs: IntOrValue, info: n.SourceInfo) -> None:
+        if target._kind == "input":
+            raise HclError(f"cannot drive module input {target.expr}")
+        if target._builder is not self:
+            raise HclError("cannot connect a signal that belongs to another module")
+        rhs_v = self._as_value(rhs, target.width, target.signed)
+        if rhs_v.width < target.width:
+            rhs_v = rhs_v.pad(target.width)
+        elif rhs_v.width > target.width:
+            rhs_v = Value(target._trunc(rhs_v.expr, target.width))
+        if rhs_v.signed != target.signed:
+            rhs_v = rhs_v.as_sint() if target.signed else rhs_v.as_uint()
+        assert isinstance(target.expr, (n.Ref, n.InstPort))
+        self._emit(n.Connect(target.expr, rhs_v.expr, info))
+
+    def _mem_write(
+        self,
+        memory: Memory,
+        addr: IntOrValue,
+        data: IntOrValue,
+        en: Optional[Value],
+        info: n.SourceInfo,
+    ) -> None:
+        addr_v = self._as_value(addr, memory.addr_width)
+        data_v = self._as_value(data, bit_width(memory.data_type))
+        if data_v.width < bit_width(memory.data_type):
+            data_v = data_v.pad(bit_width(memory.data_type))
+        en_expr = n.TRUE if en is None else en.expr
+        self._emit(n.MemWrite(memory.name, addr_v.expr, data_v.expr, en_expr, self.clock.expr, info))
+
+    # -- declarations -----------------------------------------------------------
+
+    def _make_type(self, width: int, signed: bool) -> Type:
+        return SIntType(width) if signed else UIntType(width)
+
+    def input(self, name: str, width: int = 1, signed: bool = False) -> Value:
+        """Declare an input port."""
+        return self._add_port(sanitize(name), n.INPUT, self._make_type(width, signed))
+
+    def output(self, name: str, width: int = 1, signed: bool = False) -> Connectable:
+        """Declare an output port."""
+        return self._add_port(sanitize(name), n.OUTPUT, self._make_type(width, signed))
+
+    def wire(self, name: str, width: int = 1, signed: bool = False) -> Connectable:
+        """Declare a wire.  Must be fully assigned on every path."""
+        unique = self._ns.fresh(name)
+        self._emit(n.DefWire(unique, self._make_type(width, signed), _caller_info()))
+        return Connectable(n.Ref(unique, self._make_type(width, signed)), self, "wire")
+
+    def reg(
+        self,
+        name: str,
+        width: Optional[int] = None,
+        init: Optional[IntOrValue] = None,
+        enum: Optional[ChiselEnum] = None,
+        signed: bool = False,
+    ) -> Connectable:
+        """Declare a register.
+
+        With ``init`` the register synchronously resets to that value.  With
+        ``enum`` the register holds enum states and emits the annotation the
+        FSM coverage pass consumes; ``init`` then defaults to the first state.
+        """
+        if enum is not None:
+            width = enum.width
+            if init is None:
+                init = next(iter(enum))
+            if isinstance(init, EnumConst) and init.enum is not enum:
+                raise HclError("register init is from a different enum")
+        if width is None:
+            raise HclError("register needs an explicit width (or an enum)")
+        tpe = self._make_type(width, signed)
+        unique = self._ns.fresh(name)
+        reset = init_expr = None
+        if init is not None:
+            reset = self.reset.expr
+            init_v = self._as_value(init, width, signed)
+            if init_v.width < width:
+                init_v = init_v.pad(width)
+            init_expr = init_v.expr
+        self._emit(n.DefRegister(unique, tpe, self.clock.expr, reset, init_expr, _caller_info()))
+        if enum is not None:
+            self._elab.annotations.append(
+                anno.EnumDefAnnotation(self.name, unique, enum.name, enum.items())
+            )
+        return Connectable(n.Ref(unique, tpe), self, "reg")
+
+    def node(self, name: str, value: IntOrValue) -> Value:
+        """Name an intermediate expression (becomes an IR node)."""
+        v = self._as_value(value, 1)
+        unique = self._ns.fresh(name)
+        self._emit(n.DefNode(unique, v.expr, _caller_info()))
+        return Value(n.Ref(unique, v.type))
+
+    def mem(self, name: str, width: int, depth: int) -> Memory:
+        """Declare a memory with combinational read and synchronous write."""
+        unique = self._ns.fresh(name)
+        self._emit(n.DefMemory(unique, UIntType(width), depth, _caller_info()))
+        return Memory(self, unique, UIntType(width), depth)
+
+    def instance(self, name: str, child: "Module") -> Instance:
+        """Instantiate a child module; its clock/reset connect automatically."""
+        ir_module = self._elab.build(child)
+        unique = self._ns.fresh(name)
+        self._emit(n.DefInstance(unique, ir_module.name, _caller_info()))
+        handle = Instance(self, unique, ir_module)
+        port_names = {p.name for p in ir_module.ports}
+        if "clock" in port_names:
+            self._emit(n.Connect(n.InstPort(unique, "clock", CLOCK), self.clock.expr))
+        if "reset" in port_names:
+            self._emit(n.Connect(n.InstPort(unique, "reset", UIntType(1)), self.reset.expr))
+        return handle
+
+    # -- decoupled bundles ---------------------------------------------------------
+
+    def decoupled_input(self, prefix: str, width: int) -> Decoupled:
+        """Consumer side: bits/valid are inputs, ready is our output."""
+        bits = self.input(f"{prefix}_bits", width)
+        valid = self.input(f"{prefix}_valid", 1)
+        ready = self.output(f"{prefix}_ready", 1)
+        self._elab.annotations.append(
+            anno.DecoupledAnnotation(self.name, prefix, f"{prefix}_ready", f"{prefix}_valid", True)
+        )
+        return Decoupled(bits, valid, ready, prefix)
+
+    def decoupled_output(self, prefix: str, width: int) -> Decoupled:
+        """Producer side: bits/valid are outputs, ready is an input."""
+        bits = self.output(f"{prefix}_bits", width)
+        valid = self.output(f"{prefix}_valid", 1)
+        ready = self.input(f"{prefix}_ready", 1)
+        self._elab.annotations.append(
+            anno.DecoupledAnnotation(self.name, prefix, f"{prefix}_ready", f"{prefix}_valid", False)
+        )
+        return Decoupled(bits, valid, ready, prefix)
+
+    # -- control flow ----------------------------------------------------------------
+
+    def when(self, cond: Value) -> _WhenContext:
+        """Open a conditional scope (``with m.when(cond): ...``)."""
+        if cond.width != 1:
+            raise HclError(f"when condition must be 1 bit wide, got {cond.width}")
+        stmt = n.When(cond.expr, [], [], _caller_info())
+        self._emit(stmt)
+        return _WhenContext(self, stmt, stmt.conseq)
+
+    def elsewhen(self, cond: Value) -> _WhenContext:
+        """Chain a condition onto the immediately preceding when."""
+        target = self._pending_when
+        if target is None:
+            raise HclError("elsewhen must immediately follow a when/elsewhen block")
+        stmt = n.When(cond.expr, [], [], _caller_info())
+        target.alt.append(stmt)
+        return _WhenContext(self, stmt, stmt.conseq)
+
+    def otherwise(self) -> _WhenContext:
+        """Open the else branch of the immediately preceding when."""
+        target = self._pending_when
+        if target is None:
+            raise HclError("otherwise must immediately follow a when/elsewhen block")
+        return _WhenContext(self, target, target.alt)
+
+    def switch(self, subject: Value) -> _SwitchContext:
+        """Chisel-style switch; combine with ``m.is_(...)`` arms."""
+        return _SwitchContext(self, subject)
+
+    def is_(self, const: IntOrValue) -> _WhenContext:
+        """One arm of the innermost active switch."""
+        if not self._switch_stack:
+            raise HclError("is_ used outside of a switch block")
+        ctx = self._switch_stack[-1]
+        cond = ctx._subject == const
+        if ctx._first:
+            ctx._first = False
+            return self.when(cond)
+        return self.elsewhen(cond)
+
+    def default(self) -> _WhenContext:
+        """The default arm of the innermost active switch."""
+        if not self._switch_stack:
+            raise HclError("default used outside of a switch block")
+        return self.otherwise()
+
+    # -- verification statements --------------------------------------------------------
+
+    def cover(self, cond: Value, name: Optional[str] = None) -> str:
+        """User-defined functional cover point; returns its unique name."""
+        unique = self._ns.fresh(name or "cover")
+        self._emit(n.Cover(unique, self.clock.expr, cond.expr, n.TRUE, _caller_info()))
+        return unique
+
+    def stop(self, cond: Value, exit_code: int = 0, name: Optional[str] = None) -> None:
+        """Halt simulation when ``cond`` holds at a rising clock edge."""
+        unique = self._ns.fresh(name or "stop")
+        self._emit(n.Stop(unique, self.clock.expr, cond.expr, n.TRUE, exit_code, _caller_info()))
+
+    # -- misc ------------------------------------------------------------------------------
+
+    def mux(self, cond: Value, tval: IntOrValue, fval: IntOrValue) -> Value:
+        return mux(cond, tval, fval)
+
+    def lit(self, value: int, width: int) -> Value:
+        return u(value, width)
+
+
+class Module:
+    """Base class for hardware generators.
+
+    Subclasses implement ``build(self, m: ModuleBuilder)``.  Construction
+    parameters become instance attributes in ``__init__`` before calling
+    ``super().__init__()``.
+    """
+
+    #: Set to False for modules without a reset port.
+    has_reset = True
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name or type(self).__name__
+
+    def signature(self) -> Optional[tuple]:
+        """Structural identity for module deduplication.
+
+        Two Module objects with equal non-None signatures elaborate to a
+        single shared IR module.  The default (None) makes every object
+        unique.
+        """
+        return None
+
+    def build(self, m: ModuleBuilder) -> None:
+        raise NotImplementedError
+
+
+class Elaborator:
+    """Builds Module objects into IR modules, sharing and uniquifying names."""
+
+    def __init__(self) -> None:
+        self.modules: list[n.Module] = []
+        self.annotations: list[anno.Annotation] = []
+        self._names = Namespace()
+        self._by_signature: dict[tuple, n.Module] = {}
+        self._in_progress: set[int] = set()
+
+    def build(self, module: Module) -> n.Module:
+        sig = module.signature()
+        if sig is not None:
+            key = (type(module).__qualname__,) + tuple(sig)
+            cached = self._by_signature.get(key)
+            if cached is not None:
+                return cached
+        if id(module) in self._in_progress:
+            raise HclError(f"recursive instantiation of {module.name}")
+        self._in_progress.add(id(module))
+        try:
+            name = self._names.fresh(sanitize(module.name))
+            builder = ModuleBuilder(name, self, with_reset=module.has_reset)
+            module.build(builder)
+            ir_module = builder._module
+            self.modules.append(ir_module)
+            if sig is not None:
+                self._by_signature[(type(module).__qualname__,) + tuple(sig)] = ir_module
+            return ir_module
+        finally:
+            self._in_progress.discard(id(module))
+
+
+def elaborate(top: Module) -> n.Circuit:
+    """Elaborate a module hierarchy into an IR circuit."""
+    elab = Elaborator()
+    ir_top = elab.build(top)
+    # children are appended before parents; put the top first for readability
+    modules = [ir_top] + [m for m in elab.modules if m is not ir_top]
+    return n.Circuit(ir_top.name, modules, list(elab.annotations))

@@ -1,0 +1,316 @@
+"""Hardware values: the expression layer of the HCL.
+
+A :class:`Value` wraps an IR expression and overloads Python operators the
+way Chisel overloads Scala operators.  Arithmetic follows Chisel's
+width-preserving convention (``a + b`` truncates to ``max(w_a, w_b)``); the
+FIRRTL-style growing variants are available as methods (``addw``, ``subw``,
+``mulw``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from ..ir import nodes as n
+from ..ir.types import SIntType, Type, UIntType, bit_width, is_signed
+
+IntOrValue = Union[int, "Value"]
+
+
+class HclError(Exception):
+    """Raised on misuse of the hardware construction API."""
+
+
+class Value:
+    """An immutable hardware expression."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: n.Expr) -> None:
+        self.expr = expr
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def type(self) -> Type:
+        return self.expr.tpe
+
+    @property
+    def width(self) -> int:
+        return bit_width(self.type)
+
+    @property
+    def signed(self) -> bool:
+        return is_signed(self.type)
+
+    def __repr__(self) -> str:
+        return f"Value({self.expr})"
+
+    def __bool__(self) -> bool:
+        raise HclError(
+            "hardware values cannot be used as Python booleans; "
+            "use m.when(...) for conditional hardware"
+        )
+
+    # -- coercion ------------------------------------------------------------
+
+    def _lift(self, other: IntOrValue, width: Optional[int] = None) -> "Value":
+        if isinstance(other, Value):
+            return other
+        if not isinstance(other, int):
+            raise HclError(f"cannot use {other!r} as a hardware value")
+        if width is not None:
+            target = width
+        else:
+            needed = other.bit_length() + (1 if (other < 0 or self.signed) else 0)
+            target = max(self.width, needed, 1)
+        return literal(other, target, signed=self.signed or other < 0)
+
+    def _trunc(self, expr: n.Expr, width: int) -> n.Expr:
+        """Truncate/reinterpret ``expr`` to ``width`` preserving signedness."""
+        if bit_width(expr.tpe) == width and is_signed(expr.tpe) == self.signed:
+            return expr
+        sliced = n.prim("bits", expr, consts=[width - 1, 0])
+        if self.signed:
+            return n.prim("asSInt", sliced)
+        return sliced
+
+    # -- arithmetic (width preserving, Chisel style) --------------------------
+
+    def _arith(self, op: str, other: IntOrValue) -> "Value":
+        rhs = self._lift(other)
+        width = max(self.width, rhs.width)
+        return Value(self._trunc(n.prim(op, self.expr, rhs.expr), width))
+
+    def __add__(self, other: IntOrValue) -> "Value":
+        return self._arith("add", other)
+
+    def __radd__(self, other: int) -> "Value":
+        return self._lift(other).__add__(self)
+
+    def __sub__(self, other: IntOrValue) -> "Value":
+        return self._arith("sub", other)
+
+    def __rsub__(self, other: int) -> "Value":
+        return self._lift(other).__sub__(self)
+
+    def __mul__(self, other: IntOrValue) -> "Value":
+        return self._arith("mul", other)
+
+    def __rmul__(self, other: int) -> "Value":
+        return self._lift(other).__mul__(self)
+
+    def __floordiv__(self, other: IntOrValue) -> "Value":
+        rhs = self._lift(other)
+        return Value(self._trunc(n.prim("div", self.expr, rhs.expr), self.width))
+
+    def __mod__(self, other: IntOrValue) -> "Value":
+        rhs = self._lift(other)
+        result = n.prim("rem", self.expr, rhs.expr)
+        return Value(result)
+
+    # -- growing variants ------------------------------------------------------
+
+    def addw(self, other: IntOrValue) -> "Value":
+        """Width-growing add (FIRRTL ``add``: result is one bit wider)."""
+        return Value(n.prim("add", self.expr, self._lift(other).expr))
+
+    def subw(self, other: IntOrValue) -> "Value":
+        """Width-growing subtract."""
+        return Value(n.prim("sub", self.expr, self._lift(other).expr))
+
+    def mulw(self, other: IntOrValue) -> "Value":
+        """Full-width multiply (w1 + w2 result bits)."""
+        return Value(n.prim("mul", self.expr, self._lift(other).expr))
+
+    # -- comparisons -----------------------------------------------------------
+
+    def _cmp(self, op: str, other: IntOrValue) -> "Value":
+        rhs = self._lift(other)
+        return Value(n.prim(op, self.expr, rhs.expr))
+
+    def __eq__(self, other: object) -> "Value":  # type: ignore[override]
+        return self._cmp("eq", other)  # type: ignore[arg-type]
+
+    def __ne__(self, other: object) -> "Value":  # type: ignore[override]
+        return self._cmp("neq", other)  # type: ignore[arg-type]
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __lt__(self, other: IntOrValue) -> "Value":
+        return self._cmp("lt", other)
+
+    def __le__(self, other: IntOrValue) -> "Value":
+        return self._cmp("leq", other)
+
+    def __gt__(self, other: IntOrValue) -> "Value":
+        return self._cmp("gt", other)
+
+    def __ge__(self, other: IntOrValue) -> "Value":
+        return self._cmp("geq", other)
+
+    # -- bitwise ---------------------------------------------------------------
+
+    def __and__(self, other: IntOrValue) -> "Value":
+        return Value(n.prim("and", self.expr, self._lift(other).expr))
+
+    def __rand__(self, other: int) -> "Value":
+        return self.__and__(other)
+
+    def __or__(self, other: IntOrValue) -> "Value":
+        return Value(n.prim("or", self.expr, self._lift(other).expr))
+
+    def __ror__(self, other: int) -> "Value":
+        return self.__or__(other)
+
+    def __xor__(self, other: IntOrValue) -> "Value":
+        return Value(n.prim("xor", self.expr, self._lift(other).expr))
+
+    def __rxor__(self, other: int) -> "Value":
+        return self.__xor__(other)
+
+    def __invert__(self) -> "Value":
+        return Value(n.prim("not", self.expr))
+
+    # -- shifts ----------------------------------------------------------------
+
+    def __lshift__(self, amount: IntOrValue) -> "Value":
+        if isinstance(amount, int):
+            shifted = n.prim("shl", self.expr, consts=[amount])
+        else:
+            shifted = n.prim("dshl", self.expr, amount.expr)
+        return Value(self._trunc(shifted, self.width))
+
+    def lshiftw(self, amount: int) -> "Value":
+        """Width-growing static left shift."""
+        return Value(n.prim("shl", self.expr, consts=[amount]))
+
+    def __rshift__(self, amount: IntOrValue) -> "Value":
+        if isinstance(amount, int):
+            return Value(n.prim("shr", self.expr, consts=[amount])) if amount else self
+        return Value(n.prim("dshr", self.expr, amount.expr))
+
+    # -- bit selection -----------------------------------------------------------
+
+    def __getitem__(self, index: Union[int, slice, "Value"]) -> "Value":
+        if isinstance(index, Value):
+            shifted = n.prim("dshr", self.expr, index.expr)
+            return Value(n.prim("bits", shifted, consts=[0, 0]))
+        if isinstance(index, slice):
+            if index.step is not None:
+                raise HclError("bit slices do not support a step")
+            hi, lo = index.start, index.stop
+            if hi is None or lo is None:
+                raise HclError("bit slices need explicit bounds: v[hi:lo]")
+            return Value(n.prim("bits", self.expr, consts=[hi, lo]))
+        if index < 0:
+            index += self.width
+        return Value(n.prim("bits", self.expr, consts=[index, index]))
+
+    def bits(self, hi: int, lo: int) -> "Value":
+        """Extract the inclusive bit range ``[hi:lo]``."""
+        return Value(n.prim("bits", self.expr, consts=[hi, lo]))
+
+    # -- reductions and misc -------------------------------------------------------
+
+    def and_reduce(self) -> "Value":
+        return Value(n.prim("andr", self.expr))
+
+    def or_reduce(self) -> "Value":
+        return Value(n.prim("orr", self.expr))
+
+    def xor_reduce(self) -> "Value":
+        return Value(n.prim("xorr", self.expr))
+
+    def as_uint(self) -> "Value":
+        return Value(n.prim("asUInt", self.expr))
+
+    def as_sint(self) -> "Value":
+        return Value(n.prim("asSInt", self.expr))
+
+    def pad(self, width: int) -> "Value":
+        """Zero/sign-extend to at least ``width`` bits."""
+        return Value(n.prim("pad", self.expr, consts=[width]))
+
+    def zext(self, width: int) -> "Value":
+        """Zero-extend to exactly ``width`` bits (must not shrink)."""
+        if width < self.width:
+            raise HclError(f"zext to {width} would shrink a {self.width}-bit value")
+        return Value(n.prim("pad", n.prim("asUInt", self.expr), consts=[width]))
+
+    def sext(self, width: int) -> "Value":
+        """Sign-extend to exactly ``width`` bits."""
+        if width < self.width:
+            raise HclError(f"sext to {width} would shrink a {self.width}-bit value")
+        return Value(n.prim("asUInt", n.prim("pad", n.prim("asSInt", self.expr), consts=[width])))
+
+
+def literal(value: int, width: int, signed: bool = False) -> Value:
+    """Build a literal hardware value."""
+    if signed:
+        return Value(n.SIntLiteral(value, width))
+    return Value(n.UIntLiteral(value, width))
+
+
+def u(value: int, width: Optional[int] = None) -> Value:
+    """Unsigned literal; width defaults to the minimal width."""
+    if width is None:
+        width = max(value.bit_length(), 1)
+    return Value(n.UIntLiteral(value, width))
+
+
+def s(value: int, width: Optional[int] = None) -> Value:
+    """Signed literal; width defaults to the minimal width."""
+    if width is None:
+        width = max(value.bit_length() + 1, 1)
+    return Value(n.SIntLiteral(value, width))
+
+
+def mux(cond: Value, tval: IntOrValue, fval: IntOrValue) -> Value:
+    """2:1 multiplexer."""
+    if isinstance(tval, int) and isinstance(fval, int):
+        width = max(tval.bit_length(), fval.bit_length(), 1)
+        tval, fval = u(tval, width), u(fval, width)
+    elif isinstance(tval, int):
+        assert isinstance(fval, Value)
+        tval = fval._lift(tval, fval.width)
+    elif isinstance(fval, int):
+        fval = tval._lift(fval, tval.width)
+    assert isinstance(tval, Value) and isinstance(fval, Value)
+    width = max(tval.width, fval.width)
+    t_expr = tval.pad(width).expr if tval.width < width else tval.expr
+    f_expr = fval.pad(width).expr if fval.width < width else fval.expr
+    return Value(n.Mux.make(cond.expr, t_expr, f_expr))
+
+
+def cat(*parts: Value) -> Value:
+    """Concatenate values, first argument becomes the most significant bits."""
+    if not parts:
+        raise HclError("cat needs at least one operand")
+    acc = parts[0].expr
+    for part in parts[1:]:
+        acc = n.prim("cat", acc, part.expr)
+    return Value(acc)
+
+
+def fill(bit: Value, count: int) -> Value:
+    """Replicate a 1-bit value ``count`` times."""
+    if bit.width != 1:
+        raise HclError("fill replicates a single bit")
+    return cat(*([bit] * count))
+
+
+def reduce_or(values: Iterable[Value]) -> Value:
+    """OR together a sequence of 1-bit values (0 literal when empty)."""
+    acc: Optional[Value] = None
+    for v in values:
+        acc = v if acc is None else (acc | v)
+    return acc if acc is not None else u(0, 1)
+
+
+def reduce_and(values: Iterable[Value]) -> Value:
+    """AND together a sequence of 1-bit values (1 literal when empty)."""
+    acc: Optional[Value] = None
+    for v in values:
+        acc = v if acc is None else (acc & v)
+    return acc if acc is not None else u(1, 1)

@@ -1,0 +1,130 @@
+"""Circuit annotations.
+
+Annotations carry frontend knowledge across compilation — the reproduction of
+Chisel/FIRRTL's annotation system.  The FSM coverage pass keys on
+:class:`EnumDefAnnotation` (emitted by ``repro.hcl.ChiselEnum`` state
+registers) and the ready/valid coverage pass keys on
+:class:`DecoupledAnnotation` (emitted by ``repro.hcl.Decoupled`` ports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """Base class: every annotation targets a module-local element."""
+
+    module: str
+    target: str
+
+
+@dataclass(frozen=True)
+class EnumDefAnnotation(Annotation):
+    """Marks a register as holding values of a ChiselEnum.
+
+    ``states`` maps state names to their encodings; the FSM coverage pass
+    uses this to enumerate legal states and analyze transitions.
+    """
+
+    enum_name: str = ""
+    states: tuple[tuple[str, int], ...] = field(default_factory=tuple)
+
+    def state_names(self) -> dict[int, str]:
+        return {value: name for name, value in self.states}
+
+
+@dataclass(frozen=True)
+class DecoupledAnnotation(Annotation):
+    """Marks a module port bundle as a DecoupledIO interface.
+
+    ``target`` is the bundle prefix; ``ready``/``valid`` name the flattened
+    handshake signals.  ``is_sink`` is true when the module consumes data
+    (ready is an output).
+    """
+
+    ready: str = ""
+    valid: str = ""
+    is_sink: bool = False
+
+
+@dataclass(frozen=True)
+class DontTouchAnnotation(Annotation):
+    """Prevents optimization passes from removing or renaming the target."""
+
+
+@dataclass(frozen=True)
+class CoverageMetadataAnnotation(Annotation):
+    """Attaches arbitrary coverage-pass metadata to a cover statement.
+
+    ``target`` is the cover statement's name; ``kind`` identifies the pass
+    that produced it (``line``, ``toggle``, ``fsm``, ``ready_valid``, ...);
+    ``data`` is a free-form string payload (pass specific, JSON-encoded).
+    """
+
+    kind: str = ""
+    data: str = ""
+
+
+_ANNOTATION_TYPES = {}
+
+
+def _register(cls):
+    _ANNOTATION_TYPES[cls.__name__] = cls
+    return cls
+
+
+for _cls in (EnumDefAnnotation, DecoupledAnnotation, DontTouchAnnotation,
+             CoverageMetadataAnnotation):
+    _register(_cls)
+
+
+def annotation_to_dict(anno: Annotation) -> dict:
+    """JSON-compatible encoding (for the textual circuit form)."""
+    data = {"type": type(anno).__name__, "module": anno.module, "target": anno.target}
+    if isinstance(anno, EnumDefAnnotation):
+        data["enum_name"] = anno.enum_name
+        data["states"] = [[name, value] for name, value in anno.states]
+    elif isinstance(anno, DecoupledAnnotation):
+        data.update(ready=anno.ready, valid=anno.valid, is_sink=anno.is_sink)
+    elif isinstance(anno, CoverageMetadataAnnotation):
+        data.update(kind=anno.kind, data=anno.data)
+    return data
+
+
+def annotation_from_dict(data: dict) -> Annotation:
+    """Inverse of :func:`annotation_to_dict`."""
+    cls = _ANNOTATION_TYPES[data["type"]]
+    if cls is EnumDefAnnotation:
+        return EnumDefAnnotation(
+            data["module"],
+            data["target"],
+            data.get("enum_name", ""),
+            tuple((name, value) for name, value in data.get("states", [])),
+        )
+    if cls is DecoupledAnnotation:
+        return DecoupledAnnotation(
+            data["module"],
+            data["target"],
+            data.get("ready", ""),
+            data.get("valid", ""),
+            data.get("is_sink", False),
+        )
+    if cls is CoverageMetadataAnnotation:
+        return CoverageMetadataAnnotation(
+            data["module"], data["target"], data.get("kind", ""), data.get("data", "")
+        )
+    return DontTouchAnnotation(data["module"], data["target"])
+
+
+def annotations_for(circuit_annotations: list, module: str, cls: type | None = None) -> list:
+    """Filter a circuit's annotations by module and (optionally) class."""
+    out = []
+    for anno in circuit_annotations:
+        if anno.module != module:
+            continue
+        if cls is not None and not isinstance(anno, cls):
+            continue
+        out.append(anno)
+    return out

@@ -1,0 +1,51 @@
+"""Unique-name allocation within a module scope."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def sanitize(name: str) -> str:
+    """Turn an arbitrary string into a legal identifier."""
+    cleaned = re.sub(r"[^A-Za-z0-9_$]", "_", name) or "_"
+    if cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+class Namespace:
+    """Allocates names guaranteed not to collide with existing ones."""
+
+    def __init__(self, existing: Iterable[str] = ()) -> None:
+        self._taken: set[str] = set(existing)
+
+    def contains(self, name: str) -> bool:
+        return name in self._taken
+
+    def reserve(self, name: str) -> str:
+        """Claim ``name`` exactly; error if already taken."""
+        if name in self._taken:
+            raise ValueError(f"name already taken: {name}")
+        self._taken.add(name)
+        return name
+
+    def fresh(self, hint: str) -> str:
+        """Return a new unique name derived from ``hint``."""
+        base = sanitize(hint)
+        if base not in self._taken:
+            self._taken.add(base)
+            return base
+        i = 0
+        while f"{base}_{i}" in self._taken:
+            i += 1
+        name = f"{base}_{i}"
+        self._taken.add(name)
+        return name
+
+
+def is_identifier(name: str) -> bool:
+    """True when ``name`` is a legal IR identifier."""
+    return bool(_IDENT.match(name))

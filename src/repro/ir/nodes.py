@@ -1,0 +1,446 @@
+"""IR node definitions: expressions, statements, modules and circuits.
+
+The IR is a FIRRTL-like register-transfer representation:
+
+* *High form* permits ``When`` blocks with last-connect semantics.
+* *Low form* (after :class:`repro.passes.expand_whens.ExpandWhens`) contains
+  exactly one connect per wire/register/output, no ``When`` blocks, and all
+  ``Cover``/``Stop``/``MemWrite`` predicates carry their full path condition.
+
+Expressions are immutable (frozen dataclasses) and therefore hashable, which
+the optimization passes exploit for memoization and CSE.  Statements own
+mutable lists, so passes rebuild statement lists rather than mutate nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from . import ops
+from .types import BOOL, ClockType, ResetType, SIntType, Type, UIntType, bit_width, mask
+
+
+@dataclass(frozen=True)
+class SourceInfo:
+    """Where in the frontend source a node came from (for line coverage)."""
+
+    file: str = ""
+    line: int = 0
+
+    def __str__(self) -> str:
+        if not self.file:
+            return ""
+        return f"@[{self.file}:{self.line}]"
+
+
+NO_INFO = SourceInfo()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of all IR expressions."""
+
+    __slots__ = ()
+
+    @property
+    def tpe(self) -> Type:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Ref(Expr):
+    """Reference to a named signal (port, wire, node or register)."""
+
+    name: str
+    type: Type
+
+    @property
+    def tpe(self) -> Type:
+        return self.type
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class InstPort(Expr):
+    """Reference to a port of a child module instance (``inst.port``)."""
+
+    instance: str
+    port: str
+    type: Type
+
+    @property
+    def tpe(self) -> Type:
+        return self.type
+
+    def __str__(self) -> str:
+        return f"{self.instance}.{self.port}"
+
+
+@dataclass(frozen=True)
+class UIntLiteral(Expr):
+    """An unsigned literal with an explicit width."""
+
+    value: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError("UIntLiteral value must be non-negative")
+        if self.value > mask(self.width):
+            raise ValueError(f"value {self.value} does not fit in {self.width} bits")
+
+    @property
+    def tpe(self) -> Type:
+        return UIntType(self.width)
+
+    def __str__(self) -> str:
+        return f'UInt<{self.width}>("h{self.value:x}")'
+
+
+@dataclass(frozen=True)
+class SIntLiteral(Expr):
+    """A signed literal with an explicit width."""
+
+    value: int
+    width: int
+
+    def __post_init__(self) -> None:
+        lo, hi = -(1 << (self.width - 1)), (1 << (self.width - 1)) - 1
+        if not lo <= self.value <= hi:
+            raise ValueError(f"value {self.value} does not fit in SInt<{self.width}>")
+
+    @property
+    def tpe(self) -> Type:
+        return SIntType(self.width)
+
+    def __str__(self) -> str:
+        return f"SInt<{self.width}>({self.value})"
+
+
+@dataclass(frozen=True)
+class PrimOp(Expr):
+    """Application of a primitive operation (see :mod:`repro.ir.ops`)."""
+
+    op: str
+    args: tuple[Expr, ...]
+    consts: tuple[int, ...] = ()
+    type: Type = field(default=BOOL)
+
+    @staticmethod
+    def make(op: str, args: Iterable[Expr], consts: Iterable[int] = ()) -> "PrimOp":
+        """Build a primop, computing its result type from the op table."""
+        args_t = tuple(args)
+        consts_t = tuple(consts)
+        tpe = ops.result_type(op, [a.tpe for a in args_t], consts_t)
+        return PrimOp(op, args_t, consts_t, tpe)
+
+    @property
+    def tpe(self) -> Type:
+        return self.type
+
+    def __str__(self) -> str:
+        operands = ", ".join([str(a) for a in self.args] + [str(c) for c in self.consts])
+        return f"{self.op}({operands})"
+
+
+@dataclass(frozen=True)
+class Mux(Expr):
+    """2:1 multiplexer: ``cond ? tval : fval``.
+
+    Operand widths may differ; the result takes the wider type and narrower
+    operands are implicitly sign/zero extended.
+    """
+
+    cond: Expr
+    tval: Expr
+    fval: Expr
+    type: Type = field(default=BOOL)
+
+    @staticmethod
+    def make(cond: Expr, tval: Expr, fval: Expr) -> "Mux":
+        t, f = tval.tpe, fval.tpe
+        signed = isinstance(t, SIntType)
+        if signed != isinstance(f, SIntType):
+            raise TypeError(f"mux arms disagree on signedness: {t} vs {f}")
+        width = max(bit_width(t), bit_width(f))
+        tpe: Type = SIntType(width) if signed else UIntType(width)
+        return Mux(cond, tval, fval, tpe)
+
+    @property
+    def tpe(self) -> Type:
+        return self.type
+
+    def __str__(self) -> str:
+        return f"mux({self.cond}, {self.tval}, {self.fval})"
+
+
+@dataclass(frozen=True)
+class MemRead(Expr):
+    """Combinational read of a memory at ``addr``."""
+
+    mem: str
+    addr: Expr
+    type: Type = field(default=BOOL)
+
+    @property
+    def tpe(self) -> Type:
+        return self.type
+
+    def __str__(self) -> str:
+        return f"{self.mem}[{self.addr}]"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class of all IR statements."""
+
+    __slots__ = ()
+
+
+@dataclass
+class DefNode(Stmt):
+    """An immutable named intermediate value (single static assignment)."""
+
+    name: str
+    value: Expr
+    info: SourceInfo = NO_INFO
+
+
+@dataclass
+class DefWire(Stmt):
+    """A wire: connected via ``Connect`` with last-connect semantics."""
+
+    name: str
+    type: Type
+    info: SourceInfo = NO_INFO
+
+
+@dataclass
+class DefRegister(Stmt):
+    """A register updated on the rising edge of ``clock``.
+
+    When ``reset`` is given, the register synchronously loads ``init`` while
+    reset is asserted.  The next value is established through ``Connect``
+    statements (last-connect semantics under ``When`` scoping).
+    """
+
+    name: str
+    type: Type
+    clock: Expr
+    reset: Optional[Expr] = None
+    init: Optional[Expr] = None
+    info: SourceInfo = NO_INFO
+
+
+@dataclass
+class DefMemory(Stmt):
+    """A word-addressed memory with combinational reads, synchronous writes."""
+
+    name: str
+    data_type: Type
+    depth: int
+    info: SourceInfo = NO_INFO
+
+    @property
+    def addr_width(self) -> int:
+        return max((self.depth - 1).bit_length(), 1)
+
+
+@dataclass
+class DefInstance(Stmt):
+    """Instantiation of a child module."""
+
+    name: str
+    module: str
+    info: SourceInfo = NO_INFO
+
+
+@dataclass
+class Connect(Stmt):
+    """Drive ``loc`` (a ``Ref`` or input-``InstPort``) with ``expr``."""
+
+    loc: Union[Ref, InstPort]
+    expr: Expr
+    info: SourceInfo = NO_INFO
+
+
+@dataclass
+class MemWrite(Stmt):
+    """Synchronous memory write, gated by ``en`` (ANDed with path conditions)."""
+
+    mem: str
+    addr: Expr
+    data: Expr
+    en: Expr
+    clock: Expr
+    info: SourceInfo = NO_INFO
+
+
+@dataclass
+class When(Stmt):
+    """Conditional scope with last-connect semantics (high form only)."""
+
+    pred: Expr
+    conseq: list[Stmt] = field(default_factory=list)
+    alt: list[Stmt] = field(default_factory=list)
+    info: SourceInfo = NO_INFO
+
+
+@dataclass
+class Cover(Stmt):
+    """The simulator-independent cover primitive.
+
+    Every backend implements exactly this: on each rising edge of ``clock``
+    where ``en & pred`` is true, increment a saturating counter.  ``name``
+    uniquely identifies the statement within its module; simulators report
+    counts keyed by the instance path joined with this name.
+    """
+
+    name: str
+    clock: Expr
+    pred: Expr
+    en: Expr
+    info: SourceInfo = NO_INFO
+
+
+@dataclass
+class Stop(Stmt):
+    """Halt simulation with ``exit_code`` when ``en & pred`` at a clock edge."""
+
+    name: str
+    clock: Expr
+    pred: Expr
+    en: Expr
+    exit_code: int = 0
+    info: SourceInfo = NO_INFO
+
+
+# ---------------------------------------------------------------------------
+# Modules and circuits
+# ---------------------------------------------------------------------------
+
+INPUT = "input"
+OUTPUT = "output"
+
+
+@dataclass
+class Port:
+    """A module port with a direction (``input`` or ``output``)."""
+
+    name: str
+    direction: str
+    type: Type
+    info: SourceInfo = NO_INFO
+
+    def __post_init__(self) -> None:
+        if self.direction not in (INPUT, OUTPUT):
+            raise ValueError(f"bad port direction: {self.direction}")
+
+    def ref(self) -> Ref:
+        return Ref(self.name, self.type)
+
+
+@dataclass
+class Module:
+    """A module: ports plus a statement body."""
+
+    name: str
+    ports: list[Port] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+    info: SourceInfo = NO_INFO
+
+    def port(self, name: str) -> Port:
+        for p in self.ports:
+            if p.name == name:
+                return p
+        raise KeyError(f"module {self.name} has no port {name}")
+
+    @property
+    def inputs(self) -> list[Port]:
+        return [p for p in self.ports if p.direction == INPUT]
+
+    @property
+    def outputs(self) -> list[Port]:
+        return [p for p in self.ports if p.direction == OUTPUT]
+
+
+@dataclass
+class Circuit:
+    """A circuit: a set of modules with a designated top, plus annotations."""
+
+    main: str
+    modules: list[Module] = field(default_factory=list)
+    annotations: list = field(default_factory=list)
+
+    def module(self, name: str) -> Module:
+        for m in self.modules:
+            if m.name == name:
+                return m
+        raise KeyError(f"circuit has no module {name}")
+
+    @property
+    def top(self) -> Module:
+        return self.module(self.main)
+
+    def module_names(self) -> list[str]:
+        return [m.name for m in self.modules]
+
+
+# Convenience constructors ---------------------------------------------------
+
+
+def u(value: int, width: int) -> UIntLiteral:
+    """Shorthand for an unsigned literal."""
+    return UIntLiteral(value, width)
+
+
+def s(value: int, width: int) -> SIntLiteral:
+    """Shorthand for a signed literal."""
+    return SIntLiteral(value, width)
+
+
+TRUE = UIntLiteral(1, 1)
+FALSE = UIntLiteral(0, 1)
+
+
+def prim(op: str, *args: Expr, consts: Iterable[int] = ()) -> PrimOp:
+    """Shorthand for :meth:`PrimOp.make`."""
+    return PrimOp.make(op, args, consts)
+
+
+def and_(*preds: Expr) -> Expr:
+    """Conjunction of 1-bit predicates, folding constants."""
+    acc: Optional[Expr] = None
+    for p in preds:
+        if isinstance(p, UIntLiteral) and p.value == 1 and p.width == 1:
+            continue
+        if isinstance(p, UIntLiteral) and p.value == 0:
+            return FALSE
+        acc = p if acc is None else prim("and", acc, p)
+    return acc if acc is not None else TRUE
+
+
+def not_(pred: Expr) -> Expr:
+    """Negation of a 1-bit predicate, folding constants."""
+    if isinstance(pred, UIntLiteral) and pred.width == 1:
+        return FALSE if pred.value == 1 else TRUE
+    return prim("not", pred)
+
+
+def is_clock(tpe: Type) -> bool:
+    return isinstance(tpe, ClockType)
+
+
+def is_reset(tpe: Type) -> bool:
+    return isinstance(tpe, (ResetType, UIntType))

@@ -1,0 +1,358 @@
+"""Primitive operation table: typing and evaluation rules.
+
+This module is the *single source of truth* for primop semantics.  The
+interpreter backend evaluates ops through :func:`eval_op`; the compiled
+backends generate Python code that must agree with these rules (guarded by
+cross-backend property tests).
+
+Values are represented as raw, non-negative bit patterns.  Signed operands
+are interpreted as two's complement based on their declared type.  Results
+are always returned as raw patterns truncated to the result width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .types import (
+    SIntType,
+    Type,
+    UIntType,
+    bit_width,
+    from_signed,
+    is_signed,
+    mask,
+    to_signed,
+    truncate,
+    value_of,
+)
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Typing and evaluation rules for one primitive operation."""
+
+    name: str
+    n_args: int
+    n_consts: int
+    result_type: Callable[[Sequence[Type], Sequence[int]], Type]
+    evaluate: Callable[[Sequence[int], Sequence[Type], Sequence[int]], int]
+
+
+def _w(tpe: Type) -> int:
+    return bit_width(tpe)
+
+
+def _same_sign_class(types: Sequence[Type]) -> bool:
+    return all(is_signed(t) for t in types) or all(not is_signed(t) for t in types)
+
+
+def _arith_type(types: Sequence[Type], extra: int) -> Type:
+    width = max(_w(t) for t in types) + extra
+    if is_signed(types[0]):
+        return SIntType(width)
+    return UIntType(width)
+
+
+def _tdiv(a: int, b: int) -> int:
+    """Division truncating toward zero (like Verilog/FIRRTL), x/0 == 0."""
+    if b == 0:
+        return 0
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _trem(a: int, b: int) -> int:
+    """Remainder with sign of the dividend, x%0 == x."""
+    if b == 0:
+        return a
+    return a - _tdiv(a, b) * b
+
+
+def _encode(value: int, tpe: Type) -> int:
+    if is_signed(tpe):
+        return from_signed(value, _w(tpe))
+    return truncate(value, _w(tpe))
+
+
+def _make_arith(name: str, fn: Callable[[int, int], int], extra: int) -> OpSpec:
+    def result_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+        return _arith_type(types, extra)
+
+    def evaluate(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+        a = value_of(args[0], types[0])
+        b = value_of(args[1], types[1])
+        return _encode(fn(a, b), result_type(types, consts))
+
+    return OpSpec(name, 2, 0, result_type, evaluate)
+
+
+def _make_cmp(name: str, fn: Callable[[int, int], bool]) -> OpSpec:
+    def result_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+        return UIntType(1)
+
+    def evaluate(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+        a = value_of(args[0], types[0])
+        b = value_of(args[1], types[1])
+        return 1 if fn(a, b) else 0
+
+    return OpSpec(name, 2, 0, result_type, evaluate)
+
+
+def _make_bitwise(name: str, fn: Callable[[int, int], int]) -> OpSpec:
+    def result_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+        return UIntType(max(_w(t) for t in types))
+
+    def evaluate(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+        width = max(_w(t) for t in types)
+        # sign-extend operands to the common width before the raw bit op
+        a = from_signed(value_of(args[0], types[0]), width)
+        b = from_signed(value_of(args[1], types[1]), width)
+        return fn(a, b) & mask(width)
+
+    return OpSpec(name, 2, 0, result_type, evaluate)
+
+
+def _div_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+    if is_signed(types[0]):
+        return SIntType(_w(types[0]) + 1)
+    return UIntType(_w(types[0]))
+
+
+def _div_eval(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+    a = value_of(args[0], types[0])
+    b = value_of(args[1], types[1])
+    return _encode(_tdiv(a, b), _div_type(types, consts))
+
+
+def _rem_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+    width = min(_w(types[0]), _w(types[1]))
+    if is_signed(types[0]):
+        return SIntType(max(width, 1))
+    return UIntType(max(width, 1))
+
+
+def _rem_eval(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+    a = value_of(args[0], types[0])
+    b = value_of(args[1], types[1])
+    return _encode(_trem(a, b), _rem_type(types, consts))
+
+
+def _not_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+    return UIntType(_w(types[0]))
+
+
+def _not_eval(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+    width = _w(types[0])
+    raw = from_signed(value_of(args[0], types[0]), width)
+    return ~raw & mask(width)
+
+
+def _neg_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+    return SIntType(_w(types[0]) + 1)
+
+
+def _neg_eval(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+    return _encode(-value_of(args[0], types[0]), _neg_type(types, consts))
+
+
+def _as_uint_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+    return UIntType(max(_w(types[0]), 1))
+
+
+def _as_uint_eval(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+    return truncate(args[0], max(_w(types[0]), 1))
+
+
+def _as_sint_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+    return SIntType(max(_w(types[0]), 1))
+
+
+def _as_sint_eval(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+    return truncate(args[0], max(_w(types[0]), 1))
+
+
+def _cat_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+    return UIntType(_w(types[0]) + _w(types[1]))
+
+
+def _cat_eval(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+    lo_width = _w(types[1])
+    hi = truncate(args[0], _w(types[0]))
+    lo = truncate(args[1], lo_width)
+    return (hi << lo_width) | lo
+
+
+def _bits_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+    hi, lo = consts
+    if hi < lo or lo < 0 or hi >= _w(types[0]):
+        raise ValueError(f"bits({hi},{lo}) out of range for width {_w(types[0])}")
+    return UIntType(hi - lo + 1)
+
+
+def _bits_eval(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+    hi, lo = consts
+    return (args[0] >> lo) & mask(hi - lo + 1)
+
+
+def _head_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+    (n,) = consts
+    if n < 0 or n > _w(types[0]):
+        raise ValueError(f"head({n}) out of range for width {_w(types[0])}")
+    return UIntType(n)
+
+
+def _head_eval(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+    (n,) = consts
+    width = _w(types[0])
+    return (args[0] >> (width - n)) & mask(n)
+
+
+def _tail_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+    (n,) = consts
+    if n < 0 or n >= _w(types[0]):
+        raise ValueError(f"tail({n}) out of range for width {_w(types[0])}")
+    return UIntType(_w(types[0]) - n)
+
+
+def _tail_eval(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+    (n,) = consts
+    return args[0] & mask(_w(types[0]) - n)
+
+
+def _shl_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+    (n,) = consts
+    width = _w(types[0]) + n
+    return SIntType(width) if is_signed(types[0]) else UIntType(width)
+
+
+def _shl_eval(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+    (n,) = consts
+    return (args[0] << n) & mask(_w(types[0]) + n)
+
+
+def _shr_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+    (n,) = consts
+    width = max(_w(types[0]) - n, 1)
+    return SIntType(width) if is_signed(types[0]) else UIntType(width)
+
+
+def _shr_eval(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+    (n,) = consts
+    return _encode(value_of(args[0], types[0]) >> n, _shr_type(types, consts))
+
+
+def _dshl_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+    width = _w(types[0]) + (1 << _w(types[1])) - 1
+    return SIntType(width) if is_signed(types[0]) else UIntType(width)
+
+
+def _dshl_eval(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+    shift = truncate(args[1], _w(types[1]))
+    result_type = _dshl_type(types, consts)
+    return _encode(value_of(args[0], types[0]) << shift, result_type)
+
+
+def _dshr_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+    return types[0]
+
+
+def _dshr_eval(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+    shift = truncate(args[1], _w(types[1]))
+    return _encode(value_of(args[0], types[0]) >> shift, types[0])
+
+
+def _make_reduce(name: str, fn: Callable[[int, int], int]) -> OpSpec:
+    def result_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+        return UIntType(1)
+
+    def evaluate(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+        width = _w(types[0])
+        raw = truncate(args[0], width)
+        if name == "andr":
+            return 1 if raw == mask(width) else 0
+        if name == "orr":
+            return 1 if raw != 0 else 0
+        return bin(raw).count("1") & 1  # xorr
+
+    return OpSpec(name, 1, 0, result_type, evaluate)
+
+
+def _pad_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+    (n,) = consts
+    width = max(_w(types[0]), n)
+    return SIntType(width) if is_signed(types[0]) else UIntType(width)
+
+
+def _pad_eval(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+    return _encode(value_of(args[0], types[0]), _pad_type(types, consts))
+
+
+OPS: dict[str, OpSpec] = {}
+
+
+def _register(spec: OpSpec) -> None:
+    OPS[spec.name] = spec
+
+
+_register(_make_arith("add", lambda a, b: a + b, 1))
+_register(_make_arith("sub", lambda a, b: a - b, 1))
+
+
+def _mul_type(types: Sequence[Type], consts: Sequence[int]) -> Type:
+    width = _w(types[0]) + _w(types[1])
+    return SIntType(width) if is_signed(types[0]) else UIntType(width)
+
+
+def _mul_eval(args: Sequence[int], types: Sequence[Type], consts: Sequence[int]) -> int:
+    a = value_of(args[0], types[0])
+    b = value_of(args[1], types[1])
+    return _encode(a * b, _mul_type(types, consts))
+
+
+_register(OpSpec("mul", 2, 0, _mul_type, _mul_eval))
+_register(OpSpec("div", 2, 0, _div_type, _div_eval))
+_register(OpSpec("rem", 2, 0, _rem_type, _rem_eval))
+_register(_make_cmp("lt", lambda a, b: a < b))
+_register(_make_cmp("leq", lambda a, b: a <= b))
+_register(_make_cmp("gt", lambda a, b: a > b))
+_register(_make_cmp("geq", lambda a, b: a >= b))
+_register(_make_cmp("eq", lambda a, b: a == b))
+_register(_make_cmp("neq", lambda a, b: a != b))
+_register(_make_bitwise("and", lambda a, b: a & b))
+_register(_make_bitwise("or", lambda a, b: a | b))
+_register(_make_bitwise("xor", lambda a, b: a ^ b))
+_register(OpSpec("not", 1, 0, _not_type, _not_eval))
+_register(OpSpec("neg", 1, 0, _neg_type, _neg_eval))
+_register(OpSpec("asUInt", 1, 0, _as_uint_type, _as_uint_eval))
+_register(OpSpec("asSInt", 1, 0, _as_sint_type, _as_sint_eval))
+_register(OpSpec("cat", 2, 0, _cat_type, _cat_eval))
+_register(OpSpec("bits", 1, 2, _bits_type, _bits_eval))
+_register(OpSpec("head", 1, 1, _head_type, _head_eval))
+_register(OpSpec("tail", 1, 1, _tail_type, _tail_eval))
+_register(OpSpec("shl", 1, 1, _shl_type, _shl_eval))
+_register(OpSpec("shr", 1, 1, _shr_type, _shr_eval))
+_register(OpSpec("dshl", 2, 0, _dshl_type, _dshl_eval))
+_register(OpSpec("dshr", 2, 0, _dshr_type, _dshr_eval))
+_register(_make_reduce("andr", lambda a, b: a & b))
+_register(_make_reduce("orr", lambda a, b: a | b))
+_register(_make_reduce("xorr", lambda a, b: a ^ b))
+_register(OpSpec("pad", 1, 1, _pad_type, _pad_eval))
+
+
+def result_type(op: str, types: Sequence[Type], consts: Sequence[int] = ()) -> Type:
+    """Compute the result type of applying ``op`` to operands of ``types``."""
+    spec = OPS.get(op)
+    if spec is None:
+        raise KeyError(f"unknown primop: {op}")
+    if len(types) != spec.n_args:
+        raise ValueError(f"{op} expects {spec.n_args} operands, got {len(types)}")
+    if len(consts) != spec.n_consts:
+        raise ValueError(f"{op} expects {spec.n_consts} constants, got {len(consts)}")
+    return spec.result_type(types, consts)
+
+
+def eval_op(op: str, args: Sequence[int], types: Sequence[Type], consts: Sequence[int] = ()) -> int:
+    """Evaluate ``op`` over raw bit patterns, returning a raw result."""
+    return OPS[op].evaluate(args, types, consts)

@@ -1,0 +1,488 @@
+"""Parser for the textual IR form produced by :mod:`repro.ir.printer`.
+
+Parsing proceeds in two passes over one token stream: the first collects
+every module's port signature (so instance-port references can be typed even
+when the child module is defined later in the file), the second builds the
+full IR.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from .nodes import (
+    Circuit,
+    Connect,
+    Cover,
+    DefInstance,
+    DefMemory,
+    DefNode,
+    DefRegister,
+    DefWire,
+    Expr,
+    InstPort,
+    MemRead,
+    MemWrite,
+    Module,
+    Mux,
+    NO_INFO,
+    Port,
+    PrimOp,
+    Ref,
+    SIntLiteral,
+    SourceInfo,
+    Stmt,
+    Stop,
+    UIntLiteral,
+    When,
+)
+from .types import CLOCK, RESET, SIntType, Type, UIntType
+
+
+class ParseError(Exception):
+    """Raised on malformed IR text."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<info>@\[[^\]]*\])
+  | (?P<str>"[^"]*")
+  | (?P<num>-?\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_$]*)
+  | (?P<sym><=|=>|[{}()\[\],:<>.=])
+  | (?P<ws>\s+)
+  | (?P<comment>;[^\n]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # info | str | num | ident | sym
+    text: str
+    pos: int
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        kind = m.lastgroup or ""
+        if kind not in ("ws", "comment"):
+            tokens.append(Token(kind, m.group(), pos))
+        pos = m.end()
+    return tokens
+
+
+class _Stream:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.i = 0
+
+    def peek(self, offset: int = 0) -> Optional[Token]:
+        j = self.i + offset
+        return self.tokens[j] if j < len(self.tokens) else None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input")
+        self.i += 1
+        return tok
+
+    def expect(self, text: str) -> Token:
+        tok = self.next()
+        if tok.text != text:
+            raise ParseError(f"expected {text!r}, got {tok.text!r} at offset {tok.pos}")
+        return tok
+
+    def expect_kind(self, kind: str) -> Token:
+        tok = self.next()
+        if tok.kind != kind:
+            raise ParseError(f"expected {kind}, got {tok.text!r} at offset {tok.pos}")
+        return tok
+
+    def at(self, text: str, offset: int = 0) -> bool:
+        tok = self.peek(offset)
+        return tok is not None and tok.text == text
+
+
+def _parse_info(ts: _Stream) -> SourceInfo:
+    tok = ts.peek()
+    if tok is None or tok.kind != "info":
+        return NO_INFO
+    ts.next()
+    inner = tok.text[2:-1]
+    if ":" in inner:
+        file, _, line = inner.rpartition(":")
+        try:
+            return SourceInfo(file, int(line))
+        except ValueError:
+            return SourceInfo(inner, 0)
+    return SourceInfo(inner, 0)
+
+
+def _parse_type(ts: _Stream) -> Type:
+    tok = ts.expect_kind("ident")
+    if tok.text == "Clock":
+        return CLOCK
+    if tok.text == "Reset":
+        return RESET
+    if tok.text in ("UInt", "SInt"):
+        ts.expect("<")
+        width = int(ts.expect_kind("num").text)
+        ts.expect(">")
+        return UIntType(width) if tok.text == "UInt" else SIntType(width)
+    raise ParseError(f"unknown type {tok.text!r} at offset {tok.pos}")
+
+
+class _ModuleParser:
+    """Parses one module body given the circuit-wide port signatures."""
+
+    def __init__(self, ts: _Stream, module_ports: dict[str, dict[str, tuple[str, Type]]]) -> None:
+        self.ts = ts
+        self.module_ports = module_ports
+        self.types: dict[str, Type] = {}
+        self.mems: dict[str, Type] = {}
+        self.instances: dict[str, str] = {}
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        ts = self.ts
+        tok = ts.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input in expression")
+        if tok.kind == "ident" and tok.text in ("UInt", "SInt") and ts.at("<", 1):
+            return self._parse_literal()
+        if tok.kind == "ident" and ts.at("(", 1):
+            return self._parse_apply()
+        if tok.kind == "ident":
+            return self._parse_ref()
+        raise ParseError(f"cannot parse expression at {tok.text!r} (offset {tok.pos})")
+
+    def _parse_literal(self) -> Expr:
+        ts = self.ts
+        kind = ts.next().text
+        ts.expect("<")
+        width = int(ts.expect_kind("num").text)
+        ts.expect(">")
+        ts.expect("(")
+        tok = ts.next()
+        if tok.kind == "str":
+            body = tok.text.strip('"')
+            value = int(body[1:], 16) if body.startswith("h") else int(body)
+        elif tok.kind == "num":
+            value = int(tok.text)
+        else:
+            raise ParseError(f"bad literal value {tok.text!r}")
+        ts.expect(")")
+        if kind == "UInt":
+            return UIntLiteral(value, width)
+        return SIntLiteral(value, width)
+
+    def _parse_apply(self) -> Expr:
+        ts = self.ts
+        name = ts.next().text
+        ts.expect("(")
+        operands: list[Expr] = []
+        consts: list[int] = []
+        while not ts.at(")"):
+            tok = ts.peek()
+            assert tok is not None
+            if tok.kind == "num":
+                consts.append(int(ts.next().text))
+            else:
+                operands.append(self.parse_expr())
+            if ts.at(","):
+                ts.next()
+        ts.expect(")")
+        if name == "mux":
+            if len(operands) != 3:
+                raise ParseError("mux expects three operands")
+            return Mux.make(operands[0], operands[1], operands[2])
+        return PrimOp.make(name, operands, consts)
+
+    def _parse_ref(self) -> Expr:
+        ts = self.ts
+        name = ts.next().text
+        if ts.at("."):
+            ts.next()
+            port = ts.expect_kind("ident").text
+            module = self.instances.get(name)
+            if module is None:
+                raise ParseError(f"reference to undeclared instance {name!r}")
+            ports = self.module_ports.get(module, {})
+            if port not in ports:
+                raise ParseError(f"module {module!r} has no port {port!r}")
+            return InstPort(name, port, ports[port][1])
+        if ts.at("["):
+            ts.next()
+            addr = self.parse_expr()
+            ts.expect("]")
+            if name not in self.mems:
+                raise ParseError(f"read of undeclared memory {name!r}")
+            return MemRead(name, addr, self.mems[name])
+        if name not in self.types:
+            raise ParseError(f"reference to undeclared signal {name!r}")
+        return Ref(name, self.types[name])
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_block(self) -> list[Stmt]:
+        ts = self.ts
+        ts.expect("{")
+        body: list[Stmt] = []
+        while not ts.at("}"):
+            body.append(self.parse_stmt())
+        ts.expect("}")
+        return body
+
+    def parse_stmt(self) -> Stmt:
+        ts = self.ts
+        tok = ts.peek()
+        assert tok is not None
+        keyword = tok.text if tok.kind == "ident" else ""
+
+        def ident_at(offset: int) -> bool:
+            t = ts.peek(offset)
+            return t is not None and t.kind == "ident"
+
+        if keyword == "node" and ident_at(1) and ts.at("=", 2):
+            return self._parse_node()
+        if keyword == "wire" and ident_at(1) and ts.at(":", 2):
+            return self._parse_wire()
+        if keyword == "reg" and ident_at(1) and ts.at(":", 2):
+            return self._parse_reg()
+        if keyword == "mem" and ident_at(1) and ts.at(":", 2):
+            return self._parse_mem()
+        if keyword == "inst" and ident_at(1) and ts.at("of", 2):
+            return self._parse_inst()
+        if keyword == "when" and not (ts.at("<=", 1) or ts.at(".", 1) or ts.at("[", 1)):
+            return self._parse_when()
+        if keyword == "cover" and ts.at("(", 1):
+            return self._parse_cover()
+        if keyword == "stop" and ts.at("(", 1):
+            return self._parse_stop()
+        if keyword == "write" and ident_at(1) and ts.at("[", 2):
+            return self._parse_write()
+        return self._parse_connect()
+
+    def _declare(self, name: str, tpe: Type) -> None:
+        self.types[name] = tpe
+
+    def _parse_node(self) -> Stmt:
+        ts = self.ts
+        ts.expect("node")
+        name = ts.expect_kind("ident").text
+        ts.expect("=")
+        value = self.parse_expr()
+        info = _parse_info(ts)
+        self._declare(name, value.tpe)
+        return DefNode(name, value, info)
+
+    def _parse_wire(self) -> Stmt:
+        ts = self.ts
+        ts.expect("wire")
+        name = ts.expect_kind("ident").text
+        ts.expect(":")
+        tpe = _parse_type(ts)
+        info = _parse_info(ts)
+        self._declare(name, tpe)
+        return DefWire(name, tpe, info)
+
+    def _parse_reg(self) -> Stmt:
+        ts = self.ts
+        ts.expect("reg")
+        name = ts.expect_kind("ident").text
+        ts.expect(":")
+        tpe = _parse_type(ts)
+        ts.expect(",")
+        self._declare(name, tpe)
+        clock = self.parse_expr()
+        reset = init = None
+        if ts.at("reset") and ts.at("=>", 1):
+            ts.next()
+            ts.expect("=>")
+            ts.expect("(")
+            reset = self.parse_expr()
+            ts.expect(",")
+            init = self.parse_expr()
+            ts.expect(")")
+        info = _parse_info(ts)
+        return DefRegister(name, tpe, clock, reset, init, info)
+
+    def _parse_mem(self) -> Stmt:
+        ts = self.ts
+        ts.expect("mem")
+        name = ts.expect_kind("ident").text
+        ts.expect(":")
+        tpe = _parse_type(ts)
+        ts.expect("[")
+        depth = int(ts.expect_kind("num").text)
+        ts.expect("]")
+        info = _parse_info(ts)
+        self.mems[name] = tpe
+        return DefMemory(name, tpe, depth, info)
+
+    def _parse_inst(self) -> Stmt:
+        ts = self.ts
+        ts.expect("inst")
+        name = ts.expect_kind("ident").text
+        ts.expect("of")
+        module = ts.expect_kind("ident").text
+        info = _parse_info(ts)
+        self.instances[name] = module
+        return DefInstance(name, module, info)
+
+    def _parse_when(self) -> Stmt:
+        ts = self.ts
+        ts.expect("when")
+        pred = self.parse_expr()
+        # info comes right after the opening brace in the printed form
+        ts.expect("{")
+        info = _parse_info(ts)
+        conseq: list[Stmt] = []
+        while not ts.at("}"):
+            conseq.append(self.parse_stmt())
+        ts.expect("}")
+        alt: list[Stmt] = []
+        if ts.at("else"):
+            ts.next()
+            alt = self.parse_block()
+        return When(pred, conseq, alt, info)
+
+    def _parse_cover(self) -> Stmt:
+        ts = self.ts
+        ts.expect("cover")
+        ts.expect("(")
+        clock = self.parse_expr()
+        ts.expect(",")
+        pred = self.parse_expr()
+        ts.expect(",")
+        en = self.parse_expr()
+        ts.expect(")")
+        ts.expect(":")
+        name = ts.expect_kind("ident").text
+        info = _parse_info(ts)
+        return Cover(name, clock, pred, en, info)
+
+    def _parse_stop(self) -> Stmt:
+        ts = self.ts
+        ts.expect("stop")
+        ts.expect("(")
+        clock = self.parse_expr()
+        ts.expect(",")
+        pred = self.parse_expr()
+        ts.expect(",")
+        en = self.parse_expr()
+        ts.expect(",")
+        exit_code = int(ts.expect_kind("num").text)
+        ts.expect(")")
+        ts.expect(":")
+        name = ts.expect_kind("ident").text
+        info = _parse_info(ts)
+        return Stop(name, clock, pred, en, exit_code, info)
+
+    def _parse_write(self) -> Stmt:
+        ts = self.ts
+        ts.expect("write")
+        mem = ts.expect_kind("ident").text
+        ts.expect("[")
+        addr = self.parse_expr()
+        ts.expect("]")
+        ts.expect("<=")
+        data = self.parse_expr()
+        ts.expect("when")
+        en = self.parse_expr()
+        ts.expect("on")
+        clock = self.parse_expr()
+        info = _parse_info(ts)
+        return MemWrite(mem, addr, data, en, clock, info)
+
+    def _parse_connect(self) -> Stmt:
+        ts = self.ts
+        loc = self.parse_expr()
+        if not isinstance(loc, (Ref, InstPort)):
+            raise ParseError(f"bad connect target: {loc}")
+        ts.expect("<=")
+        expr = self.parse_expr()
+        info = _parse_info(ts)
+        return Connect(loc, expr, info)
+
+
+def _scan_module_ports(tokens: list[Token]) -> dict[str, dict[str, tuple[str, Type]]]:
+    """First pass: collect every module's port name → (direction, type)."""
+    signatures: dict[str, dict[str, tuple[str, Type]]] = {}
+    ts = _Stream(tokens)
+    while ts.peek() is not None:
+        tok = ts.next()
+        if tok.text != "module":
+            continue
+        name_tok = ts.peek()
+        if name_tok is None or name_tok.kind != "ident" or not ts.at("{", 1):
+            continue
+        name = ts.next().text
+        ts.expect("{")
+        ports: dict[str, tuple[str, Type]] = {}
+        while True:
+            tok = ts.peek()
+            if tok is None or tok.text not in ("input", "output"):
+                break
+            direction = ts.next().text
+            port_name = ts.expect_kind("ident").text
+            ts.expect(":")
+            tpe = _parse_type(ts)
+            _parse_info(ts)
+            ports[port_name] = (direction, tpe)
+        signatures[name] = ports
+    return signatures
+
+
+def parse_circuit(text: str) -> Circuit:
+    """Parse the textual IR form back into a :class:`Circuit`."""
+    annotations = []
+    for line in text.splitlines():
+        if line.startswith("; ANNOTATIONS: "):
+            import json
+
+            from .annotations import annotation_from_dict
+
+            annotations = [
+                annotation_from_dict(d)
+                for d in json.loads(line[len("; ANNOTATIONS: "):])
+            ]
+    tokens = tokenize(text)
+    module_ports = _scan_module_ports(tokens)
+    ts = _Stream(tokens)
+    ts.expect("circuit")
+    main = ts.expect_kind("ident").text
+    ts.expect("{")
+    modules: list[Module] = []
+    while not ts.at("}"):
+        ts.expect("module")
+        name = ts.expect_kind("ident").text
+        ts.expect("{")
+        parser = _ModuleParser(ts, module_ports)
+        ports: list[Port] = []
+        while ts.at("input") or ts.at("output"):
+            direction = ts.next().text
+            port_name = ts.expect_kind("ident").text
+            ts.expect(":")
+            tpe = _parse_type(ts)
+            info = _parse_info(ts)
+            ports.append(Port(port_name, direction, tpe, info))
+            parser._declare(port_name, tpe)
+        body: list[Stmt] = []
+        while not ts.at("}"):
+            body.append(parser.parse_stmt())
+        ts.expect("}")
+        modules.append(Module(name, ports, body))
+    ts.expect("}")
+    return Circuit(main, modules, annotations)

@@ -1,0 +1,144 @@
+"""Serialize IR circuits to a FIRRTL-like textual form.
+
+The format is round-trippable through :mod:`repro.ir.parser` (guarded by
+property tests).  Unlike FIRRTL we use braces instead of significant
+indentation, which keeps the parser simple and the output diff-friendly.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from .nodes import (
+    Circuit,
+    Connect,
+    Cover,
+    DefInstance,
+    DefMemory,
+    DefNode,
+    DefRegister,
+    DefWire,
+    Expr,
+    InstPort,
+    MemRead,
+    MemWrite,
+    Module,
+    Mux,
+    Port,
+    PrimOp,
+    Ref,
+    SIntLiteral,
+    SourceInfo,
+    Stmt,
+    Stop,
+    UIntLiteral,
+    When,
+)
+
+_INDENT = "  "
+
+
+def print_expr(expr: Expr) -> str:
+    """Render one expression."""
+    if isinstance(expr, Ref):
+        return expr.name
+    if isinstance(expr, InstPort):
+        return f"{expr.instance}.{expr.port}"
+    if isinstance(expr, UIntLiteral):
+        return f'UInt<{expr.width}>("h{expr.value:x}")'
+    if isinstance(expr, SIntLiteral):
+        return f"SInt<{expr.width}>({expr.value})"
+    if isinstance(expr, PrimOp):
+        operands = [print_expr(a) for a in expr.args] + [str(c) for c in expr.consts]
+        return f"{expr.op}({', '.join(operands)})"
+    if isinstance(expr, Mux):
+        return f"mux({print_expr(expr.cond)}, {print_expr(expr.tval)}, {print_expr(expr.fval)})"
+    if isinstance(expr, MemRead):
+        return f"{expr.mem}[{print_expr(expr.addr)}]"
+    raise TypeError(f"cannot print expression: {expr!r}")
+
+
+def _info_suffix(info: SourceInfo) -> str:
+    text = str(info)
+    return f" {text}" if text else ""
+
+
+def _print_stmt(stmt: Stmt, out: StringIO, depth: int) -> None:
+    pad = _INDENT * depth
+    if isinstance(stmt, DefNode):
+        out.write(f"{pad}node {stmt.name} = {print_expr(stmt.value)}{_info_suffix(stmt.info)}\n")
+    elif isinstance(stmt, DefWire):
+        out.write(f"{pad}wire {stmt.name} : {stmt.type}{_info_suffix(stmt.info)}\n")
+    elif isinstance(stmt, DefRegister):
+        line = f"{pad}reg {stmt.name} : {stmt.type}, {print_expr(stmt.clock)}"
+        if stmt.reset is not None and stmt.init is not None:
+            line += f" reset => ({print_expr(stmt.reset)}, {print_expr(stmt.init)})"
+        out.write(line + _info_suffix(stmt.info) + "\n")
+    elif isinstance(stmt, DefMemory):
+        out.write(f"{pad}mem {stmt.name} : {stmt.data_type}[{stmt.depth}]{_info_suffix(stmt.info)}\n")
+    elif isinstance(stmt, DefInstance):
+        out.write(f"{pad}inst {stmt.name} of {stmt.module}{_info_suffix(stmt.info)}\n")
+    elif isinstance(stmt, Connect):
+        out.write(f"{pad}{print_expr(stmt.loc)} <= {print_expr(stmt.expr)}{_info_suffix(stmt.info)}\n")
+    elif isinstance(stmt, MemWrite):
+        out.write(
+            f"{pad}write {stmt.mem}[{print_expr(stmt.addr)}] <= {print_expr(stmt.data)}"
+            f" when {print_expr(stmt.en)} on {print_expr(stmt.clock)}{_info_suffix(stmt.info)}\n"
+        )
+    elif isinstance(stmt, When):
+        out.write(f"{pad}when {print_expr(stmt.pred)} {{{_info_suffix(stmt.info)}\n")
+        for inner in stmt.conseq:
+            _print_stmt(inner, out, depth + 1)
+        if stmt.alt:
+            out.write(f"{pad}}} else {{\n")
+            for inner in stmt.alt:
+                _print_stmt(inner, out, depth + 1)
+        out.write(f"{pad}}}\n")
+    elif isinstance(stmt, Cover):
+        out.write(
+            f"{pad}cover({print_expr(stmt.clock)}, {print_expr(stmt.pred)}, "
+            f"{print_expr(stmt.en)}) : {stmt.name}{_info_suffix(stmt.info)}\n"
+        )
+    elif isinstance(stmt, Stop):
+        out.write(
+            f"{pad}stop({print_expr(stmt.clock)}, {print_expr(stmt.pred)}, "
+            f"{print_expr(stmt.en)}, {stmt.exit_code}) : {stmt.name}{_info_suffix(stmt.info)}\n"
+        )
+    else:
+        raise TypeError(f"cannot print statement: {stmt!r}")
+
+
+def print_module(module: Module, out: StringIO, depth: int = 1) -> None:
+    pad = _INDENT * depth
+    out.write(f"{pad}module {module.name} {{\n")
+    for port in module.ports:
+        out.write(f"{pad}{_INDENT}{port.direction} {port.name} : {port.type}{_info_suffix(port.info)}\n")
+    if module.ports and module.body:
+        out.write("\n")
+    for stmt in module.body:
+        _print_stmt(stmt, out, depth + 1)
+    out.write(f"{pad}}}\n")
+
+
+def print_circuit(circuit: Circuit) -> str:
+    """Render a whole circuit.
+
+    Annotations serialize into a trailing comment line (the tokenizer skips
+    comments, so older readers still parse the circuit; our parser restores
+    them).
+    """
+    out = StringIO()
+    out.write(f"circuit {circuit.main} {{\n")
+    for i, module in enumerate(circuit.modules):
+        if i:
+            out.write("\n")
+        print_module(module, out)
+    out.write("}\n")
+    if circuit.annotations:
+        import json
+
+        from .annotations import annotation_to_dict
+
+        payload = json.dumps([annotation_to_dict(a) for a in circuit.annotations])
+        out.write(f"; ANNOTATIONS: {payload}\n")
+    return out.getvalue()

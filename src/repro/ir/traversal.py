@@ -1,0 +1,181 @@
+"""Generic traversal and rewriting helpers over IR nodes.
+
+Passes are written against these helpers so that adding a new statement or
+expression kind only requires updating this module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from .nodes import (
+    Connect,
+    Cover,
+    DefInstance,
+    DefMemory,
+    DefNode,
+    DefRegister,
+    DefWire,
+    Expr,
+    InstPort,
+    MemRead,
+    MemWrite,
+    Module,
+    Mux,
+    PrimOp,
+    Ref,
+    SIntLiteral,
+    Stmt,
+    Stop,
+    UIntLiteral,
+    When,
+)
+
+ExprFn = Callable[[Expr], Expr]
+
+
+def map_expr_children(expr: Expr, fn: ExprFn) -> Expr:
+    """Apply ``fn`` to the direct sub-expressions of ``expr``."""
+    if isinstance(expr, PrimOp):
+        new_args = tuple(fn(a) for a in expr.args)
+        if new_args == expr.args:
+            return expr
+        return PrimOp(expr.op, new_args, expr.consts, expr.type)
+    if isinstance(expr, Mux):
+        cond, tval, fval = fn(expr.cond), fn(expr.tval), fn(expr.fval)
+        if (cond, tval, fval) == (expr.cond, expr.tval, expr.fval):
+            return expr
+        return Mux(cond, tval, fval, expr.type)
+    if isinstance(expr, MemRead):
+        addr = fn(expr.addr)
+        if addr is expr.addr:
+            return expr
+        return MemRead(expr.mem, addr, expr.type)
+    return expr
+
+
+def map_expr(expr: Expr, fn: ExprFn) -> Expr:
+    """Bottom-up rewrite: apply ``fn`` to every node, children first."""
+    return fn(map_expr_children(expr, lambda e: map_expr(e, fn)))
+
+
+def walk_expr(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and every sub-expression (pre-order)."""
+    yield expr
+    if isinstance(expr, PrimOp):
+        for a in expr.args:
+            yield from walk_expr(a)
+    elif isinstance(expr, Mux):
+        yield from walk_expr(expr.cond)
+        yield from walk_expr(expr.tval)
+        yield from walk_expr(expr.fval)
+    elif isinstance(expr, MemRead):
+        yield from walk_expr(expr.addr)
+
+
+def stmt_exprs(stmt: Stmt) -> list[Expr]:
+    """The expressions directly referenced by one statement."""
+    if isinstance(stmt, DefNode):
+        return [stmt.value]
+    if isinstance(stmt, Connect):
+        return [stmt.expr]
+    if isinstance(stmt, DefRegister):
+        out = [stmt.clock]
+        if stmt.reset is not None:
+            out.append(stmt.reset)
+        if stmt.init is not None:
+            out.append(stmt.init)
+        return out
+    if isinstance(stmt, MemWrite):
+        return [stmt.addr, stmt.data, stmt.en, stmt.clock]
+    if isinstance(stmt, When):
+        return [stmt.pred]
+    if isinstance(stmt, (Cover, Stop)):
+        return [stmt.clock, stmt.pred, stmt.en]
+    return []
+
+
+def map_stmt_exprs(stmt: Stmt, fn: ExprFn) -> Stmt:
+    """Return ``stmt`` with ``fn`` applied to each directly-held expression.
+
+    ``When`` bodies are *not* descended into — callers handle block structure.
+    """
+    if isinstance(stmt, DefNode):
+        return DefNode(stmt.name, fn(stmt.value), stmt.info)
+    if isinstance(stmt, Connect):
+        return Connect(stmt.loc, fn(stmt.expr), stmt.info)
+    if isinstance(stmt, DefRegister):
+        return DefRegister(
+            stmt.name,
+            stmt.type,
+            fn(stmt.clock),
+            None if stmt.reset is None else fn(stmt.reset),
+            None if stmt.init is None else fn(stmt.init),
+            stmt.info,
+        )
+    if isinstance(stmt, MemWrite):
+        return MemWrite(stmt.mem, fn(stmt.addr), fn(stmt.data), fn(stmt.en), fn(stmt.clock), stmt.info)
+    if isinstance(stmt, When):
+        return When(fn(stmt.pred), stmt.conseq, stmt.alt, stmt.info)
+    if isinstance(stmt, Cover):
+        return Cover(stmt.name, fn(stmt.clock), fn(stmt.pred), fn(stmt.en), stmt.info)
+    if isinstance(stmt, Stop):
+        return Stop(stmt.name, fn(stmt.clock), fn(stmt.pred), fn(stmt.en), stmt.exit_code, stmt.info)
+    return stmt
+
+
+def walk_stmts(body: Iterable[Stmt]) -> Iterator[Stmt]:
+    """Yield every statement in ``body``, descending into ``When`` blocks."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, When):
+            yield from walk_stmts(stmt.conseq)
+            yield from walk_stmts(stmt.alt)
+
+
+def map_module_exprs(module: Module, fn: ExprFn) -> Module:
+    """Rewrite every expression in ``module`` bottom-up with ``fn``."""
+
+    def rewrite_block(body: list[Stmt]) -> list[Stmt]:
+        out: list[Stmt] = []
+        for stmt in body:
+            new = map_stmt_exprs(stmt, lambda e: map_expr(e, fn))
+            if isinstance(new, When):
+                new = When(new.pred, rewrite_block(stmt.conseq), rewrite_block(stmt.alt), new.info)
+            out.append(new)
+        return out
+
+    return Module(module.name, list(module.ports), rewrite_block(module.body), module.info)
+
+
+def declared_names(module: Module) -> set[str]:
+    """All names declared in a module (ports, wires, nodes, regs, mems, insts)."""
+    names = {p.name for p in module.ports}
+    for stmt in walk_stmts(module.body):
+        if isinstance(stmt, (DefNode, DefWire, DefRegister, DefMemory, DefInstance)):
+            names.add(stmt.name)
+    return names
+
+
+def references(expr: Expr) -> Iterator[str]:
+    """Names of signals referenced by ``expr`` (including memory names)."""
+    for e in walk_expr(expr):
+        if isinstance(e, Ref):
+            yield e.name
+        elif isinstance(e, InstPort):
+            yield e.instance
+        elif isinstance(e, MemRead):
+            yield e.mem
+
+
+def is_literal(expr: Expr) -> bool:
+    return isinstance(expr, (UIntLiteral, SIntLiteral))
+
+
+def literal_value(expr: Expr) -> int:
+    """The raw bit pattern of a literal expression."""
+    if isinstance(expr, UIntLiteral):
+        return expr.value
+    if isinstance(expr, SIntLiteral):
+        return expr.value & ((1 << expr.width) - 1)
+    raise TypeError(f"not a literal: {expr!r}")

@@ -1,0 +1,131 @@
+"""Ground types for the RTL intermediate representation.
+
+The IR deliberately mirrors *lowered* FIRRTL: only ground types exist at this
+level.  Aggregates (bundles, vectors) are a frontend concept — the HCL in
+:mod:`repro.hcl` flattens them to underscore-separated ground signals, exactly
+like the FIRRTL ``LowerTypes`` pass does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Type:
+    """Base class for all IR types."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class UIntType(Type):
+    """An unsigned integer of a fixed, known width (in bits)."""
+
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width < 0:
+            raise ValueError(f"UInt width must be non-negative, got {self.width}")
+
+    def __str__(self) -> str:
+        return f"UInt<{self.width}>"
+
+
+@dataclass(frozen=True)
+class SIntType(Type):
+    """A signed (two's complement) integer of a fixed, known width."""
+
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"SInt width must be positive, got {self.width}")
+
+    def __str__(self) -> str:
+        return f"SInt<{self.width}>"
+
+
+@dataclass(frozen=True)
+class ClockType(Type):
+    """A clock signal.  Only usable as the clock operand of sequential nodes."""
+
+    def __str__(self) -> str:
+        return "Clock"
+
+
+@dataclass(frozen=True)
+class ResetType(Type):
+    """A synchronous reset.  Behaves like a 1-bit unsigned value."""
+
+    def __str__(self) -> str:
+        return "Reset"
+
+
+#: Canonical one-bit unsigned type, used for predicates.
+BOOL = UIntType(1)
+CLOCK = ClockType()
+RESET = ResetType()
+
+
+def bit_width(tpe: Type) -> int:
+    """Return the number of bits a value of ``tpe`` occupies."""
+    if isinstance(tpe, (UIntType, SIntType)):
+        return tpe.width
+    if isinstance(tpe, (ClockType, ResetType)):
+        return 1
+    raise TypeError(f"unknown type: {tpe!r}")
+
+
+def is_signed(tpe: Type) -> bool:
+    """True when values of ``tpe`` are interpreted as two's complement."""
+    return isinstance(tpe, SIntType)
+
+
+def is_one_bit(tpe: Type) -> bool:
+    """True when ``tpe`` may be used where a predicate is expected."""
+    return bit_width(tpe) == 1 and not is_signed(tpe)
+
+
+def mask(width: int) -> int:
+    """All-ones bit mask of ``width`` bits."""
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int) -> int:
+    """Truncate ``value`` to its low ``width`` bits (raw bit pattern)."""
+    return value & mask(width)
+
+
+def to_signed(raw: int, width: int) -> int:
+    """Interpret a raw ``width``-bit pattern as a two's complement integer."""
+    if width == 0:
+        return 0
+    raw &= mask(width)
+    if raw & (1 << (width - 1)):
+        return raw - (1 << width)
+    return raw
+
+
+def from_signed(value: int, width: int) -> int:
+    """Encode a (possibly negative) integer as a raw ``width``-bit pattern."""
+    return value & mask(width)
+
+
+def value_of(raw: int, tpe: Type) -> int:
+    """Interpret raw bits according to ``tpe`` (sign-extend SInt)."""
+    if is_signed(tpe):
+        return to_signed(raw, bit_width(tpe))
+    return truncate(raw, bit_width(tpe))
+
+
+def same_type_class(a: Type, b: Type) -> bool:
+    """True when ``a`` and ``b`` share signedness/kind (widths may differ)."""
+    if isinstance(a, UIntType) and isinstance(b, UIntType):
+        return True
+    if isinstance(a, SIntType) and isinstance(b, SIntType):
+        return True
+    if isinstance(a, (ClockType,)) and isinstance(b, (ClockType,)):
+        return True
+    if isinstance(a, (ResetType, UIntType)) and isinstance(b, (ResetType, UIntType)):
+        return True
+    return False

@@ -1,0 +1,49 @@
+"""Compiler passes over the IR.
+
+The standard lowering pipeline is::
+
+    CheckForms -> [coverage passes that need high form] -> ExpandWhens
+    -> ConstProp -> DeadCodeElimination -> [toggle coverage]
+    -> (optionally) InlineInstances
+
+Use :func:`lower` for the common case.
+"""
+
+from .base import CompileState, Pass, PassError, PassManager, compile_circuit
+from .check import CheckForms
+from .constprop import ConstProp, make_literal, simplify_deep, simplify_expr
+from .dce import DeadCodeElimination
+from .expand_whens import ExpandWhens, has_whens
+from .flatten import InlineInstances, sort_statements
+
+from ..ir.nodes import Circuit
+
+
+def lower(circuit: Circuit, optimize: bool = True, flatten: bool = False) -> CompileState:
+    """Run the standard lowering pipeline over ``circuit``."""
+    passes: list[Pass] = [CheckForms(), ExpandWhens()]
+    if optimize:
+        passes += [ConstProp(), DeadCodeElimination()]
+    if flatten:
+        passes.append(InlineInstances())
+    return compile_circuit(circuit, passes)
+
+
+__all__ = [
+    "CheckForms",
+    "CompileState",
+    "ConstProp",
+    "DeadCodeElimination",
+    "ExpandWhens",
+    "InlineInstances",
+    "Pass",
+    "PassError",
+    "PassManager",
+    "compile_circuit",
+    "has_whens",
+    "lower",
+    "make_literal",
+    "simplify_deep",
+    "simplify_expr",
+    "sort_statements",
+]

@@ -1,0 +1,68 @@
+"""Pass framework: compile state, passes and the pass manager."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from ..ir.nodes import Circuit
+
+
+class PassError(Exception):
+    """Raised when a pass detects malformed input or an internal invariant fails."""
+
+
+@dataclass
+class CompileState:
+    """The unit of data flowing through the compiler.
+
+    Attributes:
+        circuit: the current IR.
+        cover_paths: optional map from module-local (possibly flattened)
+            cover statement names to canonical hierarchical coverage keys
+            (``inst.path.name``).  Populated by the flattening pass.
+        metadata: free-form side tables keyed by pass name (coverage passes
+            deposit their report-generator metadata here).
+    """
+
+    circuit: Circuit
+    cover_paths: Optional[dict[str, str]] = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+class Pass:
+    """A circuit-to-circuit transformation or analysis."""
+
+    #: Human-readable pass name (defaults to the class name).
+    name: str = ""
+
+    def run(self, state: CompileState) -> CompileState:
+        raise NotImplementedError
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        if not cls.name:
+            cls.name = cls.__name__
+
+
+class PassManager:
+    """Runs a pipeline of passes, recording per-pass history."""
+
+    def __init__(self, passes: Iterable[Pass] = ()) -> None:
+        self.passes: list[Pass] = list(passes)
+        self.history: list[str] = []
+
+    def add(self, p: Pass) -> "PassManager":
+        self.passes.append(p)
+        return self
+
+    def run(self, state: CompileState) -> CompileState:
+        for p in self.passes:
+            state = p.run(state)
+            self.history.append(p.name)
+        return state
+
+
+def compile_circuit(circuit: Circuit, passes: Iterable[Pass]) -> CompileState:
+    """Convenience wrapper: run ``passes`` over a fresh compile state."""
+    return PassManager(passes).run(CompileState(circuit))

@@ -1,0 +1,207 @@
+"""Well-formedness checks for IR circuits.
+
+Run early (after elaboration) and optionally between passes as a debugging
+aid.  Checks: unique declarations, def-before-use, type sanity on connects
+and predicates, clock typing, and instance/port validity.
+"""
+
+from __future__ import annotations
+
+from ..ir.nodes import (
+    Circuit,
+    Connect,
+    Cover,
+    DefInstance,
+    DefMemory,
+    DefNode,
+    DefRegister,
+    DefWire,
+    Expr,
+    InstPort,
+    MemRead,
+    MemWrite,
+    Module,
+    Mux,
+    PrimOp,
+    Ref,
+    SIntLiteral,
+    Stmt,
+    Stop,
+    UIntLiteral,
+    When,
+)
+from ..ir.types import ClockType, bit_width, is_signed
+from .base import CompileState, Pass, PassError
+
+
+class _ModuleChecker:
+    def __init__(self, circuit: Circuit, module: Module) -> None:
+        self.circuit = circuit
+        self.module = module
+        self.types: dict[str, object] = {p.name: p.type for p in module.ports}
+        self.mems: dict[str, DefMemory] = {}
+        self.instances: dict[str, str] = {}
+
+    def fail(self, message: str) -> None:
+        raise PassError(f"[{self.module.name}] {message}")
+
+    # -- expressions ---------------------------------------------------------
+
+    def check_expr(self, expr: Expr) -> None:
+        if isinstance(expr, Ref):
+            if expr.name not in self.types:
+                self.fail(f"use of undeclared signal {expr.name!r}")
+            declared = self.types[expr.name]
+            if declared != expr.type:
+                self.fail(
+                    f"reference {expr.name!r} has type {expr.type}, declared as {declared}"
+                )
+        elif isinstance(expr, InstPort):
+            module_name = self.instances.get(expr.instance)
+            if module_name is None:
+                self.fail(f"use of undeclared instance {expr.instance!r}")
+            child = self.circuit.module(module_name)
+            port = child.port(expr.port)  # raises KeyError if missing
+            if port.type != expr.type:
+                self.fail(
+                    f"instance port {expr.instance}.{expr.port} has type "
+                    f"{expr.type}, declared as {port.type}"
+                )
+        elif isinstance(expr, (UIntLiteral, SIntLiteral)):
+            pass
+        elif isinstance(expr, PrimOp):
+            for a in expr.args:
+                self.check_expr(a)
+                if isinstance(a.tpe, ClockType):
+                    self.fail(f"clock used as data operand in {expr.op}")
+        elif isinstance(expr, Mux):
+            self.check_expr(expr.cond)
+            self.check_expr(expr.tval)
+            self.check_expr(expr.fval)
+            if bit_width(expr.cond.tpe) != 1:
+                self.fail("mux condition must be one bit")
+        elif isinstance(expr, MemRead):
+            if expr.mem not in self.mems:
+                self.fail(f"read of undeclared memory {expr.mem!r}")
+            self.check_expr(expr.addr)
+        else:
+            self.fail(f"unknown expression kind: {expr!r}")
+
+    def check_pred(self, expr: Expr, what: str) -> None:
+        self.check_expr(expr)
+        if bit_width(expr.tpe) != 1 or is_signed(expr.tpe):
+            self.fail(f"{what} must be UInt<1>, got {expr.tpe}")
+
+    def check_clock(self, expr: Expr) -> None:
+        self.check_expr(expr)
+        if not isinstance(expr.tpe, ClockType):
+            self.fail(f"expected a clock, got {expr.tpe}")
+
+    # -- statements ----------------------------------------------------------
+
+    def declare(self, name: str, tpe: object) -> None:
+        if name in self.types or name in self.mems or name in self.instances:
+            self.fail(f"duplicate declaration of {name!r}")
+        self.types[name] = tpe
+
+    def check_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, DefNode):
+            self.check_expr(stmt.value)
+            self.declare(stmt.name, stmt.value.tpe)
+        elif isinstance(stmt, DefWire):
+            self.declare(stmt.name, stmt.type)
+        elif isinstance(stmt, DefRegister):
+            self.declare(stmt.name, stmt.type)
+            self.check_clock(stmt.clock)
+            if (stmt.reset is None) != (stmt.init is None):
+                self.fail(f"register {stmt.name!r} has reset without init (or vice versa)")
+            if stmt.reset is not None:
+                self.check_pred(stmt.reset, "register reset")
+            if stmt.init is not None:
+                self.check_expr(stmt.init)
+        elif isinstance(stmt, DefMemory):
+            if stmt.name in self.types or stmt.name in self.mems:
+                self.fail(f"duplicate declaration of {stmt.name!r}")
+            if stmt.depth < 1:
+                self.fail(f"memory {stmt.name!r} has bad depth {stmt.depth}")
+            self.mems[stmt.name] = stmt
+        elif isinstance(stmt, DefInstance):
+            if stmt.name in self.types or stmt.name in self.instances:
+                self.fail(f"duplicate declaration of {stmt.name!r}")
+            try:
+                self.circuit.module(stmt.module)
+            except KeyError:
+                self.fail(f"instance of unknown module {stmt.module!r}")
+            self.instances[stmt.name] = stmt.module
+        elif isinstance(stmt, Connect):
+            self.check_expr(stmt.loc)
+            self.check_expr(stmt.expr)
+            loc_t, expr_t = stmt.loc.tpe, stmt.expr.tpe
+            if isinstance(loc_t, ClockType) != isinstance(expr_t, ClockType):
+                self.fail(f"clock/data mismatch in connect to {stmt.loc}")
+            if not isinstance(loc_t, ClockType):
+                if is_signed(loc_t) != is_signed(expr_t):
+                    self.fail(f"signedness mismatch in connect to {stmt.loc}")
+                if bit_width(expr_t) > bit_width(loc_t):
+                    self.fail(
+                        f"connect to {stmt.loc} would truncate "
+                        f"({bit_width(expr_t)} -> {bit_width(loc_t)} bits)"
+                    )
+            if isinstance(stmt.loc, Ref):
+                # ports: only outputs are assignable; wires/regs always
+                for p in self.module.ports:
+                    if p.name == stmt.loc.name and p.direction == "input":
+                        self.fail(f"connect drives module input {p.name!r}")
+            if isinstance(stmt.loc, InstPort):
+                child = self.circuit.module(self.instances[stmt.loc.instance])
+                if child.port(stmt.loc.port).direction == "output":
+                    self.fail(f"connect drives instance output {stmt.loc}")
+        elif isinstance(stmt, MemWrite):
+            if stmt.mem not in self.mems:
+                self.fail(f"write to undeclared memory {stmt.mem!r}")
+            self.check_expr(stmt.addr)
+            self.check_expr(stmt.data)
+            self.check_pred(stmt.en, "memory write enable")
+            self.check_clock(stmt.clock)
+        elif isinstance(stmt, When):
+            self.check_pred(stmt.pred, "when predicate")
+            for inner in stmt.conseq:
+                self.check_stmt(inner)
+            for inner in stmt.alt:
+                self.check_stmt(inner)
+        elif isinstance(stmt, (Cover, Stop)):
+            self.check_clock(stmt.clock)
+            self.check_pred(stmt.pred, f"{type(stmt).__name__.lower()} predicate")
+            self.check_pred(stmt.en, f"{type(stmt).__name__.lower()} enable")
+        else:
+            self.fail(f"unknown statement kind: {stmt!r}")
+
+
+class CheckForms(Pass):
+    """Structural well-formedness verification."""
+
+    def run(self, state: CompileState) -> CompileState:
+        circuit = state.circuit
+        names = circuit.module_names()
+        if len(set(names)) != len(names):
+            raise PassError("duplicate module names in circuit")
+        try:
+            circuit.top
+        except KeyError:
+            raise PassError(f"main module {circuit.main!r} not found") from None
+        cover_names: dict[str, set[str]] = {}
+        for module in circuit.modules:
+            checker = _ModuleChecker(circuit, module)
+            for stmt in module.body:
+                checker.check_stmt(stmt)
+            seen = cover_names.setdefault(module.name, set())
+            from ..ir.traversal import walk_stmts
+
+            for stmt in walk_stmts(module.body):
+                if isinstance(stmt, (Cover, Stop)):
+                    if stmt.name in seen:
+                        raise PassError(
+                            f"[{module.name}] duplicate cover/stop name {stmt.name!r}"
+                        )
+                    seen.add(stmt.name)
+        return state

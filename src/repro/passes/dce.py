@@ -1,0 +1,123 @@
+"""Dead code elimination (low form).
+
+Removes nodes, wires and registers whose values can never influence an
+observable effect.  Observables are: module outputs, cover/stop statements,
+memory writes (they may feed live reads), and anything connected into a
+child instance.  ``DontTouchAnnotation`` pins signals alive.
+
+The toggle-coverage pass runs *after* optimization passes like this one
+(§4.2 of the paper), so DCE directly determines the toggle cover-point set.
+"""
+
+from __future__ import annotations
+
+from ..ir.annotations import DontTouchAnnotation
+from ..ir.nodes import (
+    Circuit,
+    Connect,
+    Cover,
+    DefInstance,
+    DefMemory,
+    DefNode,
+    DefRegister,
+    DefWire,
+    InstPort,
+    MemWrite,
+    Module,
+    Ref,
+    Stop,
+)
+from ..ir.traversal import references, stmt_exprs
+from .base import CompileState, Pass
+
+
+class DeadCodeElimination(Pass):
+    """Remove definitions that cannot affect observable behaviour."""
+
+    def run(self, state: CompileState) -> CompileState:
+        keep = {
+            (a.module, a.target)
+            for a in state.circuit.annotations
+            if isinstance(a, DontTouchAnnotation)
+        }
+        modules = [self._run_module(m, keep) for m in state.circuit.modules]
+        circuit = Circuit(state.circuit.main, modules, state.circuit.annotations)
+        return CompileState(circuit, state.cover_paths, state.metadata)
+
+    def _run_module(self, module: Module, keep: set) -> Module:
+        # index: which statements define/drive which names
+        drivers: dict[str, list] = {}
+        for stmt in module.body:
+            if isinstance(stmt, DefNode):
+                drivers.setdefault(stmt.name, []).append(stmt)
+            elif isinstance(stmt, Connect) and isinstance(stmt.loc, Ref):
+                drivers.setdefault(stmt.loc.name, []).append(stmt)
+            elif isinstance(stmt, DefRegister):
+                drivers.setdefault(stmt.name, []).append(stmt)
+            elif isinstance(stmt, MemWrite):
+                drivers.setdefault(stmt.mem, []).append(stmt)
+
+        output_names = {p.name for p in module.ports if p.direction == "output"}
+        live: set[str] = set()
+        worklist: list[str] = []
+
+        def mark_expr(expr) -> None:
+            for name in references(expr):
+                if name not in live:
+                    live.add(name)
+                    worklist.append(name)
+
+        # roots
+        for stmt in module.body:
+            if isinstance(stmt, (Cover, Stop)):
+                for e in stmt_exprs(stmt):
+                    mark_expr(e)
+            elif isinstance(stmt, Connect):
+                if isinstance(stmt.loc, InstPort):
+                    mark_expr(stmt.expr)
+                    live.add(stmt.loc.instance)
+                elif stmt.loc.name in output_names:
+                    mark_expr(stmt.expr)
+            elif isinstance(stmt, DefInstance):
+                # instances may contain covers/stops; always keep them
+                live.add(stmt.name)
+        for mod_name, target in keep:
+            if mod_name == module.name:
+                live.add(target)
+                worklist.append(target)
+
+        # transitive closure
+        while worklist:
+            name = worklist.pop()
+            for stmt in drivers.get(name, []):
+                if isinstance(stmt, DefNode):
+                    mark_expr(stmt.value)
+                elif isinstance(stmt, Connect):
+                    mark_expr(stmt.expr)
+                elif isinstance(stmt, DefRegister):
+                    mark_expr(stmt.clock)
+                    if stmt.reset is not None:
+                        mark_expr(stmt.reset)
+                    if stmt.init is not None:
+                        mark_expr(stmt.init)
+                elif isinstance(stmt, MemWrite):
+                    for e in stmt_exprs(stmt):
+                        mark_expr(e)
+
+        def is_live_stmt(stmt) -> bool:
+            if isinstance(stmt, DefNode):
+                return stmt.name in live
+            if isinstance(stmt, (DefWire, DefRegister, DefMemory)):
+                return stmt.name in live
+            if isinstance(stmt, DefInstance):
+                return True
+            if isinstance(stmt, Connect):
+                if isinstance(stmt.loc, InstPort):
+                    return True
+                return stmt.loc.name in live or stmt.loc.name in output_names
+            if isinstance(stmt, MemWrite):
+                return stmt.mem in live
+            return True  # covers, stops
+
+        body = [s for s in module.body if is_live_stmt(s)]
+        return Module(module.name, list(module.ports), body, module.info)

@@ -1,0 +1,216 @@
+"""Lower ``when`` blocks to multiplexers (the FIRRTL ``ExpandWhens`` pass).
+
+This is the lowering stage the paper's line-coverage pass relies on (§4.1):
+the *dominating branch condition* of every statement becomes an explicit
+enable.  Concretely:
+
+* ``Connect`` statements under conditions merge into mux trees with
+  last-connect semantics; each wire/output/register/instance-input ends up
+  with exactly one connect.
+* ``Cover``/``Stop``/``MemWrite`` predicates get the full path condition
+  ANDed into their enables — a bare ``cover(true)`` placed inside a branch
+  becomes a counter for exactly that branch.
+* Registers keep their value on unassigned paths (they default to
+  themselves); wires and outputs must be assigned on every path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..ir.nodes import (
+    Circuit,
+    Connect,
+    Cover,
+    DefInstance,
+    DefMemory,
+    DefNode,
+    DefRegister,
+    DefWire,
+    Expr,
+    InstPort,
+    MemWrite,
+    Module,
+    Mux,
+    Ref,
+    Stmt,
+    Stop,
+    When,
+    and_,
+    not_,
+)
+from ..ir.types import ClockType, Type, bit_width, is_signed
+from .base import CompileState, Pass, PassError
+
+TargetKey = Union[str, tuple[str, str]]
+
+
+@dataclass
+class _Target:
+    loc: Union[Ref, InstPort]
+    default: Optional[Expr]
+    kind: str  # wire | reg | output | instport
+    info: object
+
+
+def _merge(pred: Expr, conseq: Optional[Expr], alt: Optional[Expr]) -> Optional[Expr]:
+    """Combine branch values; a missing side is treated as don't-care."""
+    if conseq is None:
+        return alt
+    if alt is None:
+        return conseq
+    if conseq is alt or conseq == alt:
+        return conseq
+    if isinstance(conseq.tpe, ClockType) or isinstance(alt.tpe, ClockType):
+        raise PassError("conditional connect of a clock signal")
+    return Mux.make(pred, conseq, alt)
+
+
+class _ModuleLowerer:
+    def __init__(self, circuit: Circuit, module: Module) -> None:
+        self.circuit = circuit
+        self.module = module
+        self.out: list[Stmt] = []
+        self.targets: dict[TargetKey, _Target] = {}
+        self.env: dict[TargetKey, Expr] = {}
+        self.instances: dict[str, str] = {}
+        for port in module.ports:
+            if port.direction == "output":
+                self.targets[port.name] = _Target(port.ref(), None, "output", port.info)
+
+    @staticmethod
+    def key_of(loc: Union[Ref, InstPort]) -> TargetKey:
+        if isinstance(loc, Ref):
+            return loc.name
+        return (loc.instance, loc.port)
+
+    def process(self, body: list[Stmt], pred: Optional[Expr]) -> None:
+        for stmt in body:
+            if isinstance(stmt, DefNode):
+                self.out.append(stmt)
+            elif isinstance(stmt, DefWire):
+                self.targets[stmt.name] = _Target(Ref(stmt.name, stmt.type), None, "wire", stmt.info)
+                self.out.append(stmt)
+            elif isinstance(stmt, DefRegister):
+                self.targets[stmt.name] = _Target(
+                    Ref(stmt.name, stmt.type), Ref(stmt.name, stmt.type), "reg", stmt.info
+                )
+                self.out.append(stmt)
+            elif isinstance(stmt, DefMemory):
+                self.out.append(stmt)
+            elif isinstance(stmt, DefInstance):
+                self.instances[stmt.name] = stmt.module
+                child = self.circuit.module(stmt.module)
+                for port in child.ports:
+                    if port.direction == "input":
+                        loc = InstPort(stmt.name, port.name, port.type)
+                        self.targets[self.key_of(loc)] = _Target(loc, None, "instport", stmt.info)
+                self.out.append(stmt)
+            elif isinstance(stmt, Connect):
+                key = self.key_of(stmt.loc)
+                if key not in self.targets:
+                    raise PassError(
+                        f"[{self.module.name}] connect to non-connectable {stmt.loc}"
+                    )
+                self.env[key] = stmt.expr
+            elif isinstance(stmt, MemWrite):
+                en = and_(stmt.en, pred) if pred is not None else stmt.en
+                self.out.append(
+                    MemWrite(stmt.mem, stmt.addr, stmt.data, en, stmt.clock, stmt.info)
+                )
+            elif isinstance(stmt, Cover):
+                en = and_(stmt.en, pred) if pred is not None else stmt.en
+                self.out.append(Cover(stmt.name, stmt.clock, stmt.pred, en, stmt.info))
+            elif isinstance(stmt, Stop):
+                en = and_(stmt.en, pred) if pred is not None else stmt.en
+                self.out.append(
+                    Stop(stmt.name, stmt.clock, stmt.pred, en, stmt.exit_code, stmt.info)
+                )
+            elif isinstance(stmt, When):
+                self._process_when(stmt, pred)
+            else:
+                raise PassError(f"[{self.module.name}] unexpected statement {stmt!r}")
+
+    def _process_when(self, stmt: When, pred: Optional[Expr]) -> None:
+        saved = dict(self.env)
+        conseq_pred = and_(pred, stmt.pred) if pred is not None else stmt.pred
+        self.process(stmt.conseq, conseq_pred)
+        env_conseq = self.env
+        self.env = dict(saved)
+        if stmt.alt:
+            alt_pred = and_(pred, not_(stmt.pred)) if pred is not None else not_(stmt.pred)
+            self.process(stmt.alt, alt_pred)
+        env_alt = self.env
+        merged = dict(saved)
+        for key in set(env_conseq) | set(env_alt):
+            conseq_v = env_conseq.get(key)
+            alt_v = env_alt.get(key)
+            if conseq_v is None and alt_v is None:
+                continue
+            if conseq_v is alt_v:
+                merged[key] = conseq_v  # type: ignore[assignment]
+                continue
+            base = saved.get(key, self.targets[key].default)
+            value = _merge(stmt.pred, conseq_v if conseq_v is not None else base,
+                           alt_v if alt_v is not None else base)
+            if value is not None:
+                merged[key] = value
+        self.env = merged
+
+    def finalize(self) -> Module:
+        for key, target in self.targets.items():
+            value = self.env.get(key, target.default)
+            if value is None:
+                if isinstance(target.loc.tpe, ClockType):
+                    raise PassError(
+                        f"[{self.module.name}] clock {target.loc} is never connected"
+                    )
+                raise PassError(
+                    f"[{self.module.name}] {target.kind} {target.loc} is not fully initialized"
+                )
+            if target.kind == "reg" and isinstance(value, Ref) and value.name == key:
+                # register that always keeps its value: emit the identity
+                # connect anyway so backends see a uniform single-driver form
+                pass
+            value = _coerce(value, target.loc.tpe, self.module.name)
+            self.out.append(Connect(target.loc, value, target.info))  # type: ignore[arg-type]
+        return Module(self.module.name, list(self.module.ports), self.out, self.module.info)
+
+
+def _coerce(expr: Expr, tpe: Type, module: str) -> Expr:
+    """Pad ``expr`` up to the width of ``tpe`` (connects never truncate)."""
+    if isinstance(tpe, ClockType):
+        if not isinstance(expr.tpe, ClockType):
+            raise PassError(f"[{module}] connecting non-clock to clock")
+        return expr
+    from ..ir.nodes import prim
+
+    if is_signed(expr.tpe) != is_signed(tpe):
+        raise PassError(f"[{module}] signedness mismatch in connect: {expr.tpe} -> {tpe}")
+    have, want = bit_width(expr.tpe), bit_width(tpe)
+    if have == want:
+        return expr
+    if have > want:
+        raise PassError(f"[{module}] connect would truncate {have} -> {want} bits")
+    return prim("pad", expr, consts=[want])
+
+
+class ExpandWhens(Pass):
+    """Lower all ``When`` blocks; produce single-connect (low) form."""
+
+    def run(self, state: CompileState) -> CompileState:
+        modules = []
+        for module in state.circuit.modules:
+            lowerer = _ModuleLowerer(state.circuit, module)
+            lowerer.process(module.body, None)
+            modules.append(lowerer.finalize())
+        circuit = Circuit(state.circuit.main, modules, state.circuit.annotations)
+        return CompileState(circuit, state.cover_paths, state.metadata)
+
+
+def has_whens(module: Module) -> bool:
+    """True when the module still contains ``When`` statements."""
+    from ..ir.traversal import walk_stmts
+
+    return any(isinstance(s, When) for s in walk_stmts(module.body))

@@ -1,0 +1,266 @@
+"""Inline the instance hierarchy into a single flat module.
+
+The compiled simulator backends and the FireSim scan-chain pass operate on a
+flat netlist.  Flattening renames module-local signals with an instance-path
+prefix and records, for every cover/stop statement, the mapping from its new
+flat name to the canonical hierarchical coverage key (``inst.path.name``) —
+this map is what keeps coverage counts mergeable across hierarchical and
+flat backends (§3 of the paper).
+
+Requires low form (no ``When`` blocks, single connect per target).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..ir.namespace import Namespace
+from ..ir.nodes import (
+    Circuit,
+    Connect,
+    Cover,
+    DefInstance,
+    DefMemory,
+    DefNode,
+    DefRegister,
+    DefWire,
+    Expr,
+    InstPort,
+    MemRead,
+    MemWrite,
+    Module,
+    Ref,
+    Stmt,
+    Stop,
+    When,
+)
+from ..ir.traversal import map_expr, references, stmt_exprs, walk_stmts
+from .base import CompileState, Pass, PassError
+
+
+class _Inliner:
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        top = circuit.top
+        self.ns = Namespace(p.name for p in top.ports)
+        self.out: list[Stmt] = []
+        self.cover_paths: dict[str, str] = {}
+
+    def inline(
+        self,
+        module: Module,
+        path: str,
+        prefix: str,
+        rename: dict[str, Expr],
+        mem_rename: dict[str, str],
+    ) -> None:
+        """Emit ``module``'s body with ``rename`` applied to port references.
+
+        ``path`` is the dotted instance path (for coverage keys); ``prefix``
+        is the flat-name prefix for local signals.
+        """
+        body = module.body
+        if any(isinstance(s, When) for s in walk_stmts(body)):
+            raise PassError(f"flatten requires low form, {module.name} has whens")
+
+        # pass 1: allocate flat names for all locals and find instance drivers
+        instances: dict[str, str] = {}
+        inst_inputs: dict[tuple[str, str], Expr] = {}
+        inst_out_wires: dict[tuple[str, str], str] = {}
+        for stmt in body:
+            if isinstance(stmt, (DefNode, DefWire, DefRegister)):
+                rename[stmt.name] = Ref(self.ns.fresh(prefix + stmt.name), _type_of(stmt))
+            elif isinstance(stmt, DefMemory):
+                mem_rename[stmt.name] = self.ns.fresh(prefix + stmt.name)
+            elif isinstance(stmt, DefInstance):
+                instances[stmt.name] = stmt.module
+                child = self.circuit.module(stmt.module)
+                for port in child.ports:
+                    if port.direction == "output":
+                        wire = self.ns.fresh(f"{prefix}{stmt.name}_{port.name}")
+                        inst_out_wires[(stmt.name, port.name)] = wire
+            elif isinstance(stmt, Connect) and isinstance(stmt.loc, InstPort):
+                inst_inputs[(stmt.loc.instance, stmt.loc.port)] = stmt.expr
+
+        def rw(expr: Expr) -> Expr:
+            def fn(e: Expr) -> Expr:
+                if isinstance(e, Ref):
+                    replacement = rename.get(e.name)
+                    return replacement if replacement is not None else e
+                if isinstance(e, InstPort):
+                    key = (e.instance, e.port)
+                    if key in inst_out_wires:
+                        return Ref(inst_out_wires[key], e.type)
+                    # reading a child *input* port: substitute its driver
+                    driver = inst_inputs.get(key)
+                    if driver is None:
+                        raise PassError(f"instance input {e} read but never driven")
+                    return fn_expr(driver)
+                if isinstance(e, MemRead):
+                    return MemRead(mem_rename.get(e.mem, e.mem), e.addr, e.type)
+                return e
+
+            def fn_expr(e: Expr) -> Expr:
+                return map_expr(e, fn)
+
+            return fn_expr(expr)
+
+        # pass 2: emit statements
+        for stmt in body:
+            if isinstance(stmt, DefNode):
+                target = rename[stmt.name]
+                assert isinstance(target, Ref)
+                self.out.append(DefNode(target.name, rw(stmt.value), stmt.info))
+            elif isinstance(stmt, DefWire):
+                target = rename[stmt.name]
+                assert isinstance(target, Ref)
+                self.out.append(DefWire(target.name, stmt.type, stmt.info))
+            elif isinstance(stmt, DefRegister):
+                target = rename[stmt.name]
+                assert isinstance(target, Ref)
+                self.out.append(
+                    DefRegister(
+                        target.name,
+                        stmt.type,
+                        rw(stmt.clock),
+                        None if stmt.reset is None else rw(stmt.reset),
+                        None if stmt.init is None else rw(stmt.init),
+                        stmt.info,
+                    )
+                )
+            elif isinstance(stmt, DefMemory):
+                self.out.append(
+                    DefMemory(mem_rename[stmt.name], stmt.data_type, stmt.depth, stmt.info)
+                )
+            elif isinstance(stmt, DefInstance):
+                child = self.circuit.module(stmt.module)
+                child_rename: dict[str, Expr] = {}
+                for port in child.ports:
+                    if port.direction == "input":
+                        driver = inst_inputs.get((stmt.name, port.name))
+                        if driver is None:
+                            raise PassError(
+                                f"input {stmt.name}.{port.name} of {child.name} never driven"
+                            )
+                        child_rename[port.name] = rw(driver)
+                    else:
+                        wire = inst_out_wires[(stmt.name, port.name)]
+                        self.out.append(DefWire(wire, port.type, stmt.info))
+                        child_rename[port.name] = Ref(wire, port.type)
+                self.inline(
+                    child,
+                    f"{path}{stmt.name}.",
+                    f"{prefix}{stmt.name}_",
+                    child_rename,
+                    {},
+                )
+            elif isinstance(stmt, Connect):
+                if isinstance(stmt.loc, InstPort):
+                    continue  # folded into child port substitution
+                target = rename.get(stmt.loc.name)
+                if target is None:
+                    # top-level port
+                    self.out.append(Connect(stmt.loc, rw(stmt.expr), stmt.info))
+                else:
+                    if not isinstance(target, Ref):
+                        raise PassError(f"connect to substituted input {stmt.loc}")
+                    self.out.append(Connect(target, rw(stmt.expr), stmt.info))
+            elif isinstance(stmt, MemWrite):
+                self.out.append(
+                    MemWrite(
+                        mem_rename[stmt.mem],
+                        rw(stmt.addr),
+                        rw(stmt.data),
+                        rw(stmt.en),
+                        rw(stmt.clock),
+                        stmt.info,
+                    )
+                )
+            elif isinstance(stmt, Cover):
+                flat = self.ns.fresh(prefix + stmt.name)
+                self.cover_paths[flat] = f"{path}{stmt.name}"
+                self.out.append(Cover(flat, rw(stmt.clock), rw(stmt.pred), rw(stmt.en), stmt.info))
+            elif isinstance(stmt, Stop):
+                flat = self.ns.fresh(prefix + stmt.name)
+                self.cover_paths[flat] = f"{path}{stmt.name}"
+                self.out.append(
+                    Stop(flat, rw(stmt.clock), rw(stmt.pred), rw(stmt.en), stmt.exit_code, stmt.info)
+                )
+            else:
+                raise PassError(f"flatten: unexpected statement {stmt!r}")
+
+
+def _type_of(stmt: Union[DefNode, DefWire, DefRegister]):
+    if isinstance(stmt, DefNode):
+        return stmt.value.tpe
+    return stmt.type
+
+
+def sort_statements(body: list[Stmt]) -> list[Stmt]:
+    """Order statements declaration-before-use.
+
+    Wires and memories first, then nodes/registers topologically sorted by
+    their definition-time dependencies, then effects (connects, writes,
+    covers, stops) in original order.
+    """
+    decls: list[Stmt] = []
+    defs: list[Stmt] = []
+    effects: list[Stmt] = []
+    for stmt in body:
+        if isinstance(stmt, (DefWire, DefMemory, DefInstance)):
+            decls.append(stmt)
+        elif isinstance(stmt, (DefNode, DefRegister)):
+            defs.append(stmt)
+        else:
+            effects.append(stmt)
+
+    by_name = {s.name: s for s in defs}  # type: ignore[attr-defined]
+    order: list[Stmt] = []
+    visiting: set[str] = set()
+    done: set[str] = set()
+
+    def deps_of(stmt: Stmt) -> list[str]:
+        names: list[str] = []
+        if isinstance(stmt, DefNode):
+            names.extend(references(stmt.value))
+        elif isinstance(stmt, DefRegister):
+            names.extend(references(stmt.clock))
+            if stmt.reset is not None:
+                names.extend(references(stmt.reset))
+            if stmt.init is not None:
+                names.extend(references(stmt.init))
+        return [d for d in names if d in by_name]
+
+    def visit(name: str) -> None:
+        if name in done:
+            return
+        if name in visiting:
+            raise PassError(f"combinational cycle through {name!r}")
+        visiting.add(name)
+        for dep in deps_of(by_name[name]):
+            visit(dep)
+        visiting.discard(name)
+        done.add(name)
+        order.append(by_name[name])
+
+    for stmt in defs:
+        visit(stmt.name)  # type: ignore[attr-defined]
+    return decls + order + effects
+
+
+class InlineInstances(Pass):
+    """Flatten the whole hierarchy into a single module."""
+
+    def run(self, state: CompileState) -> CompileState:
+        circuit = state.circuit
+        top = circuit.top
+        inliner = _Inliner(circuit)
+        identity: dict[str, Expr] = {}
+        inliner.inline(top, "", "", identity, {})
+        # top-level covers map to themselves
+        body = sort_statements(inliner.out)
+        flat = Module(top.name, list(top.ports), body, top.info)
+        new_circuit = Circuit(top.name, [flat], circuit.annotations)
+        cover_paths = dict(state.cover_paths or {})
+        cover_paths.update(inliner.cover_paths)
+        return CompileState(new_circuit, cover_paths, state.metadata)

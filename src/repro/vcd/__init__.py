@@ -1,0 +1,23 @@
+"""VCD waveforms: record, parse, and replay (the Table 2 methodology).
+
+The paper isolates simulator run time from testbench overhead by recording
+a waveform VCD from a real test run and then generating "a minimal
+testbench that only replays the top-level inputs from the VCD".  This
+package reproduces that flow: :class:`VcdRecorder` captures port activity
+from any backend, :func:`parse_vcd` reads it back, and
+:class:`InputReplay` drives a fresh simulation from the recorded inputs.
+"""
+
+from .reader import VcdData, parse_vcd
+from .replay import InputReplay, record_inputs, replay_counts
+from .writer import VcdRecorder, VcdWriter
+
+__all__ = [
+    "InputReplay",
+    "VcdData",
+    "VcdRecorder",
+    "VcdWriter",
+    "parse_vcd",
+    "record_inputs",
+    "replay_counts",
+]

@@ -1,0 +1,83 @@
+"""VCD parsing back into per-time signal values."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class VcdData:
+    """Parsed waveform: signal declarations and value changes."""
+
+    signals: dict[str, int] = field(default_factory=dict)  # name -> width
+    #: per signal: sorted list of (time, value)
+    changes: dict[str, list[tuple[int, int]]] = field(default_factory=dict)
+    end_time: int = 0
+
+    def value_at(self, name: str, time: int) -> int:
+        """The value of ``name`` at ``time`` (0 before the first change)."""
+        history = self.changes.get(name, [])
+        value = 0
+        for t, v in history:
+            if t > time:
+                break
+            value = v
+        return value
+
+    def as_cycles(self, names: list[str]) -> list[dict[str, int]]:
+        """Expand the dump into one value-map per timestep."""
+        out = []
+        current = {name: 0 for name in names}
+        pending: dict[int, dict[str, int]] = {}
+        for name in names:
+            for t, v in self.changes.get(name, []):
+                pending.setdefault(t, {})[name] = v
+        for time in range(self.end_time):
+            if time in pending:
+                current.update(pending[time])
+            out.append(dict(current))
+        return out
+
+
+def parse_vcd(text: str) -> VcdData:
+    """Parse VCD text (the subset our writer produces plus common variants)."""
+    data = VcdData()
+    id_to_name: dict[str, str] = {}
+    time = 0
+    in_definitions = True
+    tokens = text.split("\n")
+    i = 0
+    while i < len(tokens):
+        line = tokens[i].strip()
+        i += 1
+        if not line:
+            continue
+        if in_definitions:
+            if line.startswith("$var"):
+                parts = line.split()
+                # $var wire <width> <id> <name> [indices] $end
+                width = int(parts[2])
+                code = parts[3]
+                name = parts[4]
+                data.signals[name] = width
+                id_to_name[code] = name
+                data.changes[name] = []
+            elif line.startswith("$enddefinitions"):
+                in_definitions = False
+            continue
+        if line.startswith("#"):
+            time = int(line[1:])
+            data.end_time = max(data.end_time, time)
+        elif line.startswith("b") or line.startswith("B"):
+            value_text, _, code = line[1:].partition(" ")
+            name = id_to_name.get(code.strip())
+            if name is not None:
+                value = int(value_text.replace("x", "0").replace("z", "0"), 2)
+                data.changes[name].append((time, value))
+        elif line[0] in "01xzXZ":
+            code = line[1:]
+            name = id_to_name.get(code)
+            if name is not None:
+                value = 1 if line[0] == "1" else 0
+                data.changes[name].append((time, value))
+    return data

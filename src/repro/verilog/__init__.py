@@ -1,0 +1,5 @@
+"""Structural Verilog emission (export path toward Verilator/SymbiYosys)."""
+
+from .emitter import VerilogError, emit_expr, emit_verilog
+
+__all__ = ["VerilogError", "emit_expr", "emit_verilog"]

@@ -1,0 +1,292 @@
+"""Emit lowered IR as structural (System)Verilog.
+
+Reproduces the paper's §2.4/§3.2 flow: the compiler emits a small,
+synthesizable Verilog subset, with each ``cover`` IR statement lowered to an
+*immediate* SystemVerilog cover statement (the form supported by Yosys, as
+the paper notes).  This output is what would feed Verilator or SymbiYosys in
+the original toolchain; here it serves export and golden-file testing.
+
+Requires low form (no ``When`` blocks).
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from ..ir.nodes import (
+    Circuit,
+    Connect,
+    Cover,
+    DefInstance,
+    DefMemory,
+    DefNode,
+    DefRegister,
+    DefWire,
+    Expr,
+    InstPort,
+    MemRead,
+    MemWrite,
+    Module,
+    Mux,
+    PrimOp,
+    Ref,
+    SIntLiteral,
+    Stop,
+    UIntLiteral,
+    When,
+)
+from ..ir.types import ClockType, bit_width, is_signed
+from ..ir.traversal import walk_stmts
+
+_IND = "  "
+
+
+class VerilogError(Exception):
+    """Raised when a circuit cannot be expressed in the Verilog subset."""
+
+
+def _width_decl(width: int) -> str:
+    return f"[{width - 1}:0] " if width > 1 else ""
+
+
+def _sgn(expr: Expr, text: str) -> str:
+    return f"$signed({text})" if is_signed(expr.tpe) else text
+
+
+_BINOPS = {
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "div": "/",
+    "rem": "%",
+    "lt": "<",
+    "leq": "<=",
+    "gt": ">",
+    "geq": ">=",
+    "eq": "==",
+    "neq": "!=",
+    "and": "&",
+    "or": "|",
+    "xor": "^",
+}
+
+
+def emit_expr(expr: Expr) -> str:
+    """Render one expression as Verilog."""
+    if isinstance(expr, Ref):
+        return expr.name
+    if isinstance(expr, InstPort):
+        return f"{expr.instance}_{expr.port}"
+    if isinstance(expr, UIntLiteral):
+        return f"{expr.width}'h{expr.value:x}"
+    if isinstance(expr, SIntLiteral):
+        raw = expr.value & ((1 << expr.width) - 1)
+        return f"$signed({expr.width}'h{raw:x})"
+    if isinstance(expr, Mux):
+        return f"({emit_expr(expr.cond)} ? {_arm(expr.tval)} : {_arm(expr.fval)})"
+    if isinstance(expr, MemRead):
+        return f"{expr.mem}[{emit_expr(expr.addr)}]"
+    if isinstance(expr, PrimOp):
+        return _emit_primop(expr)
+    raise VerilogError(f"cannot emit expression {expr!r}")
+
+
+def _arm(expr: Expr) -> str:
+    return _sgn(expr, emit_expr(expr))
+
+
+def _emit_primop(expr: PrimOp) -> str:
+    op = expr.op
+    args = expr.args
+    if op in _BINOPS:
+        a, b = args
+        return f"({_sgn(a, emit_expr(a))} {_BINOPS[op]} {_sgn(b, emit_expr(b))})"
+    if op == "not":
+        return f"(~{emit_expr(args[0])})"
+    if op == "neg":
+        return f"(-{_sgn(args[0], emit_expr(args[0]))})"
+    if op == "cat":
+        return f"{{{emit_expr(args[0])}, {emit_expr(args[1])}}}"
+    if op == "bits":
+        hi, lo = expr.consts
+        inner = emit_expr(args[0])
+        if isinstance(args[0], (PrimOp, Mux)):
+            # Verilog cannot slice an expression; widen via a cast-free shift
+            if lo == 0:
+                return inner  # truncation happens at the assignment width
+            return f"({inner} >> {lo})"
+        if hi == lo:
+            return f"{inner}[{hi}]"
+        return f"{inner}[{hi}:{lo}]"
+    if op == "head":
+        (count,) = expr.consts
+        width = bit_width(args[0].tpe)
+        return f"({emit_expr(args[0])} >> {width - count})"
+    if op == "tail":
+        return emit_expr(args[0])
+    if op == "shl":
+        return f"({emit_expr(args[0])} << {expr.consts[0]})"
+    if op == "shr":
+        a = args[0]
+        if is_signed(a.tpe):
+            return f"($signed({emit_expr(a)}) >>> {expr.consts[0]})"
+        return f"({emit_expr(a)} >> {expr.consts[0]})"
+    if op == "dshl":
+        return f"({emit_expr(args[0])} << {emit_expr(args[1])})"
+    if op == "dshr":
+        a = args[0]
+        if is_signed(a.tpe):
+            return f"($signed({emit_expr(a)}) >>> {emit_expr(args[1])})"
+        return f"({emit_expr(a)} >> {emit_expr(args[1])})"
+    if op == "andr":
+        return f"(&{emit_expr(args[0])})"
+    if op == "orr":
+        return f"(|{emit_expr(args[0])})"
+    if op == "xorr":
+        return f"(^{emit_expr(args[0])})"
+    if op == "pad":
+        a = args[0]
+        if is_signed(a.tpe):
+            return f"$signed({emit_expr(a)})"
+        return emit_expr(a)
+    if op in ("asUInt", "asSInt"):
+        return emit_expr(args[0])
+    raise VerilogError(f"cannot emit primop {op}")
+
+
+def emit_module(circuit: Circuit, module: Module, out: StringIO, use_sv_cover: bool = True) -> None:
+    if any(isinstance(s, When) for s in walk_stmts(module.body)):
+        raise VerilogError(f"module {module.name} is not in low form")
+
+    ports = []
+    for p in module.ports:
+        width = 1 if isinstance(p.type, ClockType) else bit_width(p.type)
+        direction = "input" if p.direction == "input" else "output"
+        signed = " signed" if is_signed(p.type) else ""
+        ports.append(f"{_IND}{direction}{signed} {_width_decl(width)}{p.name}")
+    out.write(f"module {module.name}(\n" + ",\n".join(ports) + "\n);\n")
+
+    regs: list[DefRegister] = []
+    covers: list[Cover] = []
+    stops: list[Stop] = []
+    writes: list[MemWrite] = []
+    connects: dict[str, Connect] = {}
+    inst_connects: dict[str, list[Connect]] = {}
+    for stmt in module.body:
+        if isinstance(stmt, Connect):
+            if isinstance(stmt.loc, InstPort):
+                inst_connects.setdefault(stmt.loc.instance, []).append(stmt)
+            else:
+                connects[stmt.loc.name] = stmt
+        elif isinstance(stmt, DefRegister):
+            regs.append(stmt)
+        elif isinstance(stmt, Cover):
+            covers.append(stmt)
+        elif isinstance(stmt, Stop):
+            stops.append(stmt)
+        elif isinstance(stmt, MemWrite):
+            writes.append(stmt)
+
+    for stmt in module.body:
+        if isinstance(stmt, DefWire):
+            signed = " signed" if is_signed(stmt.type) else ""
+            out.write(f"{_IND}wire{signed} {_width_decl(bit_width(stmt.type))}{stmt.name};\n")
+        elif isinstance(stmt, DefNode):
+            tpe = stmt.value.tpe
+            signed = " signed" if is_signed(tpe) else ""
+            out.write(
+                f"{_IND}wire{signed} {_width_decl(bit_width(tpe))}{stmt.name} = "
+                f"{emit_expr(stmt.value)};\n"
+            )
+        elif isinstance(stmt, DefRegister):
+            signed = " signed" if is_signed(stmt.type) else ""
+            out.write(f"{_IND}reg{signed} {_width_decl(bit_width(stmt.type))}{stmt.name};\n")
+        elif isinstance(stmt, DefMemory):
+            out.write(
+                f"{_IND}reg {_width_decl(bit_width(stmt.data_type))}{stmt.name} "
+                f"[0:{stmt.depth - 1}];\n"
+            )
+        elif isinstance(stmt, DefInstance):
+            pass
+
+    # instances: child outputs surface as wires named ``inst_port``
+    for stmt in module.body:
+        if isinstance(stmt, DefInstance):
+            conns = []
+            for c in inst_connects.get(stmt.name, []):
+                assert isinstance(c.loc, InstPort)
+                conns.append(f".{c.loc.port}({emit_expr(c.expr)})")
+            child = circuit.module(stmt.module)
+            if child is not None:
+                for p in child.ports:
+                    if p.direction == "output":
+                        wire = f"{stmt.name}_{p.name}"
+                        out.write(f"{_IND}wire {_width_decl(bit_width(p.type))}{wire};\n")
+                        conns.append(f".{p.name}({wire})")
+            out.write(f"{_IND}{stmt.module} {stmt.name} (" + ", ".join(conns))
+            out.write(");\n")
+
+    # continuous assignments for wires and outputs
+    for name, stmt in connects.items():
+        if any(r.name == name for r in regs):
+            continue
+        out.write(f"{_IND}assign {name} = {emit_expr(stmt.expr)};\n")
+
+    # sequential logic
+    clock_groups: dict[str, list[str]] = {}
+
+    def add_seq(clock: Expr, line: str) -> None:
+        clock_groups.setdefault(emit_expr(clock), []).append(line)
+
+    for reg in regs:
+        stmt = connects.get(reg.name)
+        next_text = emit_expr(stmt.expr) if stmt is not None else reg.name
+        if reg.reset is not None and reg.init is not None:
+            add_seq(
+                reg.clock,
+                f"if ({emit_expr(reg.reset)}) {reg.name} <= {emit_expr(reg.init)}; "
+                f"else {reg.name} <= {next_text};",
+            )
+        else:
+            add_seq(reg.clock, f"{reg.name} <= {next_text};")
+    for w in writes:
+        add_seq(
+            w.clock,
+            f"if ({emit_expr(w.en)}) {w.mem}[{emit_expr(w.addr)}] <= {emit_expr(w.data)};",
+        )
+    for c in covers:
+        if use_sv_cover:
+            add_seq(c.clock, f"{c.name}: cover(({emit_expr(c.pred)}) && ({emit_expr(c.en)}));")
+        else:
+            add_seq(
+                c.clock,
+                f"if (({emit_expr(c.pred)}) && ({emit_expr(c.en)})) ; // cover {c.name}",
+            )
+    for s_ in stops:
+        add_seq(
+            s_.clock,
+            f"if (({emit_expr(s_.pred)}) && ({emit_expr(s_.en)})) $finish; // stop {s_.name}",
+        )
+
+    for clock_text, lines in clock_groups.items():
+        out.write(f"{_IND}always @(posedge {clock_text}) begin\n")
+        for line in lines:
+            out.write(f"{_IND}{_IND}{line}\n")
+        out.write(f"{_IND}end\n")
+
+    out.write("endmodule\n")
+
+
+def emit_verilog(circuit: Circuit, use_sv_cover: bool = True) -> str:
+    """Emit the whole circuit as Verilog text.
+
+    ``use_sv_cover`` selects immediate SystemVerilog cover statements (the
+    Yosys/SymbiYosys-compatible form); otherwise covers become comments.
+    """
+    out = StringIO()
+    out.write("// Generated by repro (simulator independent coverage)\n")
+    for i, module in enumerate(circuit.modules):
+        if i:
+            out.write("\n")
+        emit_module(circuit, module, out, use_sv_cover)
+    return out.getvalue()

@@ -1,0 +1,119 @@
+"""FSM coverage: transition analysis, conservatism, reports."""
+
+from repro.backends import TreadleBackend
+from repro.coverage import fsm_report, instrument
+from repro.coverage.fsm import FsmCoveragePass
+from repro.hcl import ChiselEnum, Module, elaborate
+from repro.passes import CheckForms, CompileState, ConstProp, ExpandWhens, PassManager
+
+
+TrafficState = ChiselEnum("Traffic", "red green yellow")
+
+
+class _Traffic(Module):
+    def build(self, m):
+        go = m.input("go")
+        out = m.output("out", 2)
+        state = m.reg("state", enum=TrafficState)
+        with m.switch(state):
+            with m.is_(TrafficState.red):
+                with m.when(go):
+                    state <<= TrafficState.green
+            with m.is_(TrafficState.green):
+                state <<= TrafficState.yellow
+            with m.is_(TrafficState.yellow):
+                state <<= TrafficState.red
+        out <<= state
+
+
+def analyze(module):
+    db_pass = FsmCoveragePass()
+    PassManager([CheckForms(), ExpandWhens(), ConstProp(), db_pass]).run(
+        CompileState(elaborate(module))
+    )
+    return db_pass
+
+
+class TestTransitionAnalysis:
+    def test_exact_transitions_found(self):
+        info = analyze(_Traffic()).infos[0]
+        transitions = set(info.transitions)
+        assert transitions == {
+            ("red", "red"),
+            ("red", "green"),
+            ("green", "yellow"),
+            ("yellow", "red"),
+        }
+        assert not info.over_approximated
+
+    def test_start_state_detected(self):
+        info = analyze(_Traffic()).infos[0]
+        assert info.start == "red"
+
+    def test_over_approximation_on_opaque_next(self):
+        S = ChiselEnum("Opaque", "a b")
+
+        class Scrambled(Module):
+            def build(self, m):
+                noise = m.input("noise", 1)
+                out = m.output("o", 1)
+                state = m.reg("state", enum=S)
+                # next state comes through an arithmetic blender the
+                # analysis cannot see through
+                state <<= ((state + noise) ^ noise)[0:0]
+                out <<= state
+
+        info = analyze(Scrambled()).infos[0]
+        assert info.over_approximated
+        # conservative: ALL transitions reported
+        assert set(info.transitions) == {
+            ("a", "a"), ("a", "b"), ("b", "a"), ("b", "b")
+        }
+
+    def test_covers_for_states_and_transitions(self):
+        fsm_pass = analyze(_Traffic())
+        kinds = [payload["kind"] for _, _, payload in fsm_pass.db.covers_of("fsm")]
+        assert kinds.count("state") == 3
+        assert kinds.count("transition") == 4
+
+
+class TestRuntimeCounts:
+    def run(self, go_sequence):
+        state, db = instrument(elaborate(_Traffic()), metrics=["fsm"])
+        sim = TreadleBackend().compile_state(state)
+        sim.poke("reset", 1)
+        sim.step()
+        sim.poke("reset", 0)
+        for go in go_sequence:
+            sim.poke("go", go)
+            sim.step()
+        return fsm_report(db, sim.cover_counts(), state.circuit)
+
+    def test_full_cycle_covers_everything(self):
+        report = self.run([0, 1, 0, 0, 1, 0, 0])
+        data = report.fsms[("_Traffic", "state")]
+        assert all(c > 0 for c in data["states"].values())
+        assert all(c > 0 for c in data["transitions"].values())
+
+    def test_stuck_fsm_uncovers_transitions(self):
+        report = self.run([0, 0, 0, 0])
+        data = report.fsms[("_Traffic", "state")]
+        assert data["states"]["red"] > 0
+        assert data["states"]["green"] == 0
+        assert data["transitions"][("red", "green")] == 0
+
+    def test_report_formats(self):
+        report = self.run([1, 0, 0, 1])
+        text = report.format()
+        assert "FSM _Traffic.state" in text
+        assert "->" in text
+
+    def test_transitions_not_counted_during_reset(self):
+        state, db = instrument(elaborate(_Traffic()), metrics=["fsm"])
+        sim = TreadleBackend().compile_state(state)
+        sim.poke("reset", 1)
+        sim.poke("go", 1)
+        sim.step(5)  # in reset: no transition counts
+        report = fsm_report(db, sim.cover_counts(), state.circuit)
+        transitions = report.fsms[("_Traffic", "state")]["transitions"]
+        assert all(c == 0 for c in transitions.values())

@@ -1,0 +1,166 @@
+"""Ready/valid + mux-toggle metrics and the common library (merge/filter)."""
+
+from hypothesis import given, strategies as st
+
+from repro.backends import TreadleBackend, VerilatorBackend
+from repro.coverage import (
+    CoverageDB,
+    InstanceTree,
+    covered_points,
+    filter_covered,
+    instrument,
+    merge_counts,
+    mux_toggle_report,
+    ready_valid_report,
+)
+from repro.designs.lib import Queue
+from repro.hcl import Module, elaborate
+
+
+class TestReadyValid:
+    def run_queue(self, enq_cycles):
+        state, db = instrument(elaborate(Queue(8, 4)), metrics=["ready_valid"])
+        sim = TreadleBackend().compile_state(state)
+        sim.poke("reset", 1)
+        sim.step()
+        sim.poke("reset", 0)
+        sim.poke("deq_ready", 1)
+        for enq in enq_cycles:
+            sim.poke("enq_valid", enq)
+            sim.poke("enq_bits", 42)
+            sim.step()
+        return ready_valid_report(db, sim.cover_counts(), state.circuit)
+
+    def test_counts_fires(self):
+        report = self.run_queue([1, 1, 0, 1])
+        assert report.bundles[("Queue", "enq")] == 3
+        assert report.fired >= 1
+
+    def test_idle_interface_reported(self):
+        report = self.run_queue([0, 0])
+        assert report.bundles[("Queue", "enq")] == 0
+        assert report.fired < report.total
+        assert "!" in report.format()
+
+    def test_one_cover_per_bundle(self):
+        _, db = instrument(elaborate(Queue(8, 4)), metrics=["ready_valid"])
+        assert db.count("ready_valid") == 2  # enq + deq
+
+
+class TestMuxToggle:
+    def test_selects_found_and_deduped(self):
+        class TwoMux(Module):
+            def build(self, m):
+                sel = m.input("sel")
+                a = m.input("a", 4)
+                b = m.input("b", 4)
+                o1 = m.output("o1", 4)
+                o2 = m.output("o2", 4)
+                o1 <<= m.mux(sel, a, b)
+                o2 <<= m.mux(sel, b, a)  # same select: dedup
+
+        state, db = instrument(elaborate(TwoMux()), metrics=["mux_toggle"])
+        indexes = {payload["index"] for _, _, payload in db.covers_of("mux_toggle")}
+        assert len(indexes) == 1  # one distinct select signal
+        assert db.count("mux_toggle") == 2  # T and F polarity
+
+    def test_both_polarities_required(self):
+        class OneMux(Module):
+            def build(self, m):
+                sel = m.input("sel")
+                o = m.output("o", 4)
+                o <<= m.mux(sel, 3, 5)
+
+        state, db = instrument(elaborate(OneMux()), metrics=["mux_toggle"])
+        sim = TreadleBackend().compile_state(state)
+        sim.poke("sel", 1)
+        sim.step(5)
+        report = mux_toggle_report(db, sim.cover_counts(), state.circuit)
+        assert report.toggled == 0
+        sim.poke("sel", 0)
+        sim.step(1)
+        report = mux_toggle_report(db, sim.cover_counts(), state.circuit)
+        assert report.toggled == report.total == 1
+
+
+class TestCommonLibrary:
+    @given(
+        st.dictionaries(st.sampled_from(["a", "b", "c", "d"]), st.integers(0, 100)),
+        st.dictionaries(st.sampled_from(["a", "b", "c", "d"]), st.integers(0, 100)),
+    )
+    def test_merge_is_addition(self, x, y):
+        merged = merge_counts(x, y)
+        for key in set(x) | set(y):
+            assert merged[key] == x.get(key, 0) + y.get(key, 0)
+
+    @given(
+        st.dictionaries(st.sampled_from(["a", "b", "c"]), st.integers(0, 100)),
+        st.dictionaries(st.sampled_from(["a", "b", "c"]), st.integers(0, 100)),
+    )
+    def test_merge_commutative(self, x, y):
+        assert merge_counts(x, y) == merge_counts(y, x)
+
+    def test_merge_saturates(self):
+        merged = merge_counts({"a": 200}, {"a": 100}, counter_width=8)
+        assert merged["a"] == 255
+
+    def test_filter_covered(self):
+        counts = {"a": 0, "b": 5, "c": 12}
+        assert filter_covered(counts, threshold=10) == {"a", "b"}
+        assert covered_points(counts, threshold=10) == {"c"}
+        assert covered_points(counts) == {"b", "c"}
+
+    def test_db_serialization_roundtrip(self):
+        db = CoverageDB()
+        db.add("line", "M", "l0", {"lines": [["f.py", 3]]})
+        db.add("fsm", "M", "t0", {"kind": "state", "state": "idle"})
+        restored = CoverageDB.from_json(db.to_json())
+        assert restored.entries == db.entries
+
+    def test_db_merge(self):
+        a = CoverageDB()
+        a.add("line", "M", "l0", {})
+        b = CoverageDB()
+        b.add("toggle", "M", "t0", {})
+        merged = a.merge(b)
+        assert merged.count("line") == 1
+        assert merged.count("toggle") == 1
+
+    def test_instance_tree_resolution(self):
+        class Leaf(Module):
+            def signature(self):
+                return ("leaf",)
+
+            def build(self, m):
+                o = m.output("o", 1)
+                o <<= 0
+                m.cover(m.lit(1, 1) == 1, "c")
+
+        class Mid(Module):
+            def signature(self):
+                return ("mid",)
+
+            def build(self, m):
+                leaf = m.instance("leaf", Leaf())
+                o = m.output("o", 1)
+                o <<= leaf.o
+
+        class Top(Module):
+            def build(self, m):
+                x = m.instance("x", Mid())
+                y = m.instance("y", Mid())
+                o = m.output("o", 1)
+                o <<= x.o | y.o
+
+        circuit = elaborate(Top())
+        tree = InstanceTree(circuit)
+        module, local = tree.resolve("x.leaf.c")
+        assert local == "c"
+        paths = tree.instance_paths(module)
+        assert sorted(paths) == ["x.leaf.", "y.leaf."]
+
+    def test_counts_json_roundtrip(self):
+        from repro.coverage import counts_from_json, counts_to_json
+
+        counts = {"x.c": 4, "y": 0}
+        assert counts_from_json(counts_to_json(counts)) == counts

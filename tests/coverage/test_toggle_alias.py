@@ -1,0 +1,110 @@
+"""Toggle coverage and the global alias analysis."""
+
+from repro.backends import TreadleBackend
+from repro.coverage import analyze_aliases, instrument, toggle_report
+from repro.hcl import Module, elaborate
+from repro.passes import lower
+
+
+class _Toggler(Module):
+    def build(self, m):
+        din = m.input("din", 4)
+        out = m.output("out", 4)
+        r = m.reg("r", 4, init=0)
+        r <<= din
+        out <<= r
+
+
+class TestToggleInstrumentation:
+    def test_counts_bit_changes(self):
+        state, db = instrument(elaborate(_Toggler()), metrics=["toggle"])
+        sim = TreadleBackend().compile_state(state)
+        sim.poke("reset", 1)
+        sim.step()
+        sim.poke("reset", 0)
+        for value in (0b0001, 0b0011, 0b0011):
+            sim.poke("din", value)
+            sim.step()
+        report = toggle_report(db, sim.cover_counts(), state.circuit)
+        din_bits = report.signals[("_Toggler", "din")]
+        assert din_bits[0] >= 1  # bit 0 rose
+        assert din_bits[3] == 0  # bit 3 never moved
+
+    def test_first_cycle_suppressed(self):
+        state, db = instrument(elaborate(_Toggler()), metrics=["toggle"])
+        sim = TreadleBackend().compile_state(state)
+        # drive a value in the very first cycle: prev is bogus, must not count
+        sim.poke("din", 0xF)
+        sim.step()
+        counts = sim.cover_counts()
+        assert all(c == 0 for c in counts.values())
+
+    def test_stuck_bits_reported(self):
+        state, db = instrument(elaborate(_Toggler()), metrics=["toggle"])
+        sim = TreadleBackend().compile_state(state)
+        sim.step(5)
+        report = toggle_report(db, sim.cover_counts(), state.circuit)
+        assert len(report.stuck_bits()) == report.total_bits
+        assert report.percent == 0.0
+
+    def test_categories_selectable(self):
+        state, db = instrument(
+            elaborate(_Toggler()), metrics=["toggle"], toggle_categories=["reg"]
+        )
+        signals = {payload["signal"] for _, _, payload in db.covers_of("toggle")}
+        assert signals == {"r"}
+
+
+class _AliasTop(Module):
+    def build(self, m):
+        din = m.input("din", 4)
+        out = m.output("out", 4)
+        a = m.instance("a", _Toggler())
+        b = m.instance("b", _Toggler())
+        a.din <<= din
+        b.din <<= din
+        out <<= a.out & b.out
+
+
+class TestAliasAnalysis:
+    def test_child_ports_skipped_when_plainly_driven(self):
+        state = lower(elaborate(_AliasTop()), optimize=False)
+        info = analyze_aliases(state.circuit)
+        assert "din" in info.skipped("_Toggler")
+        assert "reset" in info.skipped("_Toggler")
+
+    def test_reset_instrumented_once_globally(self):
+        state, db = instrument(elaborate(_AliasTop()), metrics=["toggle"])
+        reset_covers = [
+            (module, payload["signal"])
+            for module, _, payload in db.covers_of("toggle")
+            if payload["signal"] == "reset"
+        ]
+        assert reset_covers == [("_AliasTop", "reset")]
+
+    def test_alias_analysis_reduces_covers(self):
+        circuit = elaborate(_AliasTop())
+        _, with_alias = instrument(circuit, metrics=["toggle"])
+        _, without_alias = instrument(
+            circuit, metrics=["toggle"], use_alias_analysis=False
+        )
+        assert with_alias.count("toggle") < without_alias.count("toggle")
+
+    def test_groups_reported(self):
+        state = lower(elaborate(_AliasTop()), optimize=False)
+        info = analyze_aliases(state.circuit)
+        assert info.total_skipped > 0
+
+    def test_counts_still_complete_after_aliasing(self):
+        """Skipping aliased signals must not lose toggle information."""
+        state, db = instrument(elaborate(_AliasTop()), metrics=["toggle"])
+        sim = TreadleBackend().compile_state(state)
+        sim.poke("reset", 1)
+        sim.step()
+        sim.poke("reset", 0)
+        for value in (0b0101, 0b1010, 0b0101):
+            sim.poke("din", value)
+            sim.step()
+        report = toggle_report(db, sim.cover_counts(), state.circuit)
+        top_din = report.signals[("_AliasTop", "din")]
+        assert all(count >= 2 for count in top_din.values())

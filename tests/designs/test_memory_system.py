@@ -1,0 +1,209 @@
+"""MainMemory, MemArbiter and cache interplay."""
+
+from repro.backends import VerilatorBackend
+from repro.designs.riscv_mini.cache import Cache
+from repro.designs.riscv_mini.memory import MainMemory, MemArbiter
+from repro.hcl import Module, elaborate
+
+
+def compiled(design):
+    sim = VerilatorBackend().compile(elaborate(design))
+    sim.poke("reset", 1)
+    sim.step()
+    sim.poke("reset", 0)
+    return sim
+
+
+class TestMainMemory:
+    def request(self, sim, addr, data=0, wen=0):
+        sim.poke("req_valid", 1)
+        sim.poke("req_addr", addr)
+        sim.poke("req_data", data)
+        sim.poke("req_wen", wen)
+        cycles = 0
+        while not sim.peek("req_ready"):
+            sim.step()
+            cycles += 1
+        sim.step()
+        sim.poke("req_valid", 0)
+        while not sim.peek("resp_valid"):
+            sim.step()
+            cycles += 1
+        value = sim.peek("resp_data")
+        sim.step()
+        return value, cycles
+
+    def test_write_then_read(self):
+        sim = compiled(MainMemory(addr_width=6, latency=2))
+        self.request(sim, 5, data=0xABCD, wen=1)
+        value, _ = self.request(sim, 5)
+        assert value == 0xABCD
+
+    def test_latency_respected(self):
+        fast = compiled(MainMemory(addr_width=6, latency=1))
+        slow = compiled(MainMemory(addr_width=6, latency=6))
+        _, fast_cycles = self.request(fast, 1)
+        _, slow_cycles = self.request(slow, 1)
+        assert slow_cycles > fast_cycles
+
+    def test_loader_port(self):
+        sim = compiled(MainMemory(addr_width=6, latency=1))
+        sim.poke("init_en", 1)
+        sim.poke("init_addr", 9)
+        sim.poke("init_data", 0x1234)
+        sim.step()
+        sim.poke("init_en", 0)
+        value, _ = self.request(sim, 9)
+        assert value == 0x1234
+
+
+class _ArbitratedMemory(Module):
+    """Two caches arbitrated onto one memory (the riscv-mini backbone)."""
+
+    def build(self, m):
+        aw = 6
+        req_valid = [m.input(f"c{i}_valid") for i in range(2)]
+        req_addr = [m.input(f"c{i}_addr", aw) for i in range(2)]
+        req_wen = [m.input(f"c{i}_wen") for i in range(2)]
+        req_data = [m.input(f"c{i}_data", 32) for i in range(2)]
+        resp_valid = [m.output(f"c{i}_resp_valid", 1) for i in range(2)]
+        resp_data = [m.output(f"c{i}_resp_data", 32) for i in range(2)]
+        ready = [m.output(f"c{i}_ready", 1) for i in range(2)]
+
+        arb = m.instance("arb", MemArbiter(aw, 32))
+        mem = m.instance("mem", MainMemory(aw, 32, 1))
+        for i in range(2):
+            getattr(arb, f"m{i}_req_valid").assign(req_valid[i])
+            getattr(arb, f"m{i}_req_addr").assign(req_addr[i])
+            getattr(arb, f"m{i}_req_wen").assign(req_wen[i])
+            getattr(arb, f"m{i}_req_data").assign(req_data[i])
+            resp_valid[i] <<= getattr(arb, f"m{i}_resp_valid")
+            resp_data[i] <<= getattr(arb, f"m{i}_resp_data")
+            ready[i] <<= getattr(arb, f"m{i}_req_ready")
+        mem.req_valid <<= arb.out_req_valid
+        arb.out_req_ready <<= mem.req_ready
+        mem.req_addr <<= arb.out_req_addr
+        mem.req_data <<= arb.out_req_data
+        mem.req_wen <<= arb.out_req_wen
+        arb.out_resp_valid <<= mem.resp_valid
+        arb.out_resp_data <<= mem.resp_data
+        mem.init_en <<= 0
+        mem.init_addr <<= 0
+        mem.init_data <<= 0
+
+
+class TestMemArbiter:
+    def test_priority_and_response_routing(self):
+        sim = compiled(_ArbitratedMemory())
+        # master 0 writes 7 to addr 3 while master 1 also requests
+        sim.poke("c0_valid", 1)
+        sim.poke("c0_addr", 3)
+        sim.poke("c0_wen", 1)
+        sim.poke("c0_data", 7)
+        sim.poke("c1_valid", 1)
+        sim.poke("c1_addr", 3)
+        sim.poke("c1_wen", 0)
+        # master 0 must win
+        assert sim.peek("c0_ready") == 1
+        assert sim.peek("c1_ready") == 0
+        sim.step()
+        sim.poke("c0_valid", 0)
+        # wait for master 0's response; master 1 must not see it
+        for _ in range(10):
+            if sim.peek("c0_resp_valid"):
+                break
+            assert sim.peek("c1_resp_valid") == 0
+            sim.step()
+        assert sim.peek("c0_resp_valid") == 1
+        sim.step()
+        # now master 1's read gets served and returns the written value
+        for _ in range(10):
+            if sim.peek("c1_resp_valid"):
+                break
+            sim.step()
+        assert sim.peek("c1_resp_valid") == 1
+        assert sim.peek("c1_resp_data") == 7
+
+    def test_no_response_without_request(self):
+        sim = compiled(_ArbitratedMemory())
+        sim.poke("c0_valid", 0)
+        sim.poke("c1_valid", 0)
+        for _ in range(10):
+            assert sim.peek("c0_resp_valid") == 0
+            assert sim.peek("c1_resp_valid") == 0
+            sim.step()
+
+
+class TestCacheBehaviour:
+    def drive_read(self, sim, addr):
+        sim.poke("cpu_req_valid", 1)
+        sim.poke("cpu_req_addr", addr)
+        sim.poke("cpu_req_wen", 0)
+        cycles = 0
+        while not sim.peek("cpu_req_ready"):
+            sim.step()
+            cycles += 1
+        sim.step()
+        sim.poke("cpu_req_valid", 0)
+        while not sim.peek("cpu_resp_valid"):
+            sim.step()
+            cycles += 1
+        data = sim.peek("cpu_resp_data")
+        sim.step()
+        return data, cycles
+
+
+class _CacheWithMemory(Module):
+    def build(self, m):
+        cache = m.instance("cache", Cache(n_sets=4, addr_width=6, xlen=32))
+        mem = m.instance("mem", MainMemory(6, 32, 2))
+        for name in ("cpu_req_valid", "cpu_req_addr", "cpu_req_data", "cpu_req_wen"):
+            width = {"cpu_req_addr": 6, "cpu_req_data": 32}.get(name, 1)
+            cache.io(name).assign(m.input(name, width))
+        m.output("cpu_req_ready", 1).assign(cache.cpu_req_ready)
+        m.output("cpu_resp_valid", 1).assign(cache.cpu_resp_valid)
+        m.output("cpu_resp_data", 32).assign(cache.cpu_resp_data)
+        m.output("hit", 1).assign(cache.hit)
+        mem.req_valid <<= cache.mem_req_valid
+        cache.mem_req_ready <<= mem.req_ready
+        mem.req_addr <<= cache.mem_req_addr
+        mem.req_data <<= cache.mem_req_data
+        mem.req_wen <<= cache.mem_req_wen
+        cache.mem_resp_valid <<= mem.resp_valid
+        cache.mem_resp_data <<= mem.resp_data
+        init_en = m.input("init_en")
+        init_addr = m.input("init_addr", 6)
+        init_data = m.input("init_data", 32)
+        mem.init_en <<= init_en
+        mem.init_addr <<= init_addr
+        mem.init_data <<= init_data
+
+
+class TestCacheWithBackingMemory(TestCacheBehaviour):
+    def test_miss_then_hit(self):
+        sim = compiled(_CacheWithMemory())
+        sim.poke("init_en", 1)
+        sim.poke("init_addr", 17)
+        sim.poke("init_data", 0xCAFE)
+        sim.step()
+        sim.poke("init_en", 0)
+        data_miss, cycles_miss = self.drive_read(sim, 17)
+        data_hit, cycles_hit = self.drive_read(sim, 17)
+        assert data_miss == data_hit == 0xCAFE
+        assert cycles_hit < cycles_miss, "second access must hit"
+
+    def test_conflict_eviction(self):
+        """Two addresses mapping to the same set evict each other."""
+        sim = compiled(_CacheWithMemory())
+        sim.poke("init_en", 1)
+        for addr, value in [(1, 111), (1 + 4, 222)]:  # same index, 4 sets
+            sim.poke("init_addr", addr)
+            sim.poke("init_data", value)
+            sim.step()
+        sim.poke("init_en", 0)
+        a, _ = self.drive_read(sim, 1)
+        b, _ = self.drive_read(sim, 5)  # evicts addr 1
+        a2, cycles = self.drive_read(sim, 1)  # must miss again
+        assert (a, b, a2) == (111, 222, 111)
+        _, hit_cycles = self.drive_read(sim, 1)
+        assert hit_cycles < cycles

@@ -1,0 +1,348 @@
+"""TLRAM, serv, NeuroProc, I2C and stdlib functional tests."""
+
+import math
+import random
+
+import pytest
+
+from repro.backends import TreadleBackend, VerilatorBackend
+from repro.designs.i2c import I2cPeripheral
+from repro.designs.lib import Arbiter, Counter, EdgeDetector, PopCount, PulseStretcher, Queue, RoundRobinArbiter, ShiftRegister
+from repro.designs.neuroproc import NeuroProc
+from repro.designs.serv import SOP_ADD, SOP_AND, SOP_SUB, SOP_XOR, SerialAlu, SerialGcd
+from repro.designs.tlram import A_GET, A_PUT_FULL, TlRam
+from repro.hcl import elaborate
+
+
+def compiled(design):
+    sim = VerilatorBackend().compile(elaborate(design))
+    sim.poke("reset", 1)
+    sim.step()
+    sim.poke("reset", 0)
+    return sim
+
+
+class TestTlRam:
+    def request(self, sim, opcode, address, data=0, mask=0xF):
+        sim.poke("a_valid", 1)
+        sim.poke("a_opcode", opcode)
+        sim.poke("a_address", address)
+        sim.poke("a_data", data)
+        sim.poke("a_mask", mask)
+        sim.poke("d_ready", 1)
+        while not sim.peek("a_ready"):
+            sim.step()
+        sim.step()
+        sim.poke("a_valid", 0)
+        while not sim.peek("d_valid"):
+            sim.step()
+        result = sim.peek("d_data"), sim.peek("d_opcode")
+        sim.step()
+        return result
+
+    def test_write_read(self):
+        sim = compiled(TlRam())
+        self.request(sim, A_PUT_FULL, 5, 0xDEADBEEF)
+        data, opcode = self.request(sim, A_GET, 5)
+        assert data == 0xDEADBEEF
+        assert opcode == 1  # AccessAckData
+
+    def test_partial_write_mask(self):
+        sim = compiled(TlRam())
+        self.request(sim, A_PUT_FULL, 9, 0xAABBCCDD)
+        self.request(sim, A_PUT_FULL, 9, 0x11223344, mask=0b0101)
+        data, _ = self.request(sim, A_GET, 9)
+        assert data == 0xAA22CC44
+
+    def test_distinct_addresses(self):
+        sim = compiled(TlRam())
+        for addr in range(4):
+            self.request(sim, A_PUT_FULL, addr, addr * 0x111)
+        for addr in range(4):
+            data, _ = self.request(sim, A_GET, addr)
+            assert data == addr * 0x111
+
+
+class TestSerialAlu:
+    def compute(self, sim, op, a, b):
+        sim.poke("start", 1)
+        sim.poke("op", op)
+        sim.poke("a", a)
+        sim.poke("b", b)
+        sim.step()
+        sim.poke("start", 0)
+        for _ in range(40):
+            if sim.peek("done"):
+                break
+            sim.step()
+        return sim.peek("result")
+
+    def test_bit_serial_add(self):
+        sim = compiled(SerialAlu())
+        assert self.compute(sim, SOP_ADD, 1000, 2345) == 3345
+
+    def test_bit_serial_sub(self):
+        sim = compiled(SerialAlu())
+        sim.step(2)
+        assert self.compute(sim, SOP_SUB, 5000, 1234) == 3766
+
+    def test_logic_ops(self):
+        sim = compiled(SerialAlu())
+        sim.step(2)
+        assert self.compute(sim, SOP_AND, 0xF0F0, 0xFF00) == 0xF000
+        sim.step(2)
+        assert self.compute(sim, SOP_XOR, 0xFF, 0x0F) == 0xF0
+
+    def test_takes_xlen_cycles(self):
+        sim = compiled(SerialAlu())
+        sim.poke("start", 1)
+        sim.poke("op", SOP_ADD)
+        sim.poke("a", 1)
+        sim.poke("b", 1)
+        sim.step()
+        sim.poke("start", 0)
+        busy_cycles = 0
+        while sim.peek("busy"):
+            sim.step()
+            busy_cycles += 1
+        assert busy_cycles == 32  # one bit per cycle
+
+
+class TestSerialGcd:
+    def gcd_of(self, sim, a, b, width=32):
+        sim.poke("req_valid", 1)
+        sim.poke("req_bits", (b << width) | a)
+        sim.poke("resp_ready", 1)
+        while not sim.peek("req_ready"):
+            sim.step()
+        sim.step()
+        sim.poke("req_valid", 0)
+        for _ in range(20_000):
+            if sim.peek("resp_valid"):
+                break
+            sim.step()
+        value = sim.peek("resp_bits")
+        sim.step()
+        return value
+
+    def test_gcd_values(self):
+        sim = compiled(SerialGcd())
+        for a, b in [(12, 18), (7, 13), (100, 75), (5, 0)]:
+            assert self.gcd_of(sim, a, b) == math.gcd(a, b)
+
+
+class TestNeuroProc:
+    def configure(self, sim, weights):
+        sim.poke("w_en", 1)
+        for address, weight in weights.items():
+            sim.poke("w_addr", address)
+            sim.poke("w_data", weight)
+            sim.step()
+        sim.poke("w_en", 0)
+
+    def timestep(self, sim, spikes):
+        sim.poke("in_spikes", spikes)
+        sim.poke("start", 1)
+        while not sim.peek("busy"):
+            sim.step()
+        sim.poke("start", 0)
+        for _ in range(2000):
+            if sim.peek("done"):
+                break
+            sim.step()
+        out = sim.peek("out_spikes")
+        sim.step(2)
+        return out
+
+    def test_neuron_fires_over_threshold(self):
+        proc = NeuroProc(n_neurons=4, n_inputs=4, threshold=100)
+        sim = compiled(proc)
+        # neuron 0 gets weight 200 from input 0 -> one spike fires it
+        self.configure(sim, {0: 200})
+        out = self.timestep(sim, 0b0001)
+        assert out & 1 == 1
+
+    def test_no_input_no_spike(self):
+        sim = compiled(NeuroProc(n_neurons=4, n_inputs=4, threshold=100))
+        self.configure(sim, {0: 200})
+        out = self.timestep(sim, 0)
+        assert out == 0
+
+    def test_potential_accumulates_across_timesteps(self):
+        proc = NeuroProc(n_neurons=4, n_inputs=4, threshold=100, leak_shift=10)
+        sim = compiled(proc)
+        self.configure(sim, {0: 60})
+        assert self.timestep(sim, 1) & 1 == 0  # 60 < 100
+        assert self.timestep(sim, 1) & 1 == 1  # ~119 > 100
+
+    def test_reset_on_fire(self):
+        proc = NeuroProc(n_neurons=2, n_inputs=2, threshold=100, leak_shift=10)
+        sim = compiled(proc)
+        self.configure(sim, {0: 150})
+        assert self.timestep(sim, 1) & 1 == 1
+        assert self.timestep(sim, 0) & 1 == 0  # potential was reset
+
+
+class TestI2c:
+    """Drive proper I2C waveforms into the peripheral."""
+
+    def make(self):
+        sim = compiled(I2cPeripheral(device_address=0x42))
+        sim.poke("scl", 1)
+        sim.poke("sda_in", 1)
+        sim.step(2)
+        return sim
+
+    def start(self, sim):
+        sim.poke("sda_in", 0)  # SDA falls while SCL high
+        sim.step()
+        sim.poke("scl", 0)
+        sim.step()
+
+    def send_bit(self, sim, bit):
+        sim.poke("sda_in", bit)
+        sim.step()
+        sim.poke("scl", 1)
+        sim.step()
+        sim.poke("scl", 0)
+        sim.step()
+
+    def send_byte(self, sim, byte):
+        for i in reversed(range(8)):
+            self.send_bit(sim, (byte >> i) & 1)
+        # ack slot
+        sim.poke("scl", 1)
+        sim.step()
+        ack = sim.peek("sda_oe")
+        sim.poke("scl", 0)
+        sim.step()
+        return ack
+
+    def stop(self, sim):
+        sim.poke("sda_in", 0)
+        sim.poke("scl", 1)
+        sim.step()
+        sim.poke("sda_in", 1)
+        sim.step()
+
+    def test_address_match_acks(self):
+        sim = self.make()
+        self.start(sim)
+        ack = self.send_byte(sim, (0x42 << 1) | 0)  # write
+        assert ack == 1
+
+    def test_wrong_address_ignored(self):
+        sim = self.make()
+        self.start(sim)
+        ack = self.send_byte(sim, (0x17 << 1) | 0)
+        assert ack == 0
+
+    def test_register_write(self):
+        sim = self.make()
+        self.start(sim)
+        assert self.send_byte(sim, (0x42 << 1) | 0)
+        assert self.send_byte(sim, 0x00)  # register pointer = 0
+        self.send_byte(sim, 0x5A)  # data
+        self.stop(sim)
+        assert sim.peek("dbg_reg0") == 0x5A
+        assert sim.peek("dbg_transfers") == 1
+
+    def test_stop_resets_protocol(self):
+        sim = self.make()
+        self.start(sim)
+        self.send_byte(sim, (0x42 << 1) | 0)
+        self.stop(sim)
+        assert sim.peek("dbg_state") == 0  # back to idle
+
+
+class TestStdlib:
+    def test_counter_wraps_at_limit(self):
+        sim = compiled(Counter(4, limit=5))
+        sim.poke("en", 1)
+        values = []
+        for _ in range(8):
+            values.append(sim.peek("value"))
+            sim.step()
+        assert values == [0, 1, 2, 3, 4, 5, 0, 1]
+
+    def test_edge_detector(self):
+        sim = compiled(EdgeDetector())
+        sim.poke("signal", 0)
+        sim.step()
+        sim.poke("signal", 1)
+        assert sim.peek("rise") == 1
+        sim.step()
+        assert sim.peek("rise") == 0
+        sim.poke("signal", 0)
+        assert sim.peek("fall") == 1
+
+    def test_shift_register_delay(self):
+        sim = compiled(ShiftRegister(width=4, stages=3))
+        sim.poke("en", 1)
+        seen = []
+        for i in range(8):
+            sim.poke("din", i)
+            seen.append(sim.peek("dout"))
+            sim.step()
+        assert seen[3:] == [0, 1, 2, 3, 4]
+
+    def test_popcount(self):
+        sim = compiled(PopCount(8))
+        for value in (0, 0xFF, 0b1010_1010, 1):
+            sim.poke("din", value)
+            assert sim.peek("dout") == bin(value).count("1")
+
+    def test_pulse_stretcher(self):
+        sim = compiled(PulseStretcher(3))
+        sim.poke("pulse", 1)
+        assert sim.peek("stretched") == 1
+        sim.step()
+        sim.poke("pulse", 0)
+        stretched = []
+        for _ in range(5):
+            stretched.append(sim.peek("stretched"))
+            sim.step()
+        assert stretched == [1, 1, 1, 0, 0]
+
+    def test_priority_arbiter(self):
+        sim = compiled(Arbiter(3, 8))
+        sim.poke("out_ready", 1)
+        sim.poke("in0_valid", 0)
+        sim.poke("in1_valid", 1)
+        sim.poke("in1_bits", 11)
+        sim.poke("in2_valid", 1)
+        sim.poke("in2_bits", 22)
+        assert sim.peek("out_bits") == 11
+        assert sim.peek("chosen") == 1
+        assert sim.peek("in1_ready") == 1
+        assert sim.peek("in2_ready") == 0
+
+    def test_round_robin_rotates(self):
+        sim = compiled(RoundRobinArbiter(2, 8))
+        sim.poke("out_ready", 1)
+        sim.poke("in0_valid", 1)
+        sim.poke("in0_bits", 1)
+        sim.poke("in1_valid", 1)
+        sim.poke("in1_bits", 2)
+        grants = []
+        for _ in range(4):
+            grants.append(sim.peek("out_bits"))
+            sim.step()
+        assert set(grants) == {1, 2}, "both inputs must be served"
+
+    def test_queue_wraps_pointers(self):
+        sim = compiled(Queue(8, 4))
+        sim.poke("deq_ready", 1)
+        sim.poke("enq_valid", 1)
+        random_values = list(range(1, 13))
+        got = []
+        for value in random_values:
+            sim.poke("enq_bits", value)
+            if sim.peek("deq_valid"):
+                got.append(sim.peek("deq_bits"))
+            sim.step()
+        sim.poke("enq_valid", 0)
+        while sim.peek("deq_valid"):
+            got.append(sim.peek("deq_bits"))
+            sim.step()
+        assert got == random_values

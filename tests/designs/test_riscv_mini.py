@@ -1,0 +1,243 @@
+"""riscv-mini analog: ISA behaviour, caches, and the assembler."""
+
+import pytest
+
+from repro.backends import TreadleBackend
+from repro.backends.verilator import VerilatorBackend
+from repro.designs.riscv_mini import (
+    AsmError,
+    RiscvMini,
+    assemble,
+    load_program,
+    run_program,
+)
+from repro.hcl import elaborate
+
+
+def fresh_sim():
+    return VerilatorBackend().compile(elaborate(RiscvMini()))
+
+
+def run(asm_text, max_cycles=20_000):
+    sim = fresh_sim()
+    result = run_program(sim, assemble(asm_text), max_cycles)
+    return sim, result
+
+
+class TestAssembler:
+    def test_nop_encoding(self):
+        assert assemble("nop") == [0x13]
+
+    def test_addi_encoding(self):
+        # addi x1, x0, 5 -> imm=5 rs1=0 funct3=0 rd=1 opcode=0x13
+        assert assemble("addi x1, x0, 5") == [(5 << 20) | (1 << 7) | 0x13]
+
+    def test_labels(self):
+        words = assemble("start: beq x0, x0, start")
+        assert words[0] & 0x7F == 0b1100011
+
+    def test_abi_names(self):
+        assert assemble("addi a0, zero, 1") == assemble("addi x10, x0, 1")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError):
+            assemble("frobnicate x1, x2")
+
+    def test_unknown_register(self):
+        with pytest.raises(AsmError):
+            assemble("addi q1, x0, 1")
+
+    def test_memory_operand(self):
+        with pytest.raises(AsmError):
+            assemble("lw x1, nope")
+
+
+class TestPrograms:
+    def test_arithmetic_chain(self):
+        sim, result = run(
+            """
+            addi x1, x0, 100
+            addi x2, x0, 23
+            add  x3, x1, x2     # 123
+            sub  x4, x3, x2     # 100
+            xor  x5, x1, x4     # 0
+            beq  x5, x0, ok
+            addi x31, x0, 1     # should be skipped
+        ok: ebreak
+            """
+        )
+        assert result.halted and not result.illegal
+        assert result.retired == 7  # the flagged addi is skipped
+
+    def test_memory_roundtrip(self):
+        sim, result = run(
+            """
+            addi x1, x0, 0x2A
+            sw   x1, 0x40(x0)
+            lw   x2, 0x40(x0)
+            bne  x1, x2, fail
+            ebreak
+        fail:
+            addi x3, x0, 1
+            ebreak
+            """
+        )
+        assert result.halted
+        assert result.pc == 16  # halted at the first ebreak, not `fail`
+
+    def test_fibonacci_loop(self):
+        # fib(10) = 55; prove via conditional halt position
+        sim, result = run(
+            """
+            addi x1, x0, 0     # a
+            addi x2, x0, 1     # b
+            addi x3, x0, 10    # counter
+        loop:
+            add  x4, x1, x2
+            mv   x1, x2
+            mv   x2, x4
+            addi x3, x3, -1
+            bne  x3, x0, loop
+            addi x5, x0, 89    # fib(11) appears in x2 after 10 iterations
+            bne  x2, x5, fail
+            ebreak
+        fail:
+            addi x31, x0, 1
+            ebreak
+            """
+        )
+        assert result.halted
+        # pc must point at the success ebreak (word 10)
+        assert result.pc == 10 * 4, f"fib check failed, halted at {result.pc}"
+
+    def test_shift_and_logic_ops(self):
+        sim, result = run(
+            """
+            addi x1, x0, 0xF0
+            slli x2, x1, 4      # 0xF00
+            srli x3, x2, 8      # 0xF
+            addi x4, x0, 0xF
+            bne  x3, x4, fail
+            andi x5, x1, 0x3C   # 0x30
+            addi x6, x0, 0x30
+            bne  x5, x6, fail
+            ebreak
+        fail:
+            addi x31, x0, 1
+            ebreak
+            """
+        )
+        assert result.halted
+        assert result.pc == 8 * 4
+
+    def test_sra_sign(self):
+        sim, result = run(
+            """
+            addi x1, x0, -16
+            srai x2, x1, 2      # -4
+            addi x3, x0, -4
+            bne  x2, x3, fail
+            ebreak
+        fail:
+            ebreak
+            """
+        )
+        assert result.halted
+        assert result.pc == 4 * 4
+
+    def test_jal_jalr(self):
+        sim, result = run(
+            """
+            jal  x1, sub        # call
+            ebreak              # return lands here
+        sub:
+            addi x2, x0, 9
+            jalr x0, x1, 0      # return
+            """
+        )
+        assert result.halted
+        assert result.pc == 4  # the ebreak after the call
+
+    def test_lui_auipc(self):
+        sim, result = run(
+            """
+            lui  x1, 1          # 0x1000
+            srli x2, x1, 12     # 1
+            addi x3, x0, 1
+            bne  x2, x3, fail
+            ebreak
+        fail:
+            ebreak
+            """
+        )
+        assert result.halted
+        assert result.pc == 16
+
+    def test_illegal_instruction_halts(self):
+        sim = fresh_sim()
+        result = run_program(sim, [0xFFFFFFFF])
+        assert result.halted
+        assert result.illegal
+
+    def test_branch_taken_and_not_taken(self):
+        sim, result = run(
+            """
+            addi x1, x0, 1
+            addi x2, x0, 2
+            blt  x2, x1, fail   # not taken
+            blt  x1, x2, ok     # taken
+            addi x31, x0, 1
+        fail:
+            addi x30, x0, 1
+        ok: ebreak
+            """
+        )
+        assert result.halted
+        assert result.retired == 5
+
+    def test_backends_agree_on_execution(self):
+        program = assemble(
+            """
+            addi x1, x0, 17
+            addi x2, x0, 5
+        loop:
+            sub  x1, x1, x2
+            bge  x1, x2, loop
+            sw   x1, 0x20(x0)
+            ebreak
+            """
+        )
+        circuit = elaborate(RiscvMini())
+        a = run_program(TreadleBackend().compile(circuit), program, max_cycles=3000)
+        b = run_program(VerilatorBackend().compile(circuit), program, max_cycles=3000)
+        assert (a.cycles, a.retired, a.pc) == (b.cycles, b.retired, b.pc)
+
+
+class TestCaches:
+    def test_icache_hits_on_loop(self):
+        """A tight loop must hit in the I$ after the first iteration."""
+        from repro.coverage import instrument
+
+        circuit = elaborate(RiscvMini())
+        state, db = instrument(circuit, metrics=["ready_valid"])
+        sim = TreadleBackend().compile_state(state)
+        program = assemble(
+            """
+            addi x1, x0, 20
+        loop:
+            addi x1, x1, -1
+            bne  x1, x0, loop
+            ebreak
+            """
+        )
+        result = run_program(sim, program, max_cycles=3000)
+        assert result.halted
+        counts = sim.cover_counts()
+        hits = sum(v for k, v in counts.items() if "hit" in k)
+        assert result.retired == 2 + 2 * 20
+
+    def test_shared_cache_module(self):
+        """I$ and D$ must elaborate to ONE module (shared RTL, §5.5)."""
+        circuit = elaborate(RiscvMini())
+        cache_modules = [n for n in circuit.module_names() if n.startswith("Cache")]
+        assert len(cache_modules) == 1

@@ -1,0 +1,166 @@
+"""Enums, memories and Decoupled bundles in the HCL frontend."""
+
+import pytest
+
+from repro.backends import TreadleBackend
+from repro.hcl import ChiselEnum, HclError, Module, elaborate
+from repro.ir import DecoupledAnnotation
+
+
+class TestChiselEnum:
+    def test_width(self):
+        assert ChiselEnum("E", "a").width == 1
+        assert ChiselEnum("E", "a b").width == 1
+        assert ChiselEnum("E", "a b c").width == 2
+        assert ChiselEnum("E", ["s0", "s1", "s2", "s3", "s4"]).width == 3
+
+    def test_values_sequential(self):
+        e = ChiselEnum("E", "x y z")
+        assert e.x.expr.value == 0
+        assert e.z.expr.value == 2
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(HclError):
+            ChiselEnum("E", "a a")
+
+    def test_empty_rejected(self):
+        with pytest.raises(HclError):
+            ChiselEnum("E", [])
+
+    def test_unknown_state(self):
+        e = ChiselEnum("E", "a b")
+        with pytest.raises(AttributeError):
+            e.c
+
+    def test_iteration(self):
+        e = ChiselEnum("E", "a b c")
+        assert [c.name for c in e] == ["a", "b", "c"]
+        assert len(e) == 3
+
+    def test_switch_covers_states(self):
+        e = ChiselEnum("E", "red green blue")
+
+        class Light(Module):
+            def build(self, m):
+                state = m.reg("state", enum=e)
+                out = m.output("o", 2)
+                with m.switch(state):
+                    with m.is_(e.red):
+                        state <<= e.green
+                    with m.is_(e.green):
+                        state <<= e.blue
+                    with m.default():
+                        state <<= e.red
+                out <<= state
+
+        sim = TreadleBackend().compile(elaborate(Light()))
+        sim.poke("reset", 1)
+        sim.step()
+        sim.poke("reset", 0)
+        seen = []
+        for _ in range(6):
+            seen.append(sim.peek("o"))
+            sim.step()
+        assert seen == [0, 1, 2, 0, 1, 2]
+
+    def test_mismatched_enum_init_rejected(self):
+        e1 = ChiselEnum("E1", "a b")
+        e2 = ChiselEnum("E2", "x y")
+
+        class Bad(Module):
+            def build(self, m):
+                m.reg("r", enum=e1, init=e2.x)
+
+        with pytest.raises(HclError):
+            elaborate(Bad())
+
+
+class TestMemories:
+    def test_write_then_read(self):
+        class MemTest(Module):
+            def build(self, m):
+                wen = m.input("wen")
+                addr = m.input("addr", 3)
+                din = m.input("din", 8)
+                dout = m.output("dout", 8)
+                mem = m.mem("mem", 8, 8)
+                with m.when(wen):
+                    mem[addr] = din
+                dout <<= mem[addr]
+
+        sim = TreadleBackend().compile(elaborate(MemTest()))
+        sim.poke("wen", 1)
+        for addr in range(8):
+            sim.poke("addr", addr)
+            sim.poke("din", addr * 10)
+            sim.step()
+        sim.poke("wen", 0)
+        for addr in range(8):
+            sim.poke("addr", addr)
+            assert sim.peek("dout") == addr * 10
+
+    def test_conditional_write_respects_path(self):
+        class CondWrite(Module):
+            def build(self, m):
+                go = m.input("go")
+                dout = m.output("dout", 8)
+                mem = m.mem("mem", 8, 4)
+                with m.when(go):
+                    mem.write(0, 0xAB)
+                dout <<= mem[0]
+
+        sim = TreadleBackend().compile(elaborate(CondWrite()))
+        sim.poke("go", 0)
+        sim.step(2)
+        assert sim.peek("dout") == 0
+        sim.poke("go", 1)
+        sim.step()
+        assert sim.peek("dout") == 0xAB
+
+    def test_mem_addr_width(self):
+        class M(Module):
+            def build(self, m):
+                mem = m.mem("mem", 8, 6)  # non power of two
+                assert mem.addr_width == 3
+                out = m.output("o", 8)
+                out <<= mem[0]
+
+        elaborate(M())
+
+
+class TestDecoupled:
+    def test_annotations_emitted(self):
+        class Pipe(Module):
+            def build(self, m):
+                inp = m.decoupled_input("in", 8)
+                out = m.decoupled_output("out", 8)
+                out.valid <<= inp.valid
+                out.bits <<= inp.bits
+                inp.ready <<= out.ready
+
+        circuit = elaborate(Pipe())
+        annos = [a for a in circuit.annotations if isinstance(a, DecoupledAnnotation)]
+        assert {a.target for a in annos} == {"in", "out"}
+        sink = next(a for a in annos if a.target == "in")
+        assert sink.is_sink
+
+    def test_fire_semantics(self):
+        class FireCount(Module):
+            def build(self, m):
+                inp = m.decoupled_input("in", 4)
+                count = m.output("count", 8)
+                counter = m.reg("counter", 8, init=0)
+                inp.ready <<= 1
+                with m.when(inp.fire):
+                    counter <<= counter + 1
+                count <<= counter
+
+        sim = TreadleBackend().compile(elaborate(FireCount()))
+        sim.poke("reset", 1)
+        sim.step()
+        sim.poke("reset", 0)
+        sim.poke("in_valid", 1)
+        sim.step(3)
+        sim.poke("in_valid", 0)
+        sim.step(3)
+        assert sim.peek("count") == 3

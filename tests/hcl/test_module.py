@@ -1,0 +1,224 @@
+"""Module builder behaviour: whens, registers, instances, covers."""
+
+import pytest
+
+from repro.backends import TreadleBackend
+from repro.hcl import ChiselEnum, HclError, Module, elaborate
+from repro.ir import Cover, DefRegister, EnumDefAnnotation, When
+from repro.ir.traversal import walk_stmts
+
+
+def compile_of(module):
+    return TreadleBackend().compile(elaborate(module))
+
+
+class TestWhenChains:
+    def test_when_elsewhen_otherwise(self):
+        class Prio(Module):
+            def build(self, m):
+                sel = m.input("sel", 2)
+                out = m.output("out", 4)
+                out <<= 0
+                with m.when(sel == 0):
+                    out <<= 1
+                with m.elsewhen(sel == 1):
+                    out <<= 2
+                with m.elsewhen(sel == 2):
+                    out <<= 3
+                with m.otherwise():
+                    out <<= 4
+
+        sim = compile_of(Prio())
+        for sel, expected in [(0, 1), (1, 2), (2, 3), (3, 4)]:
+            sim.poke("sel", sel)
+            assert sim.peek("out") == expected
+
+    def test_elsewhen_without_when(self):
+        class Bad(Module):
+            def build(self, m):
+                x = m.input("x")
+                with m.elsewhen(x):
+                    pass
+
+        with pytest.raises(HclError):
+            elaborate(Bad())
+
+    def test_otherwise_without_when(self):
+        class Bad(Module):
+            def build(self, m):
+                with m.otherwise():
+                    pass
+
+        with pytest.raises(HclError):
+            elaborate(Bad())
+
+    def test_statement_breaks_chain(self):
+        class Bad(Module):
+            def build(self, m):
+                x = m.input("x")
+                out = m.output("o", 1)
+                with m.when(x):
+                    pass
+                out <<= x  # breaks the chain
+                with m.otherwise():
+                    pass
+
+        with pytest.raises(HclError):
+            elaborate(Bad())
+
+    def test_nested_whens(self):
+        class Nested(Module):
+            def build(self, m):
+                a = m.input("a")
+                b = m.input("b")
+                out = m.output("out", 2)
+                out <<= 0
+                with m.when(a):
+                    with m.when(b):
+                        out <<= 3
+                    with m.otherwise():
+                        out <<= 1
+
+        sim = compile_of(Nested())
+        sim.poke("a", 1)
+        sim.poke("b", 1)
+        assert sim.peek("out") == 3
+        sim.poke("b", 0)
+        assert sim.peek("out") == 1
+        sim.poke("a", 0)
+        assert sim.peek("out") == 0
+
+
+class TestRegisters:
+    def test_register_holds_without_assignment(self):
+        class Hold(Module):
+            def build(self, m):
+                en = m.input("en")
+                out = m.output("out", 4)
+                r = m.reg("r", 4, init=7)
+                with m.when(en):
+                    r <<= r + 1
+                out <<= r
+
+        sim = compile_of(Hold())
+        sim.poke("reset", 1)
+        sim.step()
+        sim.poke("reset", 0)
+        sim.poke("en", 0)
+        sim.step(3)
+        assert sim.peek("out") == 7
+        sim.poke("en", 1)
+        sim.step(2)
+        assert sim.peek("out") == 9
+
+    def test_register_without_width_rejected(self):
+        class Bad(Module):
+            def build(self, m):
+                m.reg("r")
+
+        with pytest.raises(HclError):
+            elaborate(Bad())
+
+    def test_enum_register_annotation(self):
+        states = ChiselEnum("T", "a b c")
+
+        class WithEnum(Module):
+            def build(self, m):
+                r = m.reg("state", enum=states)
+                out = m.output("o", 2)
+                out <<= r
+
+        circuit = elaborate(WithEnum())
+        annos = [a for a in circuit.annotations if isinstance(a, EnumDefAnnotation)]
+        assert len(annos) == 1
+        assert dict(annos[0].states) == {"a": 0, "b": 1, "c": 2}
+
+    def test_no_reset_register(self):
+        class NoReset(Module):
+            def build(self, m):
+                d = m.input("d", 4)
+                out = m.output("o", 4)
+                r = m.reg("r", 4)
+                r <<= d
+                out <<= r
+
+        circuit = elaborate(NoReset())
+        regs = [s for s in walk_stmts(circuit.top.body) if isinstance(s, DefRegister)]
+        assert regs[0].reset is None
+
+
+class TestInstancesAndNaming:
+    def test_shared_signature_dedups(self):
+        class Child(Module):
+            def __init__(self, p):
+                super().__init__()
+                self.p = p
+
+            def signature(self):
+                return (self.p,)
+
+            def build(self, m):
+                o = m.output("o", 4)
+                o <<= self.p
+
+        class Top(Module):
+            def build(self, m):
+                a = m.instance("a", Child(3))
+                b = m.instance("b", Child(3))
+                c = m.instance("c", Child(4))
+                out = m.output("o", 4)
+                out <<= a.o + b.o + c.o
+
+        circuit = elaborate(Top())
+        child_modules = [n for n in circuit.module_names() if n.startswith("Child")]
+        assert len(child_modules) == 2  # 3 shared, 4 distinct
+
+    def test_driving_input_rejected(self):
+        class Bad(Module):
+            def build(self, m):
+                x = m.input("x")
+                x <<= 1
+
+        with pytest.raises(HclError):
+            elaborate(Bad())
+
+    def test_duplicate_names_uniquified(self):
+        class Dup(Module):
+            def build(self, m):
+                a = m.wire("w", 4)
+                b = m.wire("w", 4)
+                a <<= 1
+                b <<= 2
+                out = m.output("o", 4)
+                out <<= a + b
+
+        sim = compile_of(Dup())
+        assert sim.peek("o") == 3
+
+    def test_cover_names_unique(self):
+        class Covers(Module):
+            def build(self, m):
+                x = m.input("x")
+                m.cover(x)
+                m.cover(x)
+                out = m.output("o", 1)
+                out <<= x
+
+        circuit = elaborate(Covers())
+        names = [s.name for s in walk_stmts(circuit.top.body) if isinstance(s, Cover)]
+        assert len(set(names)) == 2
+
+    def test_source_info_recorded(self):
+        class WithInfo(Module):
+            def build(self, m):
+                x = m.input("x")
+                out = m.output("o", 1)
+                with m.when(x):  # this line's number is captured
+                    out <<= 1
+                with m.otherwise():
+                    out <<= 0
+
+        circuit = elaborate(WithInfo())
+        whens = [s for s in walk_stmts(circuit.top.body) if isinstance(s, When)]
+        assert whens and whens[0].info.file  # captured this test file
+        assert whens[0].info.line > 0

@@ -1,0 +1,123 @@
+"""HCL value operator semantics, checked through the interpreter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backends import TreadleBackend
+from repro.hcl import HclError, Module, Value, cat, elaborate, mux, u
+
+
+def evaluate(build_expr, a: int, b: int, out_width: int = 16) -> int:
+    """Elaborate a tiny module computing build_expr(a, b) and simulate it."""
+
+    class Harness(Module):
+        def build(self, m):
+            in_a = m.input("a", 8)
+            in_b = m.input("b", 8)
+            out = m.output("out", out_width)
+            out <<= build_expr(in_a, in_b)
+
+    sim = TreadleBackend().compile(elaborate(Harness()))
+    sim.poke("a", a)
+    sim.poke("b", b)
+    return sim.peek("out")
+
+
+class TestArithmetic:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=20, deadline=None)
+    def test_add_truncates_to_max_width(self, a, b):
+        assert evaluate(lambda x, y: x + y, a, b, 8) == (a + b) & 0xFF
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=20, deadline=None)
+    def test_addw_grows(self, a, b):
+        assert evaluate(lambda x, y: x.addw(y), a, b, 9) == a + b
+
+    def test_sub_wraps(self):
+        assert evaluate(lambda x, y: x - y, 1, 2, 8) == 0xFF
+
+    def test_mul_truncates(self):
+        assert evaluate(lambda x, y: x * y, 200, 3, 8) == (600) & 0xFF
+
+    def test_mulw_full(self):
+        assert evaluate(lambda x, y: x.mulw(y), 200, 3, 16) == 600
+
+    def test_div_and_mod(self):
+        assert evaluate(lambda x, y: x // y, 17, 5, 8) == 3
+        assert evaluate(lambda x, y: x % y, 17, 5, 8) == 2
+
+    def test_int_on_left(self):
+        assert evaluate(lambda x, y: 10 + x, 5, 0, 8) == 15
+
+
+class TestComparisonsAndBits:
+    def test_comparisons(self):
+        assert evaluate(lambda x, y: (x < y).zext(16), 3, 5) == 1
+        assert evaluate(lambda x, y: (x >= y).zext(16), 3, 5) == 0
+        assert evaluate(lambda x, y: (x == y).zext(16), 9, 9) == 1
+
+    def test_bit_select(self):
+        assert evaluate(lambda x, y: x[0].zext(16), 0b1, 0) == 1
+        assert evaluate(lambda x, y: x[7].zext(16), 0x80, 0) == 1
+
+    def test_slice(self):
+        assert evaluate(lambda x, y: x[7:4], 0xAB, 0, 4) == 0xA
+
+    def test_slice_requires_bounds(self):
+        with pytest.raises(HclError):
+            evaluate(lambda x, y: x[7:], 0, 0)
+
+    def test_dynamic_index(self):
+        assert evaluate(lambda x, y: x[y[2:0]].zext(16), 0b100, 2) == 1
+
+    def test_negative_index(self):
+        assert evaluate(lambda x, y: x[-1].zext(16), 0x80, 0) == 1
+
+    def test_shifts(self):
+        assert evaluate(lambda x, y: x << 2, 0x41, 0, 8) == 0x04
+        assert evaluate(lambda x, y: x >> 3, 0x41, 0, 8) == 0x08
+        assert evaluate(lambda x, y: x << y[1:0], 1, 3, 8) == 8
+
+    def test_reductions(self):
+        assert evaluate(lambda x, y: x.or_reduce().zext(16), 0x10, 0) == 1
+        assert evaluate(lambda x, y: x.and_reduce().zext(16), 0xFF, 0) == 1
+        assert evaluate(lambda x, y: x.xor_reduce().zext(16), 0x03, 0) == 0
+
+    def test_bitwise(self):
+        assert evaluate(lambda x, y: x & y, 0xF0, 0x3C, 8) == 0x30
+        assert evaluate(lambda x, y: x | y, 0xF0, 0x0C, 8) == 0xFC
+        assert evaluate(lambda x, y: x ^ y, 0xFF, 0x0F, 8) == 0xF0
+        assert evaluate(lambda x, y: ~x, 0xF0, 0, 8) == 0x0F
+
+
+class TestCombinators:
+    def test_mux(self):
+        assert evaluate(lambda x, y: mux(x == 1, y, 0), 1, 42, 8) == 42
+        assert evaluate(lambda x, y: mux(x == 1, y, 0), 2, 42, 8) == 0
+
+    def test_cat(self):
+        assert evaluate(lambda x, y: cat(x[3:0], y[3:0]), 0xA, 0xB, 8) == 0xAB
+
+    def test_pad_and_ext(self):
+        assert evaluate(lambda x, y: x.zext(16), 0xFF, 0) == 0xFF
+        assert evaluate(lambda x, y: x.as_sint().sext(16), 0xFF, 0) == 0xFFFF
+
+    def test_sext_cannot_shrink(self):
+        with pytest.raises(HclError):
+            evaluate(lambda x, y: x.sext(4), 0, 0)
+
+
+class TestGuards:
+    def test_bool_conversion_rejected(self):
+        with pytest.raises(HclError):
+            evaluate(lambda x, y: x + (1 if x else 0), 0, 0)
+
+    def test_lift_garbage_rejected(self):
+        with pytest.raises(HclError):
+            evaluate(lambda x, y: x + "nope", 0, 0)
+
+    def test_literal_widths(self):
+        assert u(5).width == 3
+        assert u(5, 8).width == 8
+        assert u(0).width == 1

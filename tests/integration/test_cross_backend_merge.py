@@ -1,0 +1,110 @@
+"""End-to-end integration: the paper's headline flows.
+
+1. One instrumented circuit runs on five backends; counts share one
+   namespace and merge by addition (abstract of the paper).
+2. Software-sim coverage filters the cover set before FPGA instrumentation
+   (§5.3).
+3. Formal traces replay on any simulator (§3.4/§5.5).
+"""
+
+from repro.backends import (
+    EssentBackend,
+    FireSimBackend,
+    TreadleBackend,
+    VerilatorBackend,
+)
+from repro.backends.formal import generate_cover_traces, replay_trace
+from repro.coverage import covered_points, filter_covered, instrument, merge_counts
+from repro.designs.gcd import Gcd
+from repro.hcl import Module, elaborate
+from repro.passes import lower
+
+
+def drive_gcd(sim, pairs):
+    sim.poke("reset", 1)
+    sim.step()
+    sim.poke("reset", 0)
+    sim.poke("resp_ready", 1)
+    for a, b in pairs:
+        sim.poke("req_valid", 1)
+        sim.poke("req_bits", (b << 16) | a)
+        while not sim.peek("req_ready"):
+            sim.step()
+        sim.step()
+        sim.poke("req_valid", 0)
+        while not sim.peek("resp_valid"):
+            sim.step()
+        sim.step()
+
+
+class TestUniformBackends:
+    def test_same_counts_everywhere(self):
+        state, db = instrument(
+            elaborate(Gcd()), metrics=["line", "fsm", "ready_valid"]
+        )
+        results = {}
+        for name, sim in [
+            ("treadle", TreadleBackend().compile_state(state)),
+            ("verilator", VerilatorBackend().compile_state(state)),
+            ("essent", EssentBackend().compile_state(state)),
+            ("firesim", FireSimBackend(counter_width=16).compile_state(state)),
+        ]:
+            drive_gcd(sim, [(12, 18), (7, 13)])
+            results[name] = sim.cover_counts()
+        reference = results["treadle"]
+        for name, counts in results.items():
+            assert counts == reference, f"{name} diverged"
+
+    def test_merging_across_backends(self):
+        state, db = instrument(elaborate(Gcd()), metrics=["line"])
+        a = TreadleBackend().compile_state(state)
+        b = VerilatorBackend().compile_state(state)
+        drive_gcd(a, [(12, 18)])
+        drive_gcd(b, [(35, 21)])
+        merged = merge_counts(a.cover_counts(), b.cover_counts())
+        for key in merged:
+            assert merged[key] == a.cover_counts()[key] + b.cover_counts()[key]
+        # a point covered by either run is covered in the merge
+        union = covered_points(a.cover_counts()) | covered_points(b.cover_counts())
+        assert covered_points(merged) == union
+
+
+class TestCoverageRemovalFlow:
+    def test_software_coverage_shrinks_fpga_chain(self):
+        """§5.3: remove already-covered points before FPGA instrumentation."""
+        state, db = instrument(elaborate(Gcd()), metrics=["line", "fsm"])
+        sw = VerilatorBackend().compile_state(state)
+        drive_gcd(sw, [(12, 18), (9, 9), (1, 0)])
+        counts = sw.cover_counts()
+
+        remaining = filter_covered(counts, threshold=2)
+        assert 0 < len(remaining) < len(counts)
+
+        # strip covered points, then build the scan chain from the rest
+        flat = lower(state.circuit, flatten=True)
+        from repro.ir import Cover
+
+        kept_paths = {
+            flat_name
+            for flat_name, canonical in flat.cover_paths.items()
+            if canonical in remaining
+        }
+        flat.circuit.top.body = [
+            s
+            for s in flat.circuit.top.body
+            if not (isinstance(s, Cover) and s.name not in kept_paths)
+        ]
+        firesim = FireSimBackend(counter_width=16).compile_state(flat)
+        assert len(firesim.info.chain) == len(remaining)
+
+
+class TestFormalToSimulation:
+    def test_traces_cover_on_every_backend(self):
+        state, db = instrument(elaborate(Gcd(width=6)), metrics=["fsm"])
+        result = generate_cover_traces(state, bound=8)
+        assert result.reachable
+        name = result.reachable[0]
+        for backend in (TreadleBackend(), VerilatorBackend(), EssentBackend()):
+            sim = backend.compile_state(state)
+            counts = replay_trace(sim, result.traces[name])
+            assert counts[name] >= 1

@@ -1,0 +1,149 @@
+"""The §5.5 formal findings, reproduced.
+
+The paper used formal cover-trace generation on riscv-mini and found:
+
+1. the instruction cache shares RTL with the data cache but is read-only,
+   so the cache's write-path code blocks are unreachable in the I$; and
+2. the FSM coverage analysis over-approximates transitions; formal proves
+   the over-approximated transitions can never be covered.
+"""
+
+from repro.backends.formal import generate_cover_traces
+from repro.coverage import instrument
+from repro.coverage.fsm import FsmCoveragePass
+from repro.designs.riscv_mini.cache import Cache
+from repro.hcl import ChiselEnum, Module, elaborate
+
+
+class _ReadOnlyCache(Module):
+    """A cache wrapped the way the riscv-mini I$ wraps it: wen tied to 0."""
+
+    def build(self, m):
+        req_valid = m.input("req_valid")
+        req_addr = m.input("req_addr", 6)
+        resp_valid = m.output("resp_valid", 1)
+        resp_data = m.output("resp_data", 8)
+        mem_resp_valid = m.input("mem_resp_valid")
+        mem_resp_data = m.input("mem_resp_data", 8)
+        mem_req_valid = m.output("mem_req_valid", 1)
+
+        cache = m.instance("icache", Cache(n_sets=2, addr_width=6, xlen=8))
+        cache.cpu_req_valid <<= req_valid
+        cache.cpu_req_addr <<= req_addr
+        cache.cpu_req_data <<= 0
+        cache.cpu_req_wen <<= 0  # read-only: the §5.5 structure
+        cache.mem_req_ready <<= 1
+        cache.mem_resp_valid <<= mem_resp_valid
+        cache.mem_resp_data <<= mem_resp_data
+        resp_valid <<= cache.cpu_resp_valid
+        resp_data <<= cache.cpu_resp_data
+        mem_req_valid <<= cache.mem_req_valid
+
+
+class _ReadWriteCache(Module):
+    """The same cache with the write enable exposed (the D$ usage)."""
+
+    def build(self, m):
+        req_valid = m.input("req_valid")
+        req_addr = m.input("req_addr", 6)
+        req_data = m.input("req_data", 8)
+        req_wen = m.input("req_wen")
+        resp_valid = m.output("resp_valid", 1)
+        mem_resp_valid = m.input("mem_resp_valid")
+        mem_resp_data = m.input("mem_resp_data", 8)
+
+        cache = m.instance("dcache", Cache(n_sets=2, addr_width=6, xlen=8))
+        cache.cpu_req_valid <<= req_valid
+        cache.cpu_req_addr <<= req_addr
+        cache.cpu_req_data <<= req_data
+        cache.cpu_req_wen <<= req_wen
+        cache.mem_req_ready <<= 1
+        cache.mem_resp_valid <<= mem_resp_valid
+        cache.mem_resp_data <<= mem_resp_data
+        resp_valid <<= cache.cpu_resp_valid
+
+
+def write_branch_covers(state):
+    """Line covers whose source block is the cache write path."""
+    # write path blocks live on the lines of cache.py containing the
+    # write_through transition; identify them through the fsm state instead:
+    # any cover whose canonical name reaches the write_through/write_wait
+    # states (fsm metric) or, for line coverage, blocks only reachable when
+    # cpu_req_wen is high.  We use the FSM state covers, which are precise.
+    return [
+        name
+        for name in (state.cover_paths or {}).values()
+        if "write_through" in name or "write_wait" in name
+    ]
+
+
+class TestReadOnlyCacheDeadCode:
+    def test_write_states_unreachable_in_icache(self):
+        state, db = instrument(
+            elaborate(_ReadOnlyCache()), metrics=["fsm"], flatten=True
+        )
+        result = generate_cover_traces(state, bound=10)
+        dead = [n for n in result.unreachable if "write" in n]
+        assert dead, "read-only cache must have unreachable write states"
+
+    def test_write_states_reachable_in_dcache(self):
+        state, db = instrument(
+            elaborate(_ReadWriteCache()), metrics=["fsm"], flatten=True
+        )
+        result = generate_cover_traces(state, bound=10)
+        reachable_writes = [
+            n for n in result.reachable if "write_through" in n and "state" in n
+        ]
+        assert reachable_writes, "writable cache must reach its write states"
+
+    def test_same_rtl_different_reachability(self):
+        """The punchline: identical module, different dead code per use."""
+        ro_state, _ = instrument(elaborate(_ReadOnlyCache()), metrics=["fsm"], flatten=True)
+        rw_state, _ = instrument(elaborate(_ReadWriteCache()), metrics=["fsm"], flatten=True)
+        ro = generate_cover_traces(ro_state, bound=10)
+        rw = generate_cover_traces(rw_state, bound=10)
+        ro_dead = {n.split(".")[-1] for n in ro.unreachable}
+        rw_dead = {n.split(".")[-1] for n in rw.unreachable}
+        only_dead_when_readonly = ro_dead - rw_dead
+        assert any("write" in n for n in only_dead_when_readonly)
+
+
+class TestFsmOverApproximationFinding:
+    def test_formal_refutes_over_approximated_transitions(self):
+        S = ChiselEnum("Over", "a b c d")
+
+        class Opaque(Module):
+            """Next state routed through arithmetic the analysis can't see.
+
+            Actual behaviour: next state is ``state[0] ^ noise``, so only
+            a and b are reachable — but the conservative analysis reports
+            all 16 transitions.
+            """
+
+            def build(self, m):
+                noise = m.input("noise")
+                out = m.output("o", 2)
+                state = m.reg("state", enum=S)
+                # actual behaviour: only a and b are reachable, but the
+                # xor is opaque to the mux-tree analysis
+                state <<= (state[0] ^ noise).zext(2)
+                out <<= state
+
+        state, db = instrument(elaborate(Opaque()), metrics=["fsm"], flatten=True)
+        fsm_covers = [
+            name for name in state.cover_paths.values() if name.startswith("fsm_")
+        ]
+        transition_covers = [n for n in fsm_covers if "_to_" in n]
+        assert len(transition_covers) == 16, "analysis over-approximates to all"
+
+        result = generate_cover_traces(state, bound=8)
+        refuted = [n for n in result.unreachable if "_to_" in n]
+        confirmed = [n for n in result.reachable if "_to_" in n]
+        # only transitions among {a, b} actually happen
+        assert sorted(n.split("state_")[-1] for n in confirmed) == [
+            "a_to_a",
+            "a_to_b",
+            "b_to_a",
+            "b_to_b",
+        ]
+        assert len(refuted) == 12

@@ -1,0 +1,68 @@
+"""Annotation serialization and circuit-level round trips."""
+
+from repro.designs.gcd import Gcd
+from repro.hcl import elaborate
+from repro.ir import (
+    CoverageMetadataAnnotation,
+    DecoupledAnnotation,
+    DontTouchAnnotation,
+    EnumDefAnnotation,
+    annotations_for,
+    parse_circuit,
+    print_circuit,
+)
+from repro.ir.annotations import annotation_from_dict, annotation_to_dict
+
+
+class TestSerialization:
+    def roundtrip(self, anno):
+        return annotation_from_dict(annotation_to_dict(anno))
+
+    def test_enum_def(self):
+        anno = EnumDefAnnotation("M", "state", "S", (("a", 0), ("b", 1)))
+        assert self.roundtrip(anno) == anno
+
+    def test_decoupled(self):
+        anno = DecoupledAnnotation("M", "enq", "enq_ready", "enq_valid", True)
+        assert self.roundtrip(anno) == anno
+
+    def test_dont_touch(self):
+        anno = DontTouchAnnotation("M", "sig")
+        assert self.roundtrip(anno) == anno
+
+    def test_coverage_metadata(self):
+        anno = CoverageMetadataAnnotation("M", "c0", "line", '{"x": 1}')
+        assert self.roundtrip(anno) == anno
+
+
+class TestCircuitRoundtrip:
+    def test_annotations_survive_print_parse(self):
+        circuit = elaborate(Gcd())
+        assert circuit.annotations  # enum + decoupled annotations
+        reparsed = parse_circuit(print_circuit(circuit))
+        assert set(reparsed.annotations) == set(circuit.annotations)
+
+    def test_text_stable(self):
+        circuit = elaborate(Gcd())
+        text = print_circuit(circuit)
+        assert print_circuit(parse_circuit(text)) == text
+
+    def test_fsm_instrumentation_works_after_roundtrip(self):
+        from repro.coverage import instrument
+
+        circuit = parse_circuit(print_circuit(elaborate(Gcd())))
+        _state, db = instrument(circuit, metrics=["fsm", "ready_valid"])
+        assert db.count("fsm") > 0
+        assert db.count("ready_valid") == 2
+
+
+class TestQueries:
+    def test_annotations_for_filters(self):
+        annos = [
+            EnumDefAnnotation("A", "s", "S", (("x", 0),)),
+            DontTouchAnnotation("A", "w"),
+            DontTouchAnnotation("B", "w"),
+        ]
+        assert len(annotations_for(annos, "A")) == 2
+        assert len(annotations_for(annos, "A", DontTouchAnnotation)) == 1
+        assert len(annotations_for(annos, "C")) == 0

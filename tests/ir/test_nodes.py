@@ -1,0 +1,123 @@
+"""IR node construction and invariants."""
+
+import pytest
+
+from repro.ir import (
+    CLOCK,
+    Circuit,
+    Connect,
+    Cover,
+    DefMemory,
+    FALSE,
+    Module,
+    Mux,
+    Port,
+    Ref,
+    SIntLiteral,
+    SIntType,
+    TRUE,
+    UIntLiteral,
+    UIntType,
+    and_,
+    not_,
+    prim,
+    u,
+)
+
+
+class TestLiterals:
+    def test_uint_fits(self):
+        assert UIntLiteral(255, 8).value == 255
+
+    def test_uint_too_wide(self):
+        with pytest.raises(ValueError):
+            UIntLiteral(256, 8)
+
+    def test_uint_negative(self):
+        with pytest.raises(ValueError):
+            UIntLiteral(-1, 8)
+
+    def test_sint_range(self):
+        assert SIntLiteral(-128, 8).value == -128
+        assert SIntLiteral(127, 8).value == 127
+        with pytest.raises(ValueError):
+            SIntLiteral(128, 8)
+        with pytest.raises(ValueError):
+            SIntLiteral(-129, 8)
+
+    def test_constants(self):
+        assert TRUE.value == 1 and TRUE.width == 1
+        assert FALSE.value == 0
+
+
+class TestPrimOpConstruction:
+    def test_make_computes_type(self):
+        node = prim("add", u(3, 8), u(4, 8))
+        assert node.tpe == UIntType(9)
+
+    def test_expressions_hashable(self):
+        a = prim("add", u(1, 4), u(2, 4))
+        b = prim("add", u(1, 4), u(2, 4))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_mux_make(self):
+        node = Mux.make(TRUE, u(1, 4), u(2, 8))
+        assert node.tpe == UIntType(8)
+
+    def test_mux_sign_mismatch(self):
+        with pytest.raises(TypeError):
+            Mux.make(TRUE, u(1, 4), SIntLiteral(1, 4))
+
+
+class TestPredicateHelpers:
+    def test_and_folds_true(self):
+        x = Ref("x", UIntType(1))
+        assert and_(TRUE, x) is x
+
+    def test_and_folds_false(self):
+        x = Ref("x", UIntType(1))
+        assert and_(FALSE, x) == FALSE
+
+    def test_and_empty(self):
+        assert and_() == TRUE
+
+    def test_not_folds(self):
+        assert not_(TRUE) == FALSE
+        assert not_(FALSE) == TRUE
+
+
+class TestModuleCircuit:
+    def make(self):
+        module = Module(
+            "M",
+            [Port("clock", "input", CLOCK), Port("o", "output", UIntType(1))],
+            [Connect(Ref("o", UIntType(1)), TRUE)],
+        )
+        return Circuit("M", [module])
+
+    def test_port_lookup(self):
+        circuit = self.make()
+        assert circuit.top.port("o").direction == "output"
+        with pytest.raises(KeyError):
+            circuit.top.port("nope")
+
+    def test_module_lookup(self):
+        circuit = self.make()
+        assert circuit.module("M") is circuit.top
+        with pytest.raises(KeyError):
+            circuit.module("X")
+
+    def test_inputs_outputs(self):
+        top = self.make().top
+        assert [p.name for p in top.inputs] == ["clock"]
+        assert [p.name for p in top.outputs] == ["o"]
+
+    def test_bad_port_direction(self):
+        with pytest.raises(ValueError):
+            Port("p", "inout", UIntType(1))
+
+    def test_memory_addr_width(self):
+        assert DefMemory("m", UIntType(8), 256).addr_width == 8
+        assert DefMemory("m", UIntType(8), 1).addr_width == 1
+        assert DefMemory("m", UIntType(8), 3).addr_width == 2

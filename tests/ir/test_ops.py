@@ -1,0 +1,166 @@
+"""Primop semantics: unit cases plus property tests against Python ints."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.ops import OPS, eval_op, result_type
+from repro.ir.types import SIntType, UIntType, bit_width, mask, to_signed, value_of
+
+
+def u_args(*pairs):
+    return [p[0] for p in pairs], [UIntType(p[1]) for p in pairs]
+
+
+class TestWidthRules:
+    def test_add_grows_one(self):
+        assert result_type("add", [UIntType(8), UIntType(4)]) == UIntType(9)
+
+    def test_mul_sums_widths(self):
+        assert result_type("mul", [UIntType(8), UIntType(4)]) == UIntType(12)
+
+    def test_cmp_one_bit(self):
+        for op in ("lt", "leq", "gt", "geq", "eq", "neq"):
+            assert result_type(op, [UIntType(8), UIntType(8)]) == UIntType(1)
+
+    def test_bitwise_max_width_unsigned(self):
+        assert result_type("and", [SIntType(8), SIntType(4)]) == UIntType(8)
+
+    def test_cat(self):
+        assert result_type("cat", [UIntType(3), UIntType(5)]) == UIntType(8)
+
+    def test_bits(self):
+        assert result_type("bits", [UIntType(8)], (5, 2)) == UIntType(4)
+
+    def test_bits_out_of_range(self):
+        with pytest.raises(ValueError):
+            result_type("bits", [UIntType(8)], (8, 0))
+
+    def test_shr_clamps_to_one(self):
+        assert result_type("shr", [UIntType(4)], (10,)) == UIntType(1)
+
+    def test_neg_signed_grows(self):
+        assert result_type("neg", [UIntType(4)]) == SIntType(5)
+
+    def test_unknown_op(self):
+        with pytest.raises(KeyError):
+            result_type("bogus", [UIntType(1)])
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            result_type("add", [UIntType(1)])
+
+
+class TestUnsignedSemantics:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_add(self, a, b):
+        args, types = u_args((a, 8), (b, 8))
+        assert eval_op("add", args, types) == a + b
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_sub_wraps(self, a, b):
+        args, types = u_args((a, 8), (b, 8))
+        assert eval_op("sub", args, types) == (a - b) & 0x1FF
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_div(self, a, b):
+        args, types = u_args((a, 8), (b, 8))
+        expected = a // b if b else 0
+        assert eval_op("div", args, types) == expected
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_rem(self, a, b):
+        args, types = u_args((a, 8), (b, 8))
+        expected = a % b if b else a
+        assert eval_op("rem", args, types) & 0xFF == expected
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_comparisons(self, a, b):
+        args, types = u_args((a, 8), (b, 8))
+        assert eval_op("lt", args, types) == (a < b)
+        assert eval_op("geq", args, types) == (a >= b)
+        assert eval_op("eq", args, types) == (a == b)
+
+    @given(st.integers(0, 255))
+    def test_not(self, a):
+        args, types = u_args((a, 8))
+        assert eval_op("not", args, types) == (~a) & 0xFF
+
+    @given(st.integers(0, 255), st.integers(0, 15))
+    def test_cat(self, a, b):
+        assert eval_op("cat", [a, b], [UIntType(8), UIntType(4)]) == (a << 4) | b
+
+    @given(st.integers(0, 255))
+    def test_bits(self, a):
+        assert eval_op("bits", [a], [UIntType(8)], (5, 2)) == (a >> 2) & 0xF
+
+    @given(st.integers(0, 255))
+    def test_reductions(self, a):
+        args, types = u_args((a, 8))
+        assert eval_op("orr", args, types) == (a != 0)
+        assert eval_op("andr", args, types) == (a == 255)
+        assert eval_op("xorr", args, types) == bin(a).count("1") % 2
+
+
+class TestSignedSemantics:
+    @given(st.integers(-128, 127), st.integers(-128, 127))
+    def test_add_signed(self, a, b):
+        raw = [a & 0xFF, b & 0xFF]
+        types = [SIntType(8), SIntType(8)]
+        result = eval_op("add", raw, types)
+        assert to_signed(result, 9) == a + b
+
+    @given(st.integers(-128, 127), st.integers(-128, 127))
+    def test_div_truncates_toward_zero(self, a, b):
+        raw = [a & 0xFF, b & 0xFF]
+        types = [SIntType(8), SIntType(8)]
+        result = eval_op("div", raw, types)
+        expected = 0 if b == 0 else int(a / b)
+        assert to_signed(result, 9) == expected
+
+    @given(st.integers(-128, 127), st.integers(-128, 127))
+    def test_rem_sign_of_dividend(self, a, b):
+        raw = [a & 0xFF, b & 0xFF]
+        types = [SIntType(8), SIntType(8)]
+        result = to_signed(eval_op("rem", raw, types), 8)
+        if b == 0:
+            assert result == a
+        else:
+            assert result == a - int(a / b) * b
+            assert result == 0 or (result < 0) == (a < 0)
+
+    @given(st.integers(-128, 127), st.integers(-128, 127))
+    def test_signed_compare(self, a, b):
+        raw = [a & 0xFF, b & 0xFF]
+        types = [SIntType(8), SIntType(8)]
+        assert eval_op("lt", raw, types) == (a < b)
+
+    @given(st.integers(-128, 127))
+    def test_neg(self, a):
+        result = eval_op("neg", [a & 0xFF], [SIntType(8)])
+        assert to_signed(result, 9) == -a
+
+    @given(st.integers(-128, 127), st.integers(0, 7))
+    def test_shr_arithmetic(self, a, n):
+        result = eval_op("shr", [a & 0xFF], [SIntType(8)], (n,))
+        assert to_signed(result, max(8 - n, 1)) == a >> n
+
+    @given(st.integers(-128, 127), st.integers(0, 12))
+    def test_pad_sign_extends(self, a, extra):
+        result = eval_op("pad", [a & 0xFF], [SIntType(8)], (8 + extra,))
+        assert to_signed(result, 8 + extra) == a
+
+
+class TestResultsAlwaysFit:
+    """Every op's result must fit in its declared result width."""
+
+    @given(
+        st.sampled_from(sorted(op for op, spec in OPS.items() if spec.n_args == 2 and spec.n_consts == 0)),
+        st.integers(0, mask(8)),
+        st.integers(0, mask(8)),
+        st.booleans(),
+    )
+    def test_binary_results_fit(self, op, a, b, signed):
+        tpe = SIntType(8) if signed else UIntType(8)
+        result_t = result_type(op, [tpe, tpe])
+        raw = eval_op(op, [a, b], [tpe, tpe])
+        assert 0 <= raw <= mask(bit_width(result_t))

@@ -1,0 +1,101 @@
+"""Round-trip property: parse(print(circuit)) == circuit (textually)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ir import ParseError, parse_circuit, print_circuit
+from repro.ir.parser import tokenize
+
+from ..helpers import random_circuits
+
+
+EXAMPLE = """circuit Top {
+  module Top {
+    input clock : Clock
+    input reset : UInt<1>
+    input in : UInt<8>
+    output out : UInt<8>
+
+    wire w : UInt<8>
+    reg r : UInt<8>, clock reset => (reset, UInt<8>("h0")) @[top.py:3]
+    mem scratch : UInt<8>[16]
+    node n0 = add(in, UInt<8>("h1"))
+    when eq(in, UInt<8>("h3")) { @[top.py:7]
+      w <= UInt<8>("h7")
+    } else {
+      w <= bits(n0, 7, 0)
+    }
+    r <= w
+    write scratch[bits(in, 3, 0)] <= w when UInt<1>("h1") on clock
+    cover(clock, eq(r, UInt<8>("h5")), UInt<1>("h1")) : c0
+    stop(clock, eq(r, UInt<8>("hff")), UInt<1>("h1"), 1) : s0
+    out <= scratch[bits(in, 3, 0)]
+  }
+}
+"""
+
+
+class TestParser:
+    def test_example_roundtrip(self):
+        circuit = parse_circuit(EXAMPLE)
+        assert print_circuit(circuit) == EXAMPLE
+
+    def test_reparse_stable(self):
+        once = print_circuit(parse_circuit(EXAMPLE))
+        twice = print_circuit(parse_circuit(once))
+        assert once == twice
+
+    def test_undeclared_signal(self):
+        bad = "circuit T { module T { output o : UInt<1>\n o <= x } }"
+        with pytest.raises(ParseError):
+            parse_circuit(bad)
+
+    def test_bad_token(self):
+        with pytest.raises(ParseError):
+            parse_circuit("circuit T ` {}")
+
+    def test_unexpected_eof(self):
+        with pytest.raises(ParseError):
+            parse_circuit("circuit T {")
+
+    def test_tokenizer_info(self):
+        tokens = tokenize('@[file.py:12] name 42 "hff" <= =>')
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["info", "ident", "num", "str", "sym", "sym"]
+
+    def test_instance_ports_forward_reference(self):
+        text = (
+            "circuit A {\n"
+            "  module A {\n"
+            "    input clock : Clock\n"
+            "    output o : UInt<4>\n"
+            "    inst b of B\n"
+            "    b.clock <= clock\n"
+            "    o <= b.q\n"
+            "  }\n"
+            "  module B {\n"
+            "    input clock : Clock\n"
+            "    output q : UInt<4>\n"
+            "    q <= UInt<4>(\"h5\")\n"
+            "  }\n"
+            "}\n"
+        )
+        circuit = parse_circuit(text)
+        assert circuit.module("B").port("q").type.width == 4
+
+
+class TestRoundtripProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(random_circuits())
+    def test_random_circuits_roundtrip(self, circuit):
+        text = print_circuit(circuit)
+        reparsed = parse_circuit(text)
+        assert print_circuit(reparsed) == text
+
+    def test_hierarchical_roundtrip(self):
+        from repro.designs.riscv_mini import RiscvMini
+        from repro.hcl import elaborate
+
+        circuit = elaborate(RiscvMini(addr_width=6, cache_sets=2))
+        text = print_circuit(circuit)
+        assert print_circuit(parse_circuit(text)) == text

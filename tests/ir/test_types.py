@@ -1,0 +1,88 @@
+"""Unit tests for the IR ground types and raw-value helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.types import (
+    BOOL,
+    CLOCK,
+    ClockType,
+    SIntType,
+    UIntType,
+    bit_width,
+    from_signed,
+    is_one_bit,
+    is_signed,
+    mask,
+    to_signed,
+    truncate,
+    value_of,
+)
+
+
+class TestTypeBasics:
+    def test_uint_width(self):
+        assert UIntType(8).width == 8
+        assert bit_width(UIntType(8)) == 8
+
+    def test_uint_zero_width_allowed(self):
+        assert UIntType(0).width == 0
+
+    def test_uint_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            UIntType(-1)
+
+    def test_sint_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            SIntType(0)
+
+    def test_clock_is_one_bit(self):
+        assert bit_width(CLOCK) == 1
+
+    def test_bool_alias(self):
+        assert BOOL == UIntType(1)
+
+    def test_signedness(self):
+        assert is_signed(SIntType(4))
+        assert not is_signed(UIntType(4))
+        assert not is_signed(CLOCK)
+
+    def test_is_one_bit(self):
+        assert is_one_bit(UIntType(1))
+        assert not is_one_bit(UIntType(2))
+        assert not is_one_bit(SIntType(1))
+
+    def test_types_are_hashable_and_equal(self):
+        assert UIntType(3) == UIntType(3)
+        assert hash(UIntType(3)) == hash(UIntType(3))
+        assert UIntType(3) != SIntType(3)
+
+    def test_str_forms(self):
+        assert str(UIntType(5)) == "UInt<5>"
+        assert str(SIntType(2)) == "SInt<2>"
+        assert str(CLOCK) == "Clock"
+
+
+class TestRawValueHelpers:
+    def test_mask(self):
+        assert mask(0) == 0
+        assert mask(3) == 0b111
+
+    def test_truncate(self):
+        assert truncate(0x1FF, 8) == 0xFF
+
+    @given(st.integers(1, 20), st.integers())
+    def test_signed_roundtrip(self, width, value):
+        lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        clamped = max(lo, min(hi, value))
+        assert to_signed(from_signed(clamped, width), width) == clamped
+
+    @given(st.integers(1, 20), st.integers(0, 2**20))
+    def test_to_signed_range(self, width, raw):
+        value = to_signed(raw, width)
+        assert -(1 << (width - 1)) <= value < (1 << (width - 1))
+
+    def test_value_of_signed(self):
+        assert value_of(0xFF, SIntType(8)) == -1
+        assert value_of(0x7F, SIntType(8)) == 127
+        assert value_of(0xFF, UIntType(8)) == 255

@@ -1,0 +1,190 @@
+"""CheckForms validation and instance flattening."""
+
+import pytest
+
+from repro.backends import TreadleBackend
+from repro.backends.verilator import VerilatorBackend
+from repro.hcl import Module, elaborate
+from repro.ir import (
+    CLOCK,
+    Circuit,
+    Connect,
+    Cover,
+    DefInstance,
+    DefNode,
+    Module as IrModule,
+    Port,
+    PrimOp,
+    Ref,
+    TRUE,
+    UIntType,
+    prim,
+    u,
+)
+from repro.passes import CheckForms, CompileState, PassError, lower
+
+
+def check(circuit):
+    return CheckForms().run(CompileState(circuit))
+
+
+def minimal_module(body, ports=None):
+    ports = ports or [
+        Port("clock", "input", CLOCK),
+        Port("x", "input", UIntType(4)),
+        Port("o", "output", UIntType(4)),
+    ]
+    return Circuit("T", [IrModule("T", ports, body)])
+
+
+class TestCheckForms:
+    def test_accepts_valid(self):
+        circuit = minimal_module(
+            [Connect(Ref("o", UIntType(4)), Ref("x", UIntType(4)))]
+        )
+        check(circuit)
+
+    def test_rejects_undeclared_use(self):
+        circuit = minimal_module([Connect(Ref("o", UIntType(4)), Ref("ghost", UIntType(4)))])
+        with pytest.raises(PassError):
+            check(circuit)
+
+    def test_rejects_type_mismatch_on_ref(self):
+        circuit = minimal_module([Connect(Ref("o", UIntType(4)), Ref("x", UIntType(8)))])
+        with pytest.raises(PassError):
+            check(circuit)
+
+    def test_rejects_truncating_connect(self):
+        circuit = minimal_module(
+            [Connect(Ref("o", UIntType(4)), prim("cat", Ref("x", UIntType(4)), Ref("x", UIntType(4))))]
+        )
+        with pytest.raises(PassError):
+            check(circuit)
+
+    def test_rejects_driving_input(self):
+        circuit = minimal_module(
+            [
+                Connect(Ref("x", UIntType(4)), u(0, 4)),
+                Connect(Ref("o", UIntType(4)), Ref("x", UIntType(4))),
+            ]
+        )
+        with pytest.raises(PassError):
+            check(circuit)
+
+    def test_rejects_duplicate_declaration(self):
+        circuit = minimal_module(
+            [
+                DefNode("n", u(1, 4)),
+                DefNode("n", u(2, 4)),
+                Connect(Ref("o", UIntType(4)), Ref("n", UIntType(4))),
+            ]
+        )
+        with pytest.raises(PassError):
+            check(circuit)
+
+    def test_rejects_clock_as_data(self):
+        circuit = minimal_module(
+            [Connect(Ref("o", UIntType(4)), PrimOp.make("pad", (Ref("clock", CLOCK),), (4,)))]
+        )
+        with pytest.raises(PassError):
+            check(circuit)
+
+    def test_rejects_wide_cover_predicate(self):
+        circuit = minimal_module(
+            [
+                Cover("c", Ref("clock", CLOCK), Ref("x", UIntType(4)), TRUE),
+                Connect(Ref("o", UIntType(4)), Ref("x", UIntType(4))),
+            ]
+        )
+        with pytest.raises(PassError):
+            check(circuit)
+
+    def test_rejects_duplicate_cover_names(self):
+        pred = prim("orr", Ref("x", UIntType(4)))
+        circuit = minimal_module(
+            [
+                Cover("c", Ref("clock", CLOCK), pred, TRUE),
+                Cover("c", Ref("clock", CLOCK), pred, TRUE),
+                Connect(Ref("o", UIntType(4)), Ref("x", UIntType(4))),
+            ]
+        )
+        with pytest.raises(PassError):
+            check(circuit)
+
+    def test_rejects_unknown_instance_module(self):
+        circuit = minimal_module(
+            [
+                DefInstance("i", "Nope"),
+                Connect(Ref("o", UIntType(4)), Ref("x", UIntType(4))),
+            ]
+        )
+        with pytest.raises(PassError):
+            check(circuit)
+
+
+class _Child(Module):
+    def build(self, m):
+        a = m.input("a", 8)
+        out = m.output("o", 8)
+        r = m.reg("r", 8, init=0)
+        r <<= a
+        out <<= r
+        m.cover(a == 0xFF, "maxed")
+
+
+class _Parent(Module):
+    def build(self, m):
+        a = m.input("a", 8)
+        out = m.output("o", 8)
+        c0 = m.instance("first", _Child())
+        c1 = m.instance("second", _Child())
+        c0.a <<= a
+        c1.a <<= c0.o
+        out <<= c1.o
+
+
+class TestFlatten:
+    def test_one_module_remains(self):
+        state = lower(elaborate(_Parent()), flatten=True)
+        assert len(state.circuit.modules) == 1
+        assert not any(
+            isinstance(s, DefInstance) for s in state.circuit.top.body
+        )
+
+    def test_cover_paths_canonical(self):
+        state = lower(elaborate(_Parent()), flatten=True)
+        assert set(state.cover_paths.values()) == {"first.maxed", "second.maxed"}
+
+    def test_flat_matches_hierarchical_simulation(self):
+        circuit = elaborate(_Parent())
+        hier = TreadleBackend().compile(circuit)
+        flat = VerilatorBackend().compile_state(lower(circuit, flatten=True))
+        import random
+
+        rng = random.Random(3)
+        for cycle in range(100):
+            value = rng.randint(0, 255)
+            for sim in (hier, flat):
+                sim.poke("reset", 1 if cycle == 0 else 0)
+                sim.poke("a", value)
+            assert hier.peek("o") == flat.peek("o")
+            hier.step()
+            flat.step()
+        assert hier.cover_counts() == flat.cover_counts()
+
+    def test_statement_order_is_parseable(self):
+        from repro.ir import parse_circuit, print_circuit
+
+        state = lower(elaborate(_Parent()), flatten=True)
+        text = print_circuit(state.circuit)
+        assert print_circuit(parse_circuit(text)) == text
+
+    def test_undriven_instance_input_rejected(self):
+        class BadParent(Module):
+            def build(self, m):
+                out = m.output("o", 8)
+                child = m.instance("c", _Child())
+                out <<= child.o  # never drives child.a
+
+        with pytest.raises(PassError):
+            lower(elaborate(BadParent()), flatten=True)

@@ -1,0 +1,143 @@
+"""ExpandWhens lowering: structure and semantics."""
+
+import pytest
+
+from repro.backends import TreadleBackend
+from repro.hcl import Module, elaborate
+from repro.ir import Connect, Cover, Ref, UIntLiteral, When, print_circuit
+from repro.ir.traversal import walk_stmts
+from repro.passes import CheckForms, CompileState, ExpandWhens, PassError, compile_circuit
+from repro.passes.expand_whens import has_whens
+
+
+def lower_only(circuit):
+    return compile_circuit(circuit, [CheckForms(), ExpandWhens()])
+
+
+class TestStructure:
+    def build_example(self):
+        class Example(Module):
+            def build(self, m):
+                a = m.input("a")
+                b = m.input("b")
+                out = m.output("out", 4)
+                out <<= 0
+                with m.when(a):
+                    out <<= 1
+                    with m.when(b):
+                        out <<= 2
+                m.cover(a & b, "both")
+
+        return elaborate(Example())
+
+    def test_no_whens_after(self):
+        state = lower_only(self.build_example())
+        assert not has_whens(state.circuit.top)
+
+    def test_single_connect_per_target(self):
+        state = lower_only(self.build_example())
+        connects = [s for s in state.circuit.top.body if isinstance(s, Connect)]
+        targets = [str(c.loc) for c in connects]
+        assert len(targets) == len(set(targets))
+        assert "out" in targets
+
+    def test_idempotent(self):
+        state = lower_only(self.build_example())
+        again = ExpandWhens().run(state)
+        assert print_circuit(again.circuit) == print_circuit(state.circuit)
+
+    def test_cover_enable_gets_path_condition(self):
+        class Gated(Module):
+            def build(self, m):
+                a = m.input("a")
+                out = m.output("o", 1)
+                out <<= 0
+                with m.when(a):
+                    m.cover(m.lit(1, 1), "inside")
+
+        state = lower_only(elaborate(Gated()))
+        cover = next(s for s in walk_stmts(state.circuit.top.body) if isinstance(s, Cover))
+        # en must no longer be the constant true — the branch condition moved in
+        assert not (isinstance(cover.en, UIntLiteral) and cover.en.value == 1)
+
+    def test_register_defaults_to_itself(self):
+        class Keep(Module):
+            def build(self, m):
+                en = m.input("en")
+                out = m.output("o", 4)
+                r = m.reg("r", 4, init=0)
+                with m.when(en):
+                    r <<= r + 1
+                out <<= r
+
+        state = lower_only(elaborate(Keep()))
+        connect = next(
+            s
+            for s in state.circuit.top.body
+            if isinstance(s, Connect) and isinstance(s.loc, Ref) and s.loc.name == "r"
+        )
+        # when en is false the mux falls back to the register itself
+        assert "mux" in str(connect.expr)
+        assert "r" in str(connect.expr)
+
+
+class TestSemanticErrors:
+    def test_uninitialized_wire_rejected(self):
+        class Bad(Module):
+            def build(self, m):
+                w = m.wire("w", 4)
+                out = m.output("o", 4)
+                out <<= w
+
+        with pytest.raises(PassError):
+            lower_only(elaborate(Bad()))
+
+    def test_unconnected_output_rejected(self):
+        class Bad(Module):
+            def build(self, m):
+                m.output("o", 4)
+
+        with pytest.raises(PassError):
+            lower_only(elaborate(Bad()))
+
+    def test_partial_when_assignment_ok_with_default(self):
+        class Partial(Module):
+            def build(self, m):
+                a = m.input("a")
+                out = m.output("o", 4)
+                out <<= 0  # default makes partial branch assignment fine
+                with m.when(a):
+                    out <<= 5
+
+        state = lower_only(elaborate(Partial()))
+        sim = TreadleBackend().compile_state(state)
+        sim.poke("a", 0)
+        assert sim.peek("o") == 0
+        sim.poke("a", 1)
+        assert sim.peek("o") == 5
+
+
+class TestLastConnectSemantics:
+    def test_later_connect_wins(self):
+        class Last(Module):
+            def build(self, m):
+                out = m.output("o", 4)
+                out <<= 1
+                out <<= 2
+
+        sim = TreadleBackend().compile_state(lower_only(elaborate(Last())))
+        assert sim.peek("o") == 2
+
+    def test_when_overrides_earlier(self):
+        class Override(Module):
+            def build(self, m):
+                a = m.input("a")
+                out = m.output("o", 4)
+                out <<= 1
+                with m.when(a):
+                    out <<= 2
+                out <<= 3  # overrides everything
+
+        sim = TreadleBackend().compile_state(lower_only(elaborate(Override())))
+        sim.poke("a", 1)
+        assert sim.peek("o") == 3

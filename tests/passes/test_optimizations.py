@@ -1,0 +1,167 @@
+"""ConstProp and DCE: correctness and semantic preservation."""
+
+from hypothesis import given, settings
+
+from repro.backends import TreadleBackend
+from repro.backends.verilator import VerilatorBackend
+from repro.hcl import Module, elaborate
+from repro.ir import Cover, DefNode, DefRegister, UIntLiteral, u, prim
+from repro.ir.traversal import walk_stmts
+from repro.passes import (
+    CheckForms,
+    CompileState,
+    ConstProp,
+    DeadCodeElimination,
+    ExpandWhens,
+    compile_circuit,
+    simplify_deep,
+)
+
+from ..helpers import random_circuits, random_stimulus, run_with_stimulus
+
+
+class TestSimplify:
+    def test_literal_folding(self):
+        expr = prim("add", u(3, 4), u(4, 4))
+        assert simplify_deep(expr) == UIntLiteral(7, 5)
+
+    def test_and_identity(self):
+        from repro.ir import Ref, UIntType
+
+        x = Ref("x", UIntType(1))
+        assert simplify_deep(prim("and", x, u(1, 1))) == x
+
+    def test_mux_constant_condition(self):
+        from repro.ir import Mux
+
+        expr = Mux.make(u(1, 1), u(3, 4), u(5, 4))
+        assert simplify_deep(expr) == UIntLiteral(3, 4)
+
+    def test_double_negation(self):
+        from repro.ir import Ref, UIntType
+
+        x = Ref("x", UIntType(4))
+        assert simplify_deep(prim("not", prim("not", x))) == x
+
+    def test_full_width_bits_identity(self):
+        from repro.ir import Ref, UIntType
+
+        x = Ref("x", UIntType(4))
+        assert simplify_deep(prim("bits", x, consts=[3, 0])) == x
+
+    def test_eq_self(self):
+        from repro.ir import Ref, UIntType
+
+        x = Ref("x", UIntType(4))
+        assert simplify_deep(prim("eq", x, x)) == UIntLiteral(1, 1)
+
+
+class TestConstProp:
+    def test_propagates_node_constants(self):
+        class Consts(Module):
+            def build(self, m):
+                out = m.output("o", 8)
+                a = m.node("a", m.lit(3, 8))
+                b = m.node("b", m.lit(4, 8))
+                out <<= a + b
+
+        state = compile_circuit(
+            elaborate(Consts()), [CheckForms(), ExpandWhens(), ConstProp()]
+        )
+        connects = [str(s.expr) for s in state.circuit.top.body if hasattr(s, "loc")]
+        assert any("h7" in c for c in connects)
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_circuits())
+    def test_preserves_semantics(self, circuit):
+        baseline = compile_circuit(circuit, [CheckForms()])
+        optimized = compile_circuit(circuit, [CheckForms(), ConstProp()])
+        stim = random_stimulus(7, 30)
+        sim_a = TreadleBackend().compile_state(CompileState(baseline.circuit))
+        sim_b = TreadleBackend().compile_state(CompileState(optimized.circuit))
+        assert run_with_stimulus(sim_a, stim) == run_with_stimulus(sim_b, stim)
+        assert sim_a.cover_counts() == sim_b.cover_counts()
+
+
+class TestDce:
+    def test_removes_unused_node(self):
+        class Dead(Module):
+            def build(self, m):
+                a = m.input("a", 8)
+                out = m.output("o", 8)
+                m.node("unused", a + 1)
+                out <<= a
+
+        state = compile_circuit(
+            elaborate(Dead()), [CheckForms(), ExpandWhens(), DeadCodeElimination()]
+        )
+        nodes = [s for s in state.circuit.top.body if isinstance(s, DefNode)]
+        assert not any(s.name == "unused" for s in nodes)
+
+    def test_keeps_cover_feeding_logic(self):
+        class CoverFeed(Module):
+            def build(self, m):
+                a = m.input("a", 8)
+                out = m.output("o", 1)
+                out <<= a[0]
+                hidden = m.reg("hidden", 8, init=0)
+                hidden <<= hidden + a
+                m.cover(hidden == 42, "answer")
+
+        state = compile_circuit(
+            elaborate(CoverFeed()),
+            [CheckForms(), ExpandWhens(), ConstProp(), DeadCodeElimination()],
+        )
+        regs = [s for s in state.circuit.top.body if isinstance(s, DefRegister)]
+        assert any(r.name == "hidden" for r in regs)
+        covers = [s for s in state.circuit.top.body if isinstance(s, Cover)]
+        assert covers
+
+    def test_removes_dead_register(self):
+        class DeadReg(Module):
+            def build(self, m):
+                a = m.input("a", 8)
+                out = m.output("o", 8)
+                out <<= a
+                zombie = m.reg("zombie", 8, init=0)
+                zombie <<= zombie + 1
+
+        state = compile_circuit(
+            elaborate(DeadReg()),
+            [CheckForms(), ExpandWhens(), DeadCodeElimination()],
+        )
+        regs = [s for s in state.circuit.top.body if isinstance(s, DefRegister)]
+        assert not regs
+
+    def test_dont_touch_blocks_removal(self):
+        from repro.ir import DontTouchAnnotation
+
+        class Pinned(Module):
+            def build(self, m):
+                a = m.input("a", 8)
+                out = m.output("o", 8)
+                out <<= a
+                zombie = m.reg("zombie", 8, init=0)
+                zombie <<= zombie + 1
+
+        circuit = elaborate(Pinned())
+        circuit.annotations.append(DontTouchAnnotation(circuit.main, "zombie"))
+        state = compile_circuit(
+            circuit, [CheckForms(), ExpandWhens(), DeadCodeElimination()]
+        )
+        regs = [s for s in state.circuit.top.body if isinstance(s, DefRegister)]
+        assert any(r.name == "zombie" for r in regs)
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_circuits())
+    def test_preserves_semantics(self, circuit):
+        stim = random_stimulus(11, 30)
+        sim_a = TreadleBackend().compile_state(
+            compile_circuit(circuit, [CheckForms()])
+        )
+        optimized = compile_circuit(
+            circuit, [CheckForms(), ConstProp(), DeadCodeElimination()]
+        )
+        sim_b = VerilatorBackend().compile_state(optimized)
+        assert run_with_stimulus(sim_a, stim) == run_with_stimulus(sim_b, stim)
+        assert sim_a.cover_counts() == sim_b.cover_counts()
