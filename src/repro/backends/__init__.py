@@ -16,9 +16,15 @@ formal     SymbiYosys (BMC cover traces)        proves/finds reachability
 from .api import (
     BackendInfo,
     CoverCounts,
+    RunFailure,
+    ScanChainCorruption,
     Simulation,
+    SimulationCrash,
+    SimulationFault,
+    SimulationTimeout,
     SimulatorBackend,
     StepResult,
+    has_port,
     reset_and_run,
     saturate,
 )
@@ -57,9 +63,15 @@ __all__ = [
     "EssentSimulation",
     "FireSimBackend",
     "FireSimSimulation",
+    "RunFailure",
+    "ScanChainCorruption",
     "Simulation",
+    "SimulationCrash",
+    "SimulationFault",
+    "SimulationTimeout",
     "SimulatorBackend",
     "StepResult",
+    "has_port",
     "TreadleBackend",
     "TreadleSimulation",
     "VerilatorBackend",

@@ -42,6 +42,56 @@ class StepResult:
     exit_code: int = 0
 
 
+class SimulationFault(RuntimeError):
+    """Base class for contained backend failures.
+
+    Raised by (or on behalf of) a misbehaving simulation; the run
+    orchestrator (:mod:`repro.runtime`) converts these into structured
+    :class:`RunFailure` records instead of letting them kill a campaign.
+    """
+
+
+class SimulationCrash(SimulationFault):
+    """The backend process/model died mid-run."""
+
+
+class SimulationTimeout(SimulationFault):
+    """A ``step()`` call exceeded its wall-clock budget (hang)."""
+
+
+class ScanChainCorruption(SimulationFault):
+    """A FireSim scan-out read back inconsistent bits (CRC mismatch)."""
+
+
+@dataclass
+class RunFailure:
+    """One failed attempt of one job, as recorded by the executor."""
+
+    job_id: str
+    backend: str
+    kind: str  # crash | timeout | scan-corruption | error
+    attempt: int
+    cycle: Optional[int] = None
+    message: str = ""
+
+    def format(self) -> str:
+        where = f" at cycle {self.cycle}" if self.cycle is not None else ""
+        return (
+            f"[{self.job_id}/{self.backend}] attempt {self.attempt}: "
+            f"{self.kind}{where}: {self.message}"
+        )
+
+    @staticmethod
+    def kind_of(error: BaseException) -> str:
+        if isinstance(error, SimulationTimeout):
+            return "timeout"
+        if isinstance(error, ScanChainCorruption):
+            return "scan-corruption"
+        if isinstance(error, SimulationCrash):
+            return "crash"
+        return "error"
+
+
 @runtime_checkable
 class Simulation(Protocol):
     """A live simulation instance.
@@ -86,9 +136,30 @@ class BackendInfo:
     startup_cost: str  # qualitative: none | compile | synthesis
 
 
+def has_port(sim: Simulation, port: str) -> bool:
+    """Whether ``sim`` exposes a top-level port named ``port``.
+
+    Probes via ``peek`` — every backend raises ``KeyError`` for unknown
+    ports, which is the only portable signal the protocol offers.
+    """
+    try:
+        sim.peek(port)
+    except KeyError:
+        return False
+    return True
+
+
 def reset_and_run(sim: Simulation, cycles: int, reset_cycles: int = 1) -> StepResult:
-    """Common harness helper: hold reset, then run for ``cycles``."""
-    if reset_cycles:
+    """Common harness helper: hold reset (if the design has one), then run.
+
+    Designs without a top-level ``reset`` port simply skip the reset phase
+    rather than blowing up the harness.
+    """
+    if cycles <= 0:
+        raise ValueError(f"cycles must be positive, got {cycles}")
+    if reset_cycles < 0:
+        raise ValueError(f"reset_cycles must be non-negative, got {reset_cycles}")
+    if reset_cycles and has_port(sim, "reset"):
         sim.poke("reset", 1)
         sim.step(reset_cycles)
         sim.poke("reset", 0)

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ...passes.base import CompileState
-from ..api import CoverCounts, StepResult
+from ..api import CoverCounts, ScanChainCorruption, StepResult
 from .resources import FmaxEstimate, Resources, estimate_fmax, estimate_module
 from .scanchain import CoverageScanChainPass, ScanChainInfo
 
@@ -28,13 +28,32 @@ from .scanchain import CoverageScanChainPass, ScanChainInfo
 SCAN_CLOCK_HZ = 10_000_000
 
 
-class FireSimSimulation:
-    """Simulation protocol over a scan-chain-instrumented design."""
+def scan_crc(bits: list[int]) -> int:
+    """CRC-16/CCITT over a scanned-out bitstream (one bit per entry)."""
+    crc = 0xFFFF
+    for bit in bits:
+        crc ^= (bit & 1) << 15
+        crc = ((crc << 1) ^ 0x1021 if crc & 0x8000 else crc << 1) & 0xFFFF
+    return crc
 
-    def __init__(self, base_sim, info: ScanChainInfo) -> None:
+
+class FireSimSimulation:
+    """Simulation protocol over a scan-chain-instrumented design.
+
+    With ``verify_scans`` the driver exploits the non-destructive scan
+    protocol to detect read-path corruption: it rotates the chain twice and
+    compares CRCs.  A clean chain returns identical bitstreams; a bit
+    flipped anywhere on the host read path makes the CRCs diverge, and the
+    driver raises :class:`ScanChainCorruption` instead of returning
+    poisoned counts (the run orchestrator turns that into a retry).
+    """
+
+    def __init__(self, base_sim, info: ScanChainInfo, verify_scans: bool = False) -> None:
         self._sim = base_sim
         self.info = info
+        self.verify_scans = verify_scans
         self.scan_cycles_total = 0
+        self.last_scan_crc: Optional[int] = None
         base_sim.poke("cover_en", 1)
         base_sim.poke("scan_en", 0)
         base_sim.poke("scan_in", 0)
@@ -58,21 +77,38 @@ class FireSimSimulation:
 
     # -- the scan-out protocol ---------------------------------------------------
 
-    def cover_counts(self) -> CoverCounts:
-        """Pause, freeze counters, clock out the chain, restore, resume."""
+    def _rotate_chain(self) -> list[int]:
+        """One full non-destructive rotation; returns the bits read."""
         sim = self._sim
-        sim.poke("cover_en", 0)  # freeze counts
-        sim.poke("scan_en", 1)
         bits: list[int] = []
         for _ in range(self.info.length_bits):
             bit = sim.peek("scan_out")
             bits.append(bit)
             sim.poke("scan_in", bit)  # recirculate: scanning is non-destructive
             sim.step(1)
-        sim.poke("scan_en", 0)
-        sim.poke("scan_in", 0)
-        sim.poke("cover_en", 1)
         self.scan_cycles_total += self.info.length_bits
+        return bits
+
+    def cover_counts(self) -> CoverCounts:
+        """Pause, freeze counters, clock out the chain, restore, resume."""
+        sim = self._sim
+        sim.poke("cover_en", 0)  # freeze counts
+        sim.poke("scan_en", 1)
+        try:
+            bits = self._rotate_chain()
+            self.last_scan_crc = scan_crc(bits)
+            if self.verify_scans:
+                check = scan_crc(self._rotate_chain())
+                if check != self.last_scan_crc:
+                    raise ScanChainCorruption(
+                        f"scan-out CRC mismatch: first rotation "
+                        f"{self.last_scan_crc:#06x}, second {check:#06x} "
+                        f"({self.info.length_bits} bits)"
+                    )
+        finally:
+            sim.poke("scan_en", 0)
+            sim.poke("scan_in", 0)
+            sim.poke("cover_en", 1)
         return self.info.decode(bits)
 
     def scan_out_seconds(self, scan_clock_hz: int = SCAN_CLOCK_HZ) -> float:
@@ -110,13 +146,19 @@ class FireSimBackend:
 
     name = "firesim"
 
-    def __init__(self, host_backend=None, counter_width: int = 16) -> None:
+    def __init__(
+        self,
+        host_backend=None,
+        counter_width: int = 16,
+        verify_scans: bool = False,
+    ) -> None:
         if host_backend is None:
             from ..verilator import VerilatorBackend
 
             host_backend = VerilatorBackend()
         self.host_backend = host_backend
         self.counter_width = counter_width
+        self.verify_scans = verify_scans
 
     def compile(self, circuit, counter_width: Optional[int] = None) -> FireSimSimulation:
         from ...passes import lower
@@ -130,7 +172,7 @@ class FireSimBackend:
         transformed = chain_pass.run(state)
         assert chain_pass.info is not None
         base = self.host_backend.compile_state(transformed)
-        return FireSimSimulation(base, chain_pass.info)
+        return FireSimSimulation(base, chain_pass.info, verify_scans=self.verify_scans)
 
     def timing_model(self, state: CompileState, counter_width: Optional[int] = None) -> FireSimTimingModel:
         """Resource/F_max estimate for the instrumented design."""

@@ -22,6 +22,7 @@ from pathlib import Path
 from .backends import TreadleBackend, VerilatorBackend
 from .coverage import (
     CoverageDB,
+    all_cover_names,
     counts_from_json,
     counts_to_json,
     fsm_report,
@@ -82,39 +83,76 @@ def cmd_instrument(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    from .runtime import Checkpointer, Executor, RunJob
+
     circuit = _load(args.circuit)
     backend = TreadleBackend() if args.backend == "treadle" else VerilatorBackend()
-    sim = backend.compile(circuit, counter_width=args.counter_width)
-    rng = random.Random(args.seed)
     inputs = [
         p.name
         for p in circuit.top.inputs
         if p.name not in ("clock", "reset")
     ]
     widths = {p.name: getattr(p.type, "width", 1) for p in circuit.top.inputs}
-    sim.poke("reset", 1)
-    sim.step(args.reset_cycles)
-    sim.poke("reset", 0)
-    for _ in range(args.cycles):
+    rng = random.Random(args.seed)
+
+    def stimulus(sim, cycle):
         if args.random_inputs:
             for name in inputs:
                 sim.poke(name, rng.getrandbits(widths.get(name, 1) or 1))
-        result = sim.step(1)
-        if result.stopped:
-            print(f"stopped by {result.stop_name} (exit {result.exit_code})")
-            break
-    counts = sim.cover_counts()
+
+    def make_sim():
+        rng.seed(args.seed)  # each attempt replays the same stimulus
+        return backend.compile(circuit, counter_width=args.counter_width)
+
+    checkpointer = None
+    if args.checkpoint_every or args.resume or args.shard_dir:
+        shard_dir = args.shard_dir or (args.circuit + ".shards")
+        checkpointer = Checkpointer(Path(shard_dir), every=args.checkpoint_every or 0)
+    executor = Executor(
+        timeout=args.timeout,
+        retries=args.retries,
+        checkpointer=checkpointer,
+        seed=args.seed,
+    )
+    job = RunJob(
+        job_id=f"{Path(args.circuit).stem}-{args.backend}-s{args.seed}",
+        backend_name=args.backend,
+        make_sim=make_sim,
+        cycles=args.cycles,
+        stimulus=stimulus,
+        reset_cycles=args.reset_cycles,
+    )
+    result = executor.run_campaign(
+        [job],
+        known_names=all_cover_names(circuit),
+        counter_width=args.counter_width,
+        resume=args.resume,
+    )
+    for failure in result.failures:
+        print(failure.format(), file=sys.stderr)
+    if not result.quarantine.clean:
+        print(result.quarantine.format(), file=sys.stderr)
+    outcome = result.outcomes[0]
+    if not outcome.contributed:
+        print(f"job failed after {outcome.attempts} attempt(s); no counts recovered",
+              file=sys.stderr)
+        return 1
+    counts = result.merged
     if args.merge_with:
         counts = merge_counts(counts, counts_from_json(Path(args.merge_with).read_text()))
     _write(counts_to_json(counts) + "\n", args.counts)
     covered = sum(1 for c in counts.values() if c)
-    print(f"simulated {args.cycles} cycles: {covered}/{len(counts)} points covered")
+    print(
+        f"simulated {outcome.cycles_run} cycles ({outcome.status}): "
+        f"{covered}/{len(counts)} points covered"
+    )
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     circuit = _load(args.circuit)
-    db = CoverageDB.from_json(Path(args.db or args.circuit + DB_SUFFIX).read_text())
+    db_path = args.db or args.circuit + DB_SUFFIX
+    db = CoverageDB.from_json(Path(db_path).read_text(), source=db_path)
     counts = counts_from_json(Path(args.counts).read_text())
     if args.html:
         Path(args.html).write_text(html_report(db, counts, circuit))
@@ -182,6 +220,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--counter-width", type=int, default=None)
     p.add_argument("--counts", help="write counts JSON here (default stdout)")
     p.add_argument("--merge-with", help="merge with an existing counts JSON")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-attempt wall-clock budget in seconds")
+    p.add_argument("--retries", type=int, default=0,
+                   help="extra attempts after a crash/hang (with backoff)")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="snapshot live counts to a shard file every K cycles")
+    p.add_argument("--resume", action="store_true",
+                   help="skip jobs whose shard on disk is already complete")
+    p.add_argument("--shard-dir",
+                   help="shard directory (default: <circuit>.shards)")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("report", help="generate coverage reports from counts")

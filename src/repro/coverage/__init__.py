@@ -27,10 +27,15 @@ from ..passes import (
 )
 from .alias import AliasInfo, analyze_aliases
 from .common import (
+    COVERAGE_DB_VERSION,
     CoverageDB,
+    CoverageDBError,
     InstanceTree,
+    InvalidCountsError,
     aggregate_by_module,
     all_cover_names,
+    checked_merge_counts,
+    count_issues,
     counts_from_json,
     counts_to_json,
     covered_points,
@@ -97,7 +102,10 @@ def instrument(
 __all__ = [
     "ALL_METRICS",
     "AliasInfo",
+    "COVERAGE_DB_VERSION",
     "CoverageDB",
+    "CoverageDBError",
+    "InvalidCountsError",
     "FsmCoveragePass",
     "FsmCoverageReport",
     "InstanceTree",
@@ -112,6 +120,8 @@ __all__ = [
     "aggregate_by_module",
     "all_cover_names",
     "analyze_aliases",
+    "checked_merge_counts",
+    "count_issues",
     "counts_from_json",
     "counts_to_json",
     "covered_points",

@@ -22,6 +22,21 @@ from ..ir.nodes import Circuit, Cover, DefInstance
 from ..ir.traversal import walk_stmts
 from ..backends.api import CoverCounts, saturate
 
+#: CoverageDB serialization format version this library reads and writes
+COVERAGE_DB_VERSION = 1
+
+
+class CoverageDBError(ValueError):
+    """A coverage database file is malformed or from an unknown version."""
+
+
+class InvalidCountsError(ValueError):
+    """Cover counts contain values that cannot be merged (see the issues)."""
+
+    def __init__(self, message: str, issues: Optional[list[str]] = None) -> None:
+        super().__init__(message)
+        self.issues = issues or []
+
 
 @dataclass
 class CoverageDB:
@@ -63,12 +78,54 @@ class CoverageDB:
     # -- serialization ---------------------------------------------------------
 
     def to_json(self) -> str:
-        return json.dumps({"version": 1, "entries": self.entries}, indent=2, sort_keys=True)
+        return json.dumps(
+            {"version": COVERAGE_DB_VERSION, "entries": self.entries},
+            indent=2,
+            sort_keys=True,
+        )
 
     @staticmethod
-    def from_json(text: str) -> "CoverageDB":
-        data = json.loads(text)
-        return CoverageDB(data["entries"])
+    def from_json(text: str, source: Optional[str] = None) -> "CoverageDB":
+        """Deserialize, validating the version and the entries shape.
+
+        ``source`` (a file name) is included in error messages so a bad
+        shard or DB file can be identified in a multi-file campaign.
+        """
+        where = f" in {source}" if source else ""
+
+        def fail(detail: str) -> "CoverageDBError":
+            return CoverageDBError(f"bad coverage DB{where}: {detail}")
+
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise fail(f"not valid JSON ({error})") from error
+        if not isinstance(data, dict):
+            raise fail(f"expected a JSON object, got {type(data).__name__}")
+        version = data.get("version")
+        if version is None:
+            raise fail("missing 'version' field")
+        if version != COVERAGE_DB_VERSION:
+            raise fail(
+                f"unsupported version {version!r} "
+                f"(this library reads version {COVERAGE_DB_VERSION})"
+            )
+        entries = data.get("entries")
+        if not isinstance(entries, dict):
+            raise fail(
+                "missing or non-object 'entries' field "
+                f"(got {type(entries).__name__})"
+            )
+        for metric, modules in entries.items():
+            if not isinstance(modules, dict):
+                raise fail(f"metric {metric!r}: expected an object of modules")
+            for module, covers in modules.items():
+                if not isinstance(covers, dict):
+                    raise fail(
+                        f"metric {metric!r}, module {module!r}: "
+                        "expected an object of cover payloads"
+                    )
+        return CoverageDB(entries)
 
 
 class InstanceTree:
@@ -119,6 +176,75 @@ def merge_counts(*results: CoverCounts, counter_width: Optional[int] = None) -> 
     if counter_width is not None:
         merged = {name: saturate(c, counter_width) for name, c in merged.items()}
     return merged
+
+
+def count_issues(counts: CoverCounts, counter_width: Optional[int] = None) -> list[str]:
+    """Describe every value in ``counts`` that cannot be merged as-is.
+
+    Invalid values: non-``int`` counts (including ``bool``), negative
+    counts, and — when ``counter_width`` is given — counts exceeding the
+    saturation limit of that counter width (a backend can never report
+    more than ``2**width - 1``, so a larger value is corrupt data).
+    """
+    issues: list[str] = []
+    limit = (1 << counter_width) - 1 if counter_width is not None else None
+    for name, count in counts.items():
+        if type(count) is not int:
+            issues.append(f"{name}: non-integer count {count!r}")
+        elif count < 0:
+            issues.append(f"{name}: negative count {count}")
+        elif limit is not None and count > limit:
+            issues.append(
+                f"{name}: count {count} exceeds {counter_width}-bit "
+                f"saturation limit {limit}"
+            )
+    return issues
+
+
+def checked_merge_counts(
+    *results: CoverCounts,
+    counter_width: Optional[int] = None,
+    on_invalid: str = "raise",
+) -> CoverCounts:
+    """:func:`merge_counts` with validation of every input map.
+
+    ``on_invalid`` selects the policy for bad values:
+
+    * ``"raise"`` — raise :class:`InvalidCountsError` listing every issue,
+    * ``"clamp"`` — coerce into range (negatives to 0, oversized counts to
+      the saturation limit); non-integer values are dropped,
+    * ``"drop"`` — silently skip invalid entries.
+    """
+    if on_invalid not in ("raise", "clamp", "drop"):
+        raise ValueError(f"on_invalid must be raise|clamp|drop, got {on_invalid!r}")
+    if on_invalid == "raise":
+        issues = [i for counts in results for i in count_issues(counts, counter_width)]
+        if issues:
+            raise InvalidCountsError(
+                f"refusing to merge {len(issues)} invalid count(s): "
+                + "; ".join(issues[:5])
+                + ("; ..." if len(issues) > 5 else ""),
+                issues,
+            )
+        return merge_counts(*results, counter_width=counter_width)
+    limit = (1 << counter_width) - 1 if counter_width is not None else None
+    cleaned: list[CoverCounts] = []
+    for counts in results:
+        good: CoverCounts = {}
+        for name, count in counts.items():
+            if type(count) is not int:
+                continue  # unrepresentable either way
+            if count < 0:
+                if on_invalid == "clamp":
+                    good[name] = 0
+                continue
+            if limit is not None and count > limit:
+                if on_invalid == "clamp":
+                    good[name] = limit
+                continue
+            good[name] = count
+        cleaned.append(good)
+    return merge_counts(*cleaned, counter_width=counter_width)
 
 
 def covered_points(counts: CoverCounts, threshold: int = 1) -> set[str]:

@@ -1,0 +1,55 @@
+"""Fault-tolerant coverage-run orchestration.
+
+The paper's merge property (§3, §5.3) assumes every backend returns
+pristine counts; this subsystem drops that assumption.  Jobs run behind a
+wall-clock watchdog with bounded, jittered retries; live counts checkpoint
+to shard files so crashes only cost the cycles since the last snapshot;
+and every shard is validated against the cover namespace — corrupt shards
+are quarantined into a report instead of poisoning the merge.
+
+Pieces:
+
+* :mod:`~repro.runtime.executor` — watchdog, retries/backoff, campaigns
+* :mod:`~repro.runtime.checkpoint` — atomic JSON shard files, resume
+* :mod:`~repro.runtime.validate` — namespace/width validation, quarantine
+* :mod:`~repro.runtime.faults` — deterministic fault injection (tests the
+  three modules above, and nothing in production imports it)
+"""
+
+from .checkpoint import SHARD_VERSION, Checkpointer, Shard, ShardError
+from .executor import (
+    CampaignResult,
+    Executor,
+    RunJob,
+    RunOutcome,
+    run_campaign,
+)
+from .faults import FaultPlan, FaultyBackend, FaultySimulation, ScanNoiseHost
+from .validate import (
+    QuarantineReport,
+    QuarantinedShard,
+    ShardIssue,
+    merge_shards,
+    validate_shard_counts,
+)
+
+__all__ = [
+    "CampaignResult",
+    "Checkpointer",
+    "Executor",
+    "FaultPlan",
+    "FaultyBackend",
+    "FaultySimulation",
+    "QuarantineReport",
+    "QuarantinedShard",
+    "RunJob",
+    "RunOutcome",
+    "SHARD_VERSION",
+    "ScanNoiseHost",
+    "Shard",
+    "ShardError",
+    "ShardIssue",
+    "merge_shards",
+    "run_campaign",
+    "validate_shard_counts",
+]

@@ -1,0 +1,158 @@
+"""Periodic cover-count checkpoints (shards) for fault-tolerant campaigns.
+
+A *shard* is one job's contribution to a merged coverage report: the cover
+counts it has accumulated so far, plus enough metadata to validate and
+re-merge it later.  The executor writes a shard every K cycles, so a job
+that crashes or hangs mid-run still contributes its last-good counts, and
+an interrupted campaign can resume from the shard directory instead of
+restarting from cycle 0.
+
+Shard files are written atomically (write to a temp file in the same
+directory, then ``os.replace``) so a crash *during* a checkpoint can never
+leave a half-written shard behind — the worst case is a stale-but-valid
+previous checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from ..backends.api import CoverCounts
+
+#: shard file format version
+SHARD_VERSION = 1
+
+SHARD_SUFFIX = ".shard.json"
+
+
+class ShardError(ValueError):
+    """A shard file on disk is unreadable or malformed."""
+
+
+@dataclass
+class Shard:
+    """One job's (possibly partial) cover counts plus provenance."""
+
+    job_id: str
+    backend: str
+    cycle: int
+    counts: CoverCounts
+    complete: bool = False
+    path: Optional[str] = None
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": SHARD_VERSION,
+                "job_id": self.job_id,
+                "backend": self.backend,
+                "cycle": self.cycle,
+                "complete": self.complete,
+                "counts": self.counts,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def from_json(text: str, path: Optional[str] = None) -> "Shard":
+        where = f" in {path}" if path else ""
+
+        def fail(detail: str) -> ShardError:
+            return ShardError(f"bad shard{where}: {detail}")
+
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise fail(f"not valid JSON ({error})") from error
+        if not isinstance(data, dict):
+            raise fail(f"expected a JSON object, got {type(data).__name__}")
+        version = data.get("version")
+        if version != SHARD_VERSION:
+            raise fail(f"unsupported version {version!r} (expected {SHARD_VERSION})")
+        for key, kind in (("job_id", str), ("backend", str), ("cycle", int),
+                          ("complete", bool), ("counts", dict)):
+            if not isinstance(data.get(key), kind):
+                raise fail(f"missing or mistyped field {key!r}")
+        return Shard(
+            job_id=data["job_id"],
+            backend=data["backend"],
+            cycle=data["cycle"],
+            counts=dict(data["counts"]),
+            complete=data["complete"],
+            path=path,
+        )
+
+
+@dataclass
+class Checkpointer:
+    """Writes and reads a directory of per-job shard files.
+
+    ``every`` is the checkpoint period in cycles (0 disables periodic
+    checkpoints; final shards are still written on job completion).
+    """
+
+    directory: Path
+    every: int = 0
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        if self.every < 0:
+            raise ValueError(f"checkpoint period must be >= 0, got {self.every}")
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def shard_path(self, job_id: str) -> Path:
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in job_id)
+        return self.directory / f"{safe}{SHARD_SUFFIX}"
+
+    def due(self, cycle: int) -> bool:
+        """Whether a checkpoint should be written after ``cycle`` cycles."""
+        return self.every > 0 and cycle % self.every == 0
+
+    def write(self, shard: Shard) -> Path:
+        """Atomically persist ``shard``; returns the shard file path."""
+        path = self.shard_path(shard.job_id)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(shard.to_json())
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        shard.path = str(path)
+        return path
+
+    def load(self, job_id: str) -> Optional[Shard]:
+        """The job's last checkpoint, or None if it never wrote one."""
+        path = self.shard_path(job_id)
+        if not path.exists():
+            return None
+        return Shard.from_json(path.read_text(), path=str(path))
+
+    def load_all(self) -> tuple[list[Shard], list[tuple[str, str]]]:
+        """Read every shard in the directory.
+
+        Returns ``(shards, unreadable)`` where ``unreadable`` pairs a file
+        path with the parse error — the campaign quarantines those rather
+        than aborting.
+        """
+        shards: list[Shard] = []
+        unreadable: list[tuple[str, str]] = []
+        for path in sorted(self.directory.glob(f"*{SHARD_SUFFIX}")):
+            try:
+                shards.append(Shard.from_json(path.read_text(), path=str(path)))
+            except ShardError as error:
+                unreadable.append((str(path), str(error)))
+        return shards, unreadable

@@ -1,0 +1,318 @@
+"""Fault-tolerant execution of coverage jobs across unreliable backends.
+
+A *job* is one ``(backend, circuit, stimulus)`` triple.  The executor runs
+each job with:
+
+* **crash containment** — a raising backend produces a structured
+  :class:`~repro.backends.api.RunFailure` instead of an exception that
+  kills the campaign,
+* **a wall-clock watchdog** — each attempt runs in a worker thread; if it
+  exceeds ``timeout`` seconds the attempt is abandoned and recorded as a
+  timeout (the only portable defence against a wedged in-process
+  simulator),
+* **bounded retries** — up to ``retries`` extra attempts per job, with
+  exponential backoff plus seeded jitter between attempts; every attempt
+  gets a *fresh* simulation from the job's factory,
+* **checkpoints** — live ``cover_counts()`` snapshots every K cycles via a
+  :class:`~repro.runtime.checkpoint.Checkpointer`, so a job that dies
+  mid-run still contributes its last-good counts, and
+* **validated merge with quarantine** — shards are checked against the
+  cover namespace before merging; corrupt shards land in the
+  :class:`~repro.runtime.validate.QuarantineReport` instead of the merge.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..backends.api import (
+    CoverCounts,
+    RunFailure,
+    SimulationTimeout,
+    has_port,
+)
+from .checkpoint import Checkpointer, Shard
+from .validate import QuarantineReport, QuarantinedShard, ShardIssue, merge_shards
+
+#: drives a simulation for one cycle: (sim, cycle) -> None (pokes only)
+Stimulus = Callable[[object, int], None]
+
+
+@dataclass
+class RunJob:
+    """One unit of campaign work.
+
+    ``make_sim`` is a zero-argument factory returning a *fresh* simulation
+    — called once per attempt, so retries never reuse a poisoned instance.
+    ``stimulus`` (optional) pokes inputs before each cycle's ``step(1)``.
+    """
+
+    job_id: str
+    backend_name: str
+    make_sim: Callable[[], object]
+    cycles: int
+    stimulus: Optional[Stimulus] = None
+    reset_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ValueError(f"job {self.job_id}: cycles must be positive")
+
+
+@dataclass
+class RunOutcome:
+    """Everything the campaign knows about one finished job."""
+
+    job_id: str
+    backend: str
+    status: str  # ok | partial | failed | resumed
+    counts: CoverCounts = field(default_factory=dict)
+    cycles_run: int = 0
+    attempts: int = 0
+    failures: list[RunFailure] = field(default_factory=list)
+
+    @property
+    def contributed(self) -> bool:
+        """Whether this job has any counts to offer the merge."""
+        return self.status in ("ok", "partial", "resumed")
+
+    def shard(self) -> Shard:
+        return Shard(
+            job_id=self.job_id,
+            backend=self.backend,
+            cycle=self.cycles_run,
+            counts=dict(self.counts),
+            complete=self.status in ("ok", "resumed"),
+        )
+
+
+@dataclass
+class CampaignResult:
+    """A full campaign: per-job outcomes plus the validated merge."""
+
+    outcomes: list[RunOutcome]
+    merged: CoverCounts
+    quarantine: QuarantineReport
+
+    @property
+    def failures(self) -> list[RunFailure]:
+        return [f for o in self.outcomes for f in o.failures]
+
+    def format(self) -> str:
+        lines = []
+        for outcome in self.outcomes:
+            lines.append(
+                f"{outcome.job_id} ({outcome.backend}): {outcome.status} "
+                f"after {outcome.attempts} attempt(s), "
+                f"{outcome.cycles_run} cycles, {len(outcome.counts)} points"
+            )
+            lines += [f"  ! {failure.format()}" for failure in outcome.failures]
+        lines.append(self.quarantine.format())
+        covered = sum(1 for c in self.merged.values() if c)
+        lines.append(f"merged coverage: {covered}/{len(self.merged)} points hit")
+        return "\n".join(lines)
+
+
+class _Attempt(threading.Thread):
+    """One watchdogged attempt, run to completion or abandoned."""
+
+    def __init__(self, run: Callable[[], None]) -> None:
+        super().__init__(daemon=True)
+        self._run = run
+        self.error: Optional[BaseException] = None
+        self.counts: Optional[CoverCounts] = None
+        self.cycles_run = 0
+
+    def run(self) -> None:  # noqa: D102 — Thread API
+        try:
+            self._run()
+        except BaseException as error:  # contained, reported as RunFailure
+            self.error = error
+
+
+class Executor:
+    """Runs jobs with timeouts, retries, checkpoints, and quarantine.
+
+    ``timeout`` is the per-attempt wall-clock budget in seconds (None
+    disables the watchdog).  ``retries`` is the number of *extra* attempts
+    after the first.  ``backoff_base`` doubles per retry and gains up to
+    ``backoff_base`` seconds of seeded jitter; ``sleep`` is injectable so
+    tests can assert the schedule without actually waiting.
+    """
+
+    def __init__(
+        self,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff_base: float = 0.05,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+        checkpointer: Optional[Checkpointer] = None,
+    ) -> None:
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None to disable)")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.seed = seed
+        self.sleep = sleep
+        self.checkpointer = checkpointer
+
+    # -- single job ------------------------------------------------------------
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (attempt 2 is the first retry)."""
+        rng = random.Random(f"{self.seed}:backoff:{attempt}")
+        return self.backoff_base * (2 ** (attempt - 2)) + rng.uniform(
+            0, self.backoff_base
+        )
+
+    def run_job(self, job: RunJob) -> RunOutcome:
+        outcome = RunOutcome(job.job_id, job.backend_name, "failed")
+        for attempt in range(1, self.retries + 2):
+            if attempt > 1:
+                self.sleep(self.backoff_delay(attempt))
+            outcome.attempts = attempt
+            worker = _Attempt(lambda: self._drive(job, worker))
+            worker.start()
+            worker.join(self.timeout)
+            if worker.is_alive():
+                # Wedged attempt: abandon the daemon thread, record a timeout.
+                error: BaseException = SimulationTimeout(
+                    f"attempt exceeded {self.timeout}s wall clock"
+                )
+            elif worker.error is not None:
+                error = worker.error
+                if not isinstance(error, Exception):
+                    raise error  # KeyboardInterrupt etc. must not be swallowed
+            else:
+                outcome.status = "ok"
+                outcome.counts = worker.counts or {}
+                outcome.cycles_run = worker.cycles_run
+                self._write_shard(outcome)
+                return outcome
+            outcome.failures.append(
+                RunFailure(
+                    job_id=job.job_id,
+                    backend=job.backend_name,
+                    kind=RunFailure.kind_of(error),
+                    attempt=attempt,
+                    cycle=worker.cycles_run or None,
+                    message=str(error),
+                )
+            )
+        # All attempts failed: salvage the last checkpoint, if any.
+        salvaged = self.checkpointer.load(job.job_id) if self.checkpointer else None
+        if salvaged is not None and salvaged.counts:
+            outcome.status = "partial"
+            outcome.counts = salvaged.counts
+            outcome.cycles_run = salvaged.cycle
+        return outcome
+
+    def _drive(self, job: RunJob, worker: _Attempt) -> None:
+        """The attempt body (runs on the worker thread)."""
+        sim = job.make_sim()
+        if job.reset_cycles and has_port(sim, "reset"):
+            sim.poke("reset", 1)
+            sim.step(job.reset_cycles)
+            sim.poke("reset", 0)
+        for cycle in range(job.cycles):
+            if job.stimulus is not None:
+                job.stimulus(sim, cycle)
+            result = sim.step(1)
+            worker.cycles_run = cycle + 1
+            if self.checkpointer and self.checkpointer.due(cycle + 1):
+                self.checkpointer.write(
+                    Shard(
+                        job_id=job.job_id,
+                        backend=job.backend_name,
+                        cycle=cycle + 1,
+                        counts=dict(sim.cover_counts()),
+                        complete=False,
+                    )
+                )
+            if result.stopped:
+                break
+        worker.counts = dict(sim.cover_counts())
+
+    def _write_shard(self, outcome: RunOutcome) -> None:
+        if self.checkpointer:
+            self.checkpointer.write(outcome.shard())
+
+    # -- whole campaign ---------------------------------------------------------
+
+    def run_campaign(
+        self,
+        jobs: Sequence[RunJob],
+        known_names: Optional[Iterable[str]] = None,
+        counter_width: Optional[int] = None,
+        resume: bool = False,
+    ) -> CampaignResult:
+        """Run every job, then merge the surviving shards with quarantine.
+
+        With ``resume`` (requires a checkpointer), jobs whose shard on disk
+        is marked complete are not re-run — their counts are loaded
+        directly, so an interrupted campaign picks up where it left off.
+        """
+        if resume and self.checkpointer is None:
+            raise ValueError("resume requires a checkpointer")
+        outcomes: list[RunOutcome] = []
+        for job in jobs:
+            if resume:
+                existing = self._load_resumable(job.job_id)
+                if existing is not None:
+                    outcomes.append(
+                        RunOutcome(
+                            job_id=job.job_id,
+                            backend=existing.backend,
+                            status="resumed",
+                            counts=existing.counts,
+                            cycles_run=existing.cycle,
+                        )
+                    )
+                    continue
+            outcomes.append(self.run_job(job))
+
+        shards = [o.shard() for o in outcomes if o.contributed]
+        merged, quarantine = merge_shards(shards, known_names, counter_width)
+        # Shard files that exist but cannot even be parsed are quarantined too.
+        if self.checkpointer:
+            _, unreadable = self.checkpointer.load_all()
+            for path, detail in unreadable:
+                quarantine.quarantined.append(
+                    QuarantinedShard(
+                        job_id=path.rsplit("/", 1)[-1],
+                        backend="?",
+                        issues=[ShardIssue("unreadable", None, detail)],
+                        path=path,
+                    )
+                )
+        return CampaignResult(outcomes, merged, quarantine)
+
+    def _load_resumable(self, job_id: str) -> Optional[Shard]:
+        assert self.checkpointer is not None
+        try:
+            shard = self.checkpointer.load(job_id)
+        except Exception:
+            return None  # corrupt shard: re-run the job, quarantine handles the file
+        if shard is not None and shard.complete:
+            return shard
+        return None
+
+
+def run_campaign(
+    jobs: Sequence[RunJob],
+    known_names: Optional[Iterable[str]] = None,
+    counter_width: Optional[int] = None,
+    **executor_options,
+) -> CampaignResult:
+    """Convenience one-shot: build an :class:`Executor` and run ``jobs``."""
+    return Executor(**executor_options).run_campaign(
+        jobs, known_names=known_names, counter_width=counter_width
+    )

@@ -1,0 +1,194 @@
+"""Deterministic fault injection for testing the run orchestrator.
+
+Real coverage campaigns treat backends as unreliable workers: interpreters
+hang, compiled models segfault, FPGA scan-chain reads flip bits.  None of
+our pure-Python backends actually do any of that, so this module wraps any
+:class:`~repro.backends.api.Simulation` in a seeded fault model that does —
+on demand, reproducibly — which is what the executor's timeout, retry,
+checkpoint, and quarantine paths are tested against.
+
+All faults are deterministic functions of ``(FaultPlan, attempt number,
+cycle)``; re-running a campaign with the same seed reproduces the same
+crashes, hangs, and corruptions.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from ..backends.api import (
+    CoverCounts,
+    SimulationCrash,
+    StepResult,
+)
+
+
+@dataclass
+class FaultPlan:
+    """What goes wrong, and when.
+
+    * ``crash_at`` — raise :class:`SimulationCrash` once the simulation
+      reaches this cycle.
+    * ``fail_attempts`` — only the first N attempts crash; later attempts
+      run clean (models a transient fault the retry path should absorb).
+      0 means every attempt crashes (a hard fault).
+    * ``hang_at`` — ``step()`` blocks indefinitely at this cycle (models a
+      wedged simulator; the executor's watchdog must fire).
+    * ``corrupt_keys`` / ``drop_keys`` / ``negate_keys`` / ``inflate_keys``
+      — corrupt ``cover_counts()`` output: rename keys out of the cover
+      namespace, silently drop keys, make counts negative, or inflate
+      counts past the saturation limit of ``inflate_width``.
+    * ``seed`` — drives every random choice.
+    """
+
+    crash_at: Optional[int] = None
+    fail_attempts: int = 0
+    hang_at: Optional[int] = None
+    corrupt_keys: int = 0
+    drop_keys: int = 0
+    negate_keys: int = 0
+    inflate_keys: int = 0
+    inflate_width: int = 16
+    seed: int = 0
+
+
+class FaultySimulation:
+    """Simulation-protocol wrapper that injects the planned faults."""
+
+    def __init__(self, sim, plan: FaultPlan, attempt: int = 1) -> None:
+        self._sim = sim
+        self.plan = plan
+        self.attempt = attempt
+        self.cycle = 0
+        #: set to release an injected hang (so test processes can clean up)
+        self.release = threading.Event()
+
+    # -- pass-through ----------------------------------------------------------
+
+    def poke(self, port: str, value: int) -> None:
+        self._sim.poke(port, value)
+
+    def peek(self, port: str) -> int:
+        return self._sim.peek(port)
+
+    # -- injected step faults --------------------------------------------------
+
+    def _crashes_this_attempt(self) -> bool:
+        if self.plan.crash_at is None:
+            return False
+        return self.plan.fail_attempts == 0 or self.attempt <= self.plan.fail_attempts
+
+    def step(self, cycles: int = 1) -> StepResult:
+        done = 0
+        for _ in range(cycles):
+            if self._crashes_this_attempt() and self.cycle >= self.plan.crash_at:
+                raise SimulationCrash(
+                    f"injected crash at cycle {self.cycle} "
+                    f"(attempt {self.attempt}, seed {self.plan.seed})"
+                )
+            if self.plan.hang_at is not None and self.cycle >= self.plan.hang_at:
+                # Block until released; the executor's watchdog abandons the
+                # worker thread, and `release` lets tests unwedge it.
+                while not self.release.wait(0.05):
+                    pass
+                return StepResult(done)
+            result = self._sim.step(1)
+            self.cycle += 1
+            done += result.cycles
+            if result.stopped:
+                return StepResult(done, True, result.stop_name, result.exit_code)
+        return StepResult(done)
+
+    # -- injected count corruption ---------------------------------------------
+
+    def cover_counts(self) -> CoverCounts:
+        counts = dict(self._sim.cover_counts())
+        plan = self.plan
+        if not (plan.corrupt_keys or plan.drop_keys or plan.negate_keys
+                or plan.inflate_keys):
+            return counts
+        rng = random.Random(f"{plan.seed}:{self.attempt}:counts")
+        keys = sorted(counts)
+        victims = rng.sample(
+            keys,
+            min(len(keys), plan.corrupt_keys + plan.drop_keys
+                + plan.negate_keys + plan.inflate_keys),
+        )
+        cursor = 0
+        for _ in range(min(plan.corrupt_keys, len(victims) - cursor)):
+            key = victims[cursor]
+            cursor += 1
+            counts[f"{key}__corrupt{rng.randrange(1 << 16):04x}"] = counts.pop(key)
+        for _ in range(min(plan.drop_keys, len(victims) - cursor)):
+            counts.pop(victims[cursor])
+            cursor += 1
+        for _ in range(min(plan.negate_keys, len(victims) - cursor)):
+            key = victims[cursor]
+            cursor += 1
+            counts[key] = -(counts[key] + 1)
+        limit = (1 << plan.inflate_width) - 1
+        for _ in range(min(plan.inflate_keys, len(victims) - cursor)):
+            key = victims[cursor]
+            cursor += 1
+            counts[key] = limit + 1 + rng.randrange(1 << 8)
+        return counts
+
+
+class FaultyBackend:
+    """Backend wrapper: every ``compile*`` call is one numbered attempt.
+
+    The attempt number feeds :class:`FaultPlan.fail_attempts`, which is how
+    a "fails twice, succeeds on the third try" transient fault is modelled:
+    the executor recompiles a fresh simulation per retry, and the wrapper
+    counts those compilations.
+    """
+
+    def __init__(self, backend, plan: FaultPlan) -> None:
+        self._backend = backend
+        self.plan = plan
+        self.attempts = 0
+        self.name = f"faulty-{getattr(backend, 'name', 'backend')}"
+
+    def compile(self, circuit, counter_width=None) -> FaultySimulation:
+        self.attempts += 1
+        return FaultySimulation(
+            self._backend.compile(circuit, counter_width), self.plan, self.attempts
+        )
+
+    def compile_state(self, state, counter_width=None) -> FaultySimulation:
+        self.attempts += 1
+        return FaultySimulation(
+            self._backend.compile_state(state, counter_width), self.plan, self.attempts
+        )
+
+
+class ScanNoiseHost:
+    """Wraps a FireSim *host* simulation with a noisy scan-chain read path.
+
+    Models the §5.2 failure mode this PR defends against: bits read off the
+    FPGA scan chain arrive flipped.  Only reads of ``scan_out`` are
+    affected; everything else passes through.  Because the driver
+    recirculates what it read, a flipped bit also corrupts the stored
+    counter — exactly why the driver's CRC double-scan check exists.
+    """
+
+    def __init__(self, sim, flip_probability: float, seed: int = 0) -> None:
+        if not 0.0 <= flip_probability <= 1.0:
+            raise ValueError("flip probability must be in [0, 1]")
+        self._sim = sim
+        self.flip_probability = flip_probability
+        self._rng = random.Random(f"{seed}:scan-noise")
+        self.flips = 0
+
+    def __getattr__(self, name):
+        return getattr(self._sim, name)
+
+    def peek(self, port: str) -> int:
+        value = self._sim.peek(port)
+        if port == "scan_out" and self._rng.random() < self.flip_probability:
+            self.flips += 1
+            return value ^ 1
+        return value

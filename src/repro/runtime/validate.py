@@ -1,0 +1,158 @@
+"""Shard validation and quarantine before merging (§5.3 resilience layer).
+
+The paper's headline property — counts from any backend merge trivially
+because they share one namespace — cuts both ways: one corrupted shard
+(bit-flipped scan-chain read, truncated JSON, buggy backend) silently
+poisons the whole merged map.  This module is the gatekeeper: every shard
+is validated against the known cover namespace and counter-width limits
+*before* it enters the merge, and bad shards are quarantined into a report
+instead of merged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..backends.api import CoverCounts
+from ..coverage.common import merge_counts
+from .checkpoint import Shard
+
+
+@dataclass
+class ShardIssue:
+    """One reason a shard failed validation."""
+
+    kind: str  # unknown-key | negative-count | overflow | non-int | unreadable
+    key: Optional[str] = None
+    detail: str = ""
+
+    def format(self) -> str:
+        subject = f"{self.key}: " if self.key else ""
+        return f"{self.kind}: {subject}{self.detail}"
+
+
+def validate_shard_counts(
+    counts: CoverCounts,
+    known_names: Optional[Iterable[str]] = None,
+    counter_width: Optional[int] = None,
+) -> list[ShardIssue]:
+    """Every reason ``counts`` should not be merged.
+
+    * keys not in ``known_names`` (the instrumented circuit's cover
+      namespace) — a corrupted or foreign shard,
+    * non-integer or negative counts,
+    * counts above the ``counter_width`` saturation limit — a backend's
+      saturating counter can never legitimately report more.
+    """
+    issues: list[ShardIssue] = []
+    names = set(known_names) if known_names is not None else None
+    limit = (1 << counter_width) - 1 if counter_width is not None else None
+    for key, count in counts.items():
+        if names is not None and key not in names:
+            issues.append(ShardIssue("unknown-key", key, "not in the cover namespace"))
+        if type(count) is not int:
+            issues.append(ShardIssue("non-int", key, f"count {count!r} is not an integer"))
+        elif count < 0:
+            issues.append(ShardIssue("negative-count", key, f"count {count}"))
+        elif limit is not None and count > limit:
+            issues.append(
+                ShardIssue(
+                    "overflow",
+                    key,
+                    f"count {count} exceeds {counter_width}-bit limit {limit}",
+                )
+            )
+    return issues
+
+
+@dataclass
+class QuarantinedShard:
+    """A shard refused by validation, with the evidence."""
+
+    job_id: str
+    backend: str
+    issues: list[ShardIssue]
+    path: Optional[str] = None
+
+    def format(self) -> str:
+        lines = [f"shard {self.job_id} ({self.backend})"
+                 + (f" [{self.path}]" if self.path else "")]
+        lines += [f"  - {issue.format()}" for issue in self.issues]
+        return "\n".join(lines)
+
+
+@dataclass
+class QuarantineReport:
+    """Outcome of the validated merge: what got in, what got quarantined."""
+
+    merged_job_ids: list[str] = field(default_factory=list)
+    quarantined: list[QuarantinedShard] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.quarantined
+
+    def format(self) -> str:
+        lines = [
+            f"merged {len(self.merged_job_ids)} shard(s): "
+            + (", ".join(self.merged_job_ids) or "(none)")
+        ]
+        if self.quarantined:
+            lines.append(f"quarantined {len(self.quarantined)} shard(s):")
+            lines += [q.format() for q in self.quarantined]
+        else:
+            lines.append("quarantined 0 shards")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "merged": self.merged_job_ids,
+                "quarantined": [
+                    {
+                        "job_id": q.job_id,
+                        "backend": q.backend,
+                        "path": q.path,
+                        "issues": [
+                            {"kind": i.kind, "key": i.key, "detail": i.detail}
+                            for i in q.issues
+                        ],
+                    }
+                    for q in self.quarantined
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def merge_shards(
+    shards: Iterable[Shard],
+    known_names: Optional[Iterable[str]] = None,
+    counter_width: Optional[int] = None,
+    max_issues_per_shard: int = 50,
+) -> tuple[CoverCounts, QuarantineReport]:
+    """Validate every shard, merge the good ones, quarantine the rest.
+
+    Quarantine is all-or-nothing per shard: a shard with even one bad
+    entry is withheld entirely, because a corruption that produced one
+    detectable error has likely produced undetectable ones too.
+    """
+    names = set(known_names) if known_names is not None else None
+    report = QuarantineReport()
+    good: list[CoverCounts] = []
+    for shard in shards:
+        issues = validate_shard_counts(shard.counts, names, counter_width)
+        if issues:
+            report.quarantined.append(
+                QuarantinedShard(
+                    shard.job_id, shard.backend, issues[:max_issues_per_shard], shard.path
+                )
+            )
+        else:
+            good.append(shard.counts)
+            report.merged_job_ids.append(shard.job_id)
+    merged = merge_counts(*good, counter_width=counter_width)
+    return merged, report

@@ -8,13 +8,14 @@ from any backend, :func:`parse_vcd` reads it back, and
 :class:`InputReplay` drives a fresh simulation from the recorded inputs.
 """
 
-from .reader import VcdData, parse_vcd
+from .reader import VcdData, VcdParseError, parse_vcd
 from .replay import InputReplay, record_inputs, replay_counts
 from .writer import VcdRecorder, VcdWriter
 
 __all__ = [
     "InputReplay",
     "VcdData",
+    "VcdParseError",
     "VcdRecorder",
     "VcdWriter",
     "parse_vcd",

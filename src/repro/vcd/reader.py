@@ -5,6 +5,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+class VcdParseError(ValueError):
+    """A VCD file is malformed; the message carries the 1-based line number."""
+
+    def __init__(self, line_number: int, line: str, detail: str) -> None:
+        shown = line if len(line) <= 60 else line[:57] + "..."
+        super().__init__(f"VCD parse error at line {line_number}: {detail} ({shown!r})")
+        self.line_number = line_number
+        self.line = line
+        self.detail = detail
+
+
 @dataclass
 class VcdData:
     """Parsed waveform: signal declarations and value changes."""
@@ -40,23 +51,41 @@ class VcdData:
 
 
 def parse_vcd(text: str) -> VcdData:
-    """Parse VCD text (the subset our writer produces plus common variants)."""
+    """Parse VCD text (the subset our writer produces plus common variants).
+
+    Malformed input — truncated headers, garbage declarations, bad
+    timestamps or value changes — raises :class:`VcdParseError` naming the
+    offending line, so a corrupted waveform shard is a diagnosable artifact
+    rather than an unhandled ``ValueError``/``IndexError``.
+    """
     data = VcdData()
     id_to_name: dict[str, str] = {}
     time = 0
     in_definitions = True
-    tokens = text.split("\n")
-    i = 0
-    while i < len(tokens):
-        line = tokens[i].strip()
-        i += 1
+    lines = text.split("\n")
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
         if not line:
             continue
+
+        def fail(detail: str) -> VcdParseError:
+            return VcdParseError(line_number, line, detail)
+
         if in_definitions:
             if line.startswith("$var"):
                 parts = line.split()
                 # $var wire <width> <id> <name> [indices] $end
-                width = int(parts[2])
+                if len(parts) < 5:
+                    raise fail(
+                        "malformed $var: expected "
+                        "'$var <type> <width> <id> <name> ... $end'"
+                    )
+                try:
+                    width = int(parts[2])
+                except ValueError:
+                    raise fail(f"malformed $var: width {parts[2]!r} is not an integer")
+                if width < 1:
+                    raise fail(f"malformed $var: width must be positive, got {width}")
                 code = parts[3]
                 name = parts[4]
                 data.signals[name] = width
@@ -66,18 +95,39 @@ def parse_vcd(text: str) -> VcdData:
                 in_definitions = False
             continue
         if line.startswith("#"):
-            time = int(line[1:])
+            try:
+                time = int(line[1:])
+            except ValueError:
+                raise fail(f"bad timestamp {line[1:]!r}: not an integer")
+            if time < 0:
+                raise fail(f"bad timestamp: negative time {time}")
             data.end_time = max(data.end_time, time)
         elif line.startswith("b") or line.startswith("B"):
             value_text, _, code = line[1:].partition(" ")
             name = id_to_name.get(code.strip())
             if name is not None:
-                value = int(value_text.replace("x", "0").replace("z", "0"), 2)
+                try:
+                    value = int(value_text.replace("x", "0").replace("z", "0"), 2)
+                except ValueError:
+                    raise fail(f"bad binary value {value_text!r}")
                 data.changes[name].append((time, value))
         elif line[0] in "01xzXZ":
             code = line[1:]
+            if not code:
+                raise fail("scalar value change is missing its identifier code")
             name = id_to_name.get(code)
             if name is not None:
                 value = 1 if line[0] == "1" else 0
                 data.changes[name].append((time, value))
+        elif line.startswith("$"):
+            # $dumpvars/$dumpall/$comment blocks etc.: tolerated, ignored
+            continue
+        else:
+            raise fail("unrecognized line in the value-change section")
+    if in_definitions and (data.signals or any(l.strip() for l in lines)):
+        raise VcdParseError(
+            len(lines),
+            lines[-1] if lines else "",
+            "truncated VCD: reached end of input before $enddefinitions",
+        )
     return data

@@ -1,0 +1,83 @@
+"""The shared backend API helpers: reset probing and failure types."""
+
+import pytest
+
+from repro.backends import (
+    RunFailure,
+    ScanChainCorruption,
+    SimulationCrash,
+    SimulationFault,
+    SimulationTimeout,
+    TreadleBackend,
+    has_port,
+    reset_and_run,
+)
+from repro.hcl import Module, elaborate
+
+
+class WithReset(Module):
+    def build(self, m):
+        counter = m.reg("counter", 8, init=0)
+        counter <<= counter + 1
+        m.output("count", 8).assign(counter)
+
+
+class NoReset(Module):
+    """A design that never elaborates a reset port."""
+
+    has_reset = False
+
+    def build(self, m):
+        a = m.input("a", 4)
+        m.output("b", 5).assign(a + 1)
+
+
+class TestResetAndRun:
+    def test_design_with_reset_is_reset(self):
+        sim = TreadleBackend().compile(elaborate(WithReset()))
+        sim.step(5)  # accumulate some state
+        result = reset_and_run(sim, cycles=3, reset_cycles=2)
+        assert result.cycles == 3
+        assert sim.peek("count") == 3  # reset wiped the earlier 5 cycles
+
+    def test_design_without_reset_skips_the_reset_phase(self):
+        sim = TreadleBackend().compile(elaborate(NoReset()))
+        assert not has_port(sim, "reset")
+        result = reset_and_run(sim, cycles=4)
+        assert result.cycles == 4
+
+    @pytest.mark.parametrize("cycles", [0, -1, -100])
+    def test_non_positive_cycles_rejected(self, cycles):
+        sim = TreadleBackend().compile(elaborate(NoReset()))
+        with pytest.raises(ValueError, match="positive"):
+            reset_and_run(sim, cycles=cycles)
+
+    def test_negative_reset_cycles_rejected(self):
+        sim = TreadleBackend().compile(elaborate(NoReset()))
+        with pytest.raises(ValueError, match="non-negative"):
+            reset_and_run(sim, cycles=1, reset_cycles=-1)
+
+    def test_has_port(self):
+        sim = TreadleBackend().compile(elaborate(WithReset()))
+        assert has_port(sim, "reset") and has_port(sim, "count")
+        assert not has_port(sim, "nonexistent")
+
+
+class TestFailureTypes:
+    def test_fault_hierarchy(self):
+        for kind in (SimulationCrash, SimulationTimeout, ScanChainCorruption):
+            assert issubclass(kind, SimulationFault)
+        assert issubclass(SimulationFault, RuntimeError)
+
+    def test_kind_of_classifies_errors(self):
+        assert RunFailure.kind_of(SimulationTimeout("t")) == "timeout"
+        assert RunFailure.kind_of(SimulationCrash("c")) == "crash"
+        assert RunFailure.kind_of(ScanChainCorruption("s")) == "scan-corruption"
+        assert RunFailure.kind_of(ValueError("v")) == "error"
+
+    def test_format_mentions_the_essentials(self):
+        failure = RunFailure("job9", "treadle", "timeout", attempt=2, cycle=41,
+                             message="exceeded 1.5s")
+        text = failure.format()
+        assert "job9" in text and "treadle" in text
+        assert "attempt 2" in text and "cycle 41" in text and "timeout" in text

@@ -1,0 +1,37 @@
+"""Shared test configuration.
+
+Tests marked ``@pytest.mark.faults`` exercise deliberately-hanging
+simulations; a regression in the executor's watchdog would turn them into
+infinite hangs.  To make such regressions *fail* instead of stalling the
+suite (and CI), every faults-marked test runs under a hard SIGALRM
+deadline — no third-party timeout plugin required.
+"""
+
+import os
+import signal
+
+import pytest
+
+#: hard per-test deadline for fault-injection tests, seconds
+FAULTS_TEST_TIMEOUT = int(os.environ.get("REPRO_FAULTS_TIMEOUT", "60"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if item.get_closest_marker("faults") is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def on_timeout(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded the {FAULTS_TEST_TIMEOUT}s fault-test "
+            "deadline — the executor watchdog likely failed to fire"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_timeout)
+    signal.alarm(FAULTS_TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,133 @@
+"""Hardened common-library paths: DB deserialization and validated merge."""
+
+import json
+
+import pytest
+
+from repro.coverage import (
+    COVERAGE_DB_VERSION,
+    CoverageDB,
+    CoverageDBError,
+    InvalidCountsError,
+    checked_merge_counts,
+    count_issues,
+    merge_counts,
+)
+from repro.backends import saturate
+
+
+class TestCoverageDbFromJson:
+    def test_roundtrip_still_works(self):
+        db = CoverageDB()
+        db.add("line", "Top", "l_0", {"kind": "root", "lines": [["f.py", 3]]})
+        loaded = CoverageDB.from_json(db.to_json())
+        assert loaded.entries == db.entries
+
+    @pytest.mark.parametrize(
+        "text,detail",
+        [
+            ("{oops", "not valid JSON"),
+            ("[1, 2]", "expected a JSON object"),
+            ("{}", "missing 'version'"),
+            ('{"version": 2, "entries": {}}', "unsupported version 2"),
+            ('{"version": 1}', "missing or non-object 'entries'"),
+            ('{"version": 1, "entries": []}', "missing or non-object 'entries'"),
+            ('{"version": 1, "entries": {"line": 5}}', "expected an object of modules"),
+            (
+                '{"version": 1, "entries": {"line": {"Top": []}}}',
+                "expected an object of cover payloads",
+            ),
+        ],
+    )
+    def test_malformed_raises_coverage_db_error(self, text, detail):
+        with pytest.raises(CoverageDBError, match=detail):
+            CoverageDB.from_json(text)
+
+    def test_error_carries_file_context(self):
+        with pytest.raises(CoverageDBError, match="gcd.covdb.json"):
+            CoverageDB.from_json("{}", source="gcd.covdb.json")
+
+    def test_future_version_is_refused_not_misread(self):
+        payload = json.dumps({"version": COVERAGE_DB_VERSION + 1, "entries": {}})
+        with pytest.raises(CoverageDBError, match="version"):
+            CoverageDB.from_json(payload)
+
+
+class TestSaturationEdges:
+    """Unit tests for the exact boundary the validated merge enforces."""
+
+    @pytest.mark.parametrize("width", [1, 4, 16])
+    def test_at_limit_and_around_it(self, width):
+        limit = (1 << width) - 1
+        assert saturate(limit - 1, width) == limit - 1
+        assert saturate(limit, width) == limit
+        assert saturate(limit + 1, width) == limit
+        assert saturate(limit * 100, width) == limit
+
+    def test_width_one(self):
+        assert saturate(0, 1) == 0
+        assert saturate(1, 1) == 1
+        assert saturate(2, 1) == 1
+
+    def test_width_none_never_saturates(self):
+        assert saturate(10**12, None) == 10**12
+
+    def test_merge_saturates_at_exactly_the_limit(self):
+        limit = (1 << 4) - 1
+        merged = merge_counts({"k": limit - 1}, {"k": 1}, counter_width=4)
+        assert merged == {"k": limit}
+        merged = merge_counts({"k": limit}, {"k": 1}, counter_width=4)
+        assert merged == {"k": limit}
+
+
+class TestCheckedMerge:
+    def test_valid_inputs_behave_like_merge_counts(self):
+        a, b = {"x": 2, "y": 0}, {"x": 3, "z": 7}
+        assert checked_merge_counts(a, b) == merge_counts(a, b)
+
+    def test_raise_on_negative(self):
+        with pytest.raises(InvalidCountsError, match="negative count -2"):
+            checked_merge_counts({"x": -2})
+
+    def test_raise_on_non_int(self):
+        for bad in (1.5, "3", True, None):
+            with pytest.raises(InvalidCountsError, match="non-integer"):
+                checked_merge_counts({"x": bad})
+
+    def test_raise_on_overflow_for_width(self):
+        limit = (1 << 8) - 1
+        assert checked_merge_counts({"x": limit}, counter_width=8) == {"x": limit}
+        with pytest.raises(InvalidCountsError, match="saturation limit"):
+            checked_merge_counts({"x": limit + 1}, counter_width=8)
+
+    def test_error_lists_every_issue(self):
+        try:
+            checked_merge_counts({"x": -1, "y": 2.5})
+        except InvalidCountsError as error:
+            assert len(error.issues) == 2
+        else:
+            pytest.fail("expected InvalidCountsError")
+
+    def test_clamp_policy(self):
+        limit = (1 << 4) - 1
+        merged = checked_merge_counts(
+            {"neg": -5, "big": limit + 9, "ok": 2, "bad": "x"},
+            counter_width=4,
+            on_invalid="clamp",
+        )
+        assert merged == {"neg": 0, "big": limit, "ok": 2}
+
+    def test_drop_policy(self):
+        merged = checked_merge_counts(
+            {"neg": -5, "ok": 2}, {"ok": 1}, on_invalid="drop"
+        )
+        assert merged == {"ok": 3}
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="raise|clamp|drop"):
+            checked_merge_counts({}, on_invalid="ignore")
+
+    def test_count_issues_width1_boundaries(self):
+        assert count_issues({"k": 1}, counter_width=1) == []
+        assert len(count_issues({"k": 2}, counter_width=1)) == 1
+        assert count_issues({"k": 2}, counter_width=None) == []

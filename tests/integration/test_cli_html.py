@@ -83,6 +83,31 @@ class TestCli:
         assert main(["bmc", str(gcd_file), "--bound", "4"]) == 0
         assert "bounded model check" in capsys.readouterr().out
 
+    def test_simulate_with_checkpoints_and_resume(self, gcd_file, tmp_path, capsys):
+        instrumented = tmp_path / "inst.fir"
+        assert main(["instrument", str(gcd_file), "-m", "line",
+                     "-o", str(instrumented)]) == 0
+        counts = tmp_path / "counts.json"
+        shards = tmp_path / "shards"
+        args = [
+            "simulate", str(instrumented), "--cycles", "200", "--random-inputs",
+            "--counts", str(counts), "--shard-dir", str(shards),
+            "--checkpoint-every", "50", "--timeout", "60", "--retries", "1",
+        ]
+        assert main(args) == 0
+        data = json.loads(counts.read_text())
+        assert data and any(v > 0 for v in data.values())
+        shard_files = list(shards.glob("*.shard.json"))
+        assert len(shard_files) == 1
+        shard = json.loads(shard_files[0].read_text())
+        assert shard["complete"] and shard["cycle"] == 200
+
+        # resume: the completed shard short-circuits the re-run
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        assert "resumed" in capsys.readouterr().out
+        assert json.loads(counts.read_text()) == data
+
 
 class TestHtmlReport:
     def test_sections_present(self):

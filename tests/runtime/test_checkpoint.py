@@ -1,0 +1,78 @@
+"""Shard files: atomic writes, round trips, and malformed-file handling."""
+
+import json
+
+import pytest
+
+from repro.runtime import Checkpointer, Shard, ShardError
+
+
+class TestShardRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path, every=10)
+        shard = Shard("job-1", "treadle", 40, {"a.b": 3, "c": 0}, complete=False)
+        path = checkpointer.write(shard)
+        assert path.exists()
+        loaded = checkpointer.load("job-1")
+        assert loaded is not None
+        assert loaded.job_id == "job-1"
+        assert loaded.backend == "treadle"
+        assert loaded.cycle == 40
+        assert loaded.counts == {"a.b": 3, "c": 0}
+        assert not loaded.complete
+        assert loaded.path == str(path)
+
+    def test_overwrite_keeps_latest(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path)
+        checkpointer.write(Shard("j", "b", 10, {"x": 1}))
+        checkpointer.write(Shard("j", "b", 20, {"x": 2}))
+        assert checkpointer.load("j").cycle == 20
+        # exactly one shard file — no temp litter
+        assert len(list(tmp_path.iterdir())) == 1
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert Checkpointer(tmp_path).load("ghost") is None
+
+    def test_job_ids_are_sanitized_for_filenames(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path)
+        path = checkpointer.write(Shard("a/b c:d", "b", 1, {}))
+        assert path.parent == tmp_path
+
+    def test_checkpoint_period_validation(self, tmp_path):
+        with pytest.raises(ValueError, match=">= 0"):
+            Checkpointer(tmp_path, every=-1)
+        cp = Checkpointer(tmp_path, every=25)
+        assert not cp.due(24) and cp.due(25) and not cp.due(26) and cp.due(50)
+        assert not Checkpointer(tmp_path, every=0).due(100)
+
+
+class TestMalformedShards:
+    @pytest.mark.parametrize(
+        "text,detail",
+        [
+            ("{not json", "not valid JSON"),
+            ("[]", "expected a JSON object"),
+            ('{"version": 99}', "unsupported version"),
+            ('{"version": 1, "job_id": "j"}', "mistyped field"),
+            (
+                json.dumps({"version": 1, "job_id": "j", "backend": "b",
+                            "cycle": "soon", "complete": False, "counts": {}}),
+                "cycle",
+            ),
+        ],
+    )
+    def test_bad_shard_raises_shard_error(self, tmp_path, text, detail):
+        path = tmp_path / "bad.shard.json"
+        path.write_text(text)
+        with pytest.raises(ShardError, match=detail):
+            Checkpointer(tmp_path).load("bad")
+
+    def test_load_all_separates_good_from_unreadable(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path)
+        checkpointer.write(Shard("good", "b", 5, {"k": 1}, complete=True))
+        (tmp_path / "evil.shard.json").write_text("garbage")
+        shards, unreadable = checkpointer.load_all()
+        assert [s.job_id for s in shards] == ["good"]
+        assert len(unreadable) == 1
+        path, error = unreadable[0]
+        assert "evil" in path and "not valid JSON" in error

@@ -1,0 +1,170 @@
+"""Executor fault tolerance: containment, watchdog, retries, salvage."""
+
+import pytest
+
+from repro.backends import SimulationCrash, TreadleBackend
+from repro.coverage import all_cover_names, instrument
+from repro.designs.gcd import Gcd
+from repro.hcl import elaborate
+from repro.runtime import (
+    Checkpointer,
+    Executor,
+    FaultPlan,
+    FaultyBackend,
+    RunJob,
+)
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(scope="module")
+def gcd_state():
+    state, _ = instrument(elaborate(Gcd(width=8)), metrics=["line"])
+    return state
+
+
+def gcd_stimulus(sim, cycle):
+    sim.poke("req_valid", 1)
+    sim.poke("req_bits", ((cycle % 13 + 1) << 8) | (cycle % 7 + 1))
+    sim.poke("resp_ready", 1)
+
+
+def make_job(backend, gcd_state, job_id="job", cycles=60):
+    return RunJob(
+        job_id=job_id,
+        backend_name=getattr(backend, "name", "backend"),
+        make_sim=lambda: backend.compile_state(gcd_state),
+        cycles=cycles,
+        stimulus=gcd_stimulus,
+    )
+
+
+class TestCrashContainment:
+    def test_crash_becomes_structured_failure(self, gcd_state):
+        backend = FaultyBackend(TreadleBackend(), FaultPlan(crash_at=10, seed=1))
+        outcome = Executor(sleep=lambda s: None).run_job(make_job(backend, gcd_state))
+        assert outcome.status == "failed"
+        assert outcome.attempts == 1
+        assert [f.kind for f in outcome.failures] == ["crash"]
+        assert "injected crash" in outcome.failures[0].message
+
+    def test_healthy_job_is_ok(self, gcd_state):
+        outcome = Executor().run_job(make_job(TreadleBackend(), gcd_state))
+        assert outcome.status == "ok"
+        assert outcome.cycles_run == 60
+        assert outcome.counts and not outcome.failures
+
+    def test_keyboard_interrupt_not_swallowed(self, gcd_state):
+        def explode():
+            raise KeyboardInterrupt
+
+        job = RunJob("boom", "x", explode, cycles=5)
+        with pytest.raises(KeyboardInterrupt):
+            Executor().run_job(job)
+
+
+class TestWatchdog:
+    def test_timeout_fires_on_injected_hang(self, gcd_state):
+        backend = FaultyBackend(TreadleBackend(), FaultPlan(hang_at=5, seed=2))
+        executor = Executor(timeout=0.3)
+        outcome = executor.run_job(make_job(backend, gcd_state))
+        assert outcome.status == "failed"
+        assert [f.kind for f in outcome.failures] == ["timeout"]
+        assert "0.3" in outcome.failures[0].message
+
+    def test_fast_job_beats_the_watchdog(self, gcd_state):
+        outcome = Executor(timeout=30).run_job(make_job(TreadleBackend(), gcd_state))
+        assert outcome.status == "ok"
+
+
+class TestRetries:
+    def test_transient_fault_recovers_on_third_attempt(self, gcd_state):
+        """Seeded: fails twice, succeeds on the third attempt."""
+        backend = FaultyBackend(
+            TreadleBackend(), FaultPlan(crash_at=8, fail_attempts=2, seed=5)
+        )
+        slept = []
+        executor = Executor(retries=2, sleep=slept.append)
+        outcome = executor.run_job(make_job(backend, gcd_state))
+        assert outcome.status == "ok"
+        assert outcome.attempts == 3
+        assert [f.kind for f in outcome.failures] == ["crash", "crash"]
+        assert backend.attempts == 3
+        assert len(slept) == 2  # one backoff sleep per retry
+
+    def test_backoff_grows_exponentially_with_jitter(self):
+        executor = Executor(retries=5, backoff_base=0.1, seed=9)
+        delays = [executor.backoff_delay(a) for a in range(2, 6)]
+        for i, delay in enumerate(delays):
+            base = 0.1 * (2 ** i)
+            assert base <= delay <= base + 0.1
+        # deterministic for a fixed seed
+        assert delays == [Executor(retries=5, backoff_base=0.1, seed=9).backoff_delay(a)
+                          for a in range(2, 6)]
+
+    def test_retries_exhausted_reports_every_attempt(self, gcd_state):
+        backend = FaultyBackend(TreadleBackend(), FaultPlan(crash_at=3, seed=4))
+        outcome = Executor(retries=2, sleep=lambda s: None).run_job(
+            make_job(backend, gcd_state)
+        )
+        assert outcome.status == "failed"
+        assert len(outcome.failures) == 3
+        assert [f.attempt for f in outcome.failures] == [1, 2, 3]
+
+
+class TestCheckpointSalvage:
+    def test_crashed_job_contributes_last_checkpoint(self, gcd_state, tmp_path):
+        backend = FaultyBackend(TreadleBackend(), FaultPlan(crash_at=45, seed=6))
+        checkpointer = Checkpointer(tmp_path, every=10)
+        executor = Executor(checkpointer=checkpointer, sleep=lambda s: None)
+        outcome = executor.run_job(make_job(backend, gcd_state, cycles=100))
+        assert outcome.status == "partial"
+        assert outcome.cycles_run == 40  # last checkpoint before the crash
+        assert outcome.counts
+        # the salvaged counts equal a clean run of the same length
+        reference = TreadleBackend().compile_state(gcd_state)
+        reference.poke("reset", 1)
+        reference.step(1)
+        reference.poke("reset", 0)
+        for cycle in range(40):
+            gcd_stimulus(reference, cycle)
+            reference.step(1)
+        assert outcome.counts == reference.cover_counts()
+
+    def test_no_checkpointer_means_no_salvage(self, gcd_state):
+        backend = FaultyBackend(TreadleBackend(), FaultPlan(crash_at=45, seed=6))
+        outcome = Executor(sleep=lambda s: None).run_job(
+            make_job(backend, gcd_state, cycles=100)
+        )
+        assert outcome.status == "failed"
+        assert outcome.counts == {}
+
+
+class TestCampaign:
+    def test_resume_skips_complete_jobs(self, gcd_state, tmp_path):
+        checkpointer = Checkpointer(tmp_path, every=0)
+        executor = Executor(checkpointer=checkpointer)
+        names = all_cover_names(gcd_state.circuit)
+        job = make_job(TreadleBackend(), gcd_state, job_id="stable")
+        first = executor.run_campaign([job], known_names=names)
+        assert first.outcomes[0].status == "ok"
+
+        calls = []
+
+        def tracked_make_sim():
+            calls.append(1)
+            return TreadleBackend().compile_state(gcd_state)
+
+        job2 = RunJob("stable", "treadle", tracked_make_sim, 60, gcd_stimulus)
+        second = executor.run_campaign([job2], known_names=names, resume=True)
+        assert second.outcomes[0].status == "resumed"
+        assert not calls  # never re-simulated
+        assert second.merged == first.merged
+
+    def test_resume_requires_checkpointer(self, gcd_state):
+        with pytest.raises(ValueError, match="checkpointer"):
+            Executor().run_campaign([], resume=True)
+
+    def test_job_rejects_non_positive_cycles(self):
+        with pytest.raises(ValueError, match="positive"):
+            RunJob("j", "b", lambda: None, cycles=0)

@@ -1,0 +1,74 @@
+"""Shard validation and quarantine-before-merge."""
+
+import json
+
+from repro.runtime import Shard, merge_shards, validate_shard_counts
+
+
+NAMES = ["top.a", "top.b", "sub.inner.c"]
+
+
+class TestValidateCounts:
+    def test_clean_counts_pass(self):
+        assert validate_shard_counts({"top.a": 5, "top.b": 0}, NAMES, 16) == []
+
+    def test_unknown_key(self):
+        issues = validate_shard_counts({"evil.key": 1}, NAMES)
+        assert [i.kind for i in issues] == ["unknown-key"]
+        assert issues[0].key == "evil.key"
+
+    def test_negative_and_non_int(self):
+        issues = validate_shard_counts({"top.a": -3, "top.b": 1.5}, NAMES)
+        assert sorted(i.kind for i in issues) == ["negative-count", "non-int"]
+
+    def test_bool_counts_are_not_ints(self):
+        issues = validate_shard_counts({"top.a": True}, NAMES)
+        assert [i.kind for i in issues] == ["non-int"]
+
+    def test_overflow_against_counter_width(self):
+        limit = (1 << 8) - 1
+        assert validate_shard_counts({"top.a": limit}, NAMES, 8) == []
+        issues = validate_shard_counts({"top.a": limit + 1}, NAMES, 8)
+        assert [i.kind for i in issues] == ["overflow"]
+
+    def test_no_namespace_means_any_key_goes(self):
+        assert validate_shard_counts({"whatever": 1}, known_names=None) == []
+
+
+class TestMergeShards:
+    def test_good_shards_merge_bad_shards_quarantine(self):
+        good_a = Shard("a", "treadle", 100, {"top.a": 2, "top.b": 1})
+        good_b = Shard("b", "verilator", 100, {"top.a": 3})
+        bad = Shard("c", "firesim", 100, {"top.a": 1, "corrupt!": 9}, path="/x/c.json")
+        merged, report = merge_shards([good_a, good_b, bad], NAMES, 16)
+        assert merged == {"top.a": 5, "top.b": 1}
+        assert report.merged_job_ids == ["a", "b"]
+        assert not report.clean
+        assert [q.job_id for q in report.quarantined] == ["c"]
+        assert report.quarantined[0].path == "/x/c.json"
+
+    def test_quarantine_is_all_or_nothing(self):
+        """One bad entry withholds the whole shard, even its valid keys."""
+        bad = Shard("c", "x", 10, {"top.a": 7, "top.b": -1})
+        merged, report = merge_shards([bad], NAMES)
+        assert merged == {}
+        assert report.merged_job_ids == []
+
+    def test_merge_saturates_at_counter_width(self):
+        a = Shard("a", "x", 10, {"top.a": 3})
+        b = Shard("b", "y", 10, {"top.a": 2})
+        merged, report = merge_shards([a, b], NAMES, counter_width=2)
+        assert merged == {"top.a": 3}  # 3 + 2 saturates at 2**2 - 1
+        assert report.clean
+
+    def test_report_formats_and_serializes(self):
+        bad = Shard("c", "x", 10, {"zzz": 1})
+        _, report = merge_shards([Shard("a", "t", 5, {"top.a": 1}), bad], NAMES)
+        text = report.format()
+        assert "merged 1 shard(s): a" in text
+        assert "quarantined 1 shard(s):" in text
+        assert "unknown-key" in text
+        payload = json.loads(report.to_json())
+        assert payload["merged"] == ["a"]
+        assert payload["quarantined"][0]["job_id"] == "c"
+        assert payload["quarantined"][0]["issues"][0]["kind"] == "unknown-key"

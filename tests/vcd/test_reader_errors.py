@@ -1,0 +1,76 @@
+"""Truncated and garbage VCD input must fail with a located parse error."""
+
+import pytest
+
+from repro.vcd import VcdParseError, VcdWriter, parse_vcd
+
+
+def valid_vcd() -> str:
+    writer = VcdWriter({"a": 1, "b": 8})
+    writer.sample(0, {"a": 1, "b": 0x55})
+    writer.sample(1, {"a": 0, "b": 0xAA})
+    return writer.finish(2)
+
+
+class TestTruncatedInput:
+    def test_truncated_before_enddefinitions(self):
+        text = valid_vcd()
+        cut = text.index("$enddefinitions")
+        with pytest.raises(VcdParseError, match="truncated"):
+            parse_vcd(text[:cut])
+
+    def test_empty_input_is_an_empty_dump(self):
+        data = parse_vcd("")
+        assert data.signals == {} and data.end_time == 0
+
+    def test_error_carries_line_number(self):
+        text = "$enddefinitions $end\n#0\nthis is not vcd\n"
+        with pytest.raises(VcdParseError) as excinfo:
+            parse_vcd(text)
+        assert excinfo.value.line_number == 3
+        assert "line 3" in str(excinfo.value)
+
+
+class TestGarbageInput:
+    @pytest.mark.parametrize(
+        "line,detail",
+        [
+            ("$var wire x ! sig $end", "width 'x' is not an integer"),
+            ("$var wire 0 ! sig $end", "width must be positive"),
+            ("$var wire 8", "malformed"),
+        ],
+    )
+    def test_bad_var_declarations(self, line, detail):
+        with pytest.raises(VcdParseError, match=detail):
+            parse_vcd(line + "\n$enddefinitions $end\n")
+
+    @pytest.mark.parametrize("stamp", ["#zzz", "#1.5", "#-4"])
+    def test_bad_timestamps(self, stamp):
+        text = valid_vcd().replace("#1", stamp, 1)
+        with pytest.raises(VcdParseError, match="timestamp"):
+            parse_vcd(text)
+
+    def test_bad_binary_value(self):
+        text = "$var wire 8 ! b $end\n$enddefinitions $end\n#0\nbxyz !\n"
+        with pytest.raises(VcdParseError, match="bad binary value"):
+            parse_vcd(text)
+
+    def test_scalar_without_identifier(self):
+        text = "$enddefinitions $end\n#0\n1\n"
+        with pytest.raises(VcdParseError, match="missing its identifier"):
+            parse_vcd(text)
+
+    def test_random_garbage_line(self):
+        text = "$enddefinitions $end\n#0\nhello world\n"
+        with pytest.raises(VcdParseError, match="unrecognized line"):
+            parse_vcd(text)
+
+    def test_dump_directives_are_tolerated(self):
+        text = "$enddefinitions $end\n$dumpvars\n#0\n$end\n"
+        data = parse_vcd(text)
+        assert data.end_time == 0
+
+    def test_valid_file_still_parses(self):
+        data = parse_vcd(valid_vcd())
+        assert data.signals == {"a": 1, "b": 8}
+        assert data.value_at("b", 1) == 0xAA
