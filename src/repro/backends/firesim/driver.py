@@ -40,12 +40,34 @@ def scan_crc(bits: list[int]) -> int:
 class FireSimSimulation:
     """Simulation protocol over a scan-chain-instrumented design.
 
-    With ``verify_scans`` the driver exploits the non-destructive scan
-    protocol to detect read-path corruption: it rotates the chain twice and
-    compares CRCs.  A clean chain returns identical bitstreams; a bit
-    flipped anywhere on the host read path makes the CRCs diverge, and the
-    driver raises :class:`ScanChainCorruption` instead of returning
-    poisoned counts (the run orchestrator turns that into a retry).
+    With ``verify_scans`` the driver defends against host read-path
+    corruption in two layers:
+
+    1. **Sample-before-commit.**  The scan protocol is destructive (each
+       shift consumes a bit), so whatever the host reads is what gets
+       recirculated into the chain.  Before committing a bit back via
+       ``scan_in``, the driver samples ``scan_out`` twice; if the samples
+       disagree, a transient read flip just happened and the driver raises
+       :class:`ScanChainCorruption` *before* the corrupted value is
+       recirculated — the chain's stored counts are never poisoned by a
+       detected flip.
+    2. **Rotation replay.**  After the data rotation the driver rotates
+       the chain a second time and compares the two raw bitstreams
+       bit-for-bit (CRCs are reported in the error for telemetry).  This
+       catches residual corruption that slipped past layer 1, e.g. a bit
+       whose chain storage changed between rotations.
+
+    Known limitation: a *persistent* fault (stuck-at on the read path) or
+    a transient flip that identically corrupts both samples of the same
+    bit (probability p² per bit for independent flips) defeats layer 1,
+    and — because the corrupted value is then recirculated — rereads as
+    itself in layer 2.  Detecting that class needs hardware support (a
+    chain-resident CRC word); the orchestrator's shard validation
+    (counter-width/namespace checks) is the remaining backstop.
+
+    On :class:`ScanChainCorruption` the chain state is undefined (the
+    rotation was aborted mid-way); discard the simulation instance and
+    retry with a fresh one, as the run orchestrator does.
     """
 
     def __init__(self, base_sim, info: ScanChainInfo, verify_scans: bool = False) -> None:
@@ -78,11 +100,25 @@ class FireSimSimulation:
     # -- the scan-out protocol ---------------------------------------------------
 
     def _rotate_chain(self) -> list[int]:
-        """One full non-destructive rotation; returns the bits read."""
+        """One full non-destructive rotation; returns the bits read.
+
+        With ``verify_scans``, every bit is sampled twice before being
+        recirculated; a sample disagreement aborts the rotation (raising
+        :class:`ScanChainCorruption`) before the bad value is committed
+        back into the chain.
+        """
         sim = self._sim
         bits: list[int] = []
-        for _ in range(self.info.length_bits):
+        for position in range(self.info.length_bits):
             bit = sim.peek("scan_out")
+            if self.verify_scans:
+                resample = sim.peek("scan_out")
+                if resample != bit:
+                    raise ScanChainCorruption(
+                        f"scan-out bit {position}/{self.info.length_bits} read "
+                        f"unstable ({bit} then {resample}); aborting before the "
+                        f"corrupted bit is recirculated into the chain"
+                    )
             bits.append(bit)
             sim.poke("scan_in", bit)  # recirculate: scanning is non-destructive
             sim.step(1)
@@ -98,11 +134,15 @@ class FireSimSimulation:
             bits = self._rotate_chain()
             self.last_scan_crc = scan_crc(bits)
             if self.verify_scans:
-                check = scan_crc(self._rotate_chain())
-                if check != self.last_scan_crc:
+                replay = self._rotate_chain()
+                if replay != bits:
+                    diverged = next(
+                        i for i, (a, b) in enumerate(zip(bits, replay)) if a != b
+                    )
                     raise ScanChainCorruption(
-                        f"scan-out CRC mismatch: first rotation "
-                        f"{self.last_scan_crc:#06x}, second {check:#06x} "
+                        f"scan-out rotations diverge at bit {diverged}: "
+                        f"first rotation CRC {self.last_scan_crc:#06x}, "
+                        f"replay CRC {scan_crc(replay):#06x} "
                         f"({self.info.length_bits} bits)"
                     )
         finally:

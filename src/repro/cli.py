@@ -137,6 +137,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(f"job failed after {outcome.attempts} attempt(s); no counts recovered",
               file=sys.stderr)
         return 1
+    if not result.quarantine.merged_job_ids:
+        # The job ran, but its shard failed validation (corrupted counts):
+        # writing an empty counts file and exiting 0 would launder the
+        # corruption into "0 points covered".
+        print("every shard was quarantined; refusing to write counts",
+              file=sys.stderr)
+        return 1
     counts = result.merged
     if args.merge_with:
         counts = merge_counts(counts, counts_from_json(Path(args.merge_with).read_text()))

@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
@@ -99,6 +100,9 @@ class Checkpointer:
 
     directory: Path
     every: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.directory = Path(self.directory)
@@ -114,25 +118,45 @@ class Checkpointer:
         """Whether a checkpoint should be written after ``cycle`` cycles."""
         return self.every > 0 and cycle % self.every == 0
 
-    def write(self, shard: Shard) -> Path:
-        """Atomically persist ``shard``; returns the shard file path."""
+    def write(self, shard: Shard) -> Optional[Path]:
+        """Atomically persist ``shard``; returns the shard file path.
+
+        An incomplete (periodic) shard never overwrites a complete one for
+        the same job: once a job has a final shard on disk, a straggler
+        attempt — e.g. a timed-out thread the watchdog abandoned that later
+        unwedges — cannot downgrade it to a stale partial snapshot.  A
+        refused write returns ``None``.
+        """
         path = self.shard_path(shard.job_id)
-        fd, tmp = tempfile.mkstemp(
-            dir=self.directory, prefix=path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(shard.to_json())
-                handle.write("\n")
-            os.replace(tmp, path)
-        except BaseException:
+        with self._lock:
+            if not shard.complete and self._has_complete_shard(path):
+                return None
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=path.name, suffix=".tmp"
+            )
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(shard.to_json())
+                    handle.write("\n")
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         shard.path = str(path)
         return path
+
+    @staticmethod
+    def _has_complete_shard(path: Path) -> bool:
+        """Whether a valid, complete shard already sits at ``path``."""
+        try:
+            return Shard.from_json(path.read_text(), path=str(path)).complete
+        except FileNotFoundError:
+            return False
+        except (ShardError, OSError):
+            return False  # unreadable/corrupt: overwriting it is fine
 
     def load(self, job_id: str) -> Optional[Shard]:
         """The job's last checkpoint, or None if it never wrote one."""
@@ -145,14 +169,15 @@ class Checkpointer:
         """Read every shard in the directory.
 
         Returns ``(shards, unreadable)`` where ``unreadable`` pairs a file
-        path with the parse error — the campaign quarantines those rather
-        than aborting.
+        path with the parse/read error — the campaign quarantines those
+        rather than aborting, whether the file is malformed (ShardError)
+        or simply unreadable (permissions, transient FS issues).
         """
         shards: list[Shard] = []
         unreadable: list[tuple[str, str]] = []
         for path in sorted(self.directory.glob(f"*{SHARD_SUFFIX}")):
             try:
                 shards.append(Shard.from_json(path.read_text(), path=str(path)))
-            except ShardError as error:
+            except (ShardError, OSError) as error:
                 unreadable.append((str(path), str(error)))
         return shards, unreadable

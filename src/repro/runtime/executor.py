@@ -27,6 +27,7 @@ import random
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterable, Optional, Sequence
 
 from ..backends.api import (
@@ -35,7 +36,7 @@ from ..backends.api import (
     SimulationTimeout,
     has_port,
 )
-from .checkpoint import Checkpointer, Shard
+from .checkpoint import Checkpointer, Shard, ShardError
 from .validate import QuarantineReport, QuarantinedShard, ShardIssue, merge_shards
 
 #: drives a simulation for one cycle: (sim, cycle) -> None (pokes only)
@@ -118,7 +119,13 @@ class CampaignResult:
 
 
 class _Attempt(threading.Thread):
-    """One watchdogged attempt, run to completion or abandoned."""
+    """One watchdogged attempt, run to completion or abandoned.
+
+    ``abandoned`` is set by the watchdog when the attempt times out.  The
+    drive loop polls it: an abandoned attempt stops stepping and never
+    writes another checkpoint, so a slow-but-not-hung attempt that later
+    unwedges cannot clobber a successful retry's shard with stale counts.
+    """
 
     def __init__(self, run: Callable[[], None]) -> None:
         super().__init__(daemon=True)
@@ -126,6 +133,7 @@ class _Attempt(threading.Thread):
         self.error: Optional[BaseException] = None
         self.counts: Optional[CoverCounts] = None
         self.cycles_run = 0
+        self.abandoned = threading.Event()
 
     def run(self) -> None:  # noqa: D102 — Thread API
         try:
@@ -184,6 +192,9 @@ class Executor:
             worker.join(self.timeout)
             if worker.is_alive():
                 # Wedged attempt: abandon the daemon thread, record a timeout.
+                # The flag stops the thread from stepping or checkpointing if
+                # it ever unwedges, so it cannot race a later attempt's shard.
+                worker.abandoned.set()
                 error: BaseException = SimulationTimeout(
                     f"attempt exceeded {self.timeout}s wall clock"
                 )
@@ -208,7 +219,15 @@ class Executor:
                 )
             )
         # All attempts failed: salvage the last checkpoint, if any.
-        salvaged = self.checkpointer.load(job.job_id) if self.checkpointer else None
+        salvaged = None
+        if self.checkpointer is not None:
+            try:
+                salvaged = self.checkpointer.load(job.job_id)
+            except (ShardError, OSError):
+                # Corrupt/unreadable shard: nothing to salvage; the file is
+                # reported via the load_all quarantine path, and the job
+                # stays "failed" instead of killing the campaign.
+                salvaged = None
         if salvaged is not None and salvaged.counts:
             outcome.status = "partial"
             outcome.counts = salvaged.counts
@@ -223,11 +242,17 @@ class Executor:
             sim.step(job.reset_cycles)
             sim.poke("reset", 0)
         for cycle in range(job.cycles):
+            if worker.abandoned.is_set():
+                return  # watchdog gave up on this attempt; leave no traces
             if job.stimulus is not None:
                 job.stimulus(sim, cycle)
             result = sim.step(1)
             worker.cycles_run = cycle + 1
-            if self.checkpointer and self.checkpointer.due(cycle + 1):
+            if (
+                self.checkpointer
+                and self.checkpointer.due(cycle + 1)
+                and not worker.abandoned.is_set()
+            ):
                 self.checkpointer.write(
                     Shard(
                         job_id=job.job_id,
@@ -239,6 +264,8 @@ class Executor:
                 )
             if result.stopped:
                 break
+        if worker.abandoned.is_set():
+            return
         worker.counts = dict(sim.cover_counts())
 
     def _write_shard(self, outcome: RunOutcome) -> None:
@@ -287,7 +314,7 @@ class Executor:
             for path, detail in unreadable:
                 quarantine.quarantined.append(
                     QuarantinedShard(
-                        job_id=path.rsplit("/", 1)[-1],
+                        job_id=Path(path).name,
                         backend="?",
                         issues=[ShardIssue("unreadable", None, detail)],
                         path=path,

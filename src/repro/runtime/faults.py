@@ -32,9 +32,9 @@ class FaultPlan:
 
     * ``crash_at`` — raise :class:`SimulationCrash` once the simulation
       reaches this cycle.
-    * ``fail_attempts`` — only the first N attempts crash; later attempts
-      run clean (models a transient fault the retry path should absorb).
-      0 means every attempt crashes (a hard fault).
+    * ``fail_attempts`` — only the first N attempts fault (crash *or*
+      hang); later attempts run clean (models a transient fault the retry
+      path should absorb).  0 means every attempt faults (a hard fault).
     * ``hang_at`` — ``step()`` blocks indefinitely at this cycle (models a
       wedged simulator; the executor's watchdog must fire).
     * ``corrupt_keys`` / ``drop_keys`` / ``negate_keys`` / ``inflate_keys``
@@ -76,20 +76,27 @@ class FaultySimulation:
 
     # -- injected step faults --------------------------------------------------
 
-    def _crashes_this_attempt(self) -> bool:
-        if self.plan.crash_at is None:
-            return False
+    def _faulting_attempt(self) -> bool:
         return self.plan.fail_attempts == 0 or self.attempt <= self.plan.fail_attempts
 
     def step(self, cycles: int = 1) -> StepResult:
         done = 0
+        faulting = self._faulting_attempt()
         for _ in range(cycles):
-            if self._crashes_this_attempt() and self.cycle >= self.plan.crash_at:
+            if (
+                faulting
+                and self.plan.crash_at is not None
+                and self.cycle >= self.plan.crash_at
+            ):
                 raise SimulationCrash(
                     f"injected crash at cycle {self.cycle} "
                     f"(attempt {self.attempt}, seed {self.plan.seed})"
                 )
-            if self.plan.hang_at is not None and self.cycle >= self.plan.hang_at:
+            if (
+                faulting
+                and self.plan.hang_at is not None
+                and self.cycle >= self.plan.hang_at
+            ):
                 # Block until released; the executor's watchdog abandons the
                 # worker thread, and `release` lets tests unwedge it.
                 while not self.release.wait(0.05):
@@ -171,16 +178,36 @@ class ScanNoiseHost:
     Models the §5.2 failure mode this PR defends against: bits read off the
     FPGA scan chain arrive flipped.  Only reads of ``scan_out`` are
     affected; everything else passes through.  Because the driver
-    recirculates what it read, a flipped bit also corrupts the stored
-    counter — exactly why the driver's CRC double-scan check exists.
+    recirculates what it read, an undetected flip also corrupts the stored
+    counter — exactly why the driver samples every bit twice before
+    committing it back (see :class:`~repro.backends.firesim.driver.\
+FireSimSimulation`).
+
+    Two noise models, combinable:
+
+    * ``flip_probability`` — each ``scan_out`` read independently flips
+      with this probability (transient noise),
+    * ``flip_reads`` — the reads at these 0-based ``scan_out`` read
+      indices flip, deterministically.  With verification on, the driver
+      samples each chain bit twice, so read ``2*k`` is bit ``k``'s first
+      sample and ``2*k + 1`` its resample; flipping both defeats the
+      sample-before-commit check and models the documented p² residual.
     """
 
-    def __init__(self, sim, flip_probability: float, seed: int = 0) -> None:
+    def __init__(
+        self,
+        sim,
+        flip_probability: float,
+        seed: int = 0,
+        flip_reads=None,
+    ) -> None:
         if not 0.0 <= flip_probability <= 1.0:
             raise ValueError("flip probability must be in [0, 1]")
         self._sim = sim
         self.flip_probability = flip_probability
+        self.flip_reads = frozenset(flip_reads or ())
         self._rng = random.Random(f"{seed}:scan-noise")
+        self.reads = 0
         self.flips = 0
 
     def __getattr__(self, name):
@@ -188,7 +215,11 @@ class ScanNoiseHost:
 
     def peek(self, port: str) -> int:
         value = self._sim.peek(port)
-        if port == "scan_out" and self._rng.random() < self.flip_probability:
+        if port != "scan_out":
+            return value
+        index = self.reads
+        self.reads += 1
+        if index in self.flip_reads or self._rng.random() < self.flip_probability:
             self.flips += 1
             return value ^ 1
         return value

@@ -108,6 +108,34 @@ class TestCli:
         assert "resumed" in capsys.readouterr().out
         assert json.loads(counts.read_text()) == data
 
+    def test_simulate_quarantined_counts_fail_loudly(
+        self, gcd_file, tmp_path, capsys, monkeypatch
+    ):
+        """A run whose only shard is quarantined must exit non-zero and
+        refuse to write a (misleadingly empty) counts file."""
+        import repro.cli as cli
+        from repro.runtime import FaultPlan, FaultyBackend
+
+        monkeypatch.setattr(
+            cli,
+            "TreadleBackend",
+            lambda: FaultyBackend(
+                TreadleBackend(), FaultPlan(corrupt_keys=2, seed=3)
+            ),
+        )
+        instrumented = tmp_path / "inst.fir"
+        assert main(["instrument", str(gcd_file), "-m", "line",
+                     "-o", str(instrumented)]) == 0
+        counts = tmp_path / "counts.json"
+        rc = main([
+            "simulate", str(instrumented), "--backend", "treadle",
+            "--cycles", "50", "--random-inputs", "--counts", str(counts),
+        ])
+        assert rc == 1
+        assert not counts.exists()
+        err = capsys.readouterr().err
+        assert "quarantined" in err and "refusing to write" in err
+
 
 class TestHtmlReport:
     def test_sections_present(self):

@@ -1,6 +1,7 @@
 """Shard files: atomic writes, round trips, and malformed-file handling."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -46,6 +47,36 @@ class TestShardRoundTrip:
         assert not Checkpointer(tmp_path, every=0).due(100)
 
 
+class TestDowngradeGuard:
+    def test_incomplete_never_overwrites_complete(self, tmp_path):
+        """A straggler attempt's periodic snapshot cannot downgrade a
+        finished job's shard to a stale partial one."""
+        cp = Checkpointer(tmp_path)
+        cp.write(Shard("j", "b", 60, {"x": 4}, complete=True))
+        refused = cp.write(Shard("j", "b", 30, {"x": 1}, complete=False))
+        assert refused is None
+        kept = cp.load("j")
+        assert kept.complete and kept.cycle == 60 and kept.counts == {"x": 4}
+
+    def test_complete_may_overwrite_complete(self, tmp_path):
+        cp = Checkpointer(tmp_path)
+        cp.write(Shard("j", "b", 60, {"x": 4}, complete=True))
+        assert cp.write(Shard("j", "b", 80, {"x": 9}, complete=True)) is not None
+        assert cp.load("j").cycle == 80
+
+    def test_incomplete_may_overwrite_incomplete(self, tmp_path):
+        cp = Checkpointer(tmp_path)
+        cp.write(Shard("j", "b", 10, {"x": 1}, complete=False))
+        assert cp.write(Shard("j", "b", 20, {"x": 2}, complete=False)) is not None
+        assert cp.load("j").cycle == 20
+
+    def test_corrupt_file_may_be_overwritten(self, tmp_path):
+        cp = Checkpointer(tmp_path)
+        cp.shard_path("j").write_text("garbage")
+        assert cp.write(Shard("j", "b", 10, {"x": 1})) is not None
+        assert cp.load("j").cycle == 10
+
+
 class TestMalformedShards:
     @pytest.mark.parametrize(
         "text,detail",
@@ -76,3 +107,23 @@ class TestMalformedShards:
         assert len(unreadable) == 1
         path, error = unreadable[0]
         assert "evil" in path and "not valid JSON" in error
+
+    def test_load_all_quarantines_oserror(self, tmp_path, monkeypatch):
+        """An unreadable file (permissions, transient FS error) is reported
+        as unreadable, not raised into the campaign."""
+        checkpointer = Checkpointer(tmp_path)
+        checkpointer.write(Shard("good", "b", 5, {"k": 1}, complete=True))
+        checkpointer.write(Shard("locked", "b", 5, {"k": 1}, complete=True))
+        real = Path.read_text
+
+        def read_text(self, *args, **kwargs):
+            if "locked" in self.name:
+                raise PermissionError(f"denied: {self}")
+            return real(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "read_text", read_text)
+        shards, unreadable = checkpointer.load_all()
+        assert [s.job_id for s in shards] == ["good"]
+        assert len(unreadable) == 1
+        path, error = unreadable[0]
+        assert "locked" in path and "denied" in error

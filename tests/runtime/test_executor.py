@@ -1,5 +1,7 @@
 """Executor fault tolerance: containment, watchdog, retries, salvage."""
 
+import time
+
 import pytest
 
 from repro.backends import SimulationCrash, TreadleBackend
@@ -138,6 +140,61 @@ class TestCheckpointSalvage:
         )
         assert outcome.status == "failed"
         assert outcome.counts == {}
+
+    def test_corrupt_shard_on_disk_does_not_kill_the_campaign(
+        self, gcd_state, tmp_path
+    ):
+        """Salvage must survive a truncated shard file: the job stays
+        'failed' and the file is reported via the quarantine path."""
+        backend = FaultyBackend(TreadleBackend(), FaultPlan(crash_at=3, seed=4))
+        checkpointer = Checkpointer(tmp_path, every=0)
+        checkpointer.shard_path("job").write_text("{truncated")
+        executor = Executor(checkpointer=checkpointer, sleep=lambda s: None)
+        result = executor.run_campaign([make_job(backend, gcd_state)])
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.counts == {}
+        quarantined = result.quarantine.quarantined
+        assert len(quarantined) == 1
+        assert quarantined[0].job_id == "job.shard.json"
+        assert quarantined[0].issues[0].kind == "unreadable"
+
+
+class TestAbandonedAttempts:
+    def test_unwedged_straggler_cannot_clobber_retry_shard(
+        self, gcd_state, tmp_path
+    ):
+        """A timed-out attempt that later unwedges must stop stepping and
+        must not overwrite the successful retry's complete shard with a
+        stale partial snapshot."""
+        backend = FaultyBackend(
+            TreadleBackend(), FaultPlan(hang_at=5, fail_attempts=1, seed=7)
+        )
+        sims = []
+
+        def make_sim():
+            sim = backend.compile_state(gcd_state)
+            sims.append(sim)
+            return sim
+
+        job = RunJob("straggler", "treadle", make_sim, 60, gcd_stimulus)
+        checkpointer = Checkpointer(tmp_path, every=10)
+        executor = Executor(
+            timeout=0.3, retries=1, checkpointer=checkpointer, sleep=lambda s: None
+        )
+        outcome = executor.run_job(job)
+        assert outcome.status == "ok"
+        assert outcome.attempts == 2
+        final = checkpointer.load("straggler")
+        assert final.complete and final.cycle == 60
+
+        # Unwedge the abandoned first attempt and give it time to misbehave.
+        sims[0].release.set()
+        time.sleep(0.3)
+        assert sims[0].cycle <= 6  # the abandoned thread stopped stepping
+        after = checkpointer.load("straggler")
+        assert after.complete and after.cycle == 60
+        assert after.counts == final.counts
 
 
 class TestCampaign:

@@ -104,9 +104,69 @@ class TestScanChainCrc:
             TreadleBackend().compile_state(state), flip_probability=0.02, seed=1
         )
         sim = FireSimSimulation(noisy, info, verify_scans=True)
-        with pytest.raises(ScanChainCorruption, match="CRC mismatch"):
+        with pytest.raises(ScanChainCorruption):
             run_and_collect(sim)
         assert noisy.flips > 0
+
+    def test_first_rotation_flip_detected_before_recirculation(self, chained):
+        """A single transient flip during the *first* rotation must raise.
+
+        This is the scenario the CRC-replay check alone could not see: the
+        corrupted bit used to be recirculated into the chain, so the replay
+        read back the same corruption and the CRCs matched.  The
+        sample-before-commit check catches the flip on the spot.
+        """
+        state, info = chained
+        # read 4 is chain bit 2's first sample (two samples per bit)
+        noisy = ScanNoiseHost(
+            TreadleBackend().compile_state(state), 0.0, flip_reads={4}
+        )
+        sim = FireSimSimulation(noisy, info, verify_scans=True)
+        with pytest.raises(ScanChainCorruption, match=r"bit 2/\d+ read unstable"):
+            run_and_collect(sim)
+        assert noisy.flips == 1
+
+    def test_resample_flip_detected(self, chained):
+        """A flip on the second sample (the resample) is equally fatal."""
+        state, info = chained
+        noisy = ScanNoiseHost(
+            TreadleBackend().compile_state(state), 0.0, flip_reads={5}
+        )
+        sim = FireSimSimulation(noisy, info, verify_scans=True)
+        with pytest.raises(ScanChainCorruption, match="unstable"):
+            run_and_collect(sim)
+
+    def test_replay_divergence_caught_by_bitstream_compare(self, chained):
+        """Both samples of one bit flipped in the *replay* rotation: the
+        sample check passes (samples agree), but the replay bitstream no
+        longer matches the data rotation, so layer 2 fires."""
+        state, info = chained
+        base = 2 * info.length_bits  # replay rotation starts here
+        noisy = ScanNoiseHost(
+            TreadleBackend().compile_state(state), 0.0,
+            flip_reads={base + 6, base + 7},
+        )
+        sim = FireSimSimulation(noisy, info, verify_scans=True)
+        with pytest.raises(ScanChainCorruption, match="diverge at bit 3"):
+            run_and_collect(sim)
+
+    def test_documented_residual_double_flip_first_rotation(self, chained):
+        """The documented p² residual: identical flips on *both* samples of
+        the same bit in the data rotation commit the corruption, and the
+        replay rereads it as itself — no exception, wrong counts.  This
+        test pins the limitation the driver docstring declares; shard
+        validation downstream is the remaining backstop."""
+        state, info = chained
+        clean = run_and_collect(
+            FireSimSimulation(TreadleBackend().compile_state(state), info)
+        )
+        noisy = ScanNoiseHost(
+            TreadleBackend().compile_state(state), 0.0, flip_reads={6, 7}
+        )
+        sim = FireSimSimulation(noisy, info, verify_scans=True)
+        poisoned = run_and_collect(sim)
+        assert noisy.flips == 2
+        assert poisoned != clean  # corrupted, undetected by design limits
 
     def test_without_verification_corruption_goes_unnoticed(self, chained):
         """The motivating hazard: silent poisoning unless verify_scans is on."""
