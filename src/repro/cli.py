@@ -19,7 +19,6 @@ import random
 import sys
 from pathlib import Path
 
-from .backends import TreadleBackend, VerilatorBackend
 from .coverage import (
     CoverageDB,
     all_cover_names,
@@ -82,11 +81,29 @@ def cmd_instrument(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_executor(args, checkpointer):
+    from .runtime import BreakerBoard, Executor
+
+    breaker = None
+    if args.breaker_threshold:
+        breaker = BreakerBoard(failure_threshold=args.breaker_threshold)
+    return Executor(
+        timeout=args.timeout,
+        retries=args.retries,
+        checkpointer=checkpointer,
+        seed=args.seed,
+        isolation=args.isolation,
+        mem_limit_mb=args.mem_limit,
+        cpu_limit_s=args.cpu_limit,
+        breaker=breaker,
+    )
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
-    from .runtime import Checkpointer, Executor, RunJob
+    from .backends import BACKENDS
+    from .runtime import Checkpointer, DifferentialRunner, RunJob
 
     circuit = _load(args.circuit)
-    backend = TreadleBackend() if args.backend == "treadle" else VerilatorBackend()
     inputs = [
         p.name
         for p in circuit.top.inputs
@@ -100,31 +117,77 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             for name in inputs:
                 sim.poke(name, rng.getrandbits(widths.get(name, 1) or 1))
 
-    def make_sim():
-        rng.seed(args.seed)  # each attempt replays the same stimulus
-        return backend.compile(circuit, counter_width=args.counter_width)
+    def make_sim_for(backend_name):
+        backend = BACKENDS[backend_name]()
+
+        def make_sim():
+            rng.seed(args.seed)  # each attempt replays the same stimulus
+            return backend.compile(circuit, counter_width=args.counter_width)
+
+        return make_sim
 
     checkpointer = None
     if args.checkpoint_every or args.resume or args.shard_dir:
         shard_dir = args.shard_dir or (args.circuit + ".shards")
         checkpointer = Checkpointer(Path(shard_dir), every=args.checkpoint_every or 0)
-    executor = Executor(
-        timeout=args.timeout,
-        retries=args.retries,
-        checkpointer=checkpointer,
-        seed=args.seed,
-    )
+    executor = _make_executor(args, checkpointer)
+    names = all_cover_names(circuit)
+
+    if args.differential:
+        backends = [b.strip() for b in args.differential.split(",") if b.strip()]
+        unknown = sorted(set(backends) - set(BACKENDS))
+        if len(backends) < 2 or unknown:
+            print(
+                f"--differential needs >= 2 known backends "
+                f"(unknown: {', '.join(unknown) or 'none'})",
+                file=sys.stderr,
+            )
+            return 2
+        runner = DifferentialRunner(executor)
+        diff = runner.run(
+            job_id=f"{Path(args.circuit).stem}-s{args.seed}",
+            make_sims={b: make_sim_for(b) for b in backends},
+            cycles=args.cycles,
+            stimulus=stimulus,
+            reset_cycles=args.reset_cycles,
+            known_names=names,
+            counter_width=args.counter_width,
+        )
+        if not diff.agreed:
+            print(diff.report.format(), file=sys.stderr)
+        if not diff.quarantine.clean:
+            print(diff.quarantine.format(), file=sys.stderr)
+        if not diff.merged:
+            print("no quorum on any cover; refusing to write counts",
+                  file=sys.stderr)
+            return 1
+        counts = diff.merged
+        if args.merge_with:
+            counts = merge_counts(
+                counts,
+                counts_from_json(Path(args.merge_with).read_text(),
+                                 source=args.merge_with),
+            )
+        _write(counts_to_json(counts) + "\n", args.counts)
+        covered = sum(1 for c in counts.values() if c)
+        print(
+            f"differential over {', '.join(backends)} "
+            f"({len(diff.report.voters)} voting): "
+            f"{covered}/{len(counts)} points covered"
+        )
+        return 0
+
     job = RunJob(
         job_id=f"{Path(args.circuit).stem}-{args.backend}-s{args.seed}",
         backend_name=args.backend,
-        make_sim=make_sim,
+        make_sim=make_sim_for(args.backend),
         cycles=args.cycles,
         stimulus=stimulus,
         reset_cycles=args.reset_cycles,
     )
     result = executor.run_campaign(
         [job],
-        known_names=all_cover_names(circuit),
+        known_names=names,
         counter_width=args.counter_width,
         resume=args.resume,
     )
@@ -146,7 +209,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         return 1
     counts = result.merged
     if args.merge_with:
-        counts = merge_counts(counts, counts_from_json(Path(args.merge_with).read_text()))
+        counts = merge_counts(
+            counts,
+            counts_from_json(Path(args.merge_with).read_text(),
+                             source=args.merge_with),
+        )
     _write(counts_to_json(counts) + "\n", args.counts)
     covered = sum(1 for c in counts.values() if c)
     print(
@@ -160,7 +227,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     circuit = _load(args.circuit)
     db_path = args.db or args.circuit + DB_SUFFIX
     db = CoverageDB.from_json(Path(db_path).read_text(), source=db_path)
-    counts = counts_from_json(Path(args.counts).read_text())
+    counts = counts_from_json(Path(args.counts).read_text(), source=args.counts)
     if args.html:
         Path(args.html).write_text(html_report(db, counts, circuit))
         print(f"wrote {args.html}")
@@ -237,6 +304,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip jobs whose shard on disk is already complete")
     p.add_argument("--shard-dir",
                    help="shard directory (default: <circuit>.shards)")
+    p.add_argument("--isolation", choices=["thread", "process"],
+                   default="thread",
+                   help="attempt containment: 'process' runs each attempt "
+                        "in a supervised forked worker that is SIGKILLed "
+                        "when it hangs (thread-mode hangs leak a daemon "
+                        "thread)")
+    p.add_argument("--mem-limit", type=int, default=None, metavar="MB",
+                   help="RLIMIT_AS cap per worker process (requires "
+                        "--isolation process)")
+    p.add_argument("--cpu-limit", type=int, default=None, metavar="SECONDS",
+                   help="RLIMIT_CPU cap per worker process (requires "
+                        "--isolation process)")
+    p.add_argument("--breaker-threshold", type=int, default=0,
+                   help="open a per-backend circuit breaker after this many "
+                        "consecutive job failures (0 disables)")
+    p.add_argument("--differential", metavar="BACKEND,BACKEND[,...]",
+                   help="run the same job on each listed backend and "
+                        "quorum-merge the counts; disagreeing backends are "
+                        "reported and quarantined")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("report", help="generate coverage reports from counts")

@@ -68,10 +68,26 @@ class CoverageDB:
         return sum(len(covers) for covers in self.entries.get(metric, {}).values())
 
     def merge(self, other: "CoverageDB") -> "CoverageDB":
+        """Union of two databases.
+
+        The same ``(metric, module, cover_name)`` key may appear in both
+        sides only with an *identical* payload (e.g. two instrumentation
+        runs over the same module).  Differing payloads mean the databases
+        describe different circuits — silently keeping either side would
+        mis-locate every report line for that cover, so the collision
+        raises :class:`CoverageDBError` naming the key instead.
+        """
         merged = CoverageDB(json.loads(json.dumps(self.entries)))
         for metric, modules in other.entries.items():
             for module, covers in modules.items():
+                existing = merged.entries.get(metric, {}).get(module, {})
                 for name, payload in covers.items():
+                    if name in existing and existing[name] != payload:
+                        raise CoverageDBError(
+                            f"conflicting payloads for "
+                            f"({metric!r}, {module!r}, {name!r}) in merge: "
+                            f"{existing[name]!r} != {payload!r}"
+                        )
                     merged.add(metric, module, name, payload)
         return merged
 
@@ -275,9 +291,41 @@ def counts_to_json(counts: CoverCounts) -> str:
     return json.dumps(counts, indent=2, sort_keys=True)
 
 
-def counts_from_json(text: str) -> CoverCounts:
-    data = json.loads(text)
-    return {str(k): int(v) for k, v in data.items()}
+def counts_from_json(text: str, source: Optional[str] = None) -> CoverCounts:
+    """Deserialize a counts map, validating shape and values.
+
+    Like :meth:`CoverageDB.from_json`, failures raise a *located* error
+    (:class:`InvalidCountsError`, naming ``source`` when given) at load
+    time — instead of handing malformed data onward to surface later as a
+    ``TypeError`` deep inside a merge.
+    """
+    where = f" in {source}" if source else ""
+
+    def fail(detail: str, issues: Optional[list[str]] = None) -> InvalidCountsError:
+        return InvalidCountsError(f"bad cover counts{where}: {detail}", issues)
+
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise fail(f"not valid JSON ({error})") from error
+    if not isinstance(data, dict):
+        raise fail(f"expected a JSON object of counts, got {type(data).__name__}")
+    issues: list[str] = []
+    for key, value in data.items():
+        if not isinstance(key, str):
+            issues.append(f"non-string cover name {key!r}")
+        elif type(value) is not int:
+            issues.append(f"{key}: non-integer count {value!r}")
+        elif value < 0:
+            issues.append(f"{key}: negative count {value}")
+    if issues:
+        raise fail(
+            f"{len(issues)} invalid entr{'y' if len(issues) == 1 else 'ies'}: "
+            + "; ".join(issues[:5])
+            + ("; ..." if len(issues) > 5 else ""),
+            issues,
+        )
+    return dict(data)
 
 
 def all_cover_names(circuit: Circuit, tree: Optional[InstanceTree] = None) -> list[str]:

@@ -2,21 +2,40 @@
 
 The paper's merge property (§3, §5.3) assumes every backend returns
 pristine counts; this subsystem drops that assumption.  Jobs run behind a
-wall-clock watchdog with bounded, jittered retries; live counts checkpoint
-to shard files so crashes only cost the cycles since the last snapshot;
-and every shard is validated against the cover namespace — corrupt shards
-are quarantined into a report instead of poisoning the merge.
+wall-clock watchdog with bounded, jittered retries — or, with
+``isolation='process'``, inside supervised forked workers that heartbeat
+over a pipe and are SIGKILLed (and resource-capped) when they wedge.
+Live counts checkpoint to shard files so crashes only cost the cycles
+since the last snapshot; every shard is validated against the cover
+namespace — corrupt shards are quarantined into a report instead of
+poisoning the merge; per-backend circuit breakers stop feeding jobs to a
+systematically broken backend; and cross-backend differential runs turn
+the shared namespace into a quorum defense against plausible-but-wrong
+counts.
 
 Pieces:
 
 * :mod:`~repro.runtime.executor` — watchdog, retries/backoff, campaigns
+* :mod:`~repro.runtime.procworker` — forked workers, heartbeats, SIGKILL
+  supervision, rlimit caps
+* :mod:`~repro.runtime.breaker` — per-backend circuit breakers
+* :mod:`~repro.runtime.differential` — same job on ≥2 backends, majority
+  vote per cover, structured disagreement reports
 * :mod:`~repro.runtime.checkpoint` — atomic JSON shard files, resume
 * :mod:`~repro.runtime.validate` — namespace/width validation, quarantine
 * :mod:`~repro.runtime.faults` — deterministic fault injection (tests the
-  three modules above, and nothing in production imports it)
+  modules above, and nothing in production imports it)
 """
 
+from .breaker import BreakerBoard, CircuitBreaker
 from .checkpoint import SHARD_VERSION, Checkpointer, Shard, ShardError
+from .differential import (
+    CoverDisagreement,
+    DifferentialResult,
+    DifferentialRunner,
+    DisagreementReport,
+    quorum_merge,
+)
 from .executor import (
     CampaignResult,
     Executor,
@@ -25,6 +44,14 @@ from .executor import (
     run_campaign,
 )
 from .faults import FaultPlan, FaultyBackend, FaultySimulation, ScanNoiseHost
+from .procworker import (
+    ProcessAttemptResult,
+    ResourceLimits,
+    SupervisionPolicy,
+    current_attempt,
+    process_isolation_available,
+    run_process_attempt,
+)
 from .validate import (
     QuarantineReport,
     QuarantinedShard,
@@ -34,14 +61,22 @@ from .validate import (
 )
 
 __all__ = [
+    "BreakerBoard",
     "CampaignResult",
     "Checkpointer",
+    "CircuitBreaker",
+    "CoverDisagreement",
+    "DifferentialResult",
+    "DifferentialRunner",
+    "DisagreementReport",
     "Executor",
     "FaultPlan",
     "FaultyBackend",
     "FaultySimulation",
+    "ProcessAttemptResult",
     "QuarantineReport",
     "QuarantinedShard",
+    "ResourceLimits",
     "RunJob",
     "RunOutcome",
     "SHARD_VERSION",
@@ -49,7 +84,12 @@ __all__ = [
     "Shard",
     "ShardError",
     "ShardIssue",
+    "SupervisionPolicy",
+    "current_attempt",
     "merge_shards",
+    "process_isolation_available",
+    "quorum_merge",
     "run_campaign",
+    "run_process_attempt",
     "validate_shard_counts",
 ]

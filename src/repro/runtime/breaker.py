@@ -1,0 +1,151 @@
+"""Per-backend circuit breakers: stop feeding jobs to a broken backend.
+
+Retries absorb *transient* faults; they are exactly wrong for a
+*systematically* broken backend (bad install, wedged license server,
+mis-built model), where every attempt burns the full
+timeout × (retries + 1) budget and fails anyway.  The breaker notices the
+pattern and fails fast instead:
+
+* **closed** — healthy; jobs flow through,
+* **open** — ``failure_threshold`` consecutive jobs failed; subsequent
+  jobs for this backend are *skipped* (recorded as skipped-by-breaker,
+  not failed) until ``probe_after`` jobs have been refused,
+* **half-open** — one probe job is let through; success re-closes the
+  breaker, failure re-opens it for another ``probe_after`` skips.
+
+Healthy backends are unaffected: breakers are per backend, so a campaign
+over {treadle, verilator, broken-essent} keeps its treadle and verilator
+throughput while essent's jobs short-circuit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass
+class CircuitBreaker:
+    """Failure-pattern tracker for one backend."""
+
+    backend: str
+    failure_threshold: int = 3
+    probe_after: int = 2
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    successes: int = 0
+    failures: int = 0
+    skipped: int = 0
+    opens: int = 0
+    _skips_since_open: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.probe_after < 1:
+            raise ValueError("probe_after must be >= 1")
+
+    def allow(self) -> bool:
+        """Whether the next job for this backend should run.
+
+        While open, refuses ``probe_after`` jobs, then transitions to
+        half-open and lets the next one through as a probe.
+        """
+        if self.state == OPEN:
+            if self._skips_since_open >= self.probe_after:
+                self.state = HALF_OPEN
+            else:
+                self._skips_since_open += 1
+                self.skipped += 1
+                return False
+        return True
+
+    def record_success(self) -> None:
+        self.successes += 1
+        self.consecutive_failures = 0
+        self.state = CLOSED
+        self._skips_since_open = 0
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            self._trip()  # probe failed: straight back to open
+        elif self.consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        if self.state != OPEN:
+            self.opens += 1
+        self.state = OPEN
+        self._skips_since_open = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "backend": self.backend,
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "successes": self.successes,
+            "failures": self.failures,
+            "skipped": self.skipped,
+            "opens": self.opens,
+        }
+
+    def format(self) -> str:
+        return (
+            f"{self.backend}: {self.state} "
+            f"({self.successes} ok, {self.failures} failed, "
+            f"{self.skipped} skipped, opened {self.opens}x)"
+        )
+
+
+@dataclass
+class BreakerBoard:
+    """One breaker per backend, created lazily with shared thresholds."""
+
+    failure_threshold: int = 3
+    probe_after: int = 2
+    breakers: dict[str, CircuitBreaker] = field(default_factory=dict)
+
+    def breaker(self, backend: str) -> CircuitBreaker:
+        if backend not in self.breakers:
+            self.breakers[backend] = CircuitBreaker(
+                backend,
+                failure_threshold=self.failure_threshold,
+                probe_after=self.probe_after,
+            )
+        return self.breakers[backend]
+
+    def allow(self, backend: str) -> bool:
+        return self.breaker(backend).allow()
+
+    def record(self, backend: str, ok: bool) -> None:
+        breaker = self.breaker(backend)
+        if ok:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+
+    @property
+    def tripped(self) -> list[str]:
+        """Backends whose breaker is currently open or half-open."""
+        return sorted(
+            name for name, b in self.breakers.items() if b.state != CLOSED
+        )
+
+    def snapshot(self) -> dict:
+        return {name: b.snapshot() for name, b in sorted(self.breakers.items())}
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+    def format(self) -> str:
+        if not self.breakers:
+            return "breakers: (none)"
+        lines = ["breakers:"]
+        lines += [f"  {b.format()}" for _, b in sorted(self.breakers.items())]
+        return "\n".join(lines)

@@ -8,8 +8,13 @@ each job with:
   kills the campaign,
 * **a wall-clock watchdog** — each attempt runs in a worker thread; if it
   exceeds ``timeout`` seconds the attempt is abandoned and recorded as a
-  timeout (the only portable defence against a wedged in-process
-  simulator),
+  timeout (the portable fallback against a wedged in-process simulator);
+  with ``isolation='process'`` the attempt instead runs in a supervised
+  forked process (:mod:`~repro.runtime.procworker`) that can actually be
+  SIGKILLed and resource-capped,
+* **circuit breakers** — with a :class:`~repro.runtime.breaker.\
+BreakerBoard`, a backend that keeps failing gets its remaining jobs
+  skipped instead of burning the retry budget,
 * **bounded retries** — up to ``retries`` extra attempts per job, with
   exponential backoff plus seeded jitter between attempts; every attempt
   gets a *fresh* simulation from the job's factory,
@@ -23,6 +28,7 @@ each job with:
 
 from __future__ import annotations
 
+import logging
 import random
 import threading
 import time
@@ -36,8 +42,17 @@ from ..backends.api import (
     SimulationTimeout,
     has_port,
 )
+from .breaker import BreakerBoard
 from .checkpoint import Checkpointer, Shard, ShardError
+from .procworker import (
+    ResourceLimits,
+    SupervisionPolicy,
+    process_isolation_available,
+    run_process_attempt,
+)
 from .validate import QuarantineReport, QuarantinedShard, ShardIssue, merge_shards
+
+logger = logging.getLogger(__name__)
 
 #: drives a simulation for one cycle: (sim, cycle) -> None (pokes only)
 Stimulus = Callable[[object, int], None]
@@ -66,15 +81,23 @@ class RunJob:
 
 @dataclass
 class RunOutcome:
-    """Everything the campaign knows about one finished job."""
+    """Everything the campaign knows about one finished job.
+
+    ``abandoned_attempts`` counts thread-mode attempts whose worker thread
+    outlived its watchdog and was left behind as a daemon — a leak the
+    campaign should surface, not hide.  ``skip_reason`` is set when the
+    job never ran at all (e.g. ``breaker-open``).
+    """
 
     job_id: str
     backend: str
-    status: str  # ok | partial | failed | resumed
+    status: str  # ok | partial | failed | resumed | skipped
     counts: CoverCounts = field(default_factory=dict)
     cycles_run: int = 0
     attempts: int = 0
     failures: list[RunFailure] = field(default_factory=list)
+    abandoned_attempts: int = 0
+    skip_reason: Optional[str] = None
 
     @property
     def contributed(self) -> bool:
@@ -98,20 +121,43 @@ class CampaignResult:
     outcomes: list[RunOutcome]
     merged: CoverCounts
     quarantine: QuarantineReport
+    breakers: Optional[BreakerBoard] = None
 
     @property
     def failures(self) -> list[RunFailure]:
         return [f for o in self.outcomes for f in o.failures]
 
+    @property
+    def abandoned_attempts(self) -> int:
+        """Worker threads the campaign abandoned (leaked daemons)."""
+        return sum(o.abandoned_attempts for o in self.outcomes)
+
+    @property
+    def skipped(self) -> list[RunOutcome]:
+        return [o for o in self.outcomes if o.status == "skipped"]
+
     def format(self) -> str:
         lines = []
         for outcome in self.outcomes:
+            if outcome.status == "skipped":
+                lines.append(
+                    f"{outcome.job_id} ({outcome.backend}): skipped "
+                    f"({outcome.skip_reason})"
+                )
+                continue
             lines.append(
                 f"{outcome.job_id} ({outcome.backend}): {outcome.status} "
                 f"after {outcome.attempts} attempt(s), "
                 f"{outcome.cycles_run} cycles, {len(outcome.counts)} points"
             )
             lines += [f"  ! {failure.format()}" for failure in outcome.failures]
+        if self.abandoned_attempts:
+            lines.append(
+                f"abandoned {self.abandoned_attempts} wedged worker thread(s) "
+                "— consider isolation='process'"
+            )
+        if self.breakers is not None:
+            lines.append(self.breakers.format())
         lines.append(self.quarantine.format())
         covered = sum(1 for c in self.merged.values() if c)
         lines.append(f"merged coverage: {covered}/{len(self.merged)} points hit")
@@ -150,6 +196,20 @@ class Executor:
     after the first.  ``backoff_base`` doubles per retry and gains up to
     ``backoff_base`` seconds of seeded jitter; ``sleep`` is injectable so
     tests can assert the schedule without actually waiting.
+
+    ``isolation`` selects the containment level per attempt:
+
+    * ``"thread"`` — the PR-1 watchdog: a wedged attempt is abandoned as a
+      daemon thread (still burning CPU) and a hard interpreter fault kills
+      the campaign,
+    * ``"process"`` — each attempt runs in a supervised forked process
+      (:mod:`~repro.runtime.procworker`): heartbeats over a pipe, SIGKILL
+      + reap on deadline or silence, optional in-child rlimit caps
+      (``mem_limit_mb``, ``cpu_limit_s``), checkpoint shards streamed to
+      the parent so a killed worker still salvages its last-good counts.
+
+    ``breaker`` (a :class:`~repro.runtime.breaker.BreakerBoard`) lets
+    :meth:`run_campaign` skip jobs for a backend that keeps failing.
     """
 
     def __init__(
@@ -160,17 +220,48 @@ class Executor:
         seed: int = 0,
         sleep: Callable[[float], None] = time.sleep,
         checkpointer: Optional[Checkpointer] = None,
+        isolation: str = "thread",
+        mem_limit_mb: Optional[int] = None,
+        cpu_limit_s: Optional[int] = None,
+        heartbeat_timeout: float = 1.0,
+        max_missed_heartbeats: int = 5,
+        heartbeat_cycles: int = 64,
+        breaker: Optional[BreakerBoard] = None,
     ) -> None:
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive (or None to disable)")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if isolation not in ("thread", "process"):
+            raise ValueError(
+                f"isolation must be 'thread' or 'process', got {isolation!r}"
+            )
+        if isolation == "process" and not process_isolation_available():
+            raise RuntimeError(
+                "process isolation requires the 'fork' start method (POSIX)"
+            )
+        if (mem_limit_mb or cpu_limit_s) and isolation != "process":
+            raise ValueError("resource limits require isolation='process'")
         self.timeout = timeout
         self.retries = retries
         self.backoff_base = backoff_base
         self.seed = seed
         self.sleep = sleep
         self.checkpointer = checkpointer
+        self.isolation = isolation
+        self.breaker = breaker
+        limits = None
+        if mem_limit_mb or cpu_limit_s:
+            limits = ResourceLimits(
+                address_space_mb=mem_limit_mb, cpu_seconds=cpu_limit_s
+            )
+        self.supervision = SupervisionPolicy(
+            deadline=timeout,
+            heartbeat_timeout=heartbeat_timeout,
+            max_missed_heartbeats=max_missed_heartbeats,
+            heartbeat_cycles=heartbeat_cycles,
+            limits=limits,
+        )
 
     # -- single job ------------------------------------------------------------
 
@@ -183,41 +274,20 @@ class Executor:
 
     def run_job(self, job: RunJob) -> RunOutcome:
         outcome = RunOutcome(job.job_id, job.backend_name, "failed")
+        attempt_fn = (
+            self._process_attempt if self.isolation == "process"
+            else self._thread_attempt
+        )
         for attempt in range(1, self.retries + 2):
             if attempt > 1:
                 self.sleep(self.backoff_delay(attempt))
             outcome.attempts = attempt
-            worker = _Attempt(lambda: self._drive(job, worker))
-            worker.start()
-            worker.join(self.timeout)
-            if worker.is_alive():
-                # Wedged attempt: abandon the daemon thread, record a timeout.
-                # The flag stops the thread from stepping or checkpointing if
-                # it ever unwedges, so it cannot race a later attempt's shard.
-                worker.abandoned.set()
-                error: BaseException = SimulationTimeout(
-                    f"attempt exceeded {self.timeout}s wall clock"
-                )
-            elif worker.error is not None:
-                error = worker.error
-                if not isinstance(error, Exception):
-                    raise error  # KeyboardInterrupt etc. must not be swallowed
-            else:
+            failure = attempt_fn(job, attempt, outcome)
+            if failure is None:
                 outcome.status = "ok"
-                outcome.counts = worker.counts or {}
-                outcome.cycles_run = worker.cycles_run
                 self._write_shard(outcome)
                 return outcome
-            outcome.failures.append(
-                RunFailure(
-                    job_id=job.job_id,
-                    backend=job.backend_name,
-                    kind=RunFailure.kind_of(error),
-                    attempt=attempt,
-                    cycle=worker.cycles_run or None,
-                    message=str(error),
-                )
-            )
+            outcome.failures.append(failure)
         # All attempts failed: salvage the last checkpoint, if any.
         salvaged = None
         if self.checkpointer is not None:
@@ -233,6 +303,89 @@ class Executor:
             outcome.counts = salvaged.counts
             outcome.cycles_run = salvaged.cycle
         return outcome
+
+    def _thread_attempt(
+        self, job: RunJob, attempt: int, outcome: RunOutcome
+    ) -> Optional[RunFailure]:
+        """One watchdogged in-thread attempt; None means success."""
+        worker = _Attempt(lambda: self._drive(job, worker))
+        worker.start()
+        worker.join(self.timeout)
+        if worker.is_alive():
+            # Wedged attempt: abandon the daemon thread, record a timeout.
+            # The flag stops the thread from stepping or checkpointing if
+            # it ever unwedges, so it cannot race a later attempt's shard.
+            worker.abandoned.set()
+            outcome.abandoned_attempts += 1
+            logger.warning(
+                "job %s (%s): abandoning wedged worker thread after %ss "
+                "(attempt %d) — the daemon thread may keep consuming CPU; "
+                "use isolation='process' to kill wedged workers instead",
+                job.job_id, job.backend_name, self.timeout, attempt,
+            )
+            error: BaseException = SimulationTimeout(
+                f"attempt exceeded {self.timeout}s wall clock"
+            )
+        elif worker.error is not None:
+            error = worker.error
+            if not isinstance(error, Exception):
+                raise error  # KeyboardInterrupt etc. must not be swallowed
+        else:
+            outcome.counts = worker.counts or {}
+            outcome.cycles_run = worker.cycles_run
+            return None
+        return RunFailure(
+            job_id=job.job_id,
+            backend=job.backend_name,
+            kind=RunFailure.kind_of(error),
+            attempt=attempt,
+            cycle=worker.cycles_run or None,
+            message=str(error),
+        )
+
+    def _process_attempt(
+        self, job: RunJob, attempt: int, outcome: RunOutcome
+    ) -> Optional[RunFailure]:
+        """One supervised forked-process attempt; None means success."""
+
+        def persist(cycle: int, counts: CoverCounts) -> None:
+            if self.checkpointer is not None and self.checkpointer.due(cycle):
+                self.checkpointer.write(
+                    Shard(
+                        job_id=job.job_id,
+                        backend=job.backend_name,
+                        cycle=cycle,
+                        counts=counts,
+                        complete=False,
+                    )
+                )
+
+        result = run_process_attempt(
+            job,
+            attempt,
+            self.supervision,
+            checkpoint_every=(
+                self.checkpointer.every if self.checkpointer is not None else 0
+            ),
+            on_shard=persist,
+        )
+        if result.status == "ok":
+            outcome.counts = result.counts or {}
+            outcome.cycles_run = result.cycles_run
+            return None
+        # killed/died workers only leave their last heartbeat as post-mortem
+        cycle = (
+            result.cycles_run if result.status == "error"
+            else result.last_beat_cycle
+        )
+        return RunFailure(
+            job_id=job.job_id,
+            backend=job.backend_name,
+            kind=result.failure_kind,
+            attempt=attempt,
+            cycle=cycle or None,
+            message=result.message,
+        )
 
     def _drive(self, job: RunJob, worker: _Attempt) -> None:
         """The attempt body (runs on the worker thread)."""
@@ -286,6 +439,11 @@ class Executor:
         With ``resume`` (requires a checkpointer), jobs whose shard on disk
         is marked complete are not re-run — their counts are loaded
         directly, so an interrupted campaign picks up where it left off.
+
+        With a :class:`~repro.runtime.breaker.BreakerBoard` configured,
+        jobs for a backend whose breaker is open are recorded as
+        ``skipped`` (reason ``breaker-open``) instead of burning the full
+        timeout × retries budget on a backend that keeps failing.
         """
         if resume and self.checkpointer is None:
             raise ValueError("resume requires a checkpointer")
@@ -304,7 +462,26 @@ class Executor:
                         )
                     )
                     continue
-            outcomes.append(self.run_job(job))
+            if self.breaker is not None and not self.breaker.allow(
+                job.backend_name
+            ):
+                logger.warning(
+                    "job %s: breaker open for backend %s — skipping",
+                    job.job_id, job.backend_name,
+                )
+                outcomes.append(
+                    RunOutcome(
+                        job_id=job.job_id,
+                        backend=job.backend_name,
+                        status="skipped",
+                        skip_reason="breaker-open",
+                    )
+                )
+                continue
+            outcome = self.run_job(job)
+            if self.breaker is not None:
+                self.breaker.record(job.backend_name, ok=outcome.status == "ok")
+            outcomes.append(outcome)
 
         shards = [o.shard() for o in outcomes if o.contributed]
         merged, quarantine = merge_shards(shards, known_names, counter_width)
@@ -320,7 +497,7 @@ class Executor:
                         path=path,
                     )
                 )
-        return CampaignResult(outcomes, merged, quarantine)
+        return CampaignResult(outcomes, merged, quarantine, breakers=self.breaker)
 
     def _load_resumable(self, job_id: str) -> Optional[Shard]:
         assert self.checkpointer is not None

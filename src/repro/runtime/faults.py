@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -36,22 +37,42 @@ class FaultPlan:
       hang); later attempts run clean (models a transient fault the retry
       path should absorb).  0 means every attempt faults (a hard fault).
     * ``hang_at`` — ``step()`` blocks indefinitely at this cycle (models a
-      wedged simulator; the executor's watchdog must fire).
+      wedged simulator; the executor's watchdog must fire).  Cooperative:
+      the hang polls a ``release`` event so thread-mode tests can clean up.
+    * ``hang_hard_at`` — ``step()`` blocks *forever*, ignoring both the
+      executor's cancellation flag and ``release`` (models a simulator
+      wedged in native code).  Only process isolation can end this one:
+      under the thread-mode executor the worker leaks as a spinning daemon
+      thread for the life of the interpreter.
+    * ``balloon_at`` — ``step()`` allocates memory without bound (models a
+      leak/runaway allocation).  Under a process worker with an
+      ``address_space_mb`` cap the balloon pops as a contained
+      :class:`SimulationCrash`; the ``balloon_cap_mb`` safety cap keeps an
+      *uncapped* test process from eating the host.
     * ``corrupt_keys`` / ``drop_keys`` / ``negate_keys`` / ``inflate_keys``
       — corrupt ``cover_counts()`` output: rename keys out of the cover
       namespace, silently drop keys, make counts negative, or inflate
       counts past the saturation limit of ``inflate_width``.
+    * ``lie_keys`` / ``lie_delta`` — *plausible-but-wrong* counts: add
+      ``lie_delta`` to N seeded-chosen covers.  The result stays in the
+      namespace, non-negative, and in range — shard validation cannot see
+      it; only cross-backend differential quorum can.
     * ``seed`` — drives every random choice.
     """
 
     crash_at: Optional[int] = None
     fail_attempts: int = 0
     hang_at: Optional[int] = None
+    hang_hard_at: Optional[int] = None
+    balloon_at: Optional[int] = None
+    balloon_cap_mb: int = 512
     corrupt_keys: int = 0
     drop_keys: int = 0
     negate_keys: int = 0
     inflate_keys: int = 0
     inflate_width: int = 16
+    lie_keys: int = 0
+    lie_delta: int = 5
     seed: int = 0
 
 
@@ -63,6 +84,7 @@ class FaultySimulation:
         self.plan = plan
         self.attempt = attempt
         self.cycle = 0
+        self._balloon: list[bytearray] = []
         #: set to release an injected hang (so test processes can clean up)
         self.release = threading.Event()
 
@@ -94,6 +116,21 @@ class FaultySimulation:
                 )
             if (
                 faulting
+                and self.plan.hang_hard_at is not None
+                and self.cycle >= self.plan.hang_hard_at
+            ):
+                # An uncancellable hang: no release, no abandoned-flag
+                # polling.  Only SIGKILL from a process supervisor ends it.
+                while True:
+                    time.sleep(0.05)
+            if (
+                faulting
+                and self.plan.balloon_at is not None
+                and self.cycle >= self.plan.balloon_at
+            ):
+                self._inflate_balloon()
+            if (
+                faulting
                 and self.plan.hang_at is not None
                 and self.cycle >= self.plan.hang_at
             ):
@@ -109,11 +146,40 @@ class FaultySimulation:
                 return StepResult(done, True, result.stop_name, result.exit_code)
         return StepResult(done)
 
+    def _inflate_balloon(self) -> None:
+        """Allocate 16 MiB chunks until a memory cap stops us.
+
+        With an in-worker ``RLIMIT_AS`` cap the allocation raises
+        ``MemoryError``; the balloon is dropped *before* re-raising so the
+        child process has headroom to report the failure over its pipe.
+        Without a cap, the safety limit trips instead of eating the host.
+        """
+        chunk_mb = 16
+        try:
+            while len(self._balloon) * chunk_mb < self.plan.balloon_cap_mb:
+                self._balloon.append(bytearray(chunk_mb << 20))
+        except MemoryError:
+            self._balloon.clear()
+            raise SimulationCrash(
+                f"injected memory balloon popped on the worker's memory cap "
+                f"at cycle {self.cycle} (attempt {self.attempt})"
+            ) from None
+        self._balloon.clear()
+        raise SimulationCrash(
+            f"injected memory balloon hit its {self.plan.balloon_cap_mb} MiB "
+            "safety cap without tripping a memory limit — no RLIMIT_AS set?"
+        )
+
     # -- injected count corruption ---------------------------------------------
 
     def cover_counts(self) -> CoverCounts:
         counts = dict(self._sim.cover_counts())
         plan = self.plan
+        if plan.lie_keys and self._faulting_attempt():
+            rng = random.Random(f"{plan.seed}:lies")
+            for key in rng.sample(sorted(counts), min(len(counts), plan.lie_keys)):
+                # plausible: stays an in-namespace, non-negative int
+                counts[key] = counts[key] + plan.lie_delta
         if not (plan.corrupt_keys or plan.drop_keys or plan.negate_keys
                 or plan.inflate_keys):
             return counts
@@ -151,6 +217,13 @@ class FaultyBackend:
     a "fails twice, succeeds on the third try" transient fault is modelled:
     the executor recompiles a fresh simulation per retry, and the wrapper
     counts those compilations.
+
+    Under process isolation each attempt's compile happens in a *forked
+    child* whose copy of this counter never makes it back to the parent —
+    every fork would look like attempt 1 and transient plans would never
+    heal.  The worker publishes the executor-level attempt number
+    (:func:`~repro.runtime.procworker.current_attempt`), which takes
+    precedence when set.
     """
 
     def __init__(self, backend, plan: FaultPlan) -> None:
@@ -159,16 +232,24 @@ class FaultyBackend:
         self.attempts = 0
         self.name = f"faulty-{getattr(backend, 'name', 'backend')}"
 
-    def compile(self, circuit, counter_width=None) -> FaultySimulation:
+    def _next_attempt(self) -> int:
+        from .procworker import current_attempt
+
         self.attempts += 1
+        return current_attempt() or self.attempts
+
+    def compile(self, circuit, counter_width=None) -> FaultySimulation:
         return FaultySimulation(
-            self._backend.compile(circuit, counter_width), self.plan, self.attempts
+            self._backend.compile(circuit, counter_width),
+            self.plan,
+            self._next_attempt(),
         )
 
     def compile_state(self, state, counter_width=None) -> FaultySimulation:
-        self.attempts += 1
         return FaultySimulation(
-            self._backend.compile_state(state, counter_width), self.plan, self.attempts
+            self._backend.compile_state(state, counter_width),
+            self.plan,
+            self._next_attempt(),
         )
 
 

@@ -35,3 +35,20 @@ def pytest_runtest_call(item):
     finally:
         signal.alarm(0)
         signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture
+def isolation():
+    """Executor isolation level under test.
+
+    Defaults to thread mode; the CI process-isolation job exports
+    ``REPRO_EXECUTOR_ISOLATION=process`` so the same fault-injection suite
+    also proves the forked-worker supervisor end to end.
+    """
+    mode = os.environ.get("REPRO_EXECUTOR_ISOLATION", "thread")
+    if mode == "process":
+        from repro.runtime import process_isolation_available
+
+        if not process_isolation_available():
+            pytest.skip("process isolation requires the fork start method")
+    return mode

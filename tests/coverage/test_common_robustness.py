@@ -11,6 +11,7 @@ from repro.coverage import (
     InvalidCountsError,
     checked_merge_counts,
     count_issues,
+    counts_from_json,
     merge_counts,
 )
 from repro.backends import saturate
@@ -51,6 +52,90 @@ class TestCoverageDbFromJson:
         payload = json.dumps({"version": COVERAGE_DB_VERSION + 1, "entries": {}})
         with pytest.raises(CoverageDBError, match="version"):
             CoverageDB.from_json(payload)
+
+
+class TestCoverageDbMerge:
+    @staticmethod
+    def db(payload):
+        db = CoverageDB()
+        db.add("line", "Gcd", "l_0", payload)
+        return db
+
+    def test_disjoint_keys_union(self):
+        a = CoverageDB()
+        a.add("line", "Gcd", "l_0", {"kind": "root"})
+        b = CoverageDB()
+        b.add("line", "Gcd", "l_1", {"kind": "root"})
+        b.add("fsm", "Gcd", "f_0", {"state": "idle"})
+        merged = a.merge(b)
+        assert set(merged.entries["line"]["Gcd"]) == {"l_0", "l_1"}
+        assert merged.entries["fsm"]["Gcd"]["f_0"] == {"state": "idle"}
+
+    def test_identical_payload_collision_is_fine(self):
+        payload = {"kind": "root", "lines": [["gcd.py", 12]]}
+        merged = self.db(payload).merge(self.db(dict(payload)))
+        assert merged.entries["line"]["Gcd"]["l_0"] == payload
+
+    def test_conflicting_payloads_raise_naming_the_key(self):
+        a = self.db({"kind": "root", "lines": [["gcd.py", 12]]})
+        b = self.db({"kind": "root", "lines": [["gcd.py", 99]]})
+        with pytest.raises(CoverageDBError, match=r"\('line', 'Gcd', 'l_0'\)"):
+            a.merge(b)
+
+    def test_conflict_error_shows_both_payloads(self):
+        a = self.db({"kind": "root"})
+        b = self.db({"kind": "branch"})
+        with pytest.raises(CoverageDBError, match="'root'.*!=.*'branch'"):
+            a.merge(b)
+
+    def test_merge_does_not_mutate_either_side(self):
+        a = self.db({"kind": "root"})
+        b = CoverageDB()
+        b.add("line", "Gcd", "l_1", {"kind": "root"})
+        a.merge(b)
+        assert "l_1" not in a.entries["line"]["Gcd"]
+        assert "l_0" not in b.entries["line"]["Gcd"]
+
+
+class TestCountsFromJson:
+    def test_roundtrip_still_works(self):
+        counts = {"Gcd.l_0": 3, "Gcd.l_1": 0}
+        assert counts_from_json(json.dumps(counts)) == counts
+
+    @pytest.mark.parametrize(
+        "text,detail",
+        [
+            ("{oops", "not valid JSON"),
+            ("[1, 2]", "expected a JSON object of counts, got list"),
+            ('"counts"', "expected a JSON object of counts, got str"),
+            ('{"k": -3}', "negative count -3"),
+            ('{"k": 1.5}', "non-integer count 1.5"),
+            ('{"k": "3"}', "non-integer count '3'"),
+            ('{"k": true}', "non-integer count True"),
+            ('{"k": null}', "non-integer count None"),
+        ],
+    )
+    def test_malformed_raises_located_error(self, text, detail):
+        with pytest.raises(InvalidCountsError, match=detail):
+            counts_from_json(text)
+
+    def test_error_carries_file_context(self):
+        with pytest.raises(InvalidCountsError, match="gcd.counts.json"):
+            counts_from_json("{oops", source="gcd.counts.json")
+
+    def test_error_collects_every_issue(self):
+        text = json.dumps({"a": -1, "b": 2.5, "c": 3, "d": -9})
+        try:
+            counts_from_json(text)
+        except InvalidCountsError as error:
+            assert len(error.issues) == 3
+        else:
+            pytest.fail("expected InvalidCountsError")
+
+    def test_long_issue_lists_are_elided_in_the_message(self):
+        text = json.dumps({f"k{i}": -i for i in range(1, 8)})
+        with pytest.raises(InvalidCountsError, match=r"7 invalid entries.*; \.\.\."):
+            counts_from_json(text)
 
 
 class TestSaturationEdges:

@@ -113,12 +113,12 @@ class TestCli:
     ):
         """A run whose only shard is quarantined must exit non-zero and
         refuse to write a (misleadingly empty) counts file."""
-        import repro.cli as cli
+        from repro import backends
         from repro.runtime import FaultPlan, FaultyBackend
 
-        monkeypatch.setattr(
-            cli,
-            "TreadleBackend",
+        monkeypatch.setitem(
+            backends.BACKENDS,
+            "treadle",
             lambda: FaultyBackend(
                 TreadleBackend(), FaultPlan(corrupt_keys=2, seed=3)
             ),

@@ -42,16 +42,20 @@ def make_job(backend, gcd_state, job_id="job", cycles=60):
 
 
 class TestCrashContainment:
-    def test_crash_becomes_structured_failure(self, gcd_state):
+    def test_crash_becomes_structured_failure(self, gcd_state, isolation):
         backend = FaultyBackend(TreadleBackend(), FaultPlan(crash_at=10, seed=1))
-        outcome = Executor(sleep=lambda s: None).run_job(make_job(backend, gcd_state))
+        outcome = Executor(sleep=lambda s: None, isolation=isolation).run_job(
+            make_job(backend, gcd_state)
+        )
         assert outcome.status == "failed"
         assert outcome.attempts == 1
         assert [f.kind for f in outcome.failures] == ["crash"]
         assert "injected crash" in outcome.failures[0].message
 
-    def test_healthy_job_is_ok(self, gcd_state):
-        outcome = Executor().run_job(make_job(TreadleBackend(), gcd_state))
+    def test_healthy_job_is_ok(self, gcd_state, isolation):
+        outcome = Executor(isolation=isolation).run_job(
+            make_job(TreadleBackend(), gcd_state)
+        )
         assert outcome.status == "ok"
         assert outcome.cycles_run == 60
         assert outcome.counts and not outcome.failures
@@ -66,32 +70,36 @@ class TestCrashContainment:
 
 
 class TestWatchdog:
-    def test_timeout_fires_on_injected_hang(self, gcd_state):
+    def test_timeout_fires_on_injected_hang(self, gcd_state, isolation):
         backend = FaultyBackend(TreadleBackend(), FaultPlan(hang_at=5, seed=2))
-        executor = Executor(timeout=0.3)
+        executor = Executor(timeout=0.3, isolation=isolation)
         outcome = executor.run_job(make_job(backend, gcd_state))
         assert outcome.status == "failed"
         assert [f.kind for f in outcome.failures] == ["timeout"]
         assert "0.3" in outcome.failures[0].message
 
-    def test_fast_job_beats_the_watchdog(self, gcd_state):
-        outcome = Executor(timeout=30).run_job(make_job(TreadleBackend(), gcd_state))
+    def test_fast_job_beats_the_watchdog(self, gcd_state, isolation):
+        outcome = Executor(timeout=30, isolation=isolation).run_job(
+            make_job(TreadleBackend(), gcd_state)
+        )
         assert outcome.status == "ok"
 
 
 class TestRetries:
-    def test_transient_fault_recovers_on_third_attempt(self, gcd_state):
+    def test_transient_fault_recovers_on_third_attempt(self, gcd_state, isolation):
         """Seeded: fails twice, succeeds on the third attempt."""
         backend = FaultyBackend(
             TreadleBackend(), FaultPlan(crash_at=8, fail_attempts=2, seed=5)
         )
         slept = []
-        executor = Executor(retries=2, sleep=slept.append)
+        executor = Executor(retries=2, sleep=slept.append, isolation=isolation)
         outcome = executor.run_job(make_job(backend, gcd_state))
         assert outcome.status == "ok"
         assert outcome.attempts == 3
         assert [f.kind for f in outcome.failures] == ["crash", "crash"]
-        assert backend.attempts == 3
+        if isolation == "thread":
+            # forked attempts never report back to the parent's counter
+            assert backend.attempts == 3
         assert len(slept) == 2  # one backoff sleep per retry
 
     def test_backoff_grows_exponentially_with_jitter(self):
@@ -161,6 +169,37 @@ class TestCheckpointSalvage:
 
 
 class TestAbandonedAttempts:
+    def test_abandoned_threads_are_counted_and_logged(self, gcd_state, caplog):
+        """Thread-mode abandonment leaks a daemon thread; the campaign must
+        surface that (count + warning) instead of hiding it."""
+        backend = FaultyBackend(TreadleBackend(), FaultPlan(hang_at=5, seed=3))
+        sims = []
+
+        def make_sim():
+            sim = backend.compile_state(gcd_state)
+            sims.append(sim)
+            return sim
+
+        job = RunJob("leaky", "treadle", make_sim, 60, gcd_stimulus)
+        executor = Executor(timeout=0.3, retries=1, sleep=lambda s: None)
+        with caplog.at_level("WARNING", logger="repro.runtime.executor"):
+            result = executor.run_campaign([job])
+        try:
+            outcome = result.outcomes[0]
+            assert outcome.status == "failed"
+            assert outcome.abandoned_attempts == 2  # both attempts hung
+            assert result.abandoned_attempts == 2
+            assert "abandoning wedged worker thread" in caplog.text
+            assert "abandoned 2 wedged worker thread(s)" in result.format()
+        finally:
+            for sim in sims:  # unwedge the leaked daemons so they exit
+                sim.release.set()
+
+    def test_clean_campaign_reports_zero_abandoned(self, gcd_state):
+        result = Executor().run_campaign([make_job(TreadleBackend(), gcd_state)])
+        assert result.abandoned_attempts == 0
+        assert "abandoned" not in result.format()
+
     def test_unwedged_straggler_cannot_clobber_retry_shard(
         self, gcd_state, tmp_path
     ):
@@ -217,6 +256,57 @@ class TestCampaign:
         assert second.outcomes[0].status == "resumed"
         assert not calls  # never re-simulated
         assert second.merged == first.merged
+
+    def test_resume_across_fresh_checkpointer_instance(self, gcd_state, tmp_path):
+        """Resume must survive an interpreter restart: a *fresh*
+        Checkpointer over the same directory honors completed shards,
+        re-runs partial ones, and keeps corrupt ones quarantined."""
+        names = all_cover_names(gcd_state.circuit)
+        # --- session 1: one complete job, one crash (partial shard), one
+        # corrupt shard file from some earlier disaster
+        first = Executor(
+            checkpointer=Checkpointer(tmp_path, every=10), sleep=lambda s: None
+        )
+        first.run_job(make_job(TreadleBackend(), gcd_state, job_id="done"))
+        crashing = FaultyBackend(TreadleBackend(), FaultPlan(crash_at=45, seed=6))
+        partial = first.run_job(
+            make_job(crashing, gcd_state, job_id="half", cycles=100)
+        )
+        assert partial.status == "partial"
+        (tmp_path / "ghost.shard.json").write_text("{truncated")
+
+        # --- session 2: fresh interpreter ⇒ fresh Checkpointer, same dir
+        second = Executor(
+            checkpointer=Checkpointer(tmp_path, every=10), sleep=lambda s: None
+        )
+        compiled = []
+
+        def tracked(job_id):
+            def make_sim():
+                compiled.append(job_id)
+                return TreadleBackend().compile_state(gcd_state)
+
+            return make_sim
+
+        jobs = [
+            RunJob("done", "treadle", tracked("done"), 60, gcd_stimulus),
+            RunJob("half", "treadle", tracked("half"), 100, gcd_stimulus),
+        ]
+        result = second.run_campaign(jobs, known_names=names, resume=True)
+        statuses = {o.job_id: o.status for o in result.outcomes}
+        # completed shard honored without re-running; partial shard re-run
+        assert statuses == {"done": "resumed", "half": "ok"}
+        assert compiled == ["half"]
+        # the re-run completed, upgrading half's shard to complete
+        half = second.checkpointer.load("half")
+        assert half.complete and half.cycle == 100
+        # the unreadable shard stays quarantined across sessions
+        ghosts = [
+            q for q in result.quarantine.quarantined
+            if q.job_id == "ghost.shard.json"
+        ]
+        assert len(ghosts) == 1
+        assert ghosts[0].issues[0].kind == "unreadable"
 
     def test_resume_requires_checkpointer(self, gcd_state):
         with pytest.raises(ValueError, match="checkpointer"):
