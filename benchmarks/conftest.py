@@ -8,6 +8,7 @@ raw simulator throughput from stimulus generation.
 
 from __future__ import annotations
 
+import json
 import random
 from pathlib import Path
 
@@ -23,12 +24,37 @@ from repro.vcd import InputReplay, VcdRecorder
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: The perf-trajectory file: cycles/sec per backend plus wall time per
+#: compile/run phase, written at session end when any benchmark recorded
+#: runtime data (see record_runtime / benchmarks/test_bench_runtime.py).
+BENCH_RUNTIME_PATH = Path(__file__).parent.parent / "BENCH_runtime.json"
+
+_runtime_records: dict[str, dict] = {}
+
 
 def write_result(name: str, text: str) -> None:
     """Persist a table/figure reproduction (also printed to the log)."""
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text)
     print(f"\n===== {name} =====\n{text}")
+
+
+def record_runtime(section: str, data: dict) -> None:
+    """Stage one section of BENCH_runtime.json (flushed at session end)."""
+    _runtime_records[section] = data
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _runtime_records:
+        payload = {
+            "format": "repro-bench-runtime",
+            "version": 1,
+            "sections": dict(sorted(_runtime_records.items())),
+        }
+        BENCH_RUNTIME_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"\nwrote {BENCH_RUNTIME_PATH}")
 
 
 # -- workload drivers (the "real testbench" side) ------------------------------

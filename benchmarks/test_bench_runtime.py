@@ -1,0 +1,106 @@
+"""Runtime observability benchmark: the BENCH_runtime.json datapoint.
+
+Measures what the ROADMAP's perf trajectory needs before any optimization
+PR can claim a win: sustained cycles/second per backend on a real design,
+wall time for each compile phase (elaborate / instrument / backend build),
+and the cost of the telemetry layer itself — both the enabled overhead
+and the disabled-mode jitter (the acceptance bar is that instrumentation
+with telemetry *off* is unmeasurable against run-to-run noise).
+
+Uses the suite's smallest design (serv-chisel's SerialGcd analog, the
+bit-serial core) so the bench-smoke CI job stays fast, and the recorded
+VCD replay methodology from §5.1 so stimulus generation is excluded.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.backends import EssentBackend, TreadleBackend, VerilatorBackend
+from repro.coverage import instrument
+from repro.hcl import elaborate
+from repro.runtime.telemetry import obs
+
+from .conftest import BENCH_DESIGNS, record_runtime, recorded_replay
+
+SMALLEST = "serv-chisel"
+
+BACKENDS = {
+    "treadle": TreadleBackend,
+    "verilator": VerilatorBackend,
+    "essent": EssentBackend,
+}
+
+#: timed replay repetitions per telemetry mode (min is reported)
+REPS = 3
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def _replay_seconds(sim_factory, replay, reps: int = REPS) -> list[float]:
+    """Wall time of ``reps`` full replays, each on a fresh simulation."""
+    seconds = []
+    for _ in range(reps):
+        sim = sim_factory()
+        _, elapsed = _timed(lambda: replay.run(sim))
+        seconds.append(elapsed)
+    return seconds
+
+
+def test_bench_runtime_smallest_design():
+    factory, _driver, _cycles, _widths = BENCH_DESIGNS[SMALLEST]
+    replay = recorded_replay(SMALLEST)
+
+    circuit, elaborate_s = _timed(lambda: elaborate(factory()))
+    (state, _db), instrument_s = _timed(
+        lambda: instrument(circuit, metrics=["line", "toggle"])
+    )
+
+    phases = {"elaborate_s": elaborate_s, "instrument_s": instrument_s}
+    backends = {}
+    for name, cls in BACKENDS.items():
+        backend = cls()
+        compiled, compile_s = _timed(lambda: backend.compile_state(state))
+        runs = _replay_seconds(compiled.fork, replay)
+        best = min(runs)
+        backends[name] = {
+            "compile_s": compile_s,
+            "run_s": best,
+            "cycles": replay.cycles,
+            "cycles_per_second": replay.cycles / best if best > 0 else 0.0,
+        }
+        assert backends[name]["cycles_per_second"] > 0
+
+    # Telemetry cost on the fastest backend: enabled overhead vs the
+    # disabled mode's own run-to-run jitter.  Both are recorded; CI reads
+    # them off the artifact rather than hard-asserting a flaky ±2% here.
+    probe = VerilatorBackend().compile_state(state)
+    was_enabled = obs.enabled
+    obs.disable()
+    disabled = _replay_seconds(probe.fork, replay)
+    obs.enable()
+    try:
+        enabled = _replay_seconds(probe.fork, replay)
+    finally:
+        obs.enabled = was_enabled
+        obs.reset()
+    base = min(disabled)
+    telemetry = {
+        "disabled_run_s": base,
+        "enabled_run_s": min(enabled),
+        "disabled_jitter_pct": 100.0 * (max(disabled) - base) / base,
+        "enabled_overhead_pct": 100.0 * (min(enabled) - base) / base,
+    }
+
+    record_runtime(
+        SMALLEST,
+        {"phases": phases, "backends": backends, "telemetry": telemetry},
+    )
+
+    # Sanity, not a perf assertion: every phase took measurable-but-sane time.
+    assert all(v >= 0 for v in phases.values())
+    assert telemetry["disabled_run_s"] > 0

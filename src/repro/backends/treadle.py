@@ -9,11 +9,13 @@ paper describes maps to the ``_sample_covers`` method here).
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from ..ir.nodes import Expr, MemRead, Mux, PrimOp, Ref, SIntLiteral, UIntLiteral
 from ..ir.ops import OPS
 from ..ir.types import bit_width, is_signed, mask, value_of
+from ..runtime.telemetry import StepMeter, obs
 from .api import CoverCounts, StepResult, saturate
 from .model import CircuitModel, build_model
 
@@ -59,6 +61,17 @@ class TreadleSimulation:
         return self._values[name]
 
     def step(self, cycles: int = 1) -> StepResult:
+        if obs.enabled:
+            started = time.perf_counter()
+            result = self._step(cycles)
+            meter = getattr(self, "_meter", None)
+            if meter is None:
+                meter = self._meter = StepMeter("treadle")
+            meter.add(result.cycles, time.perf_counter() - started)
+            return result
+        return self._step(cycles)
+
+    def _step(self, cycles: int) -> StepResult:
         done = 0
         for _ in range(cycles):
             if self._stopped is not None:
@@ -188,10 +201,12 @@ class TreadleBackend:
     name = "treadle"
 
     def compile(self, circuit, counter_width: Optional[int] = None) -> TreadleSimulation:
-        model = build_model(circuit)
-        return TreadleSimulation(model, counter_width)
+        with obs.span("compile", cat="compile", backend="treadle"):
+            model = build_model(circuit)
+            return TreadleSimulation(model, counter_width)
 
     def compile_state(self, state, counter_width: Optional[int] = None) -> TreadleSimulation:
         """Build a simulation from an already-lowered CompileState."""
-        model = build_model(state)
-        return TreadleSimulation(model, counter_width)
+        with obs.span("compile", cat="compile", backend="treadle"):
+            model = build_model(state)
+            return TreadleSimulation(model, counter_width)

@@ -99,7 +99,38 @@ def _make_executor(args, checkpointer):
     )
 
 
+def _write_observability(args) -> None:
+    """Flush the trace/metrics files a ``simulate`` run asked for."""
+    from .runtime import obs
+
+    if args.trace_out:
+        obs.tracer.write(args.trace_out)
+        print(f"wrote trace: {args.trace_out}", file=sys.stderr)
+    if args.metrics_out:
+        if args.metrics_out.endswith(".json"):
+            obs.metrics.write_json(args.metrics_out)
+        else:
+            obs.metrics.write_prometheus(args.metrics_out)
+        print(f"wrote metrics: {args.metrics_out}", file=sys.stderr)
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
+    from .runtime import obs
+
+    observing = bool(args.trace_out or args.metrics_out)
+    if observing:
+        obs.enable()
+    try:
+        return _simulate(args)
+    finally:
+        # Write the observability files on every exit path — a failed
+        # campaign is exactly when you want the trace.
+        if observing:
+            _write_observability(args)
+            obs.disable()
+
+
+def _simulate(args: argparse.Namespace) -> int:
     from .backends import BACKENDS
     from .runtime import Checkpointer, DifferentialRunner, RunJob
 
@@ -223,6 +254,33 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Pretty-print a metrics file written by ``simulate --metrics-out``.
+
+    Accepts both formats the CLI writes: Prometheus text exposition
+    (``.prom``) and the JSON snapshot (``.json``) — detected by content,
+    not extension.
+    """
+    from .runtime.telemetry import MetricError, format_snapshot, parse_prometheus
+
+    text = Path(args.metrics).read_text()
+    if text.lstrip().startswith("{"):
+        try:
+            snapshot = json.loads(text)
+        except json.JSONDecodeError as error:
+            print(f"{args.metrics}: invalid JSON snapshot ({error})",
+                  file=sys.stderr)
+            return 1
+    else:
+        try:
+            snapshot = parse_prometheus(text)
+        except MetricError as error:
+            print(f"{args.metrics}: {error}", file=sys.stderr)
+            return 1
+    print(format_snapshot(snapshot), end="")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     circuit = _load(args.circuit)
     db_path = args.db or args.circuit + DB_SUFFIX
@@ -323,7 +381,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the same job on each listed backend and "
                         "quorum-merge the counts; disagreeing backends are "
                         "reported and quarantined")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write a Chrome trace-event JSON of the run "
+                        "(open in chrome://tracing or ui.perfetto.dev)")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="write campaign metrics: Prometheus text, or a "
+                        "JSON snapshot if FILE ends in .json")
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser(
+        "stats", help="pretty-print a metrics file from simulate --metrics-out"
+    )
+    p.add_argument("metrics", help="metrics file (.prom text or .json snapshot)")
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("report", help="generate coverage reports from counts")
     p.add_argument("circuit")

@@ -51,6 +51,18 @@ from .toggle import ToggleCoveragePass, ToggleCoverageReport, toggle_report
 #: metrics accepted by :func:`instrument`
 ALL_METRICS = ("line", "toggle", "fsm", "ready_valid", "mux_toggle")
 
+# Telemetry is imported lazily: a top-level import would cycle
+# (runtime/__init__ → validate → coverage.common → this package → passes).
+_obs = None
+
+
+def _get_obs():
+    global _obs
+    if _obs is None:
+        from ..runtime.telemetry import obs as _o
+        _obs = _o
+    return _obs
+
 
 def instrument(
     circuit: Circuit,
@@ -95,7 +107,11 @@ def instrument(
     if flatten:
         pipeline.append(InlineInstances())
 
-    state = PassManager(pipeline).run(CompileState(circuit))
+    with _get_obs().span(
+        "instrument", cat="compile",
+        circuit=circuit.main, metrics=",".join(requested),
+    ):
+        state = PassManager(pipeline).run(CompileState(circuit))
     return state, db
 
 

@@ -20,6 +20,18 @@ from .values import HclError, IntOrValue, Value, literal, mux, u
 
 _HCL_DIR = str(Path(__file__).parent)
 
+# Telemetry is imported lazily to keep the HCL layer import-light and to
+# avoid any chance of a cycle through the runtime package.
+_obs = None
+
+
+def _get_obs():
+    global _obs
+    if _obs is None:
+        from ..runtime.telemetry import obs as _o
+        _obs = _o
+    return _obs
+
 
 def _caller_info() -> n.SourceInfo:
     """Source location of the first stack frame outside the HCL library."""
@@ -473,8 +485,9 @@ class Elaborator:
 
 def elaborate(top: Module) -> n.Circuit:
     """Elaborate a module hierarchy into an IR circuit."""
-    elab = Elaborator()
-    ir_top = elab.build(top)
-    # children are appended before parents; put the top first for readability
-    modules = [ir_top] + [m for m in elab.modules if m is not ir_top]
-    return n.Circuit(ir_top.name, modules, list(elab.annotations))
+    with _get_obs().span("elaborate", cat="compile", top=top.name):
+        elab = Elaborator()
+        ir_top = elab.build(top)
+        # children are appended before parents; put the top first for readability
+        modules = [ir_top] + [m for m in elab.modules if m is not ir_top]
+        return n.Circuit(ir_top.name, modules, list(elab.annotations))

@@ -7,6 +7,18 @@ from typing import Any, Iterable, Optional
 
 from ..ir.nodes import Circuit
 
+# Telemetry is imported lazily: a top-level import would cycle
+# (passes/__init__ → runtime/__init__ → validate → coverage → passes).
+_obs = None
+
+
+def _get_obs():
+    global _obs
+    if _obs is None:
+        from ..runtime.telemetry import obs as _o
+        _obs = _o
+    return _obs
+
 
 class PassError(Exception):
     """Raised when a pass detects malformed input or an internal invariant fails."""
@@ -57,6 +69,20 @@ class PassManager:
         return self
 
     def run(self, state: CompileState) -> CompileState:
+        obs = _get_obs()
+        if obs.enabled:
+            import time
+            for p in self.passes:
+                with obs.span("pass:" + p.name, cat="compile"):
+                    started = time.perf_counter()
+                    state = p.run(state)
+                    obs.observe(
+                        "repro_pass_duration_seconds",
+                        time.perf_counter() - started,
+                        **{"pass": p.name},
+                    )
+                self.history.append(p.name)
+            return state
         for p in self.passes:
             state = p.run(state)
             self.history.append(p.name)

@@ -25,8 +25,23 @@ Pieces:
 * :mod:`~repro.runtime.validate` — namespace/width validation, quarantine
 * :mod:`~repro.runtime.faults` — deterministic fault injection (tests the
   modules above, and nothing in production imports it)
+* :mod:`~repro.runtime.telemetry` — span tracing + metrics behind the
+  ``obs`` facade (disabled by default, no-op-cheap)
 """
 
+# telemetry first: it has no intra-package imports, and every sibling
+# (and the backends/coverage layers) may import it during module init.
+from .telemetry import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StepMeter,
+    Telemetry,
+    Tracer,
+    obs,
+)
 from .breaker import BreakerBoard, CircuitBreaker
 from .checkpoint import SHARD_VERSION, Checkpointer, Shard, ShardError
 from .differential import (
@@ -65,6 +80,7 @@ __all__ = [
     "CampaignResult",
     "Checkpointer",
     "CircuitBreaker",
+    "Counter",
     "CoverDisagreement",
     "DifferentialResult",
     "DifferentialRunner",
@@ -73,6 +89,10 @@ __all__ = [
     "FaultPlan",
     "FaultyBackend",
     "FaultySimulation",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "MetricsRegistry",
     "ProcessAttemptResult",
     "QuarantineReport",
     "QuarantinedShard",
@@ -84,9 +104,13 @@ __all__ = [
     "Shard",
     "ShardError",
     "ShardIssue",
+    "StepMeter",
     "SupervisionPolicy",
+    "Telemetry",
+    "Tracer",
     "current_attempt",
     "merge_shards",
+    "obs",
     "process_isolation_available",
     "quorum_merge",
     "run_campaign",

@@ -23,6 +23,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from .telemetry import obs
+
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half-open"
@@ -57,7 +59,7 @@ class CircuitBreaker:
         """
         if self.state == OPEN:
             if self._skips_since_open >= self.probe_after:
-                self.state = HALF_OPEN
+                self._transition(HALF_OPEN)
             else:
                 self._skips_since_open += 1
                 self.skipped += 1
@@ -67,7 +69,8 @@ class CircuitBreaker:
     def record_success(self) -> None:
         self.successes += 1
         self.consecutive_failures = 0
-        self.state = CLOSED
+        if self.state != CLOSED:
+            self._transition(CLOSED)
         self._skips_since_open = 0
 
     def record_failure(self) -> None:
@@ -81,8 +84,16 @@ class CircuitBreaker:
     def _trip(self) -> None:
         if self.state != OPEN:
             self.opens += 1
-        self.state = OPEN
+        self._transition(OPEN)
         self._skips_since_open = 0
+
+    def _transition(self, to: str) -> None:
+        changed = self.state != to
+        self.state = to
+        if changed and obs.enabled:
+            obs.inc(
+                "repro_breaker_transitions_total", backend=self.backend, to=to
+            )
 
     def snapshot(self) -> dict:
         return {

@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Optional
 
 from ..backends.api import CoverCounts
+from .telemetry import obs
 
 #: shard file format version
 SHARD_VERSION = 1
@@ -128,23 +129,30 @@ class Checkpointer:
         refused write returns ``None``.
         """
         path = self.shard_path(shard.job_id)
-        with self._lock:
-            if not shard.complete and self._has_complete_shard(path):
-                return None
-            fd, tmp = tempfile.mkstemp(
-                dir=self.directory, prefix=path.name, suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    handle.write(shard.to_json())
-                    handle.write("\n")
-                os.replace(tmp, path)
-            except BaseException:
+        with obs.span(
+            "checkpoint", cat="run", job=shard.job_id, cycle=shard.cycle
+        ):
+            with self._lock:
+                if not shard.complete and self._has_complete_shard(path):
+                    if obs.enabled:
+                        obs.inc("repro_checkpoint_writes_total", result="refused")
+                    return None
+                fd, tmp = tempfile.mkstemp(
+                    dir=self.directory, prefix=path.name, suffix=".tmp"
+                )
                 try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                    with os.fdopen(fd, "w") as handle:
+                        handle.write(shard.to_json())
+                        handle.write("\n")
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+        if obs.enabled:
+            obs.inc("repro_checkpoint_writes_total", result="written")
         shard.path = str(path)
         return path
 

@@ -29,6 +29,7 @@ from typing import Callable, Iterable, Optional
 
 from ..backends.api import CoverCounts
 from .executor import Executor, RunJob, RunOutcome, Stimulus
+from .telemetry import obs
 from .validate import QuarantineReport, QuarantinedShard, ShardIssue, validate_shard_counts
 
 #: value recorded for a backend that did not report a cover at all
@@ -177,13 +178,22 @@ def quorum_merge(
         if votes >= majority and winner is not MISSING:
             merged[cover] = winner
             if votes < len(voters):
-                report.disagreements.append(
-                    CoverDisagreement(cover, values, quorum_value=winner)
+                disagreement = CoverDisagreement(
+                    cover, values, quorum_value=winner
                 )
+                report.disagreements.append(disagreement)
+                if obs.enabled:
+                    obs.inc("repro_quorum_covers_total", verdict="outvoted")
+                    for backend in disagreement.outvoted:
+                        obs.inc("repro_outvoted_covers_total", backend=backend)
+            elif obs.enabled:
+                obs.inc("repro_quorum_covers_total", verdict="unanimous")
         else:
             report.disagreements.append(
                 CoverDisagreement(cover, values, quorum_value=None)
             )
+            if obs.enabled:
+                obs.inc("repro_quorum_covers_total", verdict="no-quorum")
     return merged, report
 
 

@@ -50,6 +50,7 @@ from .procworker import (
     process_isolation_available,
     run_process_attempt,
 )
+from .telemetry import obs
 from .validate import QuarantineReport, QuarantinedShard, ShardIssue, merge_shards
 
 logger = logging.getLogger(__name__)
@@ -273,6 +274,15 @@ class Executor:
         )
 
     def run_job(self, job: RunJob) -> RunOutcome:
+        with obs.span(
+            "job", cat="campaign", job=job.job_id, backend=job.backend_name
+        ):
+            outcome = self._run_job(job)
+        if obs.enabled:
+            obs.inc("repro_job_outcomes_total", status=outcome.status)
+        return outcome
+
+    def _run_job(self, job: RunJob) -> RunOutcome:
         outcome = RunOutcome(job.job_id, job.backend_name, "failed")
         attempt_fn = (
             self._process_attempt if self.isolation == "process"
@@ -280,9 +290,34 @@ class Executor:
         )
         for attempt in range(1, self.retries + 2):
             if attempt > 1:
-                self.sleep(self.backoff_delay(attempt))
+                delay = self.backoff_delay(attempt)
+                if obs.enabled:
+                    obs.inc("repro_retries_total", backend=job.backend_name)
+                    obs.inc(
+                        "repro_backoff_seconds_total",
+                        amount=delay,
+                        backend=job.backend_name,
+                    )
+                self.sleep(delay)
             outcome.attempts = attempt
-            failure = attempt_fn(job, attempt, outcome)
+            with obs.span(
+                "attempt", cat="run", job=job.job_id,
+                backend=job.backend_name, attempt=attempt,
+            ) as span:
+                started = time.perf_counter()
+                failure = attempt_fn(job, attempt, outcome)
+                if obs.enabled:
+                    result = "ok" if failure is None else failure.kind
+                    span.set(result=result)
+                    obs.inc(
+                        "repro_attempts_total",
+                        backend=job.backend_name, result=result,
+                    )
+                    obs.observe(
+                        "repro_attempt_duration_seconds",
+                        time.perf_counter() - started,
+                        backend=job.backend_name,
+                    )
             if failure is None:
                 outcome.status = "ok"
                 self._write_shard(outcome)
@@ -291,17 +326,20 @@ class Executor:
         # All attempts failed: salvage the last checkpoint, if any.
         salvaged = None
         if self.checkpointer is not None:
-            try:
-                salvaged = self.checkpointer.load(job.job_id)
-            except (ShardError, OSError):
-                # Corrupt/unreadable shard: nothing to salvage; the file is
-                # reported via the load_all quarantine path, and the job
-                # stays "failed" instead of killing the campaign.
-                salvaged = None
+            with obs.span("salvage", cat="run", job=job.job_id):
+                try:
+                    salvaged = self.checkpointer.load(job.job_id)
+                except (ShardError, OSError):
+                    # Corrupt/unreadable shard: nothing to salvage; the file
+                    # is reported via the load_all quarantine path, and the
+                    # job stays "failed" instead of killing the campaign.
+                    salvaged = None
         if salvaged is not None and salvaged.counts:
             outcome.status = "partial"
             outcome.counts = salvaged.counts
             outcome.cycles_run = salvaged.cycle
+            if obs.enabled:
+                obs.inc("repro_salvaged_jobs_total", backend=job.backend_name)
         return outcome
 
     def _thread_attempt(
@@ -309,6 +347,7 @@ class Executor:
     ) -> Optional[RunFailure]:
         """One watchdogged in-thread attempt; None means success."""
         worker = _Attempt(lambda: self._drive(job, worker))
+        started = time.monotonic()
         worker.start()
         worker.join(self.timeout)
         if worker.is_alive():
@@ -317,12 +356,29 @@ class Executor:
             # it ever unwedges, so it cannot race a later attempt's shard.
             worker.abandoned.set()
             outcome.abandoned_attempts += 1
-            logger.warning(
-                "job %s (%s): abandoning wedged worker thread after %ss "
-                "(attempt %d) — the daemon thread may keep consuming CPU; "
-                "use isolation='process' to kill wedged workers instead",
-                job.job_id, job.backend_name, self.timeout, attempt,
-            )
+            elapsed = time.monotonic() - started
+            if obs.enabled:
+                obs.inc(
+                    "repro_abandoned_threads_total", backend=job.backend_name
+                )
+            if outcome.abandoned_attempts == 1:
+                # Warn once per job; repeats are counted (outcome +
+                # repro_abandoned_threads_total) instead of re-warned.
+                logger.warning(
+                    "job %s (%s): abandoning wedged worker thread after "
+                    "%.1fs elapsed (attempt %d, watchdog %ss) — the daemon "
+                    "thread may keep consuming CPU; use isolation='process' "
+                    "to kill wedged workers instead",
+                    job.job_id, job.backend_name, elapsed, attempt,
+                    self.timeout,
+                )
+            else:
+                logger.debug(
+                    "job %s (%s): abandoned another wedged worker thread "
+                    "after %.1fs elapsed (attempt %d; %d abandoned so far)",
+                    job.job_id, job.backend_name, elapsed, attempt,
+                    outcome.abandoned_attempts,
+                )
             error: BaseException = SimulationTimeout(
                 f"attempt exceeded {self.timeout}s wall clock"
             )
@@ -447,11 +503,23 @@ class Executor:
         """
         if resume and self.checkpointer is None:
             raise ValueError("resume requires a checkpointer")
+        with obs.span("campaign", cat="campaign", jobs=len(jobs)):
+            return self._run_campaign(jobs, known_names, counter_width, resume)
+
+    def _run_campaign(
+        self,
+        jobs: Sequence[RunJob],
+        known_names: Optional[Iterable[str]],
+        counter_width: Optional[int],
+        resume: bool,
+    ) -> CampaignResult:
         outcomes: list[RunOutcome] = []
         for job in jobs:
             if resume:
                 existing = self._load_resumable(job.job_id)
                 if existing is not None:
+                    if obs.enabled:
+                        obs.inc("repro_job_outcomes_total", status="resumed")
                     outcomes.append(
                         RunOutcome(
                             job_id=job.job_id,
@@ -469,6 +537,11 @@ class Executor:
                     "job %s: breaker open for backend %s — skipping",
                     job.job_id, job.backend_name,
                 )
+                if obs.enabled:
+                    obs.inc(
+                        "repro_breaker_skips_total", backend=job.backend_name
+                    )
+                    obs.inc("repro_job_outcomes_total", status="skipped")
                 outcomes.append(
                     RunOutcome(
                         job_id=job.job_id,
@@ -484,7 +557,8 @@ class Executor:
             outcomes.append(outcome)
 
         shards = [o.shard() for o in outcomes if o.contributed]
-        merged, quarantine = merge_shards(shards, known_names, counter_width)
+        with obs.span("merge", cat="campaign", shards=len(shards)):
+            merged, quarantine = merge_shards(shards, known_names, counter_width)
         # Shard files that exist but cannot even be parsed are quarantined too.
         if self.checkpointer:
             _, unreadable = self.checkpointer.load_all()

@@ -16,7 +16,10 @@ The protocol, over a one-way ``multiprocessing`` pipe (child → parent):
 Checkpointer`, so a killed worker still salvages its last-good counts,
 * ``("done", cycles_run, counts)`` — the attempt finished,
 * ``("error", kind, message, cycle)`` — the attempt raised; ``kind`` is a
-  :class:`~repro.backends.api.RunFailure` kind string.
+  :class:`~repro.backends.api.RunFailure` kind string,
+* ``("spans", events)`` — telemetry only (when the parent's ``obs`` was
+  enabled at fork time): trace spans the child recorded since its last
+  flush, re-parented into the supervisor's trace on arrival.
 
 The supervisor kills the worker with ``SIGKILL`` (and reaps it) when the
 wall-clock deadline passes or ``max_missed_heartbeats`` consecutive poll
@@ -40,12 +43,14 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..backends.api import CoverCounts, RunFailure, has_port
+from .telemetry import obs
 
 #: message tags on the child → parent pipe
 BEAT = "beat"
 SHARD = "shard"
 DONE = "done"
 ERROR = "error"
+SPANS = "spans"
 
 # Executor-level attempt number, set in the child before the job factory
 # runs.  Fault injectors (FaultyBackend) use it to model transient faults
@@ -161,33 +166,81 @@ class ProcessAttemptResult:
     exit_code: Optional[int] = None
 
 
+def _flush_spans(conn) -> None:
+    """Send the child's accumulated trace spans up the pipe (telemetry on)."""
+    if obs.enabled:
+        events = obs.tracer.drain()
+        if events:
+            conn.send((SPANS, events))
+
+
 def _child_main(conn, job, attempt: int, policy: SupervisionPolicy,
                 checkpoint_every: int) -> None:
     """Worker body: apply limits, drive the simulation, stream progress."""
     global _CURRENT_ATTEMPT
     _CURRENT_ATTEMPT = attempt
     cycles_done = 0
+    if obs.enabled:
+        # Drop span events inherited across the fork (they belong to the
+        # parent's trace); keep the epoch so child timestamps stay on the
+        # parent's timeline.
+        obs.tracer.clear()
+    attempt_start = obs.tracer.clock() if obs.enabled else 0.0
+    batch_start = attempt_start
+
+    def mark_batch(cycles: int) -> float:
+        nonlocal batch_start
+        if obs.enabled:
+            now = obs.tracer.clock()
+            obs.tracer.record(
+                "step-batch", "worker", batch_start, now,
+                backend=job.backend_name, cycles=cycles,
+            )
+            batch_start = now
+        return batch_start
+
     try:
         if policy.limits is not None:
             policy.limits.apply()
         conn.send((BEAT, 0, 0))  # alive before the (possibly slow) compile
-        sim = job.make_sim()
+        with obs.span(
+            "compile", cat="worker", backend=job.backend_name, attempt=attempt
+        ):
+            sim = job.make_sim()
         conn.send((BEAT, 0, 0))
+        _flush_spans(conn)
         if job.reset_cycles and has_port(sim, "reset"):
             sim.poke("reset", 1)
             sim.step(job.reset_cycles)
             sim.poke("reset", 0)
+        batch_start = obs.tracer.clock() if obs.enabled else 0.0
+        last_batch_cycle = 0
         for cycle in range(job.cycles):
             if job.stimulus is not None:
                 job.stimulus(sim, cycle)
             result = sim.step(1)
             cycles_done = cycle + 1
             if cycles_done % policy.heartbeat_cycles == 0:
+                mark_batch(cycles_done - last_batch_cycle)
+                last_batch_cycle = cycles_done
                 conn.send((BEAT, cycles_done, counts_digest(sim.cover_counts())))
             if checkpoint_every and cycles_done % checkpoint_every == 0:
-                conn.send((SHARD, cycles_done, dict(sim.cover_counts())))
+                with obs.span(
+                    "shard-stream", cat="worker",
+                    backend=job.backend_name, cycle=cycles_done,
+                ):
+                    conn.send((SHARD, cycles_done, dict(sim.cover_counts())))
+                _flush_spans(conn)
             if result.stopped:
                 break
+        if obs.enabled:
+            if cycles_done > last_batch_cycle:
+                mark_batch(cycles_done - last_batch_cycle)
+            obs.tracer.record(
+                "child-attempt", "worker", attempt_start, obs.tracer.clock(),
+                backend=job.backend_name, attempt=attempt, cycles=cycles_done,
+            )
+        _flush_spans(conn)
         conn.send((DONE, cycles_done, dict(sim.cover_counts())))
     except MemoryError:
         # The sim's allocations still pin address space; a well-behaved
@@ -196,6 +249,16 @@ def _child_main(conn, job, attempt: int, policy: SupervisionPolicy,
         conn.send((ERROR, "crash", "worker exceeded its memory cap",
                    cycles_done))
     except BaseException as error:
+        if obs.enabled:
+            obs.tracer.record(
+                "child-attempt", "worker", attempt_start, obs.tracer.clock(),
+                backend=job.backend_name, attempt=attempt, cycles=cycles_done,
+                error=type(error).__name__,
+            )
+            try:
+                _flush_spans(conn)
+            except OSError:  # pragma: no cover — broken pipe on teardown
+                pass
         conn.send((ERROR, RunFailure.kind_of(error), str(error), cycles_done))
     finally:
         conn.close()
@@ -243,6 +306,8 @@ def run_process_attempt(
         time.monotonic() + policy.deadline if policy.deadline is not None else None
     )
     missed = 0
+    backend = getattr(job, "backend_name", "?")
+    last_message_at = time.monotonic()
     try:
         while True:
             window = policy.heartbeat_timeout
@@ -261,10 +326,20 @@ def run_process_attempt(
                         f"(exit code {worker.exitcode})"
                     )
                     break
+                if obs.enabled:
+                    now = time.monotonic()
+                    obs.observe(
+                        "repro_heartbeat_lag_seconds",
+                        now - last_message_at,
+                        backend=backend,
+                    )
+                    last_message_at = now
                 missed = 0
                 tag = message[0]
                 if tag == BEAT:
                     _, result.last_beat_cycle, result.last_digest = message
+                elif tag == SPANS:
+                    obs.ingest_child_spans(message[1], child_pid=worker.pid)
                 elif tag == SHARD:
                     _, cycle, counts = message
                     result.last_beat_cycle = cycle
@@ -283,6 +358,11 @@ def run_process_attempt(
             else:
                 if deadline is not None and time.monotonic() >= deadline:
                     _kill_and_reap(worker)
+                    if obs.enabled:
+                        obs.inc(
+                            "repro_worker_kills_total",
+                            backend=backend, reason="deadline",
+                        )
                     result.status = "killed"
                     result.failure_kind = "timeout"
                     result.message = (
@@ -294,6 +374,11 @@ def run_process_attempt(
                 missed += 1
                 if missed >= policy.max_missed_heartbeats:
                     _kill_and_reap(worker)
+                    if obs.enabled:
+                        obs.inc(
+                            "repro_worker_kills_total",
+                            backend=backend, reason="silence",
+                        )
                     result.status = "killed"
                     result.failure_kind = "timeout"
                     result.message = (

@@ -1,0 +1,974 @@
+"""Campaign observability: span tracing, metrics, and the ``obs`` facade.
+
+The robustness layer (PRs 1–2) runs blind: nothing records where a
+campaign spends its wall clock, why a breaker tripped, or how many
+cycles/second each backend sustains.  This module is the measurement
+substrate every future performance PR builds on.  It is deliberately
+**zero-dependency** (standard library only) and **no-op-cheap when
+disabled**: with telemetry off, instrumented code pays one attribute
+check per span or metric call.
+
+Two instruments, one facade:
+
+* :class:`Tracer` — nested wall-clock *spans* (``elaborate`` /
+  ``instrument`` / ``compile`` / ``attempt`` / ``step-batch`` /
+  ``checkpoint`` / ``validate`` / ``merge`` …), exported as Chrome
+  trace-event JSON that loads directly into ``chrome://tracing`` or
+  `Perfetto <https://ui.perfetto.dev>`_.  Spans from forked worker
+  processes are serialized over the supervision pipe and re-parented
+  into the parent trace (see :func:`Telemetry.ingest_child_spans`).
+* :class:`MetricsRegistry` — named :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` instruments with optional labels, exported as
+  Prometheus text exposition (:meth:`MetricsRegistry.to_prometheus`) or
+  a JSON snapshot (:meth:`MetricsRegistry.snapshot`).
+
+Every metric the repo emits is declared once in :data:`METRICS` — the
+table in ``DESIGN.md`` §9 mirrors it — and emitted through the
+module-level :data:`obs` facade::
+
+    from repro.runtime.telemetry import obs
+
+    obs.enable()
+    with obs.span("compile", cat="compile", backend="verilator"):
+        sim = backend.compile(circuit)
+    obs.inc("repro_attempts_total", backend="verilator", result="ok")
+    obs.tracer.write("trace.json")
+    obs.metrics.write_prometheus("metrics.prom")
+
+Timestamps come from an injectable ``clock`` so tests can assert exact
+span layouts without touching the wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Optional
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "StepMeter",
+    "Telemetry",
+    "Tracer",
+    "escape_help",
+    "escape_label_value",
+    "format_snapshot",
+    "obs",
+    "parse_prometheus",
+]
+
+#: Default histogram bucket upper bounds for durations in seconds.
+#: Chosen to resolve both a single fast ``step()`` batch (~1 ms) and a
+#: full compile-and-run attempt (tens of seconds).
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: The metric name registry: every metric the repo emits, declared once.
+#: ``name -> (type, label names, help)``.  The ``obs`` facade refuses
+#: undeclared names so this table (and its DESIGN.md §9 mirror) can
+#: never silently drift from the code.
+METRICS: dict[str, tuple[str, tuple[str, ...], str]] = {
+    "repro_attempts_total": (
+        "counter", ("backend", "result"),
+        "Job attempts finished, by backend and result "
+        "(ok|crash|timeout|error|scan-corruption).",
+    ),
+    "repro_retries_total": (
+        "counter", ("backend",),
+        "Retry attempts started (attempt number >= 2).",
+    ),
+    "repro_backoff_seconds_total": (
+        "counter", ("backend",),
+        "Total seconds of scheduled retry backoff delay.",
+    ),
+    "repro_attempt_duration_seconds": (
+        "histogram", ("backend",),
+        "Wall-clock duration of one attempt (compile + run).",
+    ),
+    "repro_job_outcomes_total": (
+        "counter", ("status",),
+        "Finished jobs by final status (ok|partial|failed|resumed|skipped).",
+    ),
+    "repro_salvaged_jobs_total": (
+        "counter", ("backend",),
+        "Jobs whose every attempt failed but whose last checkpoint shard "
+        "was salvaged (status: partial).",
+    ),
+    "repro_abandoned_threads_total": (
+        "counter", ("backend",),
+        "Thread-mode attempts abandoned past the watchdog deadline "
+        "(each one leaks a daemon thread).",
+    ),
+    "repro_checkpoint_writes_total": (
+        "counter", ("result",),
+        "Checkpoint shard writes (written|refused); refused means an "
+        "incomplete snapshot tried to downgrade a complete shard.",
+    ),
+    "repro_breaker_transitions_total": (
+        "counter", ("backend", "to"),
+        "Circuit-breaker state transitions, by destination state "
+        "(open|half-open|closed).",
+    ),
+    "repro_breaker_skips_total": (
+        "counter", ("backend",),
+        "Jobs refused by an open circuit breaker.",
+    ),
+    "repro_quorum_covers_total": (
+        "counter", ("verdict",),
+        "Differential quorum verdicts per cover "
+        "(unanimous|outvoted|no-quorum).",
+    ),
+    "repro_outvoted_covers_total": (
+        "counter", ("backend",),
+        "Covers on which a backend was outvoted by the quorum.",
+    ),
+    "repro_heartbeat_lag_seconds": (
+        "histogram", ("backend",),
+        "Gap between consecutive messages from a process-isolated worker.",
+    ),
+    "repro_worker_kills_total": (
+        "counter", ("backend", "reason"),
+        "Process workers SIGKILLed by the supervisor (deadline|silence).",
+    ),
+    "repro_backend_cycles_total": (
+        "counter", ("backend",),
+        "Simulation cycles executed, per backend (flushed in StepMeter "
+        "batches; a trailing partial batch may be uncounted).",
+    ),
+    "repro_backend_cycles_per_second": (
+        "gauge", ("backend",),
+        "Throughput of the most recent step() batch, per backend.",
+    ),
+    "repro_shards_merged_total": (
+        "counter", (),
+        "Shards that passed validation and entered the merge.",
+    ),
+    "repro_shards_quarantined_total": (
+        "counter", ("kind",),
+        "Shards refused by validation, by the kind of their first issue.",
+    ),
+    "repro_pass_duration_seconds": (
+        "histogram", ("pass",),
+        "Wall-clock duration of one compiler pass.",
+    ),
+}
+
+
+class MetricError(ValueError):
+    """A metric was declared or used inconsistently (name/type/labels)."""
+
+
+# -- Prometheus text exposition helpers -----------------------------------------
+
+
+def escape_label_value(value: object) -> str:
+    """Escape a label value for the Prometheus text exposition format.
+
+    Backslash, double-quote and newline must be escaped inside the quoted
+    label value (`` {name="value"} ``); everything else passes through.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line: backslash and newline only (no quotes)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _unescape(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        c = value[i]
+        if c == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _label_text(labels: dict[str, object]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+# -- metric instruments ---------------------------------------------------------
+
+
+class _Metric:
+    """Shared base for the three instrument kinds.
+
+    Sample storage is keyed by the sorted ``(label, value)`` tuple so a
+    label set addresses the same sample regardless of keyword order.
+    """
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labels)
+        self._samples: dict[tuple[tuple[str, str], ...], object] = {}
+        self._lock = threading.Lock()
+
+    def _key(self, labels: dict[str, object]) -> tuple[tuple[str, str], ...]:
+        if self.labelnames and set(labels) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name}: expected labels {sorted(self.labelnames)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+    def samples(self) -> list[tuple[dict[str, str], object]]:
+        """All recorded samples as ``(labels, value)`` pairs, sorted."""
+        with self._lock:
+            return [
+                (dict(key), value)
+                for key, value in sorted(self._samples.items())
+            ]
+
+
+class Counter(_Metric):
+    """A monotonically increasing sum (Prometheus ``counter``)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        """Add ``amount`` (must be >= 0) to the sample for ``labels``."""
+        if amount < 0:
+            raise MetricError(f"{self.name}: counters only go up, got {amount}")
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        """Current sum for ``labels`` (0 if never incremented)."""
+        return self._samples.get(self._key(labels), 0)
+
+
+class Gauge(_Metric):
+    """A point-in-time value that can go up and down (``gauge``)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        """Replace the sample for ``labels`` with ``value``."""
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = value
+
+    def value(self, **labels: object) -> float:
+        """Most recently set value for ``labels`` (0 if never set)."""
+        return self._samples.get(self._key(labels), 0)
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket distribution with *fixed* bucket boundaries.
+
+    Buckets follow Prometheus semantics: each boundary is an **inclusive
+    upper bound** (``le``), bucket counts are cumulative, and an implicit
+    ``+Inf`` bucket equals the total observation count.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: tuple[str, ...] = (),
+                 buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS) -> None:
+        super().__init__(name, help, labels)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise MetricError(
+                f"{name}: bucket boundaries must be non-empty and ascending"
+            )
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation of ``value`` into its bucket."""
+        key = self._key(labels)
+        with self._lock:
+            sample = self._samples.get(key)
+            if sample is None:
+                sample = {"buckets": [0] * len(self.buckets),
+                          "sum": 0.0, "count": 0}
+                self._samples[key] = sample
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    sample["buckets"][index] += 1
+            sample["sum"] += value
+            sample["count"] += 1
+
+    def count(self, **labels: object) -> int:
+        """Total observations for ``labels``."""
+        sample = self._samples.get(self._key(labels))
+        return sample["count"] if sample else 0
+
+    def bucket_counts(self, **labels: object) -> dict[float, int]:
+        """Cumulative count per bucket boundary (``le`` semantics)."""
+        sample = self._samples.get(self._key(labels))
+        if sample is None:
+            return {bound: 0 for bound in self.buckets}
+        return dict(zip(self.buckets, sample["buckets"]))
+
+
+class MetricsRegistry:
+    """A named collection of metrics with Prometheus and JSON exporters.
+
+    Instruments are created idempotently: asking twice for the same name
+    returns the same object, and asking for a name with a *different*
+    kind raises :class:`MetricError`.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _create(self, cls, name: str, help: str,
+                labels: tuple[str, ...], **kwargs) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise MetricError(
+                        f"{name} already registered as a {existing.kind}, "
+                        f"not a {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help, labels, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: tuple[str, ...] = ()) -> Counter:
+        """Create-or-get the :class:`Counter` called ``name``."""
+        return self._create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: tuple[str, ...] = ()) -> Gauge:
+        """Create-or-get the :class:`Gauge` called ``name``."""
+        return self._create(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS
+                  ) -> Histogram:
+        """Create-or-get the :class:`Histogram` called ``name``."""
+        return self._create(Histogram, name, help, labels, buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        """The metric called ``name``, or None if never created."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        """Sorted names of every registered metric."""
+        return sorted(self._metrics)
+
+    # -- exporters ---------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """The full registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {escape_help(metric.help)}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            for labels, value in metric.samples():
+                if isinstance(metric, Histogram):
+                    cumulative = dict(zip(metric.buckets, value["buckets"]))
+                    for bound, count in cumulative.items():
+                        bucket_labels = dict(labels, le=_format_value(bound))
+                        lines.append(
+                            f"{name}_bucket{_label_text(bucket_labels)} {count}"
+                        )
+                    inf_labels = dict(labels, le="+Inf")
+                    lines.append(
+                        f"{name}_bucket{_label_text(inf_labels)} "
+                        f"{value['count']}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_label_text(labels)} "
+                        f"{_format_value(value['sum'])}"
+                    )
+                    lines.append(
+                        f"{name}_count{_label_text(labels)} {value['count']}"
+                    )
+                else:
+                    lines.append(
+                        f"{name}{_label_text(labels)} {_format_value(value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict:
+        """A JSON-able snapshot of every metric and sample."""
+        out: dict = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            entry: dict = {
+                "type": metric.kind,
+                "help": metric.help,
+                "labels": list(metric.labelnames),
+                "samples": [],
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+            for labels, value in metric.samples():
+                if isinstance(metric, Histogram):
+                    entry["samples"].append(
+                        {
+                            "labels": labels,
+                            "buckets": list(value["buckets"]),
+                            "sum": value["sum"],
+                            "count": value["count"],
+                        }
+                    )
+                else:
+                    entry["samples"].append({"labels": labels, "value": value})
+        # deterministic: names() is sorted, samples() is sorted
+            out[name] = entry
+        return {"format": "repro-metrics", "version": 1, "metrics": out}
+
+    def write_prometheus(self, path) -> None:
+        """Write :meth:`to_prometheus` output to ``path``."""
+        Path(path).write_text(self.to_prometheus())
+
+    def write_json(self, path) -> None:
+        """Write the :meth:`snapshot` as pretty-printed JSON to ``path``."""
+        Path(path).write_text(
+            json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n"
+        )
+
+    def clear(self) -> None:
+        """Drop every registered metric (test/CLI isolation)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse Prometheus text exposition back into a snapshot-shaped dict.
+
+    Only the subset :meth:`MetricsRegistry.to_prometheus` emits is
+    supported (enough for ``repro stats`` to read its own files).
+    Histogram series (``_bucket``/``_sum``/``_count``) are folded back
+    under their base metric name.  Raises :class:`MetricError` on lines
+    that fit none of the grammar.
+    """
+    metrics: dict[str, dict] = {}
+
+    def entry(name: str, kind: str = "untyped") -> dict:
+        return metrics.setdefault(
+            name, {"type": kind, "help": "", "labels": [], "samples": []}
+        )
+
+    base_of: dict[str, str] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            entry(name)["help"] = _unescape(help_text)
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            entry(name)["type"] = kind.strip()
+            if kind.strip() == "histogram":
+                for suffix in ("_bucket", "_sum", "_count"):
+                    base_of[name + suffix] = name
+            continue
+        if line.startswith("#"):
+            continue
+        if "{" in line:
+            name, _, rest = line.partition("{")
+            labeltext, _, valuetext = rest.rpartition("} ")
+            labels: dict[str, str] = {}
+            for part in _split_labels(labeltext):
+                key, _, quoted = part.partition("=")
+                # exactly one delimiting quote pair: .strip('"') would also
+                # eat a trailing escaped quote (serialized as ``\""``)
+                if len(quoted) >= 2 and quoted[0] == '"' and quoted[-1] == '"':
+                    quoted = quoted[1:-1]
+                labels[key] = _unescape(quoted)
+        else:
+            name, _, valuetext = line.rpartition(" ")
+            labels = {}
+        if not name or not valuetext:
+            raise MetricError(f"unparseable metrics line: {raw!r}")
+        try:
+            value = float(valuetext.replace("+Inf", "inf"))
+        except ValueError as error:
+            raise MetricError(f"bad value in metrics line: {raw!r}") from error
+        base = base_of.get(name, name)
+        series = "value"
+        if base != name:
+            series = name[len(base) + 1:]  # bucket | sum | count
+        entry(base)["samples"].append(
+            {"labels": labels, "series": series, "value": value}
+        )
+    return {"format": "repro-metrics", "version": 1, "metrics": metrics}
+
+
+def _split_labels(text: str) -> list[str]:
+    """Split ``a="x",b="y"`` on commas outside quoted values."""
+    parts: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    i = 0
+    while i < len(text):
+        c = text[i]
+        if c == "\\" and in_quotes:
+            current.append(text[i:i + 2])
+            i += 2
+            continue
+        if c == '"':
+            in_quotes = not in_quotes
+        if c == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(c)
+        i += 1
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def format_snapshot(snapshot: dict) -> str:
+    """Pretty-print a metrics snapshot (the ``repro stats`` renderer).
+
+    Accepts either :meth:`MetricsRegistry.snapshot` output or the dict
+    :func:`parse_prometheus` produces from a ``.prom`` file.
+    """
+    metrics = snapshot.get("metrics", {})
+    if not metrics:
+        return "(no metrics recorded)"
+    lines: list[str] = []
+    for name in sorted(metrics):
+        entry = metrics[name]
+        lines.append(f"{name} ({entry.get('type', 'untyped')})")
+        if entry.get("help"):
+            lines.append(f"  {entry['help']}")
+        samples = entry.get("samples", [])
+        if entry.get("type") == "histogram":
+            lines += _format_histogram_samples(entry, samples)
+        else:
+            for sample in samples:
+                label = _labelset_text(sample.get("labels", {}))
+                lines.append(f"  {label or '(no labels)'}: "
+                             f"{_format_value(sample['value'])}")
+        if not samples:
+            lines.append("  (no samples)")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _labelset_text(labels: dict) -> str:
+    return ", ".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def _format_histogram_samples(entry: dict, samples: list[dict]) -> list[str]:
+    lines: list[str] = []
+    # Snapshot form: one sample per labelset with buckets/sum/count.
+    if samples and "buckets" in samples[0]:
+        bounds = entry.get("buckets", [])
+        for sample in samples:
+            label = _labelset_text(sample.get("labels", {})) or "(no labels)"
+            count, total = sample["count"], sample["sum"]
+            mean = total / count if count else 0.0
+            lines.append(f"  {label}: count={count} sum={total:.6g} "
+                         f"mean={mean:.6g}")
+            previous = 0
+            for bound, cumulative in zip(bounds, sample["buckets"]):
+                in_bucket = cumulative - previous
+                previous = cumulative
+                if in_bucket:
+                    lines.append(f"    le {_format_value(float(bound))}: "
+                                 f"{in_bucket}")
+        return lines
+    # Parsed-prometheus form: series-tagged samples.
+    by_label: dict[str, dict] = {}
+    for sample in samples:
+        labels = dict(sample.get("labels", {}))
+        le = labels.pop("le", None)
+        key = _labelset_text(labels)
+        slot = by_label.setdefault(key, {"buckets": [], "sum": 0.0, "count": 0})
+        series = sample.get("series", "value")
+        if series == "bucket":
+            slot["buckets"].append((le, sample["value"]))
+        elif series in ("sum", "count"):
+            slot[series] = sample["value"]
+    for key, slot in sorted(by_label.items()):
+        count, total = slot["count"], slot["sum"]
+        mean = total / count if count else 0.0
+        lines.append(f"  {key or '(no labels)'}: count={_format_value(count)} "
+                     f"sum={total:.6g} mean={mean:.6g}")
+        previous = 0.0
+        for le, cumulative in slot["buckets"]:
+            in_bucket = cumulative - previous
+            previous = cumulative
+            if in_bucket:
+                lines.append(f"    le {le}: {_format_value(in_bucket)}")
+    return lines
+
+
+# -- span tracer ----------------------------------------------------------------
+
+
+class _NullSpan:
+    """The do-nothing span handle returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **args: object) -> None:
+        """Ignore extra span args (matches :class:`_SpanHandle.set`)."""
+
+
+#: The shared no-op span handle; ``obs.span(...)`` returns it when disabled.
+NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """A live span: opened by ``with tracer.span(...)``, closed on exit."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str,
+                 args: dict[str, object]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._start = 0.0
+
+    def set(self, **args: object) -> None:
+        """Attach extra args to the span before it closes."""
+        self.args.update(args)
+
+    def __enter__(self) -> "_SpanHandle":
+        self._start = self._tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        self._tracer.record(
+            self.name, self.cat, self._start, self._tracer.clock(), **self.args
+        )
+
+
+class Tracer:
+    """Collects completed spans and exports Chrome trace-event JSON.
+
+    Spans are *complete events* (``"ph": "X"``) with microsecond
+    timestamps relative to the tracer's epoch (its construction time by
+    default).  Nesting is positional, exactly as the trace-event format
+    defines it: events on the same ``(pid, tid)`` track nest by time
+    containment, so ``with``-statement nesting in the code becomes
+    visual nesting in Perfetto with no parent bookkeeping here.
+
+    ``clock``/``pid``/``tid`` are injectable for deterministic tests;
+    the defaults are :func:`time.perf_counter`, :func:`os.getpid` and
+    :func:`threading.get_ident`.  A forked child inherits the parent's
+    epoch, so its ``perf_counter`` timestamps land on the same timeline
+    and merge into the parent trace without adjustment.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        pid: Optional[int] = None,
+        tid: Optional[Callable[[], int]] = None,
+    ) -> None:
+        self.clock = clock
+        self._pid = pid
+        self._tid = tid or threading.get_ident
+        self._epoch = clock()
+        self._events: list[dict] = []
+        self._lock = threading.Lock()
+
+    @property
+    def pid(self) -> int:
+        """The process id stamped on new spans (live unless injected)."""
+        return self._pid if self._pid is not None else os.getpid()
+
+    def span(self, name: str, cat: str = "runtime",
+             **args: object) -> _SpanHandle:
+        """A context manager recording one span from enter to exit."""
+        return _SpanHandle(self, name, cat, dict(args))
+
+    def record(self, name: str, cat: str, start: float, end: float,
+               **args: object) -> None:
+        """Record an already-measured span (``start``/``end`` in clock
+        seconds) — for callers that cannot use the context manager."""
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": round((start - self._epoch) * 1e6, 3),
+            "dur": round(max(0.0, end - start) * 1e6, 3),
+            "pid": self.pid,
+            "tid": self._tid(),
+        }
+        if args:
+            event["args"] = {k: _jsonable(v) for k, v in args.items()}
+        with self._lock:
+            self._events.append(event)
+
+    def ingest(self, events: Iterable[dict]) -> None:
+        """Append pre-built trace events (e.g. from a worker process)."""
+        with self._lock:
+            self._events.extend(events)
+
+    def drain(self) -> list[dict]:
+        """Remove and return every recorded event (child-side flush)."""
+        with self._lock:
+            events, self._events = self._events, []
+        return events
+
+    def events(self) -> list[dict]:
+        """A copy of the recorded events, in record order."""
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        """Drop recorded events; the epoch is preserved so later spans
+        stay on the same timeline (used by forked children)."""
+        with self._lock:
+            self._events.clear()
+
+    def to_chrome_trace(self) -> dict:
+        """The whole trace as a Chrome trace-event JSON object."""
+        return {
+            "traceEvents": self.events(),
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.runtime.telemetry"},
+        }
+
+    def write(self, path) -> None:
+        """Write :meth:`to_chrome_trace` as JSON to ``path``."""
+        Path(path).write_text(
+            json.dumps(self.to_chrome_trace(), indent=1, sort_keys=True) + "\n"
+        )
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+# -- the facade -----------------------------------------------------------------
+
+
+class Telemetry:
+    """The one-stop observability facade (module instance: :data:`obs`).
+
+    Bundles a :class:`Tracer` and a :class:`MetricsRegistry` behind an
+    enable/disable switch.  While disabled (the default) every call is a
+    single attribute check: :meth:`span` returns the shared
+    :data:`NULL_SPAN` and the metric helpers return immediately — the
+    cost an un-instrumented campaign pays is one ``if``.
+
+    Metric helpers (:meth:`inc` / :meth:`set_gauge` / :meth:`observe`)
+    only accept names declared in :data:`METRICS`, creating the typed
+    instrument on first use; ad-hoc metrics go through :attr:`metrics`
+    directly.
+    """
+
+    def __init__(self, enabled: bool = False,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.tracer = Tracer(clock=clock)
+        self.metrics = MetricsRegistry()
+        self.enabled = enabled
+        self._named_tids: set = set()
+
+    def enable(self) -> "Telemetry":
+        """Turn span and metric collection on; returns self."""
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Telemetry":
+        """Turn collection off; recorded data is kept until :meth:`reset`."""
+        self.enabled = False
+        return self
+
+    def reset(self) -> None:
+        """Drop all recorded spans and metrics (state, not enablement)."""
+        self.tracer.clear()
+        self.metrics.clear()
+        self._named_tids.clear()
+
+    # -- spans -------------------------------------------------------------
+
+    def span(self, name: str, cat: str = "runtime", **args: object):
+        """A span context manager, or :data:`NULL_SPAN` when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return self.tracer.span(name, cat, **args)
+
+    def ingest_child_spans(self, events: list[dict],
+                           child_pid: Optional[int] = None) -> None:
+        """Merge spans streamed up from a forked worker into this trace.
+
+        Events are re-parented: their ``pid`` becomes this process's pid
+        and their ``tid`` the worker's OS pid, so in Perfetto the worker
+        shows up as a ``worker-<pid>`` thread *inside* the supervising
+        process, time-aligned with the parent's ``attempt`` span (the
+        fork inherits the tracer epoch, so timestamps already agree).
+        """
+        if not self.enabled or not events:
+            return
+        pid = self.tracer.pid
+        remapped = []
+        tids = set()
+        for event in events:
+            event = dict(event)
+            child_tid = child_pid if child_pid is not None else event.get("tid", 0)
+            event["pid"] = pid
+            event["tid"] = child_tid
+            tids.add(child_tid)
+            remapped.append(event)
+        for tid in sorted(tids - self._named_tids, key=str):
+            self._named_tids.add(tid)
+            remapped.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": f"worker-{tid}"},
+                }
+            )
+        self.tracer.ingest(remapped)
+
+    # -- metrics -----------------------------------------------------------
+
+    def _declared(self, name: str, expected: str):
+        spec = METRICS.get(name)
+        if spec is None:
+            raise MetricError(
+                f"undeclared metric {name!r}; add it to "
+                "repro.runtime.telemetry.METRICS (and DESIGN.md §9)"
+            )
+        kind, labels, help_text = spec
+        if kind != expected:
+            raise MetricError(
+                f"{name} is declared as a {kind}, not a {expected}"
+            )
+        if kind == "counter":
+            return self.metrics.counter(name, help_text, labels)
+        if kind == "gauge":
+            return self.metrics.gauge(name, help_text, labels)
+        return self.metrics.histogram(name, help_text, labels)
+
+    def inc(self, name: str, amount: float = 1, **labels: object) -> None:
+        """Increment the declared counter ``name`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._declared(name, "counter").inc(amount, **labels)
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set the declared gauge ``name`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._declared(name, "gauge").set(value, **labels)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Observe into the declared histogram ``name`` (no-op when
+        disabled)."""
+        if not self.enabled:
+            return
+        self._declared(name, "histogram").observe(value, **labels)
+
+
+class StepMeter:
+    """Batches per-``step()`` throughput samples for one backend.
+
+    Compiled-backend step loops often run one cycle per call; resolving
+    labels and taking the registry lock for two metric updates every
+    simulated cycle would dominate what is being measured.  The meter
+    accumulates cycles and wall time locally (two attribute adds) and
+    flushes to ``repro_backend_cycles_total`` /
+    ``repro_backend_cycles_per_second`` once ``flush_cycles`` cycles
+    accrue, so the gauge reads as recent-window throughput.
+    """
+
+    __slots__ = ("backend", "flush_cycles", "_cycles", "_seconds")
+
+    def __init__(self, backend: str, flush_cycles: int = 256) -> None:
+        self.backend = backend
+        self.flush_cycles = flush_cycles
+        self._cycles = 0
+        self._seconds = 0.0
+
+    def add(self, cycles: int, seconds: float) -> None:
+        """Record one batch; flushes once ``flush_cycles`` cycles accrue."""
+        self._cycles += cycles
+        self._seconds += seconds
+        if self._cycles >= self.flush_cycles:
+            self.flush()
+
+    def flush(self) -> None:
+        """Push the accumulated sample into the metrics registry now."""
+        if not self._cycles:
+            return
+        obs.inc(
+            "repro_backend_cycles_total",
+            amount=self._cycles, backend=self.backend,
+        )
+        if self._seconds > 0:
+            obs.set_gauge(
+                "repro_backend_cycles_per_second",
+                self._cycles / self._seconds, backend=self.backend,
+            )
+        self._cycles = 0
+        self._seconds = 0.0
+
+
+#: The process-wide telemetry facade.  Disabled by default; the CLI's
+#: ``--trace-out``/``--metrics-out`` flags (and tests/benchmarks) enable
+#: it.  Forked workers inherit the enabled flag and tracer epoch.
+obs = Telemetry()

@@ -18,6 +18,7 @@ from typing import Iterable, Optional
 from ..backends.api import CoverCounts
 from ..coverage.common import merge_counts
 from .checkpoint import Shard
+from .telemetry import obs
 
 
 @dataclass
@@ -143,16 +144,24 @@ def merge_shards(
     names = set(known_names) if known_names is not None else None
     report = QuarantineReport()
     good: list[CoverCounts] = []
-    for shard in shards:
-        issues = validate_shard_counts(shard.counts, names, counter_width)
-        if issues:
-            report.quarantined.append(
-                QuarantinedShard(
-                    shard.job_id, shard.backend, issues[:max_issues_per_shard], shard.path
+    with obs.span("validate", cat="campaign"):
+        for shard in shards:
+            issues = validate_shard_counts(shard.counts, names, counter_width)
+            if issues:
+                report.quarantined.append(
+                    QuarantinedShard(
+                        shard.job_id, shard.backend,
+                        issues[:max_issues_per_shard], shard.path,
+                    )
                 )
-            )
-        else:
-            good.append(shard.counts)
-            report.merged_job_ids.append(shard.job_id)
+                if obs.enabled:
+                    obs.inc(
+                        "repro_shards_quarantined_total", kind=issues[0].kind
+                    )
+            else:
+                good.append(shard.counts)
+                report.merged_job_ids.append(shard.job_id)
+                if obs.enabled:
+                    obs.inc("repro_shards_merged_total")
     merged = merge_counts(*good, counter_width=counter_width)
     return merged, report
