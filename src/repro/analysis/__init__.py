@@ -1,0 +1,170 @@
+"""Static analysis framework: lints, dataflow, abstract interpretation.
+
+The cheap tier of design quality the paper leaves to formal tools (see
+DESIGN.md §10).  Layers:
+
+* :mod:`.diagnostics` — rule registry, severities, ``@[file:line]``
+  locators, per-line suppression, text/SARIF output.
+* :mod:`.dataflow` — def-use + combinational dependency graphs, computed
+  once per circuit and cached on the ``CompileState``.
+* :mod:`.absint` — known-bits + interval + small-value-set abstract
+  interpretation over :mod:`repro.ir.ops`.
+* rule modules — :mod:`.comb_loops`, :mod:`.deadcode`, :mod:`.widths`,
+  :mod:`.clocks` (structural, run on the elaborated circuit) and
+  :mod:`.semantic` (absint-backed, runs on a lowered copy).
+* :mod:`.reachability` — the tiered static-screen → BMC cover
+  reachability flow feeding coverage denominator exclusions.
+
+Entry points: :func:`lint_circuit` (the ``repro lint`` engine) and
+:class:`LintPass` (interleaved between compiler passes in
+``--check-passes`` mode).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.nodes import Circuit
+from ..passes.base import CompileState, Pass, PassError
+from . import clocks, comb_loops, deadcode, semantic, widths
+from .absint import AbsVal, ModuleAbstract, classify_covers
+from .dataflow import (
+    CircuitDataflow,
+    ModuleDataflow,
+    build_circuit_dataflow,
+    build_module_dataflow,
+    get_dataflow,
+    strongly_connected_components,
+)
+from .diagnostics import (
+    RULES,
+    Diagnostic,
+    Diagnostics,
+    RuleSpec,
+    Severity,
+    SuppressionIndex,
+    register_rule,
+    rule_catalog_markdown,
+)
+from .reachability import (
+    ReachabilityResult,
+    apply_verdicts,
+    screen_module,
+    tiered_reachability,
+)
+
+
+def lint_circuit(
+    circuit: Circuit,
+    suppressions: Optional[SuppressionIndex] = None,
+    semantic_tier: bool = True,
+    state: Optional[CompileState] = None,
+) -> Diagnostics:
+    """Run every lint rule over ``circuit`` and return the findings.
+
+    Structural rules (loops, dead code, widths, clocking) run on the
+    circuit as given — ideally the elaborated, pre-lowering form, where
+    declarations still carry their frontend source locators.  The
+    semantic tier lowers a copy through ``ExpandWhens`` (the original is
+    untouched; the pass rebuilds) and classifies cover predicates with
+    the abstract interpreter; pass ``semantic_tier=False`` to skip it,
+    e.g. when re-linting between passes.
+
+    ``state`` may be supplied to share the cached dataflow build with
+    other analyses over the same circuit object.
+    """
+    from .diagnostics import _get_obs
+
+    obs = _get_obs()
+    diags = Diagnostics(suppressions)
+    if state is None or state.circuit is not circuit:
+        state = CompileState(circuit)
+    with obs.span("lint", cat="analysis"):
+        cdf = get_dataflow(state)
+        comb_loops.check(cdf, diags)
+        deadcode.check(cdf, diags)
+        widths.check(cdf, diags)
+        clocks.check(cdf, diags)
+        if semantic_tier:
+            from ..passes.expand_whens import ExpandWhens
+
+            try:
+                lowered = ExpandWhens().run(CompileState(circuit)).circuit
+            except PassError:
+                lowered = None  # malformed input: structural findings stand
+            if lowered is not None:
+                for module in lowered.modules:
+                    semantic.check_lowered_module(module, diags)
+    return diags
+
+
+class LintPass(Pass):
+    """Run the lint rules as a pipeline pass (``--check-passes`` mode).
+
+    Non-mutating: findings accumulate under ``state.metadata["lint"]``
+    (one :class:`Diagnostics` shared across invocations, so interleaving
+    the pass between every pipeline stage yields one combined report).
+    With ``strict=True`` any ERROR-severity finding — e.g. a
+    combinational loop introduced by a buggy transform — raises
+    :class:`~repro.passes.base.PassError` naming the rule and location.
+    """
+
+    METADATA_KEY = "lint"
+
+    def __init__(
+        self,
+        strict: bool = False,
+        suppressions: Optional[SuppressionIndex] = None,
+        semantic_tier: bool = False,
+    ) -> None:
+        self.strict = strict
+        self.suppressions = suppressions
+        self.semantic_tier = semantic_tier
+
+    def run(self, state: CompileState) -> CompileState:
+        diags = lint_circuit(
+            state.circuit,
+            suppressions=self.suppressions,
+            semantic_tier=self.semantic_tier,
+            state=state,
+        )
+        sink = state.metadata.setdefault(self.METADATA_KEY, Diagnostics())
+        sink.extend(diags)
+        if self.strict and diags.errors:
+            first = diags.errors[0]
+            raise PassError(
+                f"lint: {len(diags.errors)} error(s), first: {first.format()}"
+            )
+        return state
+
+
+__all__ = [
+    "AbsVal",
+    "CircuitDataflow",
+    "Diagnostic",
+    "Diagnostics",
+    "LintPass",
+    "ModuleAbstract",
+    "ModuleDataflow",
+    "RULES",
+    "ReachabilityResult",
+    "RuleSpec",
+    "Severity",
+    "SuppressionIndex",
+    "apply_verdicts",
+    "build_circuit_dataflow",
+    "build_module_dataflow",
+    "classify_covers",
+    "clocks",
+    "comb_loops",
+    "deadcode",
+    "get_dataflow",
+    "lint_circuit",
+    "register_rule",
+    "rule_catalog_markdown",
+    "screen_module",
+    "semantic",
+    "strongly_connected_components",
+    "tiered_reachability",
+    "widths",
+]

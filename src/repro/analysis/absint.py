@@ -1,0 +1,638 @@
+"""Known-bits + interval abstract interpretation over the IR.
+
+The static tier of the reachability flow (DESIGN.md §10): a sound
+over-approximation of every signal's reachable values, cheap enough to run
+on every design, precise enough to discharge the easy facts — constant
+cover predicates, untoggleable bits, tied-off instance inputs — so the
+expensive formal backend (:mod:`repro.backends.formal.bmc`) only sees the
+residue.
+
+The abstract domain is the *reduced product* of three classic lattices
+over raw bit patterns (the same value representation :mod:`repro.ir.ops`
+uses):
+
+* **known bits** — ``(known, value)`` masks: bit ``i`` is proven to equal
+  ``(value >> i) & 1`` whenever ``(known >> i) & 1``;
+* **intervals** — ``[lo, hi]`` bounds on the raw unsigned pattern;
+* **small value sets** — the exact set of admitted patterns while it stays
+  under :data:`VSET_MAX` elements, ``None`` once it overflows.
+
+The value-set component is what makes FSM state registers precise: a
+one-hot-ish encoding like ``{0, 1, 2, 5}`` excludes the dead write states
+``3``/``4`` even though every bit varies (no known bits) and the hull
+``[0, 5]`` contains them (no interval).  Transfer functions evaluate small
+sets *exactly* through :func:`repro.ir.ops.eval_op`, so
+``eq(state, 3)`` over that set is a proven constant zero.
+
+Reduction happens in :func:`make`: known bits tighten the interval
+(any concrete ``x`` satisfies ``value <= x <= value | ~known``), the
+interval and known bits filter the value set, the value set re-tightens
+both, and a singleton promotes to fully-known.  Signed operators fall
+back to exact evaluation when every operand is constant and to ⊤
+otherwise — soundness over precision; the cross-validation property tests
+drive both directions against :func:`repro.ir.ops.eval_op`.
+
+Fixpoint: registers start at the backends' initial value (zero) joined
+with their reset ``init``; each iteration re-evaluates the combinational
+cone and widens.  Widening keeps known-bit joins exact (finite height)
+and snaps growing intervals to their known-bits bounds, so convergence is
+fast even for free-running counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir import ops
+from ..ir.nodes import (
+    Connect,
+    Cover,
+    DefNode,
+    DefRegister,
+    Expr,
+    InstPort,
+    MemRead,
+    Module,
+    Mux,
+    PrimOp,
+    Ref,
+    SIntLiteral,
+    UIntLiteral,
+)
+from ..ir.types import ClockType, bit_width, is_signed, mask
+from .dataflow import ModuleDataflow, build_module_dataflow
+
+#: iterations before interval widening kicks in
+WIDEN_AFTER = 4
+#: hard fixpoint cap: past this every still-changing register snaps to top
+MAX_ITERATIONS = 48
+#: value-set component overflows to ``None`` beyond this many elements
+VSET_MAX = 16
+#: largest operand-set cross product the transfer functions evaluate exactly
+VSET_COMBOS = 256
+
+
+@dataclass(frozen=True)
+class AbsVal:
+    """One abstract value: known bits, an unsigned interval, and (while it
+    stays small) the exact set of admitted raw patterns."""
+
+    width: int
+    known: int  # mask of bits whose value is proven
+    value: int  # the proven bits (subset of ``known``)
+    lo: int     # inclusive lower bound on the raw pattern
+    hi: int     # inclusive upper bound on the raw pattern
+    vset: Optional[frozenset] = None  # exact admitted patterns, or None
+
+    @property
+    def is_const(self) -> bool:
+        return self.known == mask(self.width) or self.lo == self.hi
+
+    @property
+    def const_value(self) -> int:
+        if not self.is_const:
+            raise ValueError("not a constant")
+        return self.lo if self.lo == self.hi else self.value
+
+    def contains(self, raw: int) -> bool:
+        """Soundness predicate: does this abstraction admit ``raw``?"""
+        raw &= mask(self.width)
+        if raw & self.known != self.value:
+            return False
+        if self.vset is not None and raw not in self.vset:
+            return False
+        return self.lo <= raw <= self.hi
+
+    def __str__(self) -> str:
+        if self.is_const:
+            return f"const({self.const_value}, w{self.width})"
+        bits = "".join(
+            (str((self.value >> i) & 1) if (self.known >> i) & 1 else "x")
+            for i in reversed(range(self.width))
+        )
+        if self.vset is not None:
+            return f"{bits}{{{','.join(str(v) for v in sorted(self.vset))}}}"
+        return f"{bits}[{self.lo},{self.hi}]"
+
+
+def make(width: int, known: int, value: int, lo: int, hi: int,
+         vset: Optional[frozenset] = None) -> AbsVal:
+    """Normalize: clamp, reduce the three components, promote constants."""
+    m = mask(width)
+    known &= m
+    value &= known
+    lo = max(0, min(lo, m))
+    hi = max(0, min(hi, m))
+    # reduction: known bits bound the interval from both sides
+    lo = max(lo, value)
+    hi = min(hi, value | (~known & m))
+    if lo > hi:
+        # over-tightened (caller bounds conflict); keep the known-bits box
+        lo, hi = value, value | (~known & m)
+    if vset is not None and len(vset) > VSET_MAX:
+        vset = None
+    if vset is not None:
+        # reduce both ways: the box filters the set, the set tightens the box
+        filtered = frozenset(
+            v & m for v in vset
+            if lo <= (v & m) <= hi and (v & m) & known == value
+        )
+        if filtered:
+            vset = filtered
+            lo = max(lo, min(filtered))
+            hi = min(hi, max(filtered))
+            first = next(iter(filtered))
+            disagree = 0
+            for v in filtered:
+                disagree |= v ^ first
+            agree = m & ~disagree
+            known |= agree
+            value = first & agree | value
+        else:
+            # the caller's components contradict; trust the box, drop the set
+            vset = None
+    if lo == hi:
+        return AbsVal(width, m, lo, lo, lo, frozenset((lo,)))
+    return AbsVal(width, known, value, lo, hi, vset)
+
+
+def const(raw: int, width: int) -> AbsVal:
+    raw &= mask(width)
+    return AbsVal(width, mask(width), raw, raw, raw, frozenset((raw,)))
+
+
+def top(width: int) -> AbsVal:
+    return AbsVal(width, 0, 0, 0, mask(width))
+
+
+def _vset_union(a: AbsVal, b: AbsVal) -> Optional[frozenset]:
+    if a.vset is None or b.vset is None:
+        return None
+    union = a.vset | b.vset
+    return union if len(union) <= VSET_MAX else None
+
+
+def join(a: AbsVal, b: AbsVal) -> AbsVal:
+    """Least upper bound (union of admitted values)."""
+    assert a.width == b.width
+    known = a.known & b.known & ~(a.value ^ b.value)
+    return make(a.width, known, a.value & known, min(a.lo, b.lo), max(a.hi, b.hi),
+                _vset_union(a, b))
+
+
+def widen(old: AbsVal, new: AbsVal) -> AbsVal:
+    """Join, but growing interval bounds jump straight to the known-bits box.
+
+    The value-set component joins exactly: its chain height is bounded by
+    :data:`VSET_MAX` (then ``None``), so it cannot stall convergence.
+    """
+    joined = join(old, new)
+    lo = joined.lo if joined.lo >= old.lo else 0
+    hi = joined.hi if joined.hi <= old.hi else mask(joined.width)
+    return make(joined.width, joined.known, joined.value, lo, hi, joined.vset)
+
+
+def _extend(av: AbsVal, signed: bool, width: int) -> AbsVal:
+    """Zero/sign extend a raw pattern abstraction to ``width`` bits."""
+    if width <= av.width:
+        return av
+    m = mask(width)
+    vset = av.vset
+    if signed and vset is not None:
+        sign_bit = 1 << (av.width - 1)
+        high = m & ~mask(av.width)
+        vset = frozenset((v | high) if v & sign_bit else v for v in vset)
+    if not signed:
+        high_known = m & ~mask(av.width)
+        return make(width, av.known | high_known, av.value, av.lo, av.hi, vset)
+    sign_bit = 1 << (av.width - 1)
+    if av.known & sign_bit:
+        high = m & ~mask(av.width)
+        if av.value & sign_bit:
+            ext_value = av.value | high
+            return make(width, av.known | high, ext_value,
+                        av.lo | high, av.hi | high, vset)
+        return make(width, av.known | high, av.value, av.lo, av.hi, vset)
+    return make(width, av.known & mask(av.width - 1), av.value, 0, m, vset)
+
+
+def _trailing_known(a: AbsVal, b: AbsVal) -> int:
+    """Number of low-order bit positions known in *both* operands."""
+    both = a.known & b.known
+    count = 0
+    while (both >> count) & 1:
+        count += 1
+    return count
+
+
+def _bitlen_hi(a: AbsVal, b: AbsVal) -> int:
+    return max(a.hi.bit_length(), b.hi.bit_length())
+
+
+def _vset_image(expr: PrimOp, args: list[AbsVal],
+                arg_types: list) -> Optional[frozenset]:
+    """Exact image of small operand sets through :func:`ops.eval_op`."""
+    combos = 1
+    for a in args:
+        if a.vset is None:
+            return None
+        combos *= len(a.vset)
+        if combos > VSET_COMBOS:
+            return None
+    sets = [sorted(a.vset) for a in args]
+    picks = [[v] for v in sets[0]]
+    for s in sets[1:]:
+        picks = [p + [v] for p in picks for v in s]
+    image = set()
+    for combo in picks:
+        image.add(ops.eval_op(expr.op, combo, arg_types, expr.consts))
+        if len(image) > VSET_MAX:
+            return None
+    return frozenset(image)
+
+
+def eval_primop(expr: PrimOp, args: list[AbsVal]) -> AbsVal:
+    """Abstract transfer function for one primitive operation.
+
+    Runs the per-operator box transfer, then intersects with the exact
+    value-set image when every operand set is small (the reduced product's
+    third component).
+    """
+    arg_types = [a.tpe for a in expr.args]
+    box = _transfer(expr, args, arg_types)
+    if box.is_const:
+        return box
+    image = _vset_image(expr, args, arg_types)
+    if image is None:
+        return box
+    return make(box.width, box.known, box.value, box.lo, box.hi, image)
+
+
+def _transfer(expr: PrimOp, args: list[AbsVal], arg_types: list) -> AbsVal:
+    op = expr.op
+    width = bit_width(expr.type)
+    signed_args = [is_signed(t) for t in arg_types]
+
+    # exact evaluation when every operand is a constant
+    if all(a.is_const for a in args):
+        raw = ops.eval_op(op, [a.const_value for a in args], arg_types, expr.consts)
+        return const(raw, width)
+
+    unsigned = not any(signed_args)
+
+    if op in ("add", "sub"):
+        a, b = args
+        t = _trailing_known(a, b)
+        raw = (a.value + b.value) if op == "add" else (a.value - b.value)
+        known, value = mask(t), raw & mask(t)
+        if unsigned and op == "add":
+            return make(width, known, value, a.lo + b.lo, a.hi + b.hi)
+        return make(width, known, value, 0, mask(width))
+    if op == "mul":
+        a, b = args
+        t = _trailing_known(a, b)
+        known, value = mask(t), (a.value * b.value) & mask(t)
+        if unsigned:
+            return make(width, known, value, a.lo * b.lo, a.hi * b.hi)
+        return make(width, known, value, 0, mask(width))
+    if op == "div" and unsigned:
+        a, b = args
+        if b.lo >= 1:
+            return make(width, 0, 0, a.lo // b.hi, a.hi // b.lo)
+        return make(width, 0, 0, 0, a.hi)  # b may be 0: x/0 == 0
+    if op == "rem" and unsigned:
+        a, b = args
+        hi = min(a.hi, b.hi - 1) if b.lo >= 1 else a.hi  # x%0 == x
+        return make(width, 0, 0, 0, hi)
+    if op in ("lt", "leq", "gt", "geq") and unsigned:
+        a, b = args
+        if op in ("gt", "geq"):
+            a, b = b, a
+            op = {"gt": "lt", "geq": "leq"}[op]
+        if (a.hi < b.lo) if op == "lt" else (a.hi <= b.lo):
+            return const(1, 1)
+        if (a.lo >= b.hi) if op == "lt" else (a.lo > b.hi):
+            return const(0, 1)
+        return top(1)
+    if op in ("eq", "neq"):
+        a, b = args
+        common = max(a.width, b.width)
+        ax = _extend(a, signed_args[0], common)
+        bx = _extend(b, signed_args[1], common)
+        conflict = ax.known & bx.known & (ax.value ^ bx.value)
+        disjoint = ax.hi < bx.lo or bx.hi < ax.lo
+        if conflict or disjoint:
+            return const(0 if op == "eq" else 1, 1)
+        return top(1)
+    if op in ("and", "or", "xor"):
+        a = _extend(args[0], signed_args[0], width)
+        b = _extend(args[1], signed_args[1], width)
+        if op == "and":
+            known = (a.known & b.known) | (a.known & ~a.value) | (b.known & ~b.value)
+            value = a.value & b.value
+            return make(width, known, value & known, 0, min(a.hi, b.hi))
+        if op == "or":
+            known = (a.known & b.known) | (a.known & a.value) | (b.known & b.value)
+            value = (a.value | b.value) & known
+            hi = mask(max(a.hi.bit_length(), b.hi.bit_length()))
+            return make(width, known, value, max(a.lo, b.lo), hi)
+        known = a.known & b.known
+        hi = mask(_bitlen_hi(a, b))
+        return make(width, known, (a.value ^ b.value) & known, 0, hi)
+    if op == "not":
+        (a,) = args
+        a = _extend(a, signed_args[0], width)
+        m = mask(width)
+        return make(width, a.known, ~a.value & a.known, m - a.hi, m - a.lo)
+    if op in ("andr", "orr", "xorr"):
+        (a,) = args
+        if op == "orr":
+            if a.value != 0 or a.lo >= 1:
+                return const(1, 1)
+            if a.hi == 0:
+                return const(0, 1)
+        elif op == "andr":
+            if a.known & ~a.value & mask(a.width):
+                return const(0, 1)
+            if a.lo == mask(a.width):
+                return const(1, 1)
+        return top(1)
+    if op == "cat":
+        a, b = args
+        wb = b.width
+        return make(
+            width,
+            (a.known << wb) | b.known,
+            (a.value << wb) | b.value,
+            (a.lo << wb) | b.lo,
+            (a.hi << wb) | b.hi,
+        )
+    if op == "bits":
+        hi_c, lo_c = expr.consts
+        (a,) = args
+        known = (a.known >> lo_c) & mask(width)
+        value = (a.value >> lo_c) & mask(width)
+        if lo_c == 0 and a.hi <= mask(width):
+            return make(width, known, value, a.lo, a.hi)
+        return make(width, known, value, 0, mask(width))
+    if op == "head":
+        (n,) = expr.consts
+        (a,) = args
+        shift = a.width - n
+        return make(width, (a.known >> shift) & mask(n), (a.value >> shift) & mask(n),
+                    a.lo >> shift, a.hi >> shift)
+    if op == "tail":
+        (n,) = expr.consts
+        (a,) = args
+        known = a.known & mask(width)
+        value = a.value & mask(width)
+        if a.hi <= mask(width):
+            return make(width, known, value, a.lo, a.hi)
+        return make(width, known, value, 0, mask(width))
+    if op == "shl":
+        (n,) = expr.consts
+        (a,) = args
+        return make(width, (a.known << n) | mask(n), a.value << n, a.lo << n, a.hi << n)
+    if op == "shr" and unsigned:
+        (n,) = expr.consts
+        (a,) = args
+        return make(width, a.known >> n, a.value >> n, a.lo >> n, a.hi >> n)
+    if op == "dshl" and unsigned:
+        a, b = args
+        if b.is_const:
+            s = b.const_value
+            return make(width, (a.known << s) | mask(s), a.value << s, a.lo << s, a.hi << s)
+        return make(width, 0, 0, 0 if a.lo == 0 else a.lo, a.hi << mask(b.width))
+    if op == "dshr" and unsigned:
+        a, b = args
+        if b.is_const:
+            s = b.const_value
+            return make(width, a.known >> s, a.value >> s, a.lo >> s, a.hi >> s)
+        return make(width, 0, 0, 0, a.hi)
+    if op == "pad":
+        (a,) = args
+        return _extend(a, signed_args[0], width)
+    if op in ("asUInt", "asSInt"):
+        (a,) = args
+        if width == a.width:
+            return AbsVal(width, a.known, a.value, a.lo, a.hi, a.vset)
+        return make(width, a.known, a.value, a.lo, a.hi, a.vset)
+    return top(width)
+
+
+class ModuleAbstract:
+    """Abstract interpretation of one module (low form, no ``When`` blocks).
+
+    After :meth:`run`, :attr:`env` maps every signal to an over-
+    approximation of its value at *any* reachable cycle.  Instance ports
+    and memory reads are ⊤ — run after ``InlineInstances`` for whole-
+    design precision (the reachability flow does).
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        dataflow: Optional[ModuleDataflow] = None,
+        assume: Optional[dict[str, AbsVal]] = None,
+    ) -> None:
+        self.module = module
+        self.df = dataflow if dataflow is not None else build_module_dataflow(module)
+        self.assume = dict(assume or {})
+        self.env: dict[str, AbsVal] = {}
+        self._regs: dict[str, DefRegister] = {
+            name: stmt
+            for name, stmt in self.df.decls.items()
+            if isinstance(stmt, DefRegister)
+        }
+        self._widths: dict[str, int] = {}
+        for name, decl in self.df.decls.items():
+            tpe = getattr(decl, "type", None)
+            if tpe is None and isinstance(decl, DefNode):
+                tpe = decl.value.tpe
+            if tpe is not None and not isinstance(tpe, ClockType):
+                try:
+                    self._widths[name] = bit_width(tpe)
+                except TypeError:
+                    pass
+        self._run()
+
+    # -- expression evaluation ----------------------------------------------
+
+    def _eval(self, expr: Expr, env: dict[str, AbsVal], memo: dict[int, AbsVal],
+              visiting: set[str]) -> AbsVal:
+        key = id(expr)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._eval_inner(expr, env, memo, visiting)
+        memo[key] = result
+        return result
+
+    def _eval_inner(self, expr: Expr, env, memo, visiting) -> AbsVal:
+        if isinstance(expr, UIntLiteral):
+            return const(expr.value, expr.width)
+        if isinstance(expr, SIntLiteral):
+            return const(expr.value & mask(expr.width), expr.width)
+        if isinstance(expr, Ref):
+            if isinstance(expr.type, ClockType):
+                return top(1)
+            return self._name_value(expr.name, env, memo, visiting)
+        if isinstance(expr, InstPort):
+            return top(bit_width(expr.type)) if not isinstance(expr.type, ClockType) else top(1)
+        if isinstance(expr, MemRead):
+            self._eval(expr.addr, env, memo, visiting)
+            return top(bit_width(expr.type))
+        if isinstance(expr, Mux):
+            cond = self._eval(expr.cond, env, memo, visiting)
+            width = bit_width(expr.type)
+            signed = is_signed(expr.type)
+            tval = _extend(self._eval(expr.tval, env, memo, visiting),
+                           is_signed(expr.tval.tpe), width)
+            fval = _extend(self._eval(expr.fval, env, memo, visiting),
+                           is_signed(expr.fval.tpe), width)
+            if cond.is_const:
+                return tval if cond.const_value else fval
+            return join(tval, fval)
+        if isinstance(expr, PrimOp):
+            args = [self._eval(a, env, memo, visiting) for a in expr.args]
+            return eval_primop(expr, args)
+        return top(1)
+
+    def _name_value(self, name: str, env, memo, visiting) -> AbsVal:
+        if name in env:
+            return env[name]
+        width = self._widths.get(name, 1)
+        if name in visiting:  # combinational cycle: reported by the loop lint
+            return top(width)
+        drivers = [
+            s for s in self.df.drivers.get(name, [])
+            if isinstance(s, (DefNode, Connect))
+        ]
+        if not drivers:
+            env[name] = top(width)
+            return env[name]
+        visiting.add(name)
+        result: Optional[AbsVal] = None
+        for stmt in drivers:
+            expr = stmt.value if isinstance(stmt, DefNode) else stmt.expr
+            value = _extend(
+                self._eval(expr, env, memo, visiting),
+                is_signed(expr.tpe), width,
+            )
+            result = value if result is None else join(result, value)
+        visiting.discard(name)
+        env[name] = result if result is not None else top(width)
+        return env[name]
+
+    # -- fixpoint ------------------------------------------------------------
+
+    def _initial_reg(self, reg: DefRegister, env, memo) -> AbsVal:
+        width = bit_width(reg.type)
+        start = const(0, width)  # backends zero-initialize state
+        if reg.init is not None:
+            init = _extend(self._eval(reg.init, env, memo, set()),
+                           is_signed(reg.init.tpe), width)
+            start = join(start, init)
+        return start
+
+    def _run(self) -> None:
+        regs = self._regs
+        inputs = {
+            p.name: self.assume.get(p.name, top(bit_width(p.type)))
+            for p in self.module.ports
+            if p.direction == "input" and not isinstance(p.type, ClockType)
+        }
+        reg_vals: dict[str, AbsVal] = {}
+        env: dict[str, AbsVal] = dict(inputs)
+        memo: dict[int, AbsVal] = {}
+        for name, reg in regs.items():
+            reg_vals[name] = self._initial_reg(reg, env, memo)
+
+        for iteration in range(MAX_ITERATIONS):
+            env = dict(inputs)
+            env.update(reg_vals)
+            memo = {}
+            visiting: set[str] = set()
+            # evaluate every named value (lazily memoized through env)
+            for name in self._widths:
+                self._name_value(name, env, memo, visiting)
+            changed = False
+            combine = join if iteration < WIDEN_AFTER else widen
+            for name, reg in regs.items():
+                width = bit_width(reg.type)
+                nexts = [
+                    s.expr for s in self.df.drivers.get(name, [])
+                    if isinstance(s, Connect)
+                ]
+                if not nexts:
+                    new = reg_vals[name]  # never driven: holds its init
+                else:
+                    new = None
+                    for expr in nexts:
+                        v = _extend(self._eval(expr, env, memo, visiting),
+                                    is_signed(expr.tpe), width)
+                        new = v if new is None else join(new, v)
+                if reg.init is not None:
+                    init = _extend(self._eval(reg.init, env, memo, visiting),
+                                   is_signed(reg.init.tpe), width)
+                    new = join(new, init)
+                updated = combine(reg_vals[name], new)
+                if updated != reg_vals[name]:
+                    reg_vals[name] = updated
+                    changed = True
+            if not changed:
+                break
+        else:
+            # did not converge: snap all registers to top and settle once
+            reg_vals = {name: top(bit_width(reg.type)) for name, reg in regs.items()}
+            env = dict(inputs)
+            env.update(reg_vals)
+            memo = {}
+            for name in self._widths:
+                self._name_value(name, env, memo, set())
+
+        # final environment over the fixpoint
+        final_env: dict[str, AbsVal] = dict(inputs)
+        final_env.update(reg_vals)
+        self._memo: dict[int, AbsVal] = {}
+        for name in self._widths:
+            self._name_value(name, final_env, self._memo, set())
+        self.env = final_env
+
+    # -- queries -------------------------------------------------------------
+
+    def eval(self, expr: Expr) -> AbsVal:
+        """Abstract value of ``expr`` over the converged environment."""
+        return self._eval(expr, self.env, self._memo, set())
+
+    def value_of(self, name: str) -> AbsVal:
+        return self._name_value(name, self.env, self._memo, set())
+
+    def constant_bits(self, name: str) -> int:
+        """Mask of bits of ``name`` proven constant at every reachable cycle."""
+        return self.value_of(name).known
+
+    def classify_cover(self, cover: Cover) -> str:
+        """``always-false`` / ``always-true`` / ``unknown`` for one cover."""
+        pred = self.eval(cover.pred)
+        en = self.eval(cover.en)
+        if pred.hi == 0 or en.hi == 0:
+            return "always-false"
+        if pred.lo >= 1 and en.lo >= 1:
+            return "always-true"
+        return "unknown"
+
+
+def classify_covers(module: Module,
+                    dataflow: Optional[ModuleDataflow] = None,
+                    assume: Optional[dict[str, AbsVal]] = None) -> dict[str, str]:
+    """Classification for every cover statement in ``module`` by name."""
+    from ..ir.traversal import walk_stmts
+
+    abstract = ModuleAbstract(module, dataflow, assume)
+    return {
+        stmt.name: abstract.classify_cover(stmt)
+        for stmt in walk_stmts(module.body)
+        if isinstance(stmt, Cover)
+    }

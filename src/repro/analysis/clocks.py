@@ -1,0 +1,146 @@
+"""Clock and reset hygiene lints.
+
+Single-clock designs sail through; the rules exist for the designs that
+quietly stopped being single-clock: a register hooked to a data expression
+instead of a clock, a register in one domain sampling a register from
+another without a synchronizer, and cover statements attached to a clock
+other than the module's canonical one (coverage counts from two domains
+are not comparable, see coverage/common.py).
+"""
+
+from __future__ import annotations
+
+from ..ir.nodes import Cover, DefRegister, Expr, InstPort, MemWrite, Module, Ref, Stop
+from ..ir.types import ClockType
+from ..ir.traversal import walk_stmts
+from .dataflow import CircuitDataflow, ModuleDataflow, comb_reads
+from .diagnostics import Diagnostics, Severity, register_rule
+
+register_rule(
+    "non-clock-clock",
+    Severity.ERROR,
+    "non-clock expression used as clock",
+    "The clock operand of a register, memory write, or cover statement is "
+    "not of clock type; the sequential element is clocked by data.",
+    category="clocking",
+)
+register_rule(
+    "cross-domain",
+    Severity.WARNING,
+    "unsynchronized clock-domain crossing",
+    "A register samples (combinationally) a register clocked by a "
+    "different clock with no synchronizer stage; metastability hazard.",
+    category="clocking",
+)
+register_rule(
+    "cover-clock",
+    Severity.WARNING,
+    "cover on non-canonical clock",
+    "A cover or stop statement uses a clock other than the module's "
+    "canonical clock port; its counts are not comparable with the rest "
+    "of the module's coverage.",
+    category="clocking",
+)
+
+
+def _clock_key(expr: Expr) -> str:
+    """A stable identity for a clock expression (domain label)."""
+    if isinstance(expr, Ref):
+        return expr.name
+    if isinstance(expr, InstPort):
+        return f"{expr.instance}.{expr.port}"
+    return repr(expr)
+
+
+def _canonical_clock(module: Module) -> str | None:
+    for port in module.ports:
+        if port.direction == "input" and isinstance(port.type, ClockType):
+            return port.name
+    return None
+
+
+def check_module(module: Module, df: ModuleDataflow, diags: Diagnostics) -> None:
+    canonical = _canonical_clock(module)
+    reg_domain: dict[str, str] = {}
+
+    for stmt in walk_stmts(module.body):
+        clock = getattr(stmt, "clock", None)
+        if clock is None:
+            continue
+        if not isinstance(clock.tpe, ClockType):
+            what = {
+                DefRegister: "register",
+                MemWrite: "memory write",
+                Cover: "cover",
+                Stop: "stop",
+            }.get(type(stmt), "statement")
+            name = getattr(stmt, "name", getattr(stmt, "mem", "?"))
+            diags.emit(
+                "non-clock-clock",
+                f"{what} {name!r} is clocked by {clock.tpe} expression",
+                module=module.name,
+                info=stmt.info,
+                signal=name,
+            )
+            continue
+        if isinstance(stmt, DefRegister):
+            reg_domain[stmt.name] = _clock_key(clock)
+        elif isinstance(stmt, (Cover, Stop)):
+            domain = _clock_key(clock)
+            if canonical is not None and domain != canonical:
+                diags.emit(
+                    "cover-clock",
+                    f"{type(stmt).__name__.lower()} {stmt.name!r} uses clock "
+                    f"{domain!r}, not the canonical clock {canonical!r}",
+                    module=module.name,
+                    info=stmt.info,
+                    signal=stmt.name,
+                )
+
+    if len(set(reg_domain.values())) < 2:
+        return  # single domain: no crossings possible
+
+    # combinational fan-in of each register's next-value, looking for
+    # source registers in a different domain
+    def comb_sources(name: str, seen: set[str]) -> set[str]:
+        found: set[str] = set()
+        for dep in df.comb_deps.get(name, ()):
+            if dep in seen:
+                continue
+            seen.add(dep)
+            if dep in reg_domain:
+                found.add(dep)
+            else:
+                found |= comb_sources(dep, seen)
+        return found
+
+    for stmt in walk_stmts(module.body):
+        if not isinstance(stmt, DefRegister):
+            continue
+        domain = reg_domain[stmt.name]
+        next_reads: set[str] = set()
+        for driver in df.drivers.get(stmt.name, []):
+            expr = getattr(driver, "expr", None)
+            if expr is not None:
+                next_reads.update(comb_reads(expr))
+        sources: set[str] = set()
+        for read in next_reads:
+            if read in reg_domain:
+                sources.add(read)
+            else:
+                sources |= comb_sources(read, {read})
+        for source in sorted(sources):
+            if reg_domain[source] != domain:
+                diags.emit(
+                    "cross-domain",
+                    f"register {stmt.name!r} (clock {domain!r}) samples "
+                    f"{source!r} from clock domain {reg_domain[source]!r}",
+                    module=module.name,
+                    info=stmt.info,
+                    signal=stmt.name,
+                )
+
+
+def check(cdf: CircuitDataflow, diags: Diagnostics) -> None:
+    for module in cdf.circuit.modules:
+        check_module(module, cdf.modules[module.name], diags)

@@ -1,0 +1,66 @@
+"""Combinational-loop detection.
+
+Runs Tarjan over each module's combinational dependency graph (see
+:mod:`repro.analysis.dataflow`).  Instance ports participate as
+``inst.port`` pseudo-nodes wired through child port-coupling summaries, so
+a zero-latency cycle threading two module boundaries is caught without
+flattening; after ``InlineInstances`` the same detector re-finds it inside
+the flat module (the ``sort_statements`` topological sort in
+``passes/flatten.py`` would also choke, but with a far less useful error).
+"""
+
+from __future__ import annotations
+
+from ..ir.nodes import NO_INFO, Module
+from .dataflow import CircuitDataflow, ModuleDataflow, strongly_connected_components
+from .diagnostics import Diagnostics, Severity, register_rule
+
+register_rule(
+    "comb-loop",
+    Severity.ERROR,
+    "combinational loop",
+    "A zero-latency cycle through wires, nodes, or mux logic inside one "
+    "module; simulation order is undefined and hardware would oscillate.",
+    category="structure",
+)
+register_rule(
+    "comb-loop-xmodule",
+    Severity.ERROR,
+    "cross-module combinational loop",
+    "A zero-latency cycle that threads through instance ports; invisible "
+    "to per-module inspection, found via child port-coupling summaries.",
+    category="structure",
+)
+
+
+def _loop_info(df: ModuleDataflow, members: list[str]):
+    """Best source locator for a loop: the first member with a location."""
+    for name in members:
+        decl = df.decls.get(name)
+        info = getattr(decl, "info", NO_INFO)
+        if info.file:
+            return info
+        for stmt in df.drivers.get(name, []):
+            info = getattr(stmt, "info", NO_INFO)
+            if info.file:
+                return info
+    return NO_INFO
+
+
+def check_module(module: Module, df: ModuleDataflow, diags: Diagnostics) -> None:
+    for members in strongly_connected_components(df.comb_deps):
+        crosses = any("." in name for name in members)
+        rule = "comb-loop-xmodule" if crosses else "comb-loop"
+        path = " -> ".join(members + [members[0]])
+        diags.emit(
+            rule,
+            f"combinational loop: {path}",
+            module=module.name,
+            info=_loop_info(df, members),
+            signal=members[0],
+        )
+
+
+def check(cdf: CircuitDataflow, diags: Diagnostics) -> None:
+    for module in cdf.circuit.modules:
+        check_module(module, cdf.modules[module.name], diags)

@@ -1,0 +1,336 @@
+"""Shared dataflow substrate for the analysis framework.
+
+Two graphs, computed once per module and cached on the
+:class:`~repro.passes.base.CompileState` metadata table so every rule (and
+the abstract interpreter) shares one build:
+
+* the **def-use graph** — who declares, drives, and reads each name — and
+* the **combinational dependency graph** — ``name -> names it depends on
+  in the same cycle``.  Registers and memory *contents* break edges
+  (sequential elements); memory read *addresses*, mux/``When`` predicates,
+  and instance port couplings do not.
+
+Instance boundaries are handled by modelling each instance port as a
+pseudo-node ``inst.port`` and wiring child output ports to the child's
+combinationally-coupled input ports (the per-module *port coupling*
+summary, computed child-first over the hierarchy).  A cycle whose path
+crosses such a pseudo-node is a cross-module combinational loop — the
+same detector covers flattened circuits, where the loop collapses into
+one module.
+
+Works on both high form (``When`` blocks contribute their predicates to
+every connect they dominate) and low form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from ..ir.nodes import (
+    Circuit,
+    Connect,
+    Cover,
+    DefInstance,
+    DefMemory,
+    DefNode,
+    DefRegister,
+    DefWire,
+    Expr,
+    InstPort,
+    MemRead,
+    MemWrite,
+    Module,
+    Port,
+    Stmt,
+    Stop,
+    When,
+)
+from ..ir.traversal import walk_expr
+from ..ir.types import ClockType
+from ..passes.base import CompileState
+
+#: CompileState.metadata key under which dataflow results are cached.
+CACHE_KEY = "analysis:dataflow"
+
+
+def comb_reads(expr: Expr) -> Iterator[str]:
+    """Names ``expr`` reads *combinationally*.
+
+    Like :func:`repro.ir.traversal.references` but: memory names are
+    excluded (contents are sequential; the address subtree still counts),
+    clock references are excluded, and instance ports yield their
+    ``inst.port`` pseudo-node name.
+    """
+    from ..ir.nodes import Ref
+
+    for e in walk_expr(expr):
+        if isinstance(e, Ref):
+            if not isinstance(e.type, ClockType):
+                yield e.name
+        elif isinstance(e, InstPort):
+            yield f"{e.instance}.{e.port}"
+        elif isinstance(e, MemRead):
+            pass  # addr subtree is walked by walk_expr; mem name excluded
+
+
+def data_reads(expr: Expr) -> Iterator[str]:
+    """All names ``expr`` reads, including memories and clocks.
+
+    Instance ports yield both the pseudo-node and the instance name, so
+    def-use queries see the instance as used.
+    """
+    from ..ir.nodes import Ref
+
+    for e in walk_expr(expr):
+        if isinstance(e, Ref):
+            yield e.name
+        elif isinstance(e, InstPort):
+            yield f"{e.instance}.{e.port}"
+            yield e.instance
+        elif isinstance(e, MemRead):
+            yield e.mem
+
+
+@dataclass
+class ModuleDataflow:
+    """Def-use and combinational dependency graphs for one module."""
+
+    module: Module
+    #: name -> declaring statement (ports map to their Port object)
+    decls: dict[str, object] = field(default_factory=dict)
+    port_dirs: dict[str, str] = field(default_factory=dict)
+    #: name -> statements that drive it (Connect/DefNode/DefRegister/MemWrite)
+    drivers: dict[str, list[Stmt]] = field(default_factory=dict)
+    #: name -> statements whose expressions read it (def-use edges)
+    readers: dict[str, list[Stmt]] = field(default_factory=dict)
+    #: combinational same-cycle dependencies (includes ``inst.port`` nodes)
+    comb_deps: dict[str, set[str]] = field(default_factory=dict)
+    #: names of registers (sequential barrier in ``comb_deps``)
+    registers: set[str] = field(default_factory=set)
+    #: instance name -> child module name
+    instances: dict[str, str] = field(default_factory=dict)
+
+    def reads_of(self, name: str) -> list[Stmt]:
+        return self.readers.get(name, [])
+
+    def drives_of(self, name: str) -> list[Stmt]:
+        return self.drivers.get(name, [])
+
+
+def build_module_dataflow(
+    module: Module,
+    port_coupling: Optional[dict[str, dict[str, set[str]]]] = None,
+    instances_of: Optional[dict[str, str]] = None,
+) -> ModuleDataflow:
+    """Build both graphs for one module.
+
+    ``port_coupling`` maps child module names to their ``output ->
+    {combinationally coupled inputs}`` summaries; when given, instance
+    pseudo-nodes are wired through it (cross-module loop detection).
+    """
+    df = ModuleDataflow(module)
+    for port in module.ports:
+        df.decls[port.name] = port
+        df.port_dirs[port.name] = port.direction
+
+    def add_dep(name: str, deps: Iterable[str]) -> None:
+        df.comb_deps.setdefault(name, set()).update(deps)
+
+    def add_reader(stmt: Stmt, expr: Expr) -> None:
+        for name in data_reads(expr):
+            df.readers.setdefault(name, []).append(stmt)
+
+    def walk(body: list[Stmt], preds: list[Expr]) -> None:
+        pred_reads = [r for p in preds for r in comb_reads(p)]
+        for stmt in body:
+            if isinstance(stmt, (DefNode, DefWire, DefRegister, DefMemory, DefInstance)):
+                df.decls[stmt.name] = stmt
+            if isinstance(stmt, DefNode):
+                df.drivers.setdefault(stmt.name, []).append(stmt)
+                add_dep(stmt.name, comb_reads(stmt.value))
+                add_reader(stmt, stmt.value)
+            elif isinstance(stmt, DefRegister):
+                df.registers.add(stmt.name)
+                df.drivers.setdefault(stmt.name, []).append(stmt)
+                for e in (stmt.reset, stmt.init):
+                    if e is not None:
+                        add_reader(stmt, e)
+                add_reader(stmt, stmt.clock)
+            elif isinstance(stmt, DefInstance):
+                df.instances[stmt.name] = stmt.module
+            elif isinstance(stmt, Connect):
+                add_reader(stmt, stmt.expr)
+                reads = list(comb_reads(stmt.expr)) + pred_reads
+                if isinstance(stmt.loc, InstPort):
+                    target = f"{stmt.loc.instance}.{stmt.loc.port}"
+                else:
+                    target = stmt.loc.name
+                df.drivers.setdefault(target, []).append(stmt)
+                # register next-values are sequential: no comb edge
+                if target not in df.registers:
+                    add_dep(target, reads)
+            elif isinstance(stmt, MemWrite):
+                df.drivers.setdefault(stmt.mem, []).append(stmt)
+                for e in (stmt.addr, stmt.data, stmt.en, stmt.clock):
+                    add_reader(stmt, e)
+            elif isinstance(stmt, (Cover, Stop)):
+                for e in (stmt.clock, stmt.pred, stmt.en):
+                    add_reader(stmt, e)
+            elif isinstance(stmt, When):
+                add_reader(stmt, stmt.pred)
+                walk(stmt.conseq, preds + [stmt.pred])
+                walk(stmt.alt, preds + [stmt.pred])
+
+    walk(module.body, [])
+
+    # wire child port couplings: inst.out depends on inst.in for each
+    # combinationally-coupled (out, in) pair of the child module
+    if port_coupling is not None:
+        for inst, child in df.instances.items():
+            for out_port, in_ports in port_coupling.get(child, {}).items():
+                add_dep(
+                    f"{inst}.{out_port}",
+                    {f"{inst}.{p}" for p in in_ports},
+                )
+    return df
+
+
+def strongly_connected_components(deps: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan's SCC over ``deps``; only components with a cycle are returned.
+
+    Iterative (flattened SoCs produce deep chains), deterministic order.
+    """
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    def connect(root: str) -> None:
+        work: list[tuple[str, Iterator[str]]] = []
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        work.append((root, iter(sorted(deps.get(root, ())))))
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for dep in it:
+                if dep not in deps:
+                    continue
+                if dep not in index:
+                    index[dep] = lowlink[dep] = counter[0]
+                    counter[0] += 1
+                    stack.append(dep)
+                    on_stack.add(dep)
+                    work.append((dep, iter(sorted(deps.get(dep, ())))))
+                    advanced = True
+                    break
+                if dep in on_stack:
+                    lowlink[node] = min(lowlink[node], index[dep])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in deps.get(node, ()):
+                    sccs.append(sorted(component))
+
+    for name in sorted(deps):
+        if name not in index:
+            connect(name)
+    return sccs
+
+
+@dataclass
+class CircuitDataflow:
+    """Per-module dataflow plus hierarchy-level port-coupling summaries."""
+
+    circuit: Circuit
+    modules: dict[str, ModuleDataflow]
+    #: module -> output port -> input ports it combinationally depends on
+    port_coupling: dict[str, dict[str, set[str]]]
+
+
+def _coupling_of(df: ModuleDataflow) -> dict[str, set[str]]:
+    """``output -> {input ports}`` reachable through ``comb_deps``."""
+    inputs = {n for n, d in df.port_dirs.items() if d == "input"}
+    reach_cache: dict[str, set[str]] = {}
+
+    def reach(name: str) -> set[str]:
+        if name in reach_cache:
+            return reach_cache[name]
+        reach_cache[name] = set()  # cycle guard; loops reported elsewhere
+        found: set[str] = set()
+        for dep in df.comb_deps.get(name, ()):
+            if dep in inputs:
+                found.add(dep)
+            found |= reach(dep)
+        reach_cache[name] = found
+        return found
+
+    return {
+        name: reach(name)
+        for name, direction in df.port_dirs.items()
+        if direction == "output"
+    }
+
+
+def _instantiation_order(circuit: Circuit) -> list[Module]:
+    """Modules ordered children-first (the hierarchy is a DAG)."""
+    by_name = {m.name: m for m in circuit.modules}
+    order: list[Module] = []
+    seen: set[str] = set()
+
+    def visit(module: Module) -> None:
+        if module.name in seen:
+            return
+        seen.add(module.name)
+        from ..ir.traversal import walk_stmts
+
+        for stmt in walk_stmts(module.body):
+            if isinstance(stmt, DefInstance) and stmt.module in by_name:
+                visit(by_name[stmt.module])
+        order.append(module)
+
+    for module in circuit.modules:
+        visit(module)
+    return order
+
+
+def build_circuit_dataflow(circuit: Circuit) -> CircuitDataflow:
+    """Dataflow for every module, child-first so couplings compose."""
+    modules: dict[str, ModuleDataflow] = {}
+    coupling: dict[str, dict[str, set[str]]] = {}
+    for module in _instantiation_order(circuit):
+        df = build_module_dataflow(module, port_coupling=coupling)
+        modules[module.name] = df
+        coupling[module.name] = _coupling_of(df)
+    return CircuitDataflow(circuit, modules, coupling)
+
+
+def get_dataflow(state: CompileState) -> CircuitDataflow:
+    """The circuit's dataflow, computed once and cached on the state.
+
+    The cache key is the identity of the circuit object: passes that
+    rebuild the circuit produce a fresh object, invalidating the cache,
+    while repeated analyses over one pipeline stage share the build.
+    """
+    cached = state.metadata.get(CACHE_KEY)
+    if cached is not None and cached[0] == id(state.circuit):
+        return cached[1]
+    df = build_circuit_dataflow(state.circuit)
+    state.metadata[CACHE_KEY] = (id(state.circuit), df)
+    return df

@@ -1,0 +1,102 @@
+"""Dead-code lints: unread signals, unwritten wires, unused ports.
+
+``passes/dce.py`` silently *deletes* dead logic — correct for the
+compiler, useless for the author, who wants to know the wire they wired
+up goes nowhere.  These rules report what DCE would remove, with the
+declaration's source locator, before any pass has had a chance to
+normalize it away.  Run on the elaborated (pre-lowering) circuit.
+"""
+
+from __future__ import annotations
+
+from ..ir.nodes import (
+    DefInstance,
+    DefMemory,
+    DefNode,
+    DefRegister,
+    DefWire,
+    Module,
+    NO_INFO,
+)
+from ..ir.types import ClockType, ResetType
+from .dataflow import CircuitDataflow, ModuleDataflow
+from .diagnostics import Diagnostics, Severity, register_rule
+
+register_rule(
+    "unread-signal",
+    Severity.WARNING,
+    "signal is never read",
+    "A node, register, wire, or memory is declared and possibly driven "
+    "but nothing reads it; DCE will silently delete it.",
+    category="dead-code",
+)
+register_rule(
+    "unwritten-wire",
+    Severity.WARNING,
+    "wire is never driven",
+    "A wire has no connect driving it; readers see an undefined value "
+    "(backends default it to zero, masking the bug).",
+    category="dead-code",
+)
+register_rule(
+    "unused-port",
+    Severity.WARNING,
+    "port is unused",
+    "An input port is never read inside the module, or an output port is "
+    "never driven; the interface promises more than the module delivers.",
+    category="dead-code",
+)
+
+
+def check_module(module: Module, df: ModuleDataflow, diags: Diagnostics) -> None:
+    for name, decl in df.decls.items():
+        info = getattr(decl, "info", NO_INFO)
+        if isinstance(decl, DefWire) and not df.drives_of(name):
+            diags.emit(
+                "unwritten-wire",
+                f"wire {name!r} is never driven",
+                module=module.name,
+                info=info,
+                signal=name,
+            )
+            continue  # unwritten implies unread is a symptom, not a cause
+        if isinstance(decl, (DefNode, DefRegister, DefWire, DefMemory)):
+            if not df.reads_of(name):
+                kind = type(decl).__name__[3:].lower()  # DefNode -> "node"
+                diags.emit(
+                    "unread-signal",
+                    f"{kind} {name!r} is never read",
+                    module=module.name,
+                    info=info,
+                    signal=name,
+                )
+        elif isinstance(decl, DefInstance):
+            continue  # instances are used through their ports
+
+    for port in module.ports:
+        if isinstance(port.type, (ClockType, ResetType)):
+            continue  # implicit infrastructure ports are exempt
+        if port.direction == "input" and port.name == "reset":
+            continue  # the HCL adds 'reset' to every module; a module with
+            # no resettable register legitimately never reads it
+        if port.direction == "input" and not df.reads_of(port.name):
+            diags.emit(
+                "unused-port",
+                f"input port {port.name!r} is never read",
+                module=module.name,
+                info=port.info,
+                signal=port.name,
+            )
+        elif port.direction == "output" and not df.drives_of(port.name):
+            diags.emit(
+                "unused-port",
+                f"output port {port.name!r} is never driven",
+                module=module.name,
+                info=port.info,
+                signal=port.name,
+            )
+
+
+def check(cdf: CircuitDataflow, diags: Diagnostics) -> None:
+    for module in cdf.circuit.modules:
+        check_module(module, cdf.modules[module.name], diags)

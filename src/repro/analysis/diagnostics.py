@@ -1,0 +1,361 @@
+"""The diagnostics engine behind ``repro lint``.
+
+Every analysis reports through this module: findings are
+:class:`Diagnostic` records carrying a stable rule ID (registered in
+:data:`RULES`), a :class:`~repro.ir.nodes.SourceInfo` locator, and a
+severity.  The engine owns the cross-cutting concerns so individual rules
+stay small:
+
+* **rule registry** — rules declare themselves once via
+  :func:`register_rule`; the DESIGN.md §10 catalog table is generated from
+  the registry (:func:`rule_catalog_markdown`) so docs cannot drift, and
+  an undeclared rule ID raises at emit time, exactly like the telemetry
+  metric registry.
+* **per-line suppression** — a frontend source line containing
+  ``lint: disable=<rule-id>[,<rule-id>...]`` (or a bare ``lint: disable``)
+  suppresses findings located on that line.  Suppressed findings are kept
+  (marked) so reports can show what was waived.
+* **output** — plain text (one ``severity[rule-id]`` line per finding)
+  and a SARIF-style JSON document for CI artifact upload.
+
+Telemetry: every unsuppressed finding increments the
+``repro_lint_findings_total`` counter (labels: ``rule``, ``severity``).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from ..ir.nodes import NO_INFO, SourceInfo
+
+# Telemetry is imported lazily (same cycle-avoidance dance as passes/base.py).
+_obs = None
+
+
+def _get_obs():
+    global _obs
+    if _obs is None:
+        from ..runtime.telemetry import obs as _o
+        _obs = _o
+    return _obs
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ordering is by increasing seriousness."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @staticmethod
+    def parse(text: str) -> "Severity":
+        try:
+            return Severity[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {text!r}") from None
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """One registered lint rule (the unit of the DESIGN.md §10 catalog)."""
+
+    rule_id: str
+    severity: Severity
+    title: str
+    description: str
+    category: str = "lint"
+
+
+#: Stable rule-ID registry.  ``Diagnostics.emit`` refuses unregistered IDs.
+RULES: dict[str, RuleSpec] = {}
+
+
+def register_rule(
+    rule_id: str,
+    severity: Severity,
+    title: str,
+    description: str,
+    category: str = "lint",
+) -> RuleSpec:
+    """Declare a rule.  IDs are permanent: re-registering one is a bug."""
+    if rule_id in RULES:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    spec = RuleSpec(rule_id, severity, title, description, category)
+    RULES[rule_id] = spec
+    return spec
+
+
+def rule_catalog_markdown() -> str:
+    """The DESIGN.md §10 rule table, generated from :data:`RULES`."""
+    lines = [
+        "| rule | severity | category | meaning |",
+        "|---|---|---|---|",
+    ]
+    for rule_id in sorted(RULES):
+        spec = RULES[rule_id]
+        lines.append(
+            f"| `{spec.rule_id}` | {spec.severity} | {spec.category} "
+            f"| {spec.description} |"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class Diagnostic:
+    """One finding: rule, severity, message, and a source locator."""
+
+    rule: str
+    severity: Severity
+    message: str
+    module: str = ""
+    info: SourceInfo = NO_INFO
+    signal: Optional[str] = None
+    suppressed: bool = False
+
+    @property
+    def locator(self) -> str:
+        return str(self.info)
+
+    def format(self) -> str:
+        where = f" [{self.module}]" if self.module else ""
+        loc = f" {self.locator}" if self.info.file else ""
+        mark = " (suppressed)" if self.suppressed else ""
+        return f"{self.severity}[{self.rule}]{where} {self.message}{loc}{mark}"
+
+    def to_json(self) -> dict:
+        out = {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "module": self.module,
+        }
+        if self.info.file:
+            out["file"] = self.info.file
+            out["line"] = self.info.line
+        if self.signal:
+            out["signal"] = self.signal
+        if self.suppressed:
+            out["suppressed"] = True
+        return out
+
+
+#: The in-source suppression marker.  Anything after it is a comma list of
+#: rule IDs; an empty list suppresses every rule on that line.
+SUPPRESS_MARKER = "lint: disable"
+
+
+def _parse_suppression(line: str) -> Optional[set[str]]:
+    """Rule IDs waived by ``line``, or ``None`` if it has no marker.
+
+    An empty set means "suppress everything on this line".
+    """
+    index = line.find(SUPPRESS_MARKER)
+    if index < 0:
+        return None
+    rest = line[index + len(SUPPRESS_MARKER):]
+    if rest.startswith("="):
+        ids = {part.strip() for part in rest[1:].split(",")}
+        return {i for i in ids if i} or set()
+    return set()
+
+
+class SuppressionIndex:
+    """Resolves ``SourceInfo`` locators to in-source suppression markers.
+
+    ``SourceInfo.file`` holds a base name (the HCL records
+    ``Path(filename).name``), so the index scans ``search_paths``
+    recursively once and maps base names to real files.  Ambiguous base
+    names keep the first match (search paths are ordered).
+    """
+
+    def __init__(self, search_paths: Iterable[Path] = ()) -> None:
+        self._files: dict[str, Path] = {}
+        self._lines: dict[str, list[str]] = {}
+        for root in search_paths:
+            root = Path(root)
+            if root.is_file():
+                self._files.setdefault(root.name, root)
+                continue
+            if not root.is_dir():
+                continue
+            for path in sorted(root.rglob("*")):
+                if path.is_file() and path.suffix in (".py", ".fir"):
+                    self._files.setdefault(path.name, path)
+
+    def _source_line(self, file: str, line: int) -> Optional[str]:
+        if file not in self._lines:
+            path = self._files.get(Path(file).name)
+            if path is None:
+                self._lines[file] = []
+            else:
+                try:
+                    self._lines[file] = path.read_text().splitlines()
+                except OSError:
+                    self._lines[file] = []
+        lines = self._lines[file]
+        if 0 < line <= len(lines):
+            return lines[line - 1]
+        return None
+
+    def is_suppressed(self, diag: Diagnostic) -> bool:
+        if not diag.info.file:
+            return False
+        text = self._source_line(diag.info.file, diag.info.line)
+        if text is None:
+            return False
+        waived = _parse_suppression(text)
+        if waived is None:
+            return False
+        return not waived or diag.rule in waived
+
+
+class Diagnostics:
+    """A sink of findings with suppression, counting, and rendering."""
+
+    def __init__(self, suppressions: Optional[SuppressionIndex] = None) -> None:
+        self.suppressions = suppressions
+        self.findings: list[Diagnostic] = []
+
+    def emit(
+        self,
+        rule: str,
+        message: str,
+        module: str = "",
+        info: SourceInfo = NO_INFO,
+        signal: Optional[str] = None,
+        severity: Optional[Severity] = None,
+    ) -> Diagnostic:
+        spec = RULES.get(rule)
+        if spec is None:
+            raise KeyError(
+                f"undeclared rule id {rule!r}: register it in "
+                "repro.analysis.diagnostics.RULES (and DESIGN.md §10)"
+            )
+        diag = Diagnostic(rule, severity or spec.severity, message, module, info, signal)
+        if self.suppressions is not None and self.suppressions.is_suppressed(diag):
+            diag.suppressed = True
+        else:
+            obs = _get_obs()
+            if obs.enabled:
+                obs.inc(
+                    "repro_lint_findings_total",
+                    rule=rule,
+                    severity=str(diag.severity),
+                )
+        self.findings.append(diag)
+        return diag
+
+    def extend(self, other: "Diagnostics") -> None:
+        self.findings.extend(other.findings)
+
+    # -- selection -----------------------------------------------------------
+
+    @property
+    def unsuppressed(self) -> list[Diagnostic]:
+        return [d for d in self.findings if not d.suppressed]
+
+    def at_least(self, severity: Severity) -> list[Diagnostic]:
+        """Unsuppressed findings at or above ``severity``."""
+        return [d for d in self.unsuppressed if d.severity >= severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.unsuppressed if d.severity == Severity.WARNING]
+
+    def by_rule(self, rule: str) -> list[Diagnostic]:
+        return [d for d in self.findings if d.rule == rule]
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for diag in self.unsuppressed:
+            out[str(diag.severity)] = out.get(str(diag.severity), 0) + 1
+        return out
+
+    # -- rendering -----------------------------------------------------------
+
+    def format_text(self, show_suppressed: bool = False) -> str:
+        shown = [
+            d for d in self.findings if show_suppressed or not d.suppressed
+        ]
+        ordered = sorted(
+            shown,
+            key=lambda d: (-int(d.severity), d.module, d.info.file, d.info.line, d.rule),
+        )
+        lines = [d.format() for d in ordered]
+        counts = self.counts()
+        summary = ", ".join(
+            f"{counts[s]} {s}{'s' if counts[s] != 1 else ''}"
+            for s in ("error", "warning", "info")
+            if s in counts
+        ) or "no findings"
+        waived = sum(1 for d in self.findings if d.suppressed)
+        if waived:
+            summary += f" ({waived} suppressed)"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_sarif(self, tool_name: str = "repro-lint") -> dict:
+        """SARIF-style JSON: one run, registry-driven rule metadata."""
+        used = sorted({d.rule for d in self.findings})
+        levels = {Severity.ERROR: "error", Severity.WARNING: "warning", Severity.INFO: "note"}
+        results = []
+        for diag in self.findings:
+            entry: dict = {
+                "ruleId": diag.rule,
+                "level": levels[diag.severity],
+                "message": {"text": diag.message},
+            }
+            if diag.module:
+                entry["properties"] = {"module": diag.module}
+                if diag.signal:
+                    entry["properties"]["signal"] = diag.signal
+            if diag.info.file:
+                entry["locations"] = [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": diag.info.file},
+                            "region": {"startLine": diag.info.line},
+                        }
+                    }
+                ]
+            if diag.suppressed:
+                entry["suppressions"] = [{"kind": "inSource"}]
+            results.append(entry)
+        return {
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": tool_name,
+                            "rules": [
+                                {
+                                    "id": rid,
+                                    "shortDescription": {"text": RULES[rid].title},
+                                    "fullDescription": {"text": RULES[rid].description},
+                                    "defaultConfiguration": {
+                                        "level": levels[RULES[rid].severity]
+                                    },
+                                }
+                                for rid in used
+                            ],
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }
+
+    def to_json(self, tool_name: str = "repro-lint") -> str:
+        return json.dumps(self.to_sarif(tool_name), indent=2, sort_keys=True)

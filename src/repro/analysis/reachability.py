@@ -1,0 +1,260 @@
+"""Tiered cover reachability: abstract interpretation first, BMC second.
+
+The paper's answer to dead cover points is a formal backend (our
+``backends/formal/bmc.py``), but bit-blasting and SAT-solving every cover
+of every design is orders of magnitude more work than most points need.
+This module runs the cheap tier first:
+
+1. **static screen** — the known-bits/interval interpreter
+   (:mod:`repro.analysis.absint`) runs over the *flattened* circuit, so
+   constants tied off at instantiation sites (the §5.5 read-only-I$
+   pattern) propagate into each instance's logic.  Covers proven
+   ``always-false`` are *statically unreachable*; a structural refinement
+   additionally proves toggle-coverage bits dead when the toggled signal's
+   bit is constant (the shadow-register correlation the interpreter's
+   independent-attribute domain cannot see).
+2. **BMC residue** — only covers the screen left ``unknown`` are handed
+   to the bounded model checker, sharing one incremental solver.
+
+Verdicts are keyed by *canonical* cover name (``inst.path.name``), so a
+module instantiated twice — one instance dead, one live — gets per-
+instance verdicts; :func:`apply_verdicts` records the statically-dead
+keys in the :class:`~repro.coverage.common.CoverageDB` exclusions table,
+which the report generators subtract from coverage denominators.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ir.nodes import Connect, Cover, Module, PrimOp, Ref, UIntLiteral
+from ..ir.traversal import walk_stmts
+from ..passes.base import CompileState
+from .absint import ModuleAbstract
+from .dataflow import ModuleDataflow, get_dataflow
+
+#: verdict values: how and what was decided
+STATIC_UNREACHABLE = "static-unreachable"
+STATIC_ALWAYS = "static-always"
+BMC_REACHABLE = "bmc-reachable"
+BMC_UNREACHABLE = "bmc-unreachable"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class CoverVerdict:
+    """One cover's reachability verdict and which tier produced it."""
+
+    name: str        # canonical hierarchical cover key
+    local: str       # flat-module cover name (BMC / simulator namespace)
+    verdict: str
+    tier: str        # "static" | "bmc" | "none"
+    detail: str = ""
+
+    @property
+    def unreachable(self) -> bool:
+        return self.verdict in (STATIC_UNREACHABLE, BMC_UNREACHABLE)
+
+
+@dataclass
+class ReachabilityResult:
+    """The tiered flow's output over one (flattened) circuit."""
+
+    bound: int
+    verdicts: dict[str, CoverVerdict] = field(default_factory=dict)
+    #: SAT solve() invocations consumed by the BMC tier (0 = static only)
+    sat_solve_calls: int = 0
+    seconds: float = 0.0
+
+    def by_verdict(self, verdict: str) -> list[str]:
+        return sorted(n for n, v in self.verdicts.items() if v.verdict == verdict)
+
+    @property
+    def statically_resolved(self) -> list[str]:
+        return sorted(n for n, v in self.verdicts.items() if v.tier == "static")
+
+    @property
+    def unreachable(self) -> list[str]:
+        return sorted(n for n, v in self.verdicts.items() if v.unreachable)
+
+    def format(self) -> str:
+        counts: dict[str, int] = {}
+        for v in self.verdicts.values():
+            counts[v.verdict] = counts.get(v.verdict, 0) + 1
+        summary = ", ".join(f"{n} {k}" for k, n in sorted(counts.items()))
+        lines = [
+            f"tiered reachability, k={self.bound}: {summary or 'no covers'} "
+            f"({self.sat_solve_calls} SAT calls, {self.seconds:.2f}s)"
+        ]
+        for name in sorted(self.verdicts):
+            v = self.verdicts[name]
+            mark = "-" if v.unreachable else "+"
+            detail = f" ({v.detail})" if v.detail else ""
+            lines.append(f"  {mark} {name}: {v.verdict} [{v.tier}]{detail}")
+        return "\n".join(lines)
+
+    def to_json_obj(self) -> dict:
+        return {
+            "bound": self.bound,
+            "sat_solve_calls": self.sat_solve_calls,
+            "verdicts": {
+                n: {"verdict": v.verdict, "tier": v.tier, "detail": v.detail}
+                for n, v in sorted(self.verdicts.items())
+            },
+        }
+
+
+def _toggle_constant_bit(abstract: ModuleAbstract, df: ModuleDataflow,
+                         cover: Cover) -> bool:
+    """Refinement for toggle-shaped covers the generic screen cannot kill.
+
+    A stuck-at-1 bit leaves ``xor(sig, prev)`` *unknown* to the
+    interpreter (``prev`` starts at 0, so its abstraction covers both
+    values) even though ``sig``'s bit is proven constant.  The shadow
+    register correlates with the signal after the first cycle, and the
+    ``seen`` enable masks exactly that first cycle — so a constant signal
+    bit means the cover can never fire.  This function verifies the full
+    structural pattern before trusting that argument.
+    """
+    pred = cover.pred
+    if not (isinstance(pred, PrimOp) and pred.op == "bits"):
+        return False
+    hi, lo = pred.consts
+    if hi != lo:
+        return False
+    bit = lo
+    # the predicate must select from a node defined as xor(sig, prev)
+    if not isinstance(pred.args[0], Ref):
+        return False
+    diff_decl = df.decls.get(pred.args[0].name)
+    diff = getattr(diff_decl, "value", None)
+    if not (isinstance(diff, PrimOp) and diff.op == "xor" and len(diff.args) == 2):
+        return False
+    # the enable must be a first-cycle guard: an uninitialized register
+    # whose only next-value is the constant 1 (starts 0, then sticks at 1)
+    en = cover.en
+    if not (isinstance(en, Ref) and en.name in df.registers):
+        return False
+    en_decl = df.decls[en.name]
+    if en_decl.init is not None:
+        return False
+    en_nexts = [s.expr for s in df.drivers.get(en.name, []) if isinstance(s, Connect)]
+    if len(en_nexts) != 1 or not (
+        isinstance(en_nexts[0], UIntLiteral) and en_nexts[0].value == 1
+    ):
+        return False
+    # one xor operand is the shadow register, the other the signal; the
+    # shadow's only next-value must be exactly the signal expression
+    for sig, prev in ((diff.args[0], diff.args[1]), (diff.args[1], diff.args[0])):
+        if not (isinstance(prev, Ref) and prev.name in df.registers):
+            continue
+        prev_decl = df.decls[prev.name]
+        if prev_decl.init is not None:
+            continue
+        nexts = [s.expr for s in df.drivers.get(prev.name, []) if isinstance(s, Connect)]
+        if len(nexts) == 1 and nexts[0] == sig:
+            value = abstract.eval(sig)
+            if (value.known >> bit) & 1:
+                return True
+    return False
+
+
+def screen_module(module: Module,
+                  dataflow: Optional[ModuleDataflow] = None) -> dict[str, tuple[str, str]]:
+    """Static tier over one low-form module.
+
+    Returns ``local cover name -> (classification, detail)`` where the
+    classification is ``always-false`` / ``always-true`` / ``unknown``.
+    """
+    covers = [s for s in walk_stmts(module.body) if isinstance(s, Cover)]
+    if not covers:
+        return {}
+    abstract = ModuleAbstract(module, dataflow)
+    df = abstract.df
+    out: dict[str, tuple[str, str]] = {}
+    for cover in covers:
+        verdict = abstract.classify_cover(cover)
+        detail = "predicate constant"
+        if verdict == "unknown" and _toggle_constant_bit(abstract, df, cover):
+            verdict = "always-false"
+            detail = "signal bit constant (untoggleable)"
+        out[cover.name] = (verdict, detail if verdict != "unknown" else "")
+    return out
+
+
+def tiered_reachability(
+    state: CompileState,
+    bound: int = 20,
+    reset_cycles: int = 1,
+    use_bmc: bool = True,
+) -> ReachabilityResult:
+    """Run the static screen, then BMC on the residue.
+
+    ``state`` should hold a *flattened* circuit (single top module) so
+    instantiation-site constants reach the logic they disable;
+    ``state.cover_paths`` (from ``InlineInstances``) maps flat cover names
+    back to canonical keys.  Unflattened circuits work too — each module
+    is screened in isolation and instance ports are unconstrained.
+    """
+    started = time.perf_counter()
+    result = ReachabilityResult(bound)
+    circuit = state.circuit
+    cover_paths = state.cover_paths or {}
+    cdf = get_dataflow(state)
+
+    def canonical(local: str) -> str:
+        return cover_paths.get(local, local)
+
+    unknown_local: list[str] = []
+    for module in circuit.modules:
+        screened = screen_module(module, cdf.modules.get(module.name))
+        for local, (classification, detail) in screened.items():
+            name = canonical(local)
+            if classification == "always-false":
+                result.verdicts[name] = CoverVerdict(
+                    name, local, STATIC_UNREACHABLE, "static", detail)
+            elif classification == "always-true":
+                result.verdicts[name] = CoverVerdict(
+                    name, local, STATIC_ALWAYS, "static", detail)
+            else:
+                result.verdicts[name] = CoverVerdict(name, local, UNKNOWN, "none")
+                unknown_local.append(local)
+
+    if use_bmc and unknown_local:
+        from ..backends.formal.bmc import BoundedModelChecker
+
+        checker = BoundedModelChecker(state, bound, reset_cycles=reset_cycles)
+        for local in unknown_local:
+            # the checker's model names covers canonically (build_model
+            # applies cover_paths), so query by canonical key
+            name = canonical(local)
+            trace = checker.query(name)
+            if trace.reachable:
+                result.verdicts[name] = CoverVerdict(
+                    name, local, BMC_REACHABLE, "bmc",
+                    f"witness at cycle {trace.cycle}")
+            else:
+                result.verdicts[name] = CoverVerdict(
+                    name, local, BMC_UNREACHABLE, "bmc",
+                    f"no witness within {bound} cycles")
+        result.sat_solve_calls = checker.solver.solve_calls
+
+    result.seconds = time.perf_counter() - started
+    return result
+
+
+def apply_verdicts(db, result: ReachabilityResult) -> int:
+    """Record statically-dead covers in the coverage DB's exclusions table.
+
+    Only *static* verdicts go in: a ``bmc-unreachable`` is relative to the
+    bound, not a proof, so it must not shrink the denominator.  Returns
+    the number of exclusions added.
+    """
+    added = 0
+    for name, verdict in result.verdicts.items():
+        if verdict.verdict == STATIC_UNREACHABLE:
+            db.exclude(name, f"statically unreachable: {verdict.detail}")
+            added += 1
+    return added

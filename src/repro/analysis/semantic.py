@@ -1,0 +1,77 @@
+"""Semantic lints backed by the abstract interpreter.
+
+The interesting one: covers whose predicate is *provably* constant.  An
+always-false cover is a coverage hole no amount of simulation can close
+(and silently deflates the report's denominator — the reachability flow
+in :mod:`repro.analysis.reachability` consumes the same classification to
+fix that); an always-true cover fires every cycle and measures nothing.
+
+Classification runs per module on the lowered (``ExpandWhens``-ed) body;
+constants feeding in through instance ports are only visible after
+``InlineInstances``, which is why lint reports what it can prove locally
+and the tiered reachability flow re-runs the interpreter on the flat
+circuit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.nodes import Cover, Module
+from ..ir.traversal import walk_stmts
+from .absint import ModuleAbstract
+from .dataflow import ModuleDataflow
+from .diagnostics import Diagnostics, Severity, register_rule
+
+register_rule(
+    "cover-const-false",
+    Severity.WARNING,
+    "cover can never fire",
+    "Abstract interpretation proves the cover's predicate (or enable) is "
+    "zero at every reachable cycle; the point is unreachable and deflates "
+    "the coverage denominator.",
+    category="semantic",
+)
+register_rule(
+    "cover-const-true",
+    Severity.INFO,
+    "cover fires every cycle",
+    "Abstract interpretation proves the cover's predicate and enable are "
+    "one at every reachable cycle; the point measures nothing.",
+    category="semantic",
+)
+
+
+def check_lowered_module(
+    module: Module,
+    diags: Diagnostics,
+    dataflow: Optional[ModuleDataflow] = None,
+) -> dict[str, str]:
+    """Classify every cover in a low-form module; returns name -> verdict."""
+    covers = [s for s in walk_stmts(module.body) if isinstance(s, Cover)]
+    if not covers:
+        return {}
+    abstract = ModuleAbstract(module, dataflow)
+    verdicts: dict[str, str] = {}
+    for cover in covers:
+        verdict = abstract.classify_cover(cover)
+        verdicts[cover.name] = verdict
+        if verdict == "always-false":
+            diags.emit(
+                "cover-const-false",
+                f"cover {cover.name!r} is statically unreachable "
+                "(predicate proven constant zero)",
+                module=module.name,
+                info=cover.info,
+                signal=cover.name,
+            )
+        elif verdict == "always-true":
+            diags.emit(
+                "cover-const-true",
+                f"cover {cover.name!r} fires on every cycle "
+                "(predicate proven constant one)",
+                module=module.name,
+                info=cover.info,
+                signal=cover.name,
+            )
+    return verdicts

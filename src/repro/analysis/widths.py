@@ -1,0 +1,135 @@
+"""Width-truncation and signedness-mix lints.
+
+``CheckForms`` rejects a connect that would truncate — so by the time IR
+exists, the HCL frontend has already *made it legal* by narrowing the RHS
+(and inserting an ``asUInt``/``asSInt`` cast when the signedness
+disagreed).  Perfectly well-formed IR, silently lossy intent.
+
+Telling *silent* truncation apart from *intended* narrowing is the whole
+game: ``count <<= count + 1`` truncates too (Chisel-style width-preserving
+arithmetic), and an explicit user slice ``x <<= req[15:0]`` narrows by
+construction — flagging those would drown the report.  Both of them reach
+the connect as ``bits(x, w-1, 0)``; the frontend's connect-site narrowing
+is emitted as ``tail(x, dropped)`` instead (see ``Value._trunc_implicit``)
+precisely so this rule fires only where the user never asked for bits to
+be dropped.  Sign reinterpretation is judged the same way: the *source*
+operand under the frontend's wrappers is compared against the target, so a
+sign-preserving round-trip (``asSInt(bits(sint_expr))``) stays quiet.
+"""
+
+from __future__ import annotations
+
+from ..ir.nodes import Connect, InstPort, Module, PrimOp, Stmt
+from ..ir.types import bit_width, is_signed
+from ..ir.traversal import stmt_exprs, walk_expr, walk_stmts
+from .dataflow import CircuitDataflow
+from .diagnostics import Diagnostics, Severity, register_rule
+
+register_rule(
+    "width-trunc",
+    Severity.WARNING,
+    "connect silently truncates",
+    "The right-hand side of a connect is wider than its target and gets "
+    "truncated (the frontend inserts the bits() for you); high-order bits "
+    "are dropped without any indication at the connect site.",
+    category="width",
+)
+register_rule(
+    "sign-mix",
+    Severity.WARNING,
+    "signed/unsigned mixing",
+    "A connect reinterprets signedness via an implicit asUInt/asSInt "
+    "cast, or a primitive op mixes signed and unsigned operands whose "
+    "interpretation differs; the numeric value can silently change.",
+    category="width",
+)
+
+#: two-operand ops whose result depends on the signed *interpretation* of
+#: operands (``cat`` concatenates raw bits and is exempt)
+_SIGN_SENSITIVE = {
+    "add", "sub", "mul", "div", "rem",
+    "lt", "leq", "gt", "geq", "eq", "neq",
+    "and", "or", "xor",
+}
+
+#: bitwise ops operate on raw bits — signedness only matters when the
+#: operands get extended to a common width (zero- vs sign-extension);
+#: at equal widths ``x & ~1`` style masking with a signed literal is safe
+_BITWISE = {"and", "or", "xor"}
+
+
+def _target_name(stmt: Connect) -> str:
+    loc = stmt.loc
+    if isinstance(loc, InstPort):
+        return f"{loc.instance}.{loc.port}"
+    return loc.name
+
+
+def _check_connect(stmt: Connect, module: Module, diags: Diagnostics) -> None:
+    target = _target_name(stmt)
+    expr = stmt.expr
+    # peel the frontend's wrappers: [asUInt/asSInt] over [tail|bits]
+    cast = None
+    if isinstance(expr, PrimOp) and expr.op in ("asUInt", "asSInt"):
+        cast = expr
+        expr = expr.args[0]
+    source = expr
+    implicit_trunc = (
+        isinstance(expr, PrimOp) and expr.op == "tail" and expr.consts[0] > 0
+    )
+    if implicit_trunc:
+        source = expr.args[0]
+        diags.emit(
+            "width-trunc",
+            f"connect to {target!r} truncates {source.tpe} to "
+            f"{bit_width(expr.tpe)} bits",
+            module=module.name,
+            info=stmt.info,
+            signal=target,
+        )
+    elif isinstance(expr, PrimOp) and expr.op == "bits" and expr.consts[1] == 0:
+        # explicit slice or width-preserving arithmetic: the narrowing is
+        # intended, but peel it so the sign check sees the real source
+        source = expr.args[0]
+    if (cast is not None or implicit_trunc) and is_signed(
+        source.tpe
+    ) != is_signed(stmt.loc.tpe):
+        diags.emit(
+            "sign-mix",
+            f"connect to {target!r} ({stmt.loc.tpe}) reinterprets "
+            f"{source.tpe}",
+            module=module.name,
+            info=stmt.info,
+            signal=target,
+        )
+
+
+def _check_primops(stmt: Stmt, module: Module, diags: Diagnostics) -> None:
+    for root in stmt_exprs(stmt):
+        for expr in walk_expr(root):
+            if not isinstance(expr, PrimOp) or expr.op not in _SIGN_SENSITIVE:
+                continue
+            signs = {is_signed(a.tpe) for a in expr.args}
+            widths = {bit_width(a.tpe) for a in expr.args}
+            if expr.op in _BITWISE and len(widths) == 1:
+                continue
+            if len(signs) > 1:
+                operands = ", ".join(str(a.tpe) for a in expr.args)
+                diags.emit(
+                    "sign-mix",
+                    f"{expr.op}({operands}) mixes signed and unsigned operands",
+                    module=module.name,
+                    info=stmt.info,
+                )
+
+
+def check_module(module: Module, diags: Diagnostics) -> None:
+    for stmt in walk_stmts(module.body):
+        if isinstance(stmt, Connect):
+            _check_connect(stmt, module, diags)
+        _check_primops(stmt, module, diags)
+
+
+def check(cdf: CircuitDataflow, diags: Diagnostics) -> None:
+    for module in cdf.circuit.modules:
+        check_module(module, diags)

@@ -68,6 +68,9 @@ class Solver:
         self.ok = True
         self.conflicts = 0
         self.decisions = 0
+        #: solve() invocations — the tiered reachability flow asserts the
+        #: static screen resolved its covers without ever reaching here
+        self.solve_calls = 0
 
     # -- problem construction ----------------------------------------------------
 
@@ -257,6 +260,7 @@ class Solver:
 
     def solve(self, assumptions: Iterable[int] = (), max_conflicts: Optional[int] = None) -> SolveResult:
         """Solve under optional assumption literals."""
+        self.solve_calls += 1
         if not self.ok:
             return SolveResult(False)
         self._backtrack(0)

@@ -22,6 +22,7 @@ from pathlib import Path
 from .coverage import (
     CoverageDB,
     all_cover_names,
+    apply_exclusions,
     counts_from_json,
     counts_to_json,
     fsm_report,
@@ -43,6 +44,50 @@ def _load(path: str):
     return parse_circuit(Path(path).read_text())
 
 
+def _bundled_designs() -> dict:
+    """name -> elaborated circuit for every bundled example design."""
+    from . import designs
+    from .hcl import Module, elaborate
+
+    out = {}
+    for name in sorted(designs.__all__):
+        obj = getattr(designs, name)
+        if isinstance(obj, type) and issubclass(obj, Module) and obj is not Module:
+            out[name] = elaborate(obj())
+    return out
+
+
+def _resolve_circuit(spec: str):
+    """``spec`` is a ``.fir`` path or the name of a bundled design class."""
+    path = Path(spec)
+    if path.exists():
+        return parse_circuit(path.read_text())
+    from . import designs
+    from .hcl import Module, elaborate
+
+    obj = getattr(designs, spec, None)
+    if isinstance(obj, type) and issubclass(obj, Module):
+        return elaborate(obj())
+    raise SystemExit(f"{spec}: not a circuit file and not a bundled design")
+
+
+def _add_format_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (json is machine-readable; lint emits SARIF)",
+    )
+
+
+def _emit_result(args: argparse.Namespace, text: str, json_obj) -> None:
+    """The one ``--format {text,json}`` implementation lint/bmc/reachability share."""
+    if args.format == "json":
+        payload = json_obj() if callable(json_obj) else json_obj
+        _write(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+               getattr(args, "output", None))
+    else:
+        _write(text + "\n", getattr(args, "output", None))
+
+
 def _write(text: str, path: str | None) -> None:
     if path:
         Path(path).write_text(text)
@@ -59,14 +104,69 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_print(args: argparse.Namespace) -> int:
-    state = lower(_load(args.circuit), optimize=args.optimize, flatten=args.flatten)
+    state = lower(_load(args.circuit), optimize=args.optimize,
+                  flatten=args.flatten, check_passes=args.check_passes)
     _write(print_circuit(state.circuit), args.output)
     return 0
 
 
 def cmd_verilog(args: argparse.Namespace) -> int:
-    state = lower(_load(args.circuit), flatten=args.flatten)
+    state = lower(_load(args.circuit), flatten=args.flatten,
+                  check_passes=args.check_passes)
     _write(emit_verilog(state.circuit), args.output)
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import Diagnostics, Severity, SuppressionIndex, lint_circuit
+
+    if not args.all_designs and not args.circuit:
+        print("lint: give a circuit file/design name or --all-designs",
+              file=sys.stderr)
+        return 2
+    if args.all_designs:
+        circuits = _bundled_designs()
+    else:
+        circuits = {args.circuit: _resolve_circuit(args.circuit)}
+    search = [Path(__file__).parent / "designs"]
+    if not args.all_designs and Path(args.circuit).exists():
+        search.append(Path(args.circuit).parent)
+    suppressions = SuppressionIndex(search)
+    combined = Diagnostics(suppressions)
+    for _name, circuit in sorted(circuits.items()):
+        combined.extend(
+            lint_circuit(
+                circuit,
+                suppressions=suppressions,
+                semantic_tier=not args.no_semantic,
+            )
+        )
+    _emit_result(args, combined.format_text(), combined.to_sarif)
+    return 1 if combined.at_least(Severity.WARNING) else 0
+
+
+def cmd_reachability(args: argparse.Namespace) -> int:
+    from .analysis import apply_verdicts, tiered_reachability
+
+    circuit = _resolve_circuit(args.circuit)
+    if args.metric:
+        inst_state, _db = instrument(circuit, metrics=args.metric)
+        circuit = inst_state.circuit
+    state = lower(circuit, flatten=True)
+    result = tiered_reachability(
+        state, bound=args.bound, use_bmc=not args.no_bmc
+    )
+    _emit_result(args, result.format(), result.to_json_obj)
+    if args.update_db:
+        db = CoverageDB.from_json(
+            Path(args.update_db).read_text(), source=args.update_db
+        )
+        added = apply_verdicts(db, result)
+        Path(args.update_db).write_text(db.to_json())
+        print(
+            f"recorded {added} exclusion(s) in {args.update_db}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -290,6 +390,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         Path(args.html).write_text(html_report(db, counts, circuit))
         print(f"wrote {args.html}")
         return 0
+    counts, excluded = apply_exclusions(counts, db)
     sections = []
     if "line" in db.entries:
         sections.append(line_report(db, counts, circuit).format())
@@ -299,6 +400,13 @@ def cmd_report(args: argparse.Namespace) -> int:
         sections.append(fsm_report(db, counts, circuit).format())
     if "ready_valid" in db.entries:
         sections.append(ready_valid_report(db, counts, circuit).format())
+    if excluded:
+        lines = [
+            f"excluded from denominator ({len(excluded)} points):"
+        ]
+        for name, reason in sorted(excluded.items()):
+            lines.append(f"  - {name}: {reason}")
+        sections.append("\n".join(lines))
     print("\n\n".join(sections))
     return 0
 
@@ -308,8 +416,27 @@ def cmd_bmc(args: argparse.Namespace) -> int:
 
     state = lower(_load(args.circuit), flatten=True)
     result = generate_cover_traces(state, bound=args.bound)
-    print(result.format())
-    return 0 if not args.expect_all_reachable or not result.unreachable else 1
+
+    def json_obj():
+        return {
+            "bound": result.bound,
+            "reachable": {
+                n: {"cycle": result.traces[n].cycle} for n in result.reachable
+            },
+            "unreachable": result.unreachable,
+        }
+
+    _emit_result(args, result.format(), json_obj)
+    if args.expect_all_reachable and result.unreachable:
+        print(
+            f"{len(result.unreachable)} cover(s) not reachable within "
+            f"{args.bound} cycles:",
+            file=sys.stderr,
+        )
+        for name in result.unreachable:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -327,13 +454,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output")
     p.add_argument("--flatten", action="store_true")
     p.add_argument("--no-optimize", dest="optimize", action="store_false")
+    p.add_argument("--check-passes", action="store_true",
+                   help="re-lint after every pipeline pass; fail at the "
+                        "stage that introduces a violation")
     p.set_defaults(fn=cmd_print)
 
     p = sub.add_parser("verilog", help="emit structural Verilog")
     p.add_argument("circuit")
     p.add_argument("-o", "--output")
     p.add_argument("--flatten", action="store_true")
+    p.add_argument("--check-passes", action="store_true",
+                   help="re-lint after every pipeline pass; fail at the "
+                        "stage that introduces a violation")
     p.set_defaults(fn=cmd_verilog)
+
+    p = sub.add_parser("lint", help="run the static analysis rules")
+    p.add_argument("circuit", nargs="?",
+                   help="a .fir file or a bundled design name (e.g. Gcd)")
+    p.add_argument("--all-designs", action="store_true",
+                   help="lint every bundled example design")
+    p.add_argument("--no-semantic", action="store_true",
+                   help="skip the abstract-interpretation tier")
+    p.add_argument("-o", "--output")
+    _add_format_arg(p)
+    p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "reachability",
+        help="tiered cover reachability: static screen, then BMC residue",
+    )
+    p.add_argument("circuit",
+                   help="a .fir file or a bundled design name (e.g. Gcd)")
+    p.add_argument("-m", "--metric", action="append",
+                   choices=["line", "toggle", "fsm", "ready_valid", "mux_toggle"],
+                   help="instrument with these metrics before screening")
+    p.add_argument("--bound", type=int, default=20)
+    p.add_argument("--no-bmc", action="store_true",
+                   help="static tier only; residue stays 'unknown'")
+    p.add_argument("--update-db", metavar="COVDB",
+                   help="record statically-unreachable covers as exclusions "
+                        "in this coverage DB")
+    p.add_argument("-o", "--output")
+    _add_format_arg(p)
+    p.set_defaults(fn=cmd_reachability)
 
     p = sub.add_parser("instrument", help="add coverage instrumentation")
     p.add_argument("circuit")
@@ -405,7 +568,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bmc", help="formal cover trace generation")
     p.add_argument("circuit")
     p.add_argument("--bound", type=int, default=20)
-    p.add_argument("--expect-all-reachable", action="store_true")
+    p.add_argument("--expect-all-reachable", action="store_true",
+                   help="exit 1 (naming the covers on stderr) if any "
+                        "queried cover has no witness within the bound")
+    p.add_argument("-o", "--output")
+    _add_format_arg(p)
     p.set_defaults(fn=cmd_bmc)
 
     return parser

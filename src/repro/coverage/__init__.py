@@ -34,11 +34,13 @@ from .common import (
     InvalidCountsError,
     aggregate_by_module,
     all_cover_names,
+    apply_exclusions,
     checked_merge_counts,
     count_issues,
     counts_from_json,
     counts_to_json,
     covered_points,
+    excluded_module_covers,
     filter_covered,
     merge_counts,
 )
@@ -118,6 +120,8 @@ def instrument(
 __all__ = [
     "ALL_METRICS",
     "AliasInfo",
+    "apply_exclusions",
+    "excluded_module_covers",
     "COVERAGE_DB_VERSION",
     "CoverageDB",
     "CoverageDBError",

@@ -44,12 +44,27 @@ class CoverageDB:
 
     ``entries[metric][module][cover_name]`` is a JSON-compatible payload
     whose schema is metric specific (see each pass module).
+
+    ``exclusions`` maps *canonical* hierarchical cover keys
+    (``inst.path.name``) to a human-readable reason the point is excluded
+    from coverage denominators — typically a static unreachability proof
+    from :mod:`repro.analysis.reachability`.  Canonical (not module-level)
+    keys matter: a module instantiated twice can be dead in one instance
+    and live in the other (the paper's read-only-I$ finding, §5.5).
     """
 
     entries: dict[str, dict[str, dict[str, Any]]] = field(default_factory=dict)
+    exclusions: dict[str, str] = field(default_factory=dict)
 
     def add(self, metric: str, module: str, cover_name: str, payload: Any) -> None:
         self.entries.setdefault(metric, {}).setdefault(module, {})[cover_name] = payload
+
+    def exclude(self, cover_key: str, reason: str) -> None:
+        """Mark a canonical cover key as excluded from denominators."""
+        self.exclusions[cover_key] = reason
+
+    def is_excluded(self, cover_key: str) -> bool:
+        return cover_key in self.exclusions
 
     def get(self, metric: str, module: str) -> dict[str, Any]:
         return self.entries.get(metric, {}).get(module, {})
@@ -77,7 +92,7 @@ class CoverageDB:
         mis-locate every report line for that cover, so the collision
         raises :class:`CoverageDBError` naming the key instead.
         """
-        merged = CoverageDB(json.loads(json.dumps(self.entries)))
+        merged = CoverageDB(json.loads(json.dumps(self.entries)), dict(self.exclusions))
         for metric, modules in other.entries.items():
             for module, covers in modules.items():
                 existing = merged.entries.get(metric, {}).get(module, {})
@@ -89,16 +104,22 @@ class CoverageDB:
                             f"{existing[name]!r} != {payload!r}"
                         )
                     merged.add(metric, module, name, payload)
+        # exclusion proofs union; when both sides excluded the same key the
+        # first reason wins (both agree the point is out of the denominator)
+        for key, reason in other.exclusions.items():
+            merged.exclusions.setdefault(key, reason)
         return merged
 
     # -- serialization ---------------------------------------------------------
 
     def to_json(self) -> str:
-        return json.dumps(
-            {"version": COVERAGE_DB_VERSION, "entries": self.entries},
-            indent=2,
-            sort_keys=True,
-        )
+        payload: dict[str, Any] = {
+            "version": COVERAGE_DB_VERSION,
+            "entries": self.entries,
+        }
+        if self.exclusions:
+            payload["exclusions"] = self.exclusions
+        return json.dumps(payload, indent=2, sort_keys=True)
 
     @staticmethod
     def from_json(text: str, source: Optional[str] = None) -> "CoverageDB":
@@ -141,7 +162,15 @@ class CoverageDB:
                         f"metric {metric!r}, module {module!r}: "
                         "expected an object of cover payloads"
                     )
-        return CoverageDB(entries)
+        exclusions = data.get("exclusions", {})
+        if not isinstance(exclusions, dict):
+            raise fail(
+                f"non-object 'exclusions' field (got {type(exclusions).__name__})"
+            )
+        for key, reason in exclusions.items():
+            if not isinstance(reason, str):
+                raise fail(f"exclusion {key!r}: reason must be a string")
+        return CoverageDB(entries, exclusions)
 
 
 class InstanceTree:
@@ -263,6 +292,27 @@ def checked_merge_counts(
     return merge_counts(*cleaned, counter_width=counter_width)
 
 
+def apply_exclusions(counts: CoverCounts, db: CoverageDB) -> tuple[CoverCounts, dict[str, str]]:
+    """Split counts into (countable, excluded-with-reason) by the DB's table.
+
+    The first map is what reports should compute percentages over; the
+    second is what they should *show* so an excluded point is visibly
+    excluded rather than silently gone.  A nonzero count on an excluded
+    key is kept in the excluded map (the reason string still explains why
+    it is out of the denominator) — report generators may flag it, since a
+    hit on a "statically unreachable" point means the proof and the
+    hardware disagree.
+    """
+    countable: CoverCounts = {}
+    excluded: dict[str, str] = {}
+    for name, count in counts.items():
+        if name in db.exclusions:
+            excluded[name] = db.exclusions[name]
+        else:
+            countable[name] = count
+    return countable, excluded
+
+
 def covered_points(counts: CoverCounts, threshold: int = 1) -> set[str]:
     """Cover points hit at least ``threshold`` times."""
     return {name for name, count in counts.items() if count >= threshold}
@@ -284,6 +334,31 @@ def aggregate_by_module(counts: CoverCounts, tree: InstanceTree) -> dict[tuple[s
     for key, count in counts.items():
         module_cover = tree.resolve(key)
         out[module_cover] = out.get(module_cover, 0) + count
+    return out
+
+
+def excluded_module_covers(db: CoverageDB, tree: InstanceTree) -> set[tuple[str, str]]:
+    """Module-level cover keys excluded at *every* instance path.
+
+    Exclusions are canonical (per-instance) but report generators
+    aggregate by module, so a ``(module, cover_name)`` pair leaves a
+    report's denominator only when no instance of that module can reach
+    it — a module dead in one instance and live in another (the
+    read-only-I$ / writable-D$ pair) keeps its covers countable.
+    """
+    if not db.exclusions:
+        return set()
+    resolved: set[tuple[str, str]] = set()
+    for key in db.exclusions:
+        try:
+            resolved.add(tree.resolve(key))
+        except KeyError:
+            continue  # stale key from another circuit revision
+    out: set[tuple[str, str]] = set()
+    for module, local in resolved:
+        paths = tree.instance_paths(module)
+        if paths and all(f"{p}{local}" in db.exclusions for p in paths):
+            out.add((module, local))
     return out
 
 

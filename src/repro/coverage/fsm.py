@@ -288,12 +288,15 @@ class FsmCoverageReport:
 
 
 def fsm_report(db: CoverageDB, counts, circuit: Circuit) -> FsmCoverageReport:
-    from .common import InstanceTree, aggregate_by_module
+    from .common import InstanceTree, aggregate_by_module, excluded_module_covers
 
     tree = InstanceTree(circuit)
     by_module = aggregate_by_module(counts, tree)
+    excluded = excluded_module_covers(db, tree)
     fsms: dict[tuple[str, str], dict] = {}
     for module, cover_name, payload in db.covers_of(METRIC):
+        if (module, cover_name) in excluded:
+            continue  # statically unreachable at every instance
         key = (module, payload["register"])
         data = fsms.setdefault(
             key, {"enum": payload["enum"], "states": {}, "transitions": {}}

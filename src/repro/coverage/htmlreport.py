@@ -13,7 +13,7 @@ import html
 from typing import Optional
 
 from ..ir.nodes import Circuit
-from .common import CoverageDB, CoverCounts
+from .common import CoverageDB, CoverCounts, apply_exclusions
 from .fsm import fsm_report
 from .line import line_report
 from .readyvalid import ready_valid_report
@@ -140,13 +140,23 @@ def html_report(
     ``sources`` optionally maps file names to source lines for annotated
     line coverage.  The output is a single self-contained page.
     """
+    counts, excluded = apply_exclusions(counts, db)
+    summary = (
+        f"<p>{len(counts)} cover points, "
+        f"{sum(1 for c in counts.values() if c)} covered"
+    )
+    if excluded:
+        summary += (
+            f" ({len(excluded)} excluded from the denominator as "
+            "statically unreachable)"
+        )
+    summary += "</p>"
     parts = [
         "<!DOCTYPE html><html><head><meta charset='utf-8'>",
         f"<title>{html.escape(title)}</title>",
         f"<style>{_STYLE}</style></head><body>",
         f"<h1>{html.escape(title)}</h1>",
-        f"<p>{len(counts)} cover points, "
-        f"{sum(1 for c in counts.values() if c)} covered</p>",
+        summary,
     ]
     if "line" in db.entries:
         parts.extend(_line_section(db, counts, circuit, sources))
@@ -156,5 +166,18 @@ def html_report(
         parts.extend(_fsm_section(db, counts, circuit))
     if "ready_valid" in db.entries:
         parts.extend(_ready_valid_section(db, counts, circuit))
+    if excluded:
+        parts.append(
+            "<h2>Excluded cover points</h2>"
+            "<p>Proven unreachable by the static screen; counting them "
+            "as coverable would deflate every percentage above.</p><table>"
+            "<tr><th>cover point</th><th>reason</th></tr>"
+        )
+        for name, reason in sorted(excluded.items()):
+            parts.append(
+                f"<tr><td>{html.escape(name)}</td>"
+                f"<td>{html.escape(reason)}</td></tr>"
+            )
+        parts.append("</table>")
     parts.append("</body></html>")
     return "\n".join(parts)

@@ -156,11 +156,16 @@ def line_report(db: CoverageDB, counts: CoverCounts, circuit: Circuit) -> LineCo
     Counts from multiple instances of the same module are summed, so a line
     is covered if any instance executed it.
     """
+    from .common import excluded_module_covers
+
     tree = InstanceTree(circuit)
     by_module = aggregate_by_module(counts, tree)
+    excluded = excluded_module_covers(db, tree)
     files: dict[str, FileLineCoverage] = {}
     branch_counts: dict[tuple[str, str], int] = {}
     for module, cover_name, payload in db.covers_of(METRIC):
+        if (module, cover_name) in excluded:
+            continue  # statically unreachable at every instance
         count = by_module.get((module, cover_name), 0)
         branch_counts[(module, cover_name)] = count
         for file, line in payload["lines"]:

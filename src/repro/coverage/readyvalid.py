@@ -97,11 +97,14 @@ class ReadyValidReport:
 
 
 def ready_valid_report(db: CoverageDB, counts, circuit: Circuit) -> ReadyValidReport:
-    from .common import InstanceTree, aggregate_by_module
+    from .common import InstanceTree, aggregate_by_module, excluded_module_covers
 
     tree = InstanceTree(circuit)
     by_module = aggregate_by_module(counts, tree)
+    excluded = excluded_module_covers(db, tree)
     bundles: dict[tuple[str, str], int] = {}
     for module, cover_name, payload in db.covers_of(METRIC):
+        if (module, cover_name) in excluded:
+            continue  # statically unreachable at every instance
         bundles[(module, payload["bundle"])] = by_module.get((module, cover_name), 0)
     return ReadyValidReport(bundles)

@@ -232,12 +232,15 @@ class ToggleCoverageReport:
 
 def toggle_report(db: CoverageDB, counts, circuit: Circuit) -> ToggleCoverageReport:
     """Build the toggle report from simulator counts (summed over instances)."""
-    from .common import InstanceTree, aggregate_by_module
+    from .common import InstanceTree, aggregate_by_module, excluded_module_covers
 
     tree = InstanceTree(circuit)
     by_module = aggregate_by_module(counts, tree)
+    excluded = excluded_module_covers(db, tree)
     signals: dict[tuple[str, str], dict[int, int]] = {}
     for module, cover_name, payload in db.covers_of(METRIC):
+        if (module, cover_name) in excluded:
+            continue  # untoggleable bit: out of the denominator
         key = (module, payload["signal"])
         signals.setdefault(key, {})[payload["bit"]] = by_module.get((module, cover_name), 0)
     return ToggleCoverageReport(signals)

@@ -224,7 +224,7 @@ class ModuleBuilder:
         if rhs_v.width < target.width:
             rhs_v = rhs_v.pad(target.width)
         elif rhs_v.width > target.width:
-            rhs_v = Value(target._trunc(rhs_v.expr, target.width))
+            rhs_v = Value(target._trunc_implicit(rhs_v.expr, target.width))
         if rhs_v.signed != target.signed:
             rhs_v = rhs_v.as_sint() if target.signed else rhs_v.as_uint()
         assert isinstance(target.expr, (n.Ref, n.InstPort))

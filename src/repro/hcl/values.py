@@ -75,6 +75,21 @@ class Value:
             return n.prim("asSInt", sliced)
         return sliced
 
+    def _trunc_implicit(self, expr: n.Expr, width: int) -> n.Expr:
+        """Connect-site truncation the user never wrote.
+
+        Emits ``tail`` rather than ``bits`` so the ``width-trunc`` lint can
+        tell frontend-inserted narrowing apart from an explicit user slice
+        (both would otherwise read ``bits(x, w-1, 0)`` in the IR).
+        """
+        dropped = bit_width(expr.tpe) - width
+        if dropped <= 0:
+            return self._trunc(expr, width)
+        sliced = n.prim("tail", expr, consts=[dropped])
+        if self.signed:
+            return n.prim("asSInt", sliced)
+        return sliced
+
     # -- arithmetic (width preserving, Chisel style) --------------------------
 
     def _arith(self, op: str, other: IntOrValue) -> "Value":

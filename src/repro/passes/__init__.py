@@ -19,14 +19,30 @@ from .flatten import InlineInstances, sort_statements
 from ..ir.nodes import Circuit
 
 
-def lower(circuit: Circuit, optimize: bool = True, flatten: bool = False) -> CompileState:
-    """Run the standard lowering pipeline over ``circuit``."""
+def lower(
+    circuit: Circuit,
+    optimize: bool = True,
+    flatten: bool = False,
+    check_passes: bool = False,
+) -> CompileState:
+    """Run the standard lowering pipeline over ``circuit``.
+
+    ``check_passes=True`` interleaves a strict lint pass after every
+    pipeline stage, so a transform that introduces a violation (e.g. a
+    combinational loop) fails at the stage that caused it.
+    """
     passes: list[Pass] = [CheckForms(), ExpandWhens()]
     if optimize:
         passes += [ConstProp(), DeadCodeElimination()]
     if flatten:
         passes.append(InlineInstances())
-    return compile_circuit(circuit, passes)
+    interleave: Pass | None = None
+    if check_passes:
+        # local import: repro.analysis imports from repro.passes.base
+        from ..analysis import LintPass
+
+        interleave = LintPass(strict=True)
+    return compile_circuit(circuit, passes, interleave=interleave)
 
 
 __all__ = [

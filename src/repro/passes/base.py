@@ -58,21 +58,39 @@ class Pass:
 
 
 class PassManager:
-    """Runs a pipeline of passes, recording per-pass history."""
+    """Runs a pipeline of passes, recording per-pass history.
 
-    def __init__(self, passes: Iterable[Pass] = ()) -> None:
+    ``interleave`` names an analysis pass to re-run after every pipeline
+    pass — the ``--check-passes`` mode: interleaving a strict
+    :class:`~repro.analysis.LintPass` pins the transform that introduced
+    a violation to the exact pipeline position, instead of discovering it
+    at the end with no attribution.
+    """
+
+    def __init__(self, passes: Iterable[Pass] = (),
+                 interleave: Optional[Pass] = None) -> None:
         self.passes: list[Pass] = list(passes)
+        self.interleave = interleave
         self.history: list[str] = []
 
     def add(self, p: Pass) -> "PassManager":
         self.passes.append(p)
         return self
 
+    def _pipeline(self) -> list[Pass]:
+        if self.interleave is None:
+            return list(self.passes)
+        seq: list[Pass] = []
+        for p in self.passes:
+            seq.append(p)
+            seq.append(self.interleave)
+        return seq
+
     def run(self, state: CompileState) -> CompileState:
         obs = _get_obs()
         if obs.enabled:
             import time
-            for p in self.passes:
+            for p in self._pipeline():
                 with obs.span("pass:" + p.name, cat="compile"):
                     started = time.perf_counter()
                     state = p.run(state)
@@ -83,12 +101,13 @@ class PassManager:
                     )
                 self.history.append(p.name)
             return state
-        for p in self.passes:
+        for p in self._pipeline():
             state = p.run(state)
             self.history.append(p.name)
         return state
 
 
-def compile_circuit(circuit: Circuit, passes: Iterable[Pass]) -> CompileState:
+def compile_circuit(circuit: Circuit, passes: Iterable[Pass],
+                    interleave: Optional[Pass] = None) -> CompileState:
     """Convenience wrapper: run ``passes`` over a fresh compile state."""
-    return PassManager(passes).run(CompileState(circuit))
+    return PassManager(passes, interleave=interleave).run(CompileState(circuit))

@@ -3,9 +3,17 @@
 Run early (after elaboration) and optionally between passes as a debugging
 aid.  Checks: unique declarations, def-before-use, type sanity on connects
 and predicates, clock typing, and instance/port validity.
+
+Violations are collected through the diagnostics engine
+(:mod:`repro.analysis.diagnostics`) so one run reports *every* problem
+with its ``@[file:line]`` locator, instead of dying on the first.  The
+pass stays strict for its callers: if anything was found, ``run`` raises
+:class:`PassError` at the end carrying the full report.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from ..ir.nodes import (
     Circuit,
@@ -22,9 +30,11 @@ from ..ir.nodes import (
     MemWrite,
     Module,
     Mux,
+    NO_INFO,
     PrimOp,
     Ref,
     SIntLiteral,
+    SourceInfo,
     Stmt,
     Stop,
     UIntLiteral,
@@ -34,38 +44,112 @@ from ..ir.types import ClockType, bit_width, is_signed
 from .base import CompileState, Pass, PassError
 
 
+def _register_check_rules() -> None:
+    # Local import: repro.analysis.diagnostics imports nothing from
+    # repro.passes, but keeping the dependency out of module import time
+    # preserves the existing import graph for everything that pulls in
+    # repro.passes without ever running CheckForms.
+    from ..analysis.diagnostics import RULES, Severity, register_rule
+
+    if "check-undeclared" in RULES:
+        return
+    register_rule(
+        "check-undeclared",
+        Severity.ERROR,
+        "use before declaration",
+        "A reference names a signal, memory, instance, or module that was "
+        "never declared (or not declared yet: the IR requires "
+        "def-before-use).",
+        category="check",
+    )
+    register_rule(
+        "check-type",
+        Severity.ERROR,
+        "type error",
+        "An expression or statement violates the IR's typing rules: "
+        "mismatched reference types, non-1-bit predicates, clocks used as "
+        "data, signedness or width violations on connects.",
+        category="check",
+    )
+    register_rule(
+        "check-duplicate",
+        Severity.ERROR,
+        "duplicate declaration",
+        "Two declarations (signals, memories, instances, modules, or "
+        "cover/stop labels) share one name; references would be ambiguous.",
+        category="check",
+    )
+    register_rule(
+        "check-structure",
+        Severity.ERROR,
+        "malformed structure",
+        "The circuit shape itself is invalid: unknown statement or "
+        "expression kinds, a missing main module, bad memory geometry, or "
+        "a connect driving something that cannot be driven.",
+        category="check",
+    )
+
+
+class _CheckFailed(Exception):
+    """Internal: aborts the current statement, checking continues after."""
+
+
 class _ModuleChecker:
-    def __init__(self, circuit: Circuit, module: Module) -> None:
+    def __init__(self, circuit: Circuit, module: Module, diags) -> None:
         self.circuit = circuit
         self.module = module
+        self.diags = diags
         self.types: dict[str, object] = {p.name: p.type for p in module.ports}
         self.mems: dict[str, DefMemory] = {}
         self.instances: dict[str, str] = {}
+        self._info: SourceInfo = NO_INFO
 
-    def fail(self, message: str) -> None:
-        raise PassError(f"[{self.module.name}] {message}")
+    def fail(self, message: str, rule: str = "check-structure") -> None:
+        self.diags.emit(
+            rule,
+            message,
+            module=self.module.name,
+            info=self._info,
+        )
+        raise _CheckFailed
 
     # -- expressions ---------------------------------------------------------
 
     def check_expr(self, expr: Expr) -> None:
         if isinstance(expr, Ref):
             if expr.name not in self.types:
-                self.fail(f"use of undeclared signal {expr.name!r}")
+                self.fail(
+                    f"use of undeclared signal {expr.name!r}",
+                    "check-undeclared",
+                )
             declared = self.types[expr.name]
             if declared != expr.type:
                 self.fail(
-                    f"reference {expr.name!r} has type {expr.type}, declared as {declared}"
+                    f"reference {expr.name!r} has type {expr.type}, "
+                    f"declared as {declared}",
+                    "check-type",
                 )
         elif isinstance(expr, InstPort):
             module_name = self.instances.get(expr.instance)
             if module_name is None:
-                self.fail(f"use of undeclared instance {expr.instance!r}")
+                self.fail(
+                    f"use of undeclared instance {expr.instance!r}",
+                    "check-undeclared",
+                )
             child = self.circuit.module(module_name)
-            port = child.port(expr.port)  # raises KeyError if missing
+            try:
+                port = child.port(expr.port)
+            except KeyError:
+                self.fail(
+                    f"instance port {expr.instance}.{expr.port} does not "
+                    f"exist on module {module_name!r}",
+                    "check-undeclared",
+                )
             if port.type != expr.type:
                 self.fail(
                     f"instance port {expr.instance}.{expr.port} has type "
-                    f"{expr.type}, declared as {port.type}"
+                    f"{expr.type}, declared as {port.type}",
+                    "check-type",
                 )
         elif isinstance(expr, (UIntLiteral, SIntLiteral)):
             pass
@@ -73,16 +157,22 @@ class _ModuleChecker:
             for a in expr.args:
                 self.check_expr(a)
                 if isinstance(a.tpe, ClockType):
-                    self.fail(f"clock used as data operand in {expr.op}")
+                    self.fail(
+                        f"clock used as data operand in {expr.op}",
+                        "check-type",
+                    )
         elif isinstance(expr, Mux):
             self.check_expr(expr.cond)
             self.check_expr(expr.tval)
             self.check_expr(expr.fval)
             if bit_width(expr.cond.tpe) != 1:
-                self.fail("mux condition must be one bit")
+                self.fail("mux condition must be one bit", "check-type")
         elif isinstance(expr, MemRead):
             if expr.mem not in self.mems:
-                self.fail(f"read of undeclared memory {expr.mem!r}")
+                self.fail(
+                    f"read of undeclared memory {expr.mem!r}",
+                    "check-undeclared",
+                )
             self.check_expr(expr.addr)
         else:
             self.fail(f"unknown expression kind: {expr!r}")
@@ -90,21 +180,47 @@ class _ModuleChecker:
     def check_pred(self, expr: Expr, what: str) -> None:
         self.check_expr(expr)
         if bit_width(expr.tpe) != 1 or is_signed(expr.tpe):
-            self.fail(f"{what} must be UInt<1>, got {expr.tpe}")
+            self.fail(f"{what} must be UInt<1>, got {expr.tpe}", "check-type")
 
     def check_clock(self, expr: Expr) -> None:
         self.check_expr(expr)
         if not isinstance(expr.tpe, ClockType):
-            self.fail(f"expected a clock, got {expr.tpe}")
+            self.fail(f"expected a clock, got {expr.tpe}", "check-type")
 
     # -- statements ----------------------------------------------------------
 
     def declare(self, name: str, tpe: object) -> None:
         if name in self.types or name in self.mems or name in self.instances:
-            self.fail(f"duplicate declaration of {name!r}")
+            self.fail(
+                f"duplicate declaration of {name!r}", "check-duplicate"
+            )
         self.types[name] = tpe
 
+    def _declare_best_effort(self, stmt: Stmt) -> None:
+        """Register a failed statement's declaration anyway.
+
+        Checking continues past a bad statement; without this, every later
+        use of the name it declared would cascade into a spurious
+        ``check-undeclared``.
+        """
+        if isinstance(stmt, DefNode):
+            self.types.setdefault(stmt.name, stmt.value.tpe)
+        elif isinstance(stmt, (DefWire, DefRegister)):
+            self.types.setdefault(stmt.name, stmt.type)
+        elif isinstance(stmt, DefMemory):
+            self.mems.setdefault(stmt.name, stmt)
+        elif isinstance(stmt, DefInstance):
+            self.instances.setdefault(stmt.name, stmt.module)
+
+    def check_stmt_collect(self, stmt: Stmt) -> None:
+        """Check one statement; a violation is recorded, not propagated."""
+        try:
+            self.check_stmt(stmt)
+        except _CheckFailed:
+            self._declare_best_effort(stmt)
+
     def check_stmt(self, stmt: Stmt) -> None:
+        self._info = getattr(stmt, "info", NO_INFO) or NO_INFO
         if isinstance(stmt, DefNode):
             self.check_expr(stmt.value)
             self.declare(stmt.name, stmt.value.tpe)
@@ -114,38 +230,58 @@ class _ModuleChecker:
             self.declare(stmt.name, stmt.type)
             self.check_clock(stmt.clock)
             if (stmt.reset is None) != (stmt.init is None):
-                self.fail(f"register {stmt.name!r} has reset without init (or vice versa)")
+                self.fail(
+                    f"register {stmt.name!r} has reset without init "
+                    "(or vice versa)",
+                    "check-type",
+                )
             if stmt.reset is not None:
                 self.check_pred(stmt.reset, "register reset")
             if stmt.init is not None:
                 self.check_expr(stmt.init)
         elif isinstance(stmt, DefMemory):
             if stmt.name in self.types or stmt.name in self.mems:
-                self.fail(f"duplicate declaration of {stmt.name!r}")
+                self.fail(
+                    f"duplicate declaration of {stmt.name!r}",
+                    "check-duplicate",
+                )
             if stmt.depth < 1:
                 self.fail(f"memory {stmt.name!r} has bad depth {stmt.depth}")
             self.mems[stmt.name] = stmt
         elif isinstance(stmt, DefInstance):
             if stmt.name in self.types or stmt.name in self.instances:
-                self.fail(f"duplicate declaration of {stmt.name!r}")
+                self.fail(
+                    f"duplicate declaration of {stmt.name!r}",
+                    "check-duplicate",
+                )
             try:
                 self.circuit.module(stmt.module)
             except KeyError:
-                self.fail(f"instance of unknown module {stmt.module!r}")
+                self.fail(
+                    f"instance of unknown module {stmt.module!r}",
+                    "check-undeclared",
+                )
             self.instances[stmt.name] = stmt.module
         elif isinstance(stmt, Connect):
             self.check_expr(stmt.loc)
             self.check_expr(stmt.expr)
             loc_t, expr_t = stmt.loc.tpe, stmt.expr.tpe
             if isinstance(loc_t, ClockType) != isinstance(expr_t, ClockType):
-                self.fail(f"clock/data mismatch in connect to {stmt.loc}")
+                self.fail(
+                    f"clock/data mismatch in connect to {stmt.loc}",
+                    "check-type",
+                )
             if not isinstance(loc_t, ClockType):
                 if is_signed(loc_t) != is_signed(expr_t):
-                    self.fail(f"signedness mismatch in connect to {stmt.loc}")
+                    self.fail(
+                        f"signedness mismatch in connect to {stmt.loc}",
+                        "check-type",
+                    )
                 if bit_width(expr_t) > bit_width(loc_t):
                     self.fail(
                         f"connect to {stmt.loc} would truncate "
-                        f"({bit_width(expr_t)} -> {bit_width(loc_t)} bits)"
+                        f"({bit_width(expr_t)} -> {bit_width(loc_t)} bits)",
+                        "check-type",
                     )
             if isinstance(stmt.loc, Ref):
                 # ports: only outputs are assignable; wires/regs always
@@ -158,7 +294,10 @@ class _ModuleChecker:
                     self.fail(f"connect drives instance output {stmt.loc}")
         elif isinstance(stmt, MemWrite):
             if stmt.mem not in self.mems:
-                self.fail(f"write to undeclared memory {stmt.mem!r}")
+                self.fail(
+                    f"write to undeclared memory {stmt.mem!r}",
+                    "check-undeclared",
+                )
             self.check_expr(stmt.addr)
             self.check_expr(stmt.data)
             self.check_pred(stmt.en, "memory write enable")
@@ -166,9 +305,9 @@ class _ModuleChecker:
         elif isinstance(stmt, When):
             self.check_pred(stmt.pred, "when predicate")
             for inner in stmt.conseq:
-                self.check_stmt(inner)
+                self.check_stmt_collect(inner)
             for inner in stmt.alt:
-                self.check_stmt(inner)
+                self.check_stmt_collect(inner)
         elif isinstance(stmt, (Cover, Stop)):
             self.check_clock(stmt.clock)
             self.check_pred(stmt.pred, f"{type(stmt).__name__.lower()} predicate")
@@ -177,31 +316,68 @@ class _ModuleChecker:
             self.fail(f"unknown statement kind: {stmt!r}")
 
 
+def check_circuit(circuit: Circuit, diags=None):
+    """Collect every well-formedness violation in ``circuit``.
+
+    Returns the :class:`~repro.analysis.diagnostics.Diagnostics` holding
+    whatever was found (empty = well-formed).  This is the report-all
+    engine behind :class:`CheckForms`; lint-style callers can use it
+    directly without the raise-at-end behaviour.
+    """
+    from ..analysis.diagnostics import Diagnostics
+
+    _register_check_rules()
+    if diags is None:
+        diags = Diagnostics()
+
+    def circuit_fail(message: str, rule: str = "check-structure",
+                     module: Optional[str] = None) -> None:
+        diags.emit(rule, message, module=module or circuit.main)
+
+    names = circuit.module_names()
+    if len(set(names)) != len(names):
+        circuit_fail("duplicate module names in circuit", "check-duplicate")
+    try:
+        circuit.top
+    except KeyError:
+        circuit_fail(f"main module {circuit.main!r} not found",
+                     "check-undeclared")
+        return diags
+    from ..ir.traversal import walk_stmts
+
+    for module in circuit.modules:
+        checker = _ModuleChecker(circuit, module, diags)
+        for stmt in module.body:
+            checker.check_stmt_collect(stmt)
+        seen: set[str] = set()
+        for stmt in walk_stmts(module.body):
+            if isinstance(stmt, (Cover, Stop)):
+                if stmt.name in seen:
+                    diags.emit(
+                        "check-duplicate",
+                        f"duplicate cover/stop name {stmt.name!r}",
+                        module=module.name,
+                        info=getattr(stmt, "info", NO_INFO) or NO_INFO,
+                    )
+                seen.add(stmt.name)
+    return diags
+
+
 class CheckForms(Pass):
-    """Structural well-formedness verification."""
+    """Structural well-formedness verification.
+
+    Collects *all* violations (see :func:`check_circuit`) and raises one
+    :class:`PassError` carrying the full multi-line report, so a broken
+    circuit surfaces every problem in a single compile instead of one per
+    run.
+    """
 
     def run(self, state: CompileState) -> CompileState:
-        circuit = state.circuit
-        names = circuit.module_names()
-        if len(set(names)) != len(names):
-            raise PassError("duplicate module names in circuit")
-        try:
-            circuit.top
-        except KeyError:
-            raise PassError(f"main module {circuit.main!r} not found") from None
-        cover_names: dict[str, set[str]] = {}
-        for module in circuit.modules:
-            checker = _ModuleChecker(circuit, module)
-            for stmt in module.body:
-                checker.check_stmt(stmt)
-            seen = cover_names.setdefault(module.name, set())
-            from ..ir.traversal import walk_stmts
-
-            for stmt in walk_stmts(module.body):
-                if isinstance(stmt, (Cover, Stop)):
-                    if stmt.name in seen:
-                        raise PassError(
-                            f"[{module.name}] duplicate cover/stop name {stmt.name!r}"
-                        )
-                    seen.add(stmt.name)
+        diags = check_circuit(state.circuit)
+        errors = diags.errors
+        if errors:
+            listing = "\n".join(d.format() for d in errors)
+            raise PassError(
+                f"{len(errors)} well-formedness error(s):\n{listing}"
+            )
         return state

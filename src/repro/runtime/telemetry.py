@@ -163,6 +163,11 @@ METRICS: dict[str, tuple[str, tuple[str, ...], str]] = {
         "histogram", ("pass",),
         "Wall-clock duration of one compiler pass.",
     ),
+    "repro_lint_findings_total": (
+        "counter", ("rule", "severity"),
+        "Unsuppressed lint findings emitted by the analysis framework, "
+        "by rule ID and severity.",
+    ),
 }
 
 

@@ -1,0 +1,159 @@
+"""The value-set component of the abstract domain (reduced product).
+
+Known bits and intervals cannot represent "the FSM visits {0, 1, 2, 5}"
+— every bit varies and the hull contains the dead states.  These tests
+pin the third lattice: exact small sets, their reduction against the
+other two components, exact transfer through ``ops.eval_op``, and the
+overflow-to-``None`` behavior that bounds the chain height.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.absint import (
+    VSET_MAX,
+    AbsVal,
+    const,
+    eval_primop,
+    join,
+    make,
+    top,
+    widen,
+)
+from repro.ir import Ref, UIntType, mask, prim
+
+
+def _vset_val(width: int, values) -> AbsVal:
+    m = mask(width)
+    return make(width, 0, 0, 0, m, frozenset(values))
+
+
+class TestReduction:
+    def test_singleton_promotes_to_const(self):
+        av = _vset_val(4, {9})
+        assert av.is_const and av.const_value == 9
+
+    def test_set_tightens_interval(self):
+        av = _vset_val(4, {3, 5, 9})
+        assert (av.lo, av.hi) == (3, 9)
+
+    def test_set_derives_agreeing_known_bits(self):
+        # {4, 5, 6, 7} = 0b1xx: bit 2 is provably one, bit 3 provably zero
+        av = _vset_val(4, {4, 5, 6, 7})
+        assert av.known & 0b1100 == 0b1100
+        assert av.value & 0b1100 == 0b0100
+
+    def test_known_bits_filter_the_set(self):
+        # bit 0 proven one: even members are unreachable and drop out
+        av = make(4, 0b0001, 0b0001, 0, 15, frozenset({2, 3, 4, 5}))
+        assert av.vset == frozenset({3, 5})
+
+    def test_interval_filters_the_set(self):
+        av = make(4, 0, 0, 2, 6, frozenset({0, 3, 5, 9}))
+        assert av.vset == frozenset({3, 5})
+
+    def test_oversized_set_overflows_to_none(self):
+        av = _vset_val(8, set(range(VSET_MAX + 1)))
+        assert av.vset is None
+
+    def test_contradictory_set_keeps_box(self):
+        # no member satisfies the box: the set is dropped, not the box
+        av = make(4, 0b0001, 0b0001, 0, 15, frozenset({2, 4}))
+        assert av.vset is None
+        assert av.contains(3)
+
+
+class TestLattice:
+    def test_join_unions_small_sets(self):
+        a = _vset_val(4, {1, 2})
+        b = _vset_val(4, {5})
+        assert join(a, b).vset == frozenset({1, 2, 5})
+
+    def test_join_overflow_drops_set(self):
+        a = _vset_val(8, set(range(VSET_MAX)))
+        b = _vset_val(8, {200})
+        assert join(a, b).vset is None
+
+    def test_join_with_top_is_top_set(self):
+        assert join(_vset_val(4, {1, 2}), top(4)).vset is None
+
+    def test_widen_preserves_set(self):
+        old = _vset_val(4, {0, 1})
+        new = _vset_val(4, {0, 1, 2})
+        assert widen(old, new).vset == frozenset({0, 1, 2})
+
+    @given(
+        st.integers(1, 8),
+        st.lists(st.integers(0, 255), min_size=1, max_size=6),
+        st.lists(st.integers(0, 255), min_size=1, max_size=6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_join_soundness(self, width, raws_a, raws_b):
+        m = mask(width)
+        raws_a = [r & m for r in raws_a]
+        raws_b = [r & m for r in raws_b]
+        a = _vset_val(width, raws_a)
+        b = _vset_val(width, raws_b)
+        joined = join(a, b)
+        for raw in raws_a + raws_b:
+            assert joined.contains(raw)
+
+
+class TestExactTransfer:
+    def test_eq_against_excluded_constant_is_false(self):
+        u3 = UIntType(3)
+        expr = prim("eq", Ref("state", u3), Ref("k", u3))
+        state = _vset_val(3, {0, 1, 2, 5})
+        out = eval_primop(expr, [state, const(3, 3)])
+        assert out.is_const and out.const_value == 0
+
+    def test_eq_against_member_is_unknown(self):
+        u3 = UIntType(3)
+        expr = prim("eq", Ref("state", u3), Ref("k", u3))
+        state = _vset_val(3, {0, 1, 2, 5})
+        out = eval_primop(expr, [state, const(2, 3)])
+        assert not out.is_const
+
+    def test_add_maps_sets_exactly(self):
+        u3 = UIntType(3)
+        expr = prim("add", Ref("a", u3), Ref("b", u3))
+        out = eval_primop(expr, [_vset_val(3, {1, 4}), _vset_val(3, {2})])
+        assert out.vset == frozenset({3, 6})
+
+    def test_large_products_fall_back_to_box(self):
+        u8 = UIntType(8)
+        expr = prim("add", Ref("a", u8), Ref("b", u8))
+        a = _vset_val(8, set(range(16)))
+        b = _vset_val(8, set(range(100, 116)))
+        out = eval_primop(expr, [a, b])  # 256 combos is the cap; fine
+        assert out is not None
+        big = _vset_val(8, set(range(16)))
+        out2 = eval_primop(expr, [big, _vset_val(8, set(range(17)))])
+        # 16 * 17 > VSET_COMBOS: no exact image, but still sound
+        assert out2.contains(0 + 0)
+
+    @given(
+        st.sampled_from(["add", "sub", "and", "or", "xor", "eq", "lt", "mul"]),
+        st.integers(1, 6),
+        st.lists(st.integers(0, 63), min_size=1, max_size=4),
+        st.lists(st.integers(0, 63), min_size=1, max_size=4),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_transfer_soundness_vs_concrete(self, op, width, raws_a, raws_b):
+        from repro.ir import bit_width, eval_op
+
+        tpe = UIntType(width)
+        m = mask(width)
+        raws_a = [r & m for r in raws_a]
+        raws_b = [r & m for r in raws_b]
+        expr = prim(op, Ref("a", tpe), Ref("b", tpe))
+        out = eval_primop(expr, [_vset_val(width, raws_a), _vset_val(width, raws_b)])
+        for ra in raws_a:
+            for rb in raws_b:
+                concrete = eval_op(op, [ra, rb], [tpe, tpe], [])
+                assert out.contains(concrete), (
+                    f"{op}({ra}, {rb}) = {concrete} escapes {out}"
+                )
+        assert out.width == bit_width(expr.tpe)

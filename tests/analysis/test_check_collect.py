@@ -1,0 +1,100 @@
+"""CheckForms on the diagnostics engine: all violations in one run.
+
+The old checker raised on the first problem; migrated onto the
+diagnostics engine it must report *every* violation with a locator,
+while ``CheckForms.run`` keeps the strict raise-at-end contract its
+pipeline callers rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Severity
+from repro.ir import (
+    CLOCK,
+    Circuit,
+    Connect,
+    DefNode,
+    Module,
+    Port,
+    Ref,
+    SourceInfo,
+    UIntType,
+    prim,
+)
+from repro.passes.base import CompileState, PassError
+from repro.passes.check import CheckForms, check_circuit
+
+U8 = UIntType(8)
+
+
+def _multi_bug_circuit() -> Circuit:
+    """Three independent violations in one module."""
+    module = Module(
+        "Buggy",
+        [
+            Port("clock", "input", CLOCK),
+            Port("out", "output", U8),
+        ],
+        [
+            # 1: reads an undeclared signal
+            DefNode(
+                "a",
+                prim("not", Ref("ghost", U8)),
+                info=SourceInfo("bug.py", 3),
+            ),
+            # 2: duplicate declaration
+            DefNode("a", Ref("out", U8), info=SourceInfo("bug.py", 4)),
+            # 3: drives an input port
+            Connect(Ref("clock", CLOCK), Ref("clock", CLOCK), info=SourceInfo("bug.py", 5)),
+            Connect(Ref("out", U8), Ref("a", U8)),
+        ],
+    )
+    return Circuit("Buggy", [module])
+
+
+class TestCollectAll:
+    def test_every_violation_reported_in_one_run(self):
+        diags = check_circuit(_multi_bug_circuit())
+        rules = sorted(d.rule for d in diags.errors)
+        assert "check-undeclared" in rules
+        assert "check-duplicate" in rules
+        assert len(diags.errors) >= 3
+
+    def test_findings_carry_source_locators(self):
+        diags = check_circuit(_multi_bug_circuit())
+        lines = {d.info.line for d in diags.errors if d.info.file == "bug.py"}
+        assert {3, 4} <= lines
+
+    def test_all_checks_are_error_severity(self):
+        diags = check_circuit(_multi_bug_circuit())
+        assert diags.errors
+        for diag in diags.findings:
+            assert diag.severity == Severity.ERROR
+
+    def test_failed_declaration_does_not_cascade(self):
+        # the duplicate 'a' still declares 'a': the final connect must not
+        # produce a spurious undeclared-signal error for it
+        diags = check_circuit(_multi_bug_circuit())
+        undeclared = [d for d in diags.errors if d.rule == "check-undeclared"]
+        assert all("ghost" in d.message for d in undeclared)
+
+
+class TestStrictContract:
+    def test_run_raises_with_every_violation_listed(self):
+        with pytest.raises(PassError) as exc:
+            CheckForms().run(CompileState(_multi_bug_circuit()))
+        text = str(exc.value)
+        assert "well-formedness error" in text
+        assert "ghost" in text
+        assert "bug.py:3" in text
+
+    def test_run_passes_clean_circuit(self):
+        module = Module(
+            "Clean",
+            [Port("clock", "input", CLOCK), Port("out", "output", U8)],
+            [Connect(Ref("out", U8), Ref("out", U8))],
+        )
+        # out reads itself; fine for well-formedness (lint flags loops)
+        CheckForms().run(CompileState(Circuit("Clean", [module])))

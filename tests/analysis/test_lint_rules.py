@@ -1,0 +1,342 @@
+"""One deliberately buggy design per lint rule.
+
+Each test builds the smallest circuit exhibiting one defect, runs the
+full lint entry point, and asserts the exact rule ID, severity, and
+source line of the finding — the locator contract is what makes findings
+actionable, so it is pinned here, not just "some finding appeared".
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Severity, lint_circuit
+from repro.ir import (
+    BOOL,
+    CLOCK,
+    TRUE,
+    Circuit,
+    Connect,
+    Cover,
+    DefInstance,
+    DefNode,
+    DefRegister,
+    DefWire,
+    InstPort,
+    Module,
+    Mux,
+    Port,
+    PrimOp,
+    Ref,
+    SIntType,
+    SourceInfo,
+    UIntLiteral,
+    UIntType,
+    prim,
+)
+
+U1 = UIntType(1)
+U4 = UIntType(4)
+U8 = UIntType(8)
+CLK = Ref("clock", CLOCK)
+
+
+def _top(body, ports=(), name="Buggy"):
+    module = Module(
+        name,
+        [Port("clock", "input", CLOCK), *ports],
+        list(body),
+    )
+    return Circuit(name, [module])
+
+
+def _findings(circuit, rule):
+    diags = lint_circuit(circuit)
+    return [d for d in diags.findings if d.rule == rule]
+
+
+def _only(circuit, rule):
+    found = _findings(circuit, rule)
+    assert len(found) == 1, [d.format() for d in found]
+    return found[0]
+
+
+class TestCombLoop:
+    def test_wire_node_cycle_flagged_at_wire_decl(self):
+        info = SourceInfo("loopy.py", 7)
+        circuit = _top(
+            [
+                DefWire("a", U8, info=info),
+                DefNode("b", prim("tail", prim("add", Ref("a", U8), UIntLiteral(1, 8)), consts=[1])),
+                Connect(Ref("a", U8), Ref("b", U8)),
+                Connect(Ref("out", U8), Ref("a", U8)),
+            ],
+            ports=[Port("out", "output", U8)],
+        )
+        diag = _only(circuit, "comb-loop")
+        assert diag.severity == Severity.ERROR
+        assert diag.info.file == "loopy.py"
+        assert diag.info.line == 7
+        assert "a" in diag.message
+
+    def test_cross_module_cycle_uses_xmodule_rule(self):
+        # child: out = not(in) combinationally; parent feeds out back to in
+        child = Module(
+            "Inverter",
+            [
+                Port("inp", "input", U1),
+                Port("out", "output", U1),
+            ],
+            [Connect(Ref("out", U1), prim("not", Ref("inp", U1)))],
+        )
+        info = SourceInfo("xloop.py", 12)
+        parent = Module(
+            "Top",
+            [Port("clock", "input", CLOCK), Port("o", "output", U1)],
+            [
+                DefInstance("u", "Inverter", info=info),
+                Connect(InstPort("u", "inp", U1), InstPort("u", "out", U1), info=info),
+                Connect(Ref("o", U1), InstPort("u", "out", U1)),
+            ],
+        )
+        circuit = Circuit("Top", [child, parent])
+        found = _findings(circuit, "comb-loop-xmodule")
+        assert found, "cross-module loop not detected"
+        diag = found[0]
+        assert diag.severity == Severity.ERROR
+        assert diag.module == "Top"
+        assert diag.info.line == 12
+
+
+class TestConstantCover:
+    def test_always_false_cover(self):
+        info = SourceInfo("deadcover.py", 21)
+        circuit = _top(
+            [
+                Cover(
+                    "never",
+                    CLK,
+                    prim("and", Ref("go", U1), UIntLiteral(0, 1)),
+                    TRUE,
+                    info=info,
+                ),
+            ],
+            ports=[Port("go", "input", U1)],
+        )
+        diag = _only(circuit, "cover-const-false")
+        assert diag.severity == Severity.WARNING
+        assert diag.info.file == "deadcover.py"
+        assert diag.info.line == 21
+        assert diag.signal == "never"
+
+    def test_always_true_cover(self):
+        info = SourceInfo("truecover.py", 5)
+        circuit = _top(
+            [Cover("always", CLK, TRUE, TRUE, info=info)],
+        )
+        diag = _only(circuit, "cover-const-true")
+        assert diag.severity == Severity.INFO
+        assert diag.info.line == 5
+
+    def test_fsm_dead_state_cover_via_value_sets(self):
+        # reachable states {0, 1, 2, 5}: neither known-bits nor the
+        # interval hull [0,5] excludes 3 — only the value-set component
+        # proves eq(state, 3) constant-0
+        u3 = UIntType(3)
+        state = Ref("state", u3)
+
+        def eqc(k):
+            return prim("eq", state, UIntLiteral(k, 3))
+
+        step = Mux.make(
+            eqc(0),
+            UIntLiteral(1, 3),
+            Mux.make(
+                eqc(1),
+                UIntLiteral(2, 3),
+                Mux.make(eqc(2), UIntLiteral(5, 3), UIntLiteral(0, 3)),
+            ),
+        )
+        info = SourceInfo("fsm.py", 33)
+        circuit = _top(
+            [
+                DefRegister(
+                    "state", u3, CLK, Ref("reset", U1), UIntLiteral(0, 3)
+                ),
+                Connect(state, Mux.make(Ref("go", U1), step, state)),
+                Cover("dead_state", CLK, eqc(3), TRUE, info=info),
+                Cover("live_state", CLK, eqc(2), TRUE),
+            ],
+            ports=[
+                Port("reset", "input", U1),
+                Port("go", "input", U1),
+            ],
+        )
+        found = _findings(circuit, "cover-const-false")
+        assert [d.signal for d in found] == ["dead_state"]
+        assert found[0].info.line == 33
+
+
+class TestDeadCode:
+    def test_unread_signal(self):
+        info = SourceInfo("dead.py", 9)
+        circuit = _top(
+            [
+                DefNode("scratch", prim("not", Ref("inp", U8)), info=info),
+                Connect(Ref("out", U8), Ref("inp", U8)),
+            ],
+            ports=[Port("inp", "input", U8), Port("out", "output", U8)],
+        )
+        diag = _only(circuit, "unread-signal")
+        assert diag.severity == Severity.WARNING
+        assert diag.signal == "scratch"
+        assert (diag.info.file, diag.info.line) == ("dead.py", 9)
+
+    def test_unwritten_wire(self):
+        info = SourceInfo("floating.py", 4)
+        circuit = _top(
+            [
+                DefWire("floaty", U8, info=info),
+                Connect(Ref("out", U8), Ref("floaty", U8)),
+            ],
+            ports=[Port("out", "output", U8)],
+        )
+        diag = _only(circuit, "unwritten-wire")
+        assert diag.signal == "floaty"
+        assert diag.info.line == 4
+        # the unread symptom is not double-reported for the same wire
+        assert not _findings(circuit, "unread-signal")
+
+    def test_unused_input_port(self):
+        info = SourceInfo("iface.py", 2)
+        circuit = _top(
+            [Connect(Ref("out", U8), Ref("used", U8))],
+            ports=[
+                Port("used", "input", U8),
+                Port("ignored", "input", U8, info=info),
+                Port("out", "output", U8),
+            ],
+        )
+        diag = _only(circuit, "unused-port")
+        assert diag.signal == "ignored"
+        assert diag.info.line == 2
+
+
+class TestWidths:
+    def test_truncating_connect(self):
+        info = SourceInfo("narrow.py", 14)
+        circuit = _top(
+            [
+                Connect(
+                    Ref("out", U4),
+                    prim("tail", Ref("wide", U8), consts=[4]),
+                    info=info,
+                )
+            ],
+            ports=[Port("wide", "input", U8), Port("out", "output", U4)],
+        )
+        diag = _only(circuit, "width-trunc")
+        assert diag.severity == Severity.WARNING
+        assert (diag.info.file, diag.info.line) == ("narrow.py", 14)
+
+    def test_explicit_user_slice_not_flagged(self):
+        # a user-written bits() slice is intentional narrowing, not a lint
+        circuit = _top(
+            [
+                Connect(
+                    Ref("out", U4),
+                    prim("bits", Ref("wide", U8), consts=[3, 0]),
+                )
+            ],
+            ports=[Port("wide", "input", U8), Port("out", "output", U4)],
+        )
+        assert not _findings(circuit, "width-trunc")
+
+    def test_sign_reinterpreting_connect(self):
+        info = SourceInfo("signs.py", 8)
+        s8 = SIntType(8)
+        circuit = _top(
+            [
+                Connect(
+                    Ref("out", U8),
+                    prim("asUInt", Ref("signed_in", s8)),
+                    info=info,
+                )
+            ],
+            ports=[Port("signed_in", "input", s8), Port("out", "output", U8)],
+        )
+        diag = _only(circuit, "sign-mix")
+        assert diag.severity == Severity.WARNING
+        assert diag.info.line == 8
+
+
+class TestClocks:
+    def test_register_clocked_by_data(self):
+        info = SourceInfo("clk.py", 3)
+        circuit = _top(
+            [
+                DefRegister("r", U8, Ref("data_clk", U1), info=info),
+                Connect(Ref("r", U8), Ref("inp", U8)),
+                Connect(Ref("out", U8), Ref("r", U8)),
+            ],
+            ports=[
+                Port("data_clk", "input", U1),
+                Port("inp", "input", U8),
+                Port("out", "output", U8),
+            ],
+        )
+        diag = _only(circuit, "non-clock-clock")
+        assert diag.severity == Severity.ERROR
+        assert diag.signal == "r"
+        assert diag.info.line == 3
+
+    def test_unsynchronized_domain_crossing(self):
+        info = SourceInfo("cdc.py", 17)
+        circuit = _top(
+            [
+                DefRegister("ra", U8, Ref("clock", CLOCK)),
+                DefRegister("rb", U8, Ref("clk2", CLOCK), info=info),
+                Connect(Ref("ra", U8), Ref("inp", U8)),
+                Connect(Ref("rb", U8), Ref("ra", U8)),
+                Connect(Ref("out", U8), Ref("rb", U8)),
+            ],
+            ports=[
+                Port("clk2", "input", CLOCK),
+                Port("inp", "input", U8),
+                Port("out", "output", U8),
+            ],
+        )
+        diag = _only(circuit, "cross-domain")
+        assert diag.severity == Severity.WARNING
+        assert diag.signal == "rb"
+        assert "ra" in diag.message
+        assert diag.info.line == 17
+
+    def test_cover_on_secondary_clock(self):
+        info = SourceInfo("coverclk.py", 6)
+        circuit = _top(
+            [
+                Cover("offbeat", Ref("clk2", CLOCK), Ref("go", U1), TRUE, info=info),
+            ],
+            ports=[Port("clk2", "input", CLOCK), Port("go", "input", U1)],
+        )
+        diag = _only(circuit, "cover-clock")
+        assert diag.signal == "offbeat"
+        assert diag.info.line == 6
+
+
+class TestCleanDesignIsQuiet:
+    def test_minimal_clean_module_has_no_findings(self):
+        circuit = _top(
+            [
+                DefRegister("r", U8, CLK, Ref("reset", U1), UIntLiteral(0, 8)),
+                Connect(Ref("r", U8), Ref("inp", U8)),
+                Connect(Ref("out", U8), Ref("r", U8)),
+                Cover("seen", CLK, prim("orr", Ref("r", U8)), TRUE),
+            ],
+            ports=[
+                Port("reset", "input", U1),
+                Port("inp", "input", U8),
+                Port("out", "output", U8),
+            ],
+        )
+        diags = lint_circuit(circuit)
+        assert not diags.unsuppressed, [d.format() for d in diags.unsuppressed]

@@ -1,0 +1,172 @@
+"""Tiered reachability: static screen first, BMC only on the residue.
+
+The acceptance case is the paper's §5.5 read-only-I$ finding: a cache
+instantiated with its write-enable tied off has statically dead write
+branches.  The static tier must prove every one of them unreachable with
+zero SAT calls, BMC must agree wherever it is consulted, and the
+verdicts must land in the coverage DB's exclusion table under canonical
+(per-instance) keys.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "integration"))
+
+from test_formal_findings import _ReadOnlyCache, write_branch_covers  # noqa: E402
+
+from repro.analysis import apply_verdicts, tiered_reachability  # noqa: E402
+from repro.analysis.reachability import (  # noqa: E402
+    BMC_REACHABLE,
+    STATIC_UNREACHABLE,
+)
+from repro.coverage import CoverageDB, apply_exclusions, instrument  # noqa: E402
+from repro.hcl import elaborate  # noqa: E402
+
+
+def _instrumented(metrics):
+    circuit = elaborate(_ReadOnlyCache())
+    return instrument(circuit, metrics=metrics, flatten=True)
+
+
+class TestStaticTier:
+    def test_write_branches_proven_dead_with_zero_sat_calls(self):
+        state, db = _instrumented(["fsm"])
+        dead = write_branch_covers(state)
+        assert dead, "instrumentation should cover the write branches"
+        result = tiered_reachability(state, bound=10, use_bmc=False)
+        assert result.sat_solve_calls == 0
+        for name in dead:
+            verdict = result.verdicts[name]
+            assert verdict.verdict == STATIC_UNREACHABLE, name
+            assert verdict.tier == "static", name
+
+    def test_write_path_line_covers_proven_dead(self):
+        state, db = _instrumented(["line"])
+        result = tiered_reachability(state, bound=10, use_bmc=False)
+        assert result.sat_solve_calls == 0
+        dead = result.by_verdict(STATIC_UNREACHABLE)
+        assert dead, "the tied-off write path must have dead line covers"
+
+    def test_fsm_write_states_proven_dead_statically(self):
+        # the FSM state register's reachable set {idle, read_miss,
+        # read_wait, respond} excludes both write states: value-set
+        # precision, invisible to known-bits and intervals alone
+        state, db = _instrumented(["fsm"])
+        result = tiered_reachability(state, bound=10, use_bmc=False)
+        write_covers = [
+            n for n in result.verdicts if "write" in n.split(".")[-1]
+        ]
+        assert write_covers, "fsm instrumentation should name write states"
+        for name in write_covers:
+            assert result.verdicts[name].verdict == STATIC_UNREACHABLE, name
+
+    def test_verdicts_use_canonical_instance_keys(self):
+        state, db = _instrumented(["line"])
+        result = tiered_reachability(state, bound=10, use_bmc=False)
+        assert any(n.startswith("icache.") for n in result.verdicts)
+
+
+class TestBmcAgreement:
+    def test_bmc_never_sees_statically_resolved_covers(self):
+        state, db = _instrumented(["fsm"])
+        dead = set(write_branch_covers(state))
+        result = tiered_reachability(state, bound=10, use_bmc=True)
+        for name in dead:
+            assert result.verdicts[name].tier == "static", name
+        # the residue went to BMC and found witnesses (live branches)
+        assert result.by_verdict(BMC_REACHABLE)
+        assert result.sat_solve_calls > 0
+
+    def test_bmc_confirms_static_verdicts(self):
+        # force BMC onto everything (screen disabled via monkey-less
+        # route: query the checker directly) and compare
+        from repro.backends.formal.bmc import BoundedModelChecker
+
+        state, db = _instrumented(["fsm"])
+        dead = write_branch_covers(state)
+        checker = BoundedModelChecker(state, 10, reset_cycles=1)
+        for name in dead:
+            assert not checker.query(name).reachable, (
+                f"static tier called {name} dead but BMC found a witness"
+            )
+
+
+class TestDenominator:
+    def test_apply_verdicts_excludes_only_static_proofs(self):
+        state, db = _instrumented(["line"])
+        result = tiered_reachability(state, bound=10, use_bmc=True)
+        added = apply_verdicts(db, result)
+        assert added == len(result.by_verdict(STATIC_UNREACHABLE))
+        for name in result.by_verdict(STATIC_UNREACHABLE):
+            assert db.is_excluded(name)
+        # bound-relative BMC results must not shrink the denominator
+        from repro.analysis.reachability import BMC_UNREACHABLE
+
+        for name in result.by_verdict(BMC_UNREACHABLE):
+            assert not db.is_excluded(name)
+
+    def test_excluded_points_leave_the_percentage_base(self):
+        state, db = _instrumented(["line"])
+        result = tiered_reachability(state, bound=10, use_bmc=False)
+        apply_verdicts(db, result)
+        dead = result.by_verdict(STATIC_UNREACHABLE)
+        counts = {name: 0 for name in result.verdicts}
+        countable, excluded = apply_exclusions(counts, db)
+        assert set(excluded) == set(dead)
+        assert not set(countable) & set(dead)
+
+    @staticmethod
+    def _hierarchical_verdicts():
+        # mirror the CLI flow: instrument keeps the hierarchy (reports
+        # resolve canonical keys through it); reachability runs on a
+        # separately flattened copy of the instrumented circuit
+        from repro.passes import lower
+
+        circuit = elaborate(_ReadOnlyCache())
+        state, db = instrument(circuit, metrics=["line"])
+        flat = lower(state.circuit, flatten=True)
+        result = tiered_reachability(flat, bound=10, use_bmc=False)
+        return state.circuit, db, result
+
+    def test_line_report_denominator_shrinks(self):
+        from repro.coverage import line_report
+
+        circuit, db, result = self._hierarchical_verdicts()
+        counts = {name: 0 for name in result.verdicts}
+        before = line_report(db, counts, circuit).total
+        apply_verdicts(db, result)
+        after = line_report(db, counts, circuit).total
+        assert result.by_verdict(STATIC_UNREACHABLE)
+        # a cover may span several source lines, so the drop can exceed
+        # the number of excluded covers; it must be strictly positive
+        assert after < before, (before, after)
+
+    def test_live_instance_keeps_shared_module_covers(self):
+        # one dead instance of a module must not exclude the covers of a
+        # live sibling instance: exclusion is per-instance, reports only
+        # drop a (module, cover) pair when every instance excludes it
+        from repro.coverage import InstanceTree, excluded_module_covers
+
+        circuit, db, result = self._hierarchical_verdicts()
+        apply_verdicts(db, result)
+        tree = InstanceTree(circuit)
+        dead = result.by_verdict(STATIC_UNREACHABLE)
+        assert dead
+        excluded = excluded_module_covers(db, tree)
+        # single-instance design: every canonical exclusion maps through
+        assert len(excluded) == len(dead)
+        # forge a second, live path for the module: nothing may be excluded
+        first_module, _ = tree.resolve(dead[0])
+        tree.children[circuit.main]["phantom"] = first_module
+        assert not excluded_module_covers(db, tree)
+
+    def test_exclusions_survive_db_round_trip(self):
+        db = CoverageDB()
+        db.exclude("icache.l_2", "statically unreachable: predicate constant")
+        loaded = CoverageDB.from_json(db.to_json())
+        assert loaded.is_excluded("icache.l_2")
