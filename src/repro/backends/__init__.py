@@ -30,6 +30,15 @@ from .api import (
 )
 from .essent import EssentBackend, EssentSimulation
 from .firesim import FireSimBackend, FireSimSimulation
+from .modelcache import (
+    CacheEntry,
+    ModelCache,
+    cache_key,
+    circuit_fingerprint,
+    compile_cached,
+    default_cache,
+    set_default_cache,
+)
 from .treadle import TreadleBackend, TreadleSimulation
 from .verilator import (
     VerilatorBackend,
@@ -58,7 +67,14 @@ __all__ = [
     "BACKENDS",
     "BACKEND_INFO",
     "BackendInfo",
+    "CacheEntry",
     "CoverCounts",
+    "ModelCache",
+    "cache_key",
+    "circuit_fingerprint",
+    "compile_cached",
+    "default_cache",
+    "set_default_cache",
     "EssentBackend",
     "EssentSimulation",
     "FireSimBackend",

@@ -15,8 +15,9 @@ different backends trivially mergeable.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Optional, Protocol, runtime_checkable
+from typing import Callable, Optional, Protocol, runtime_checkable
 
 from ..ir.nodes import Circuit
 
@@ -149,6 +150,25 @@ def has_port(sim: Simulation, port: str) -> bool:
     return True
 
 
+def metered_step(meter, run: Callable[[], object], cycles_of=None):
+    """Run one ``step()`` batch, crediting wall time and cycles to ``meter``.
+
+    The one telemetry wrapper every software backend's hot loop shares:
+    one attribute check when telemetry is disabled, one timed call and a
+    :class:`~repro.runtime.telemetry.StepMeter` credit when enabled.
+    ``cycles_of`` extracts the cycle count from ``run``'s result; by
+    default the result itself is the count (backends whose generated
+    ``run`` returns a plain integer).
+    """
+    if not obs.enabled:
+        return run()
+    started = time.perf_counter()
+    result = run()
+    cycles = cycles_of(result) if cycles_of is not None else result
+    meter.add(cycles, time.perf_counter() - started)
+    return result
+
+
 def reset_and_run(sim: Simulation, cycles: int, reset_cycles: int = 1) -> StepResult:
     """Common harness helper: hold reset (if the design has one), then run.
 
@@ -164,3 +184,10 @@ def reset_and_run(sim: Simulation, cycles: int, reset_cycles: int = 1) -> StepRe
         sim.step(reset_cycles)
         sim.poke("reset", 0)
     return sim.step(cycles)
+
+
+# Imported last: repro.runtime.executor imports this module while the
+# runtime package initializes, so a top-of-file import would hit a cycle
+# before the protocol types above exist.  telemetry itself has no
+# intra-package imports and is always initialized first.
+from ..runtime.telemetry import obs  # noqa: E402

@@ -10,13 +10,57 @@ the two against each other.
 
 from __future__ import annotations
 
+import re
 from typing import Callable
 
 from ..ir.nodes import Expr, MemRead, Mux, PrimOp, Ref, SIntLiteral, UIntLiteral
 from ..ir.types import bit_width, is_signed, mask
 
+#: Version of the generated-code contract.  Any change to the code this
+#: module (or a backend's ``generate_source``) emits — operator lowering,
+#: state layout, cover sampling — must bump it: the content-addressed
+#: model cache (:mod:`repro.backends.modelcache`) mixes it into every
+#: cache key, so a bump invalidates all persisted entries at once.
+CODEGEN_VERSION = 1
+
 RefFn = Callable[[str], str]
 MemFn = Callable[[str], str]
+
+
+def pynames(names: list[str]) -> dict[str, str]:
+    """Map signal names to safe, unique Python identifiers."""
+    out: dict[str, str] = {}
+    used: set[str] = set()
+    for index, name in enumerate(names):
+        base = "v_" + re.sub(r"[^A-Za-z0-9_]", "_", name)
+        candidate = base
+        while candidate in used:
+            candidate = f"{base}_{index}"
+        used.add(candidate)
+        out[name] = candidate
+    return out
+
+
+class CodeBuilder:
+    """Indentation-tracking line accumulator for generated modules."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.depth = 0
+
+    def emit(self, text: str = "") -> None:
+        self.lines.append("    " * self.depth + text if text else "")
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def predicate(gen, pred, en) -> str:
+    """A cover/stop firing condition, dropping a constant-true enable."""
+    pred_text = gen(pred)
+    if isinstance(en, UIntLiteral) and en.value == 1:
+        return pred_text
+    return f"({gen(en)}) and ({pred_text})"
 
 
 def _s(text: str, width: int) -> str:

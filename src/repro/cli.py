@@ -215,16 +215,23 @@ def _write_observability(args) -> None:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    from .backends import ModelCache, set_default_cache
     from .runtime import obs
 
     observing = bool(args.trace_out or args.metrics_out)
     if observing:
         obs.enable()
+    previous_cache = None
+    caching = bool(args.model_cache_dir)
+    if caching:
+        previous_cache = set_default_cache(ModelCache(args.model_cache_dir))
     try:
         return _simulate(args)
     finally:
         # Write the observability files on every exit path — a failed
         # campaign is exactly when you want the trace.
+        if caching:
+            set_default_cache(previous_cache)
         if observing:
             _write_observability(args)
             obs.disable()
@@ -249,13 +256,26 @@ def _simulate(args: argparse.Namespace) -> int:
                 sim.poke(name, rng.getrandbits(widths.get(name, 1) or 1))
 
     def make_sim_for(backend_name):
-        backend = BACKENDS[backend_name]()
+        if backend_name == "treadle" and args.no_jit:
+            backend = BACKENDS[backend_name](jit=False)
+        else:
+            backend = BACKENDS[backend_name]()
 
         def make_sim():
             rng.seed(args.seed)  # each attempt replays the same stimulus
             return backend.compile(circuit, counter_width=args.counter_width)
 
         return make_sim
+
+    def warm_cache(factories):
+        # Compile once in the parent before any fork: the workers inherit
+        # the warm in-process cache copy-on-write, so every shard of the
+        # campaign skips its own compile (exactly one per circuit/backend).
+        from .backends import default_cache
+
+        if args.isolation == "process" and default_cache() is not None:
+            for factory in factories:
+                factory()
 
     checkpointer = None
     if args.checkpoint_every or args.resume or args.shard_dir:
@@ -275,9 +295,11 @@ def _simulate(args: argparse.Namespace) -> int:
             )
             return 2
         runner = DifferentialRunner(executor)
+        leg_factories = {b: make_sim_for(b) for b in backends}
+        warm_cache(leg_factories.values())
         diff = runner.run(
             job_id=f"{Path(args.circuit).stem}-s{args.seed}",
-            make_sims={b: make_sim_for(b) for b in backends},
+            make_sims=leg_factories,
             cycles=args.cycles,
             stimulus=stimulus,
             reset_cycles=args.reset_cycles,
@@ -316,6 +338,7 @@ def _simulate(args: argparse.Namespace) -> int:
         stimulus=stimulus,
         reset_cycles=args.reset_cycles,
     )
+    warm_cache([job.make_sim])
     result = executor.run_campaign(
         [job],
         known_names=names,
@@ -507,8 +530,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("simulate", help="run a simulation, dump cover counts")
     p.add_argument("circuit")
-    p.add_argument("--backend", choices=["treadle", "verilator"], default="verilator")
+    p.add_argument("--backend", choices=["treadle", "verilator", "essent"],
+                   default="verilator")
     p.add_argument("--cycles", type=int, default=1000)
+    p.add_argument("--no-jit", action="store_true",
+                   help="run the treadle backend as the pure tree-walking "
+                        "interpreter instead of its compiled fast path "
+                        "(the semantics reference; ~100x slower)")
+    p.add_argument("--model-cache-dir", metavar="DIR",
+                   help="content-addressed compiled-model cache: compiled "
+                        "models are pickled here and reused across shards, "
+                        "differential legs, forked workers, and future runs "
+                        "of the same circuit")
     p.add_argument("--reset-cycles", type=int, default=1)
     p.add_argument("--random-inputs", action="store_true")
     p.add_argument("--seed", type=int, default=0)

@@ -266,9 +266,16 @@ class Executor:
 
     # -- single job ------------------------------------------------------------
 
-    def backoff_delay(self, attempt: int) -> float:
-        """Delay before retry ``attempt`` (attempt 2 is the first retry)."""
-        rng = random.Random(f"{self.seed}:backoff:{attempt}")
+    def backoff_delay(self, attempt: int, job_id: str = "") -> float:
+        """Delay before retry ``attempt`` (attempt 2 is the first retry).
+
+        The jitter is seeded per *job*, not just per attempt: with the
+        seed alone, every job that fails attempt N sleeps the identical
+        "random" delay and the whole campaign retries in lockstep — a
+        synchronized stampede against whatever shared resource caused
+        the failures in the first place.
+        """
+        rng = random.Random(f"{self.seed}:{job_id}:backoff:{attempt}")
         return self.backoff_base * (2 ** (attempt - 2)) + rng.uniform(
             0, self.backoff_base
         )
@@ -290,7 +297,7 @@ class Executor:
         )
         for attempt in range(1, self.retries + 2):
             if attempt > 1:
-                delay = self.backoff_delay(attempt)
+                delay = self.backoff_delay(attempt, job.job_id)
                 if obs.enabled:
                     obs.inc("repro_retries_total", backend=job.backend_name)
                     obs.inc(
@@ -444,35 +451,50 @@ class Executor:
         )
 
     def _drive(self, job: RunJob, worker: _Attempt) -> None:
-        """The attempt body (runs on the worker thread)."""
+        """The attempt body (runs on the worker thread).
+
+        Per-cycle stimulus forces single stepping; without it, cycles
+        are batched into ``step(n)`` blocks bounded only by checkpoint
+        boundaries, amortizing the step-call overhead (and per-block
+        telemetry) over the whole block.
+        """
         sim = job.make_sim()
         if job.reset_cycles and has_port(sim, "reset"):
             sim.poke("reset", 1)
             sim.step(job.reset_cycles)
             sim.poke("reset", 0)
-        for cycle in range(job.cycles):
+        cycle = 0
+        while cycle < job.cycles:
             if worker.abandoned.is_set():
                 return  # watchdog gave up on this attempt; leave no traces
             if job.stimulus is not None:
                 job.stimulus(sim, cycle)
-            result = sim.step(1)
-            worker.cycles_run = cycle + 1
+                block = 1
+            else:
+                block = job.cycles - cycle
+                if self.checkpointer and self.checkpointer.every > 0:
+                    block = min(block, self.checkpointer.next_due(cycle) - cycle)
+            result = sim.step(block)
+            cycle += result.cycles
+            worker.cycles_run = cycle
             if (
                 self.checkpointer
-                and self.checkpointer.due(cycle + 1)
+                and self.checkpointer.due(cycle)
                 and not worker.abandoned.is_set()
             ):
                 self.checkpointer.write(
                     Shard(
                         job_id=job.job_id,
                         backend=job.backend_name,
-                        cycle=cycle + 1,
+                        cycle=cycle,
                         counts=dict(sim.cover_counts()),
                         complete=False,
                     )
                 )
             if result.stopped:
                 break
+            if result.cycles == 0:
+                break  # defensive: a sim refusing to advance must not spin
         if worker.abandoned.is_set():
             return
         worker.counts = dict(sim.cover_counts())

@@ -19,7 +19,12 @@ Checkpointer`, so a killed worker still salvages its last-good counts,
   :class:`~repro.backends.api.RunFailure` kind string,
 * ``("spans", events)`` — telemetry only (when the parent's ``obs`` was
   enabled at fork time): trace spans the child recorded since its last
-  flush, re-parented into the supervisor's trace on arrival.
+  flush, re-parented into the supervisor's trace on arrival,
+* ``("counters", deltas)`` — telemetry only: counter *growth* since the
+  child's previous flush.  The fork inherits the parent's accumulated
+  counter values copy-on-write, so the child snapshots them at startup
+  and ships deltas against that baseline — without this, increments made
+  inside a worker (model-cache hits, backend cycles) die with it.
 
 The supervisor kills the worker with ``SIGKILL`` (and reaps it) when the
 wall-clock deadline passes or ``max_missed_heartbeats`` consecutive poll
@@ -51,6 +56,7 @@ SHARD = "shard"
 DONE = "done"
 ERROR = "error"
 SPANS = "spans"
+COUNTERS = "counters"
 
 # Executor-level attempt number, set in the child before the job factory
 # runs.  Fault injectors (FaultyBackend) use it to model transient faults
@@ -166,12 +172,22 @@ class ProcessAttemptResult:
     exit_code: Optional[int] = None
 
 
-def _flush_spans(conn) -> None:
-    """Send the child's accumulated trace spans up the pipe (telemetry on)."""
-    if obs.enabled:
-        events = obs.tracer.drain()
-        if events:
-            conn.send((SPANS, events))
+def _flush_telemetry(conn, baseline: dict) -> None:
+    """Send the child's spans and counter growth up the pipe (telemetry on).
+
+    ``baseline`` is the counter snapshot the last flush (or the fork)
+    left behind; it is advanced in place after each send so every delta
+    is shipped exactly once.
+    """
+    if not obs.enabled:
+        return
+    events = obs.tracer.drain()
+    if events:
+        conn.send((SPANS, events))
+    deltas = obs.counter_deltas(baseline)
+    if deltas:
+        conn.send((COUNTERS, deltas))
+        baseline.update(obs.counter_state())
 
 
 def _child_main(conn, job, attempt: int, policy: SupervisionPolicy,
@@ -185,6 +201,9 @@ def _child_main(conn, job, attempt: int, policy: SupervisionPolicy,
         # parent's trace); keep the epoch so child timestamps stay on the
         # parent's timeline.
         obs.tracer.clear()
+    # Inherited counter values belong to the parent too — only growth past
+    # this snapshot is the child's to report.
+    baseline = obs.counter_state() if obs.enabled else {}
     attempt_start = obs.tracer.clock() if obs.enabled else 0.0
     batch_start = attempt_start
 
@@ -208,31 +227,53 @@ def _child_main(conn, job, attempt: int, policy: SupervisionPolicy,
         ):
             sim = job.make_sim()
         conn.send((BEAT, 0, 0))
-        _flush_spans(conn)
+        _flush_telemetry(conn, baseline)
         if job.reset_cycles and has_port(sim, "reset"):
             sim.poke("reset", 1)
             sim.step(job.reset_cycles)
             sim.poke("reset", 0)
         batch_start = obs.tracer.clock() if obs.enabled else 0.0
         last_batch_cycle = 0
-        for cycle in range(job.cycles):
+        cycle = 0
+        while cycle < job.cycles:
             if job.stimulus is not None:
+                # per-cycle stimulus pins the driver to single stepping
                 job.stimulus(sim, cycle)
-            result = sim.step(1)
-            cycles_done = cycle + 1
-            if cycles_done % policy.heartbeat_cycles == 0:
+                block = 1
+            else:
+                # batch up to the next heartbeat/checkpoint boundary so
+                # beat and shard cadence stay exactly as single-stepped
+                block = job.cycles - cycle
+                block = min(
+                    block,
+                    policy.heartbeat_cycles - cycle % policy.heartbeat_cycles,
+                )
+                if checkpoint_every:
+                    block = min(
+                        block, checkpoint_every - cycle % checkpoint_every
+                    )
+            result = sim.step(block)
+            cycle += result.cycles
+            cycles_done = cycle
+            if result.cycles and cycles_done % policy.heartbeat_cycles == 0:
                 mark_batch(cycles_done - last_batch_cycle)
                 last_batch_cycle = cycles_done
                 conn.send((BEAT, cycles_done, counts_digest(sim.cover_counts())))
-            if checkpoint_every and cycles_done % checkpoint_every == 0:
+            if (
+                result.cycles
+                and checkpoint_every
+                and cycles_done % checkpoint_every == 0
+            ):
                 with obs.span(
                     "shard-stream", cat="worker",
                     backend=job.backend_name, cycle=cycles_done,
                 ):
                     conn.send((SHARD, cycles_done, dict(sim.cover_counts())))
-                _flush_spans(conn)
+                _flush_telemetry(conn, baseline)
             if result.stopped:
                 break
+            if result.cycles == 0:
+                break  # defensive: a sim refusing to advance must not spin
         if obs.enabled:
             if cycles_done > last_batch_cycle:
                 mark_batch(cycles_done - last_batch_cycle)
@@ -240,7 +281,7 @@ def _child_main(conn, job, attempt: int, policy: SupervisionPolicy,
                 "child-attempt", "worker", attempt_start, obs.tracer.clock(),
                 backend=job.backend_name, attempt=attempt, cycles=cycles_done,
             )
-        _flush_spans(conn)
+        _flush_telemetry(conn, baseline)
         conn.send((DONE, cycles_done, dict(sim.cover_counts())))
     except MemoryError:
         # The sim's allocations still pin address space; a well-behaved
@@ -256,7 +297,7 @@ def _child_main(conn, job, attempt: int, policy: SupervisionPolicy,
                 error=type(error).__name__,
             )
             try:
-                _flush_spans(conn)
+                _flush_telemetry(conn, baseline)
             except OSError:  # pragma: no cover — broken pipe on teardown
                 pass
         conn.send((ERROR, RunFailure.kind_of(error), str(error), cycles_done))
@@ -340,6 +381,8 @@ def run_process_attempt(
                     _, result.last_beat_cycle, result.last_digest = message
                 elif tag == SPANS:
                     obs.ingest_child_spans(message[1], child_pid=worker.pid)
+                elif tag == COUNTERS:
+                    obs.ingest_child_counters(message[1])
                 elif tag == SHARD:
                     _, cycle, counts = message
                     result.last_beat_cycle = cycle

@@ -142,6 +142,15 @@ METRICS: dict[str, tuple[str, tuple[str, ...], str]] = {
         "counter", ("backend", "reason"),
         "Process workers SIGKILLed by the supervisor (deadline|silence).",
     ),
+    "repro_model_cache_hits_total": (
+        "counter", ("backend",),
+        "Compiled-model cache hits (memory or disk) — compiles skipped.",
+    ),
+    "repro_model_cache_misses_total": (
+        "counter", ("backend",),
+        "Compiled-model cache misses — full compiles performed "
+        "(corrupt or version-stale entries count as misses).",
+    ),
     "repro_backend_cycles_total": (
         "counter", ("backend",),
         "Simulation cycles executed, per backend (flushed in StepMeter "
@@ -888,6 +897,57 @@ class Telemetry:
                 }
             )
         self.tracer.ingest(remapped)
+
+    def counter_state(self) -> dict[tuple, float]:
+        """Snapshot of every counter sample: (name, label-key) -> value.
+
+        A forked worker takes this at startup — the fork inherits the
+        parent's accumulated counters via copy-on-write, so only growth
+        *since* the snapshot belongs to the child.
+        """
+        state: dict[tuple, float] = {}
+        for name in self.metrics.names():
+            metric = self.metrics.get(name)
+            if metric is None or metric.kind != "counter":
+                continue
+            for labels, value in metric.samples():
+                key = tuple(sorted(labels.items()))
+                state[(name, key)] = value
+        return state
+
+    def counter_deltas(
+        self, baseline: dict[tuple, float]
+    ) -> list[tuple[str, dict[str, str], float]]:
+        """Counter growth since ``baseline`` as (name, labels, delta) rows.
+
+        Only positive deltas are reported (counters are monotonic; a
+        fresh registry after ``reset()`` yields nothing spurious).
+        """
+        deltas: list[tuple[str, dict[str, str], float]] = []
+        for (name, key), value in self.counter_state().items():
+            grown = value - baseline.get((name, key), 0)
+            if grown > 0:
+                deltas.append((name, dict(key), grown))
+        return deltas
+
+    def ingest_child_counters(
+        self, deltas: list[tuple[str, dict[str, str], float]]
+    ) -> None:
+        """Fold counter deltas streamed up from a forked worker in.
+
+        Declared metrics keep their declared label schema; a child can
+        also forward ad-hoc counters, which are created unlabeled-typed
+        on the fly.
+        """
+        if not self.enabled:
+            return
+        for name, labels, delta in deltas:
+            spec = METRICS.get(name)
+            if spec is not None and spec[0] == "counter":
+                counter = self.metrics.counter(name, spec[2], spec[1])
+            else:
+                counter = self.metrics.counter(name, labels=tuple(sorted(labels)))
+            counter.inc(delta, **labels)
 
     # -- metrics -----------------------------------------------------------
 

@@ -112,6 +112,22 @@ class TestRetries:
         assert delays == [Executor(retries=5, backoff_base=0.1, seed=9).backoff_delay(a)
                           for a in range(2, 6)]
 
+    def test_backoff_jitter_differs_per_job(self):
+        # Jitter seeded only by (seed, attempt) makes every failing job
+        # sleep the same delay and retry in lockstep — a thundering herd.
+        executor = Executor(retries=2, backoff_base=0.1, seed=9)
+        delays = {
+            job_id: executor.backoff_delay(2, job_id)
+            for job_id in ("shard-0", "shard-1", "shard-2")
+        }
+        assert len(set(delays.values())) == len(delays)
+        # still deterministic per job for a fixed seed
+        for job_id, delay in delays.items():
+            assert delay == Executor(
+                retries=2, backoff_base=0.1, seed=9
+            ).backoff_delay(2, job_id)
+            assert 0.1 <= delay <= 0.2
+
     def test_retries_exhausted_reports_every_attempt(self, gcd_state):
         backend = FaultyBackend(TreadleBackend(), FaultPlan(crash_at=3, seed=4))
         outcome = Executor(retries=2, sleep=lambda s: None).run_job(

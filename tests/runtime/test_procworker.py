@@ -228,3 +228,42 @@ class TestRetriesAcrossForks:
         assert outcome.attempts == 3
         assert [f.kind for f in outcome.failures] == ["crash", "crash"]
         assert outcome.counts == reference_counts(gcd_state, 60)
+
+
+class TestModelCacheAcrossShards:
+    def test_exactly_one_compile_per_circuit_backend(self, tmp_path, gcd_state):
+        """Warm-before-fork: the parent compiles once; every process shard
+        inherits the in-memory entry copy-on-write and reports a cache hit
+        through the counter-forwarding pipe.  The misses metric staying at
+        one proves no shard recompiled."""
+        from repro.backends import ModelCache
+        from repro.runtime.telemetry import obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            cache = ModelCache(tmp_path / "cache")
+            backend = TreadleBackend(cache=cache)
+            backend.compile_state(gcd_state)  # the one cold compile
+            assert (cache.misses, cache.hits) == (1, 0)
+            misses = obs.metrics.get("repro_model_cache_misses_total")
+            assert misses.value(backend="treadle") == 1
+
+            executor = Executor(isolation="process", timeout=60)
+            names = all_cover_names(gcd_state.circuit)
+            jobs = [
+                make_job(backend, gcd_state, job_id=f"shard-{i}")
+                for i in range(3)
+            ]
+            result = executor.run_campaign(jobs, known_names=names)
+            assert [o.status for o in result.outcomes] == ["ok"] * 3
+
+            # each forked shard hit the inherited warm cache, and its
+            # counter delta came back over the pipe
+            hits = obs.metrics.get("repro_model_cache_hits_total")
+            assert hits.value(backend="treadle") >= 3
+            assert misses.value(backend="treadle") == 1
+            assert cache.misses == 1  # parent never recompiled either
+        finally:
+            obs.disable()
+            obs.reset()
