@@ -98,7 +98,7 @@ def main():
     print(f"breaker -> open:     {total('repro_breaker_transitions_total', backend='faulty-treadle', to='open')}")
     print(f"breaker skips:       {total('repro_breaker_skips_total', backend='faulty-treadle')}")
     print(f"salvaged jobs:       {total('repro_salvaged_jobs_total', backend='late-treadle')}")
-    print(f"checkpoint writes:   {total('repro_checkpoint_writes_total', result='written')}")
+    print(f"checkpoint writes:   {total('repro_checkpoint_writes_total', result='written', campaign='')}")
 
     trace_path = Path(tempfile.gettempdir()) / "observed_campaign_trace.json"
     obs.tracer.write(trace_path)

@@ -377,6 +377,33 @@ def _simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the coverage-as-a-service daemon (see DESIGN.md §12)."""
+    import asyncio
+
+    from .runtime.service import CoverageService, ServiceConfig
+
+    config = ServiceConfig(
+        state_dir=Path(args.state_dir),
+        host=args.host,
+        port=args.port,
+        max_workers=args.max_workers,
+        max_queue=args.max_queue,
+        tenant_quota=args.tenant_quota,
+        journal_fsync=not args.no_journal_fsync,
+        compact_every=args.compact_every,
+        isolation=args.isolation,
+        default_timeout=args.timeout,
+        retries=args.retries,
+        checkpoint_every=args.checkpoint_every,
+        breaker_threshold=args.breaker_threshold,
+        drain_grace=args.drain_grace,
+        model_cache_dir=args.model_cache_dir,
+    )
+    asyncio.run(CoverageService(config).run())
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Pretty-print a metrics file written by ``simulate --metrics-out``.
 
@@ -584,6 +611,54 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write campaign metrics: Prometheus text, or a "
                         "JSON snapshot if FILE ends in .json")
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the crash-safe coverage service daemon (WAL journal, "
+             "bounded admission, per-tenant fair scheduling)",
+    )
+    p.add_argument("--state-dir", required=True, metavar="DIR",
+                   help="journal + checkpoint-shard directory; the daemon "
+                        "recovers all accepted campaigns from here on start")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 picks a free port; the bound address "
+                        "is printed on stdout)")
+    p.add_argument("--max-workers", type=int, default=2,
+                   help="campaigns executing concurrently")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="bounded admission queue; a full queue rejects "
+                        "submits with 429 instead of growing without bound")
+    p.add_argument("--tenant-quota", type=int, default=16,
+                   help="max queued+running campaigns per tenant (429 past it)")
+    p.add_argument("--no-journal-fsync", action="store_true",
+                   help="skip fsync on journal appends (faster; a power cut "
+                        "may then lose the latest acknowledged records)")
+    p.add_argument("--compact-every", type=int, default=256,
+                   help="rewrite the journal as a snapshot after this many "
+                        "appended records")
+    p.add_argument("--isolation", choices=["thread", "process"],
+                   default="thread",
+                   help="attempt containment for campaign jobs; 'process' "
+                        "SIGKILLs a worker that overruns its deadline")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default per-attempt wall-clock budget in seconds "
+                        "for campaigns that set no deadline_s")
+    p.add_argument("--retries", type=int, default=0,
+                   help="extra attempts per campaign after a crash/hang")
+    p.add_argument("--checkpoint-every", type=int, default=500,
+                   help="default shard checkpoint period in cycles for "
+                        "campaigns that set no checkpoint_every")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   help="consecutive failures that open a backend's circuit "
+                        "breaker; its campaigns are then deferred, not failed")
+    p.add_argument("--drain-grace", type=float, default=30.0,
+                   help="seconds SIGTERM waits for running campaigns before "
+                        "interrupting them at a cycle boundary")
+    p.add_argument("--model-cache-dir", metavar="DIR",
+                   help="content-addressed compiled-model cache shared by "
+                        "all campaigns")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "stats", help="pretty-print a metrics file from simulate --metrics-out"

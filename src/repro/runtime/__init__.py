@@ -23,6 +23,11 @@ Pieces:
   vote per cover, structured disagreement reports
 * :mod:`~repro.runtime.checkpoint` — atomic JSON shard files, resume
 * :mod:`~repro.runtime.validate` — namespace/width validation, quarantine
+* :mod:`~repro.runtime.journal` — crash-safe append-only write-ahead
+  journal (length-prefixed, CRC-checked, fsync'd; atomic compaction)
+* :mod:`~repro.runtime.service` — the ``repro serve`` daemon: JSON/HTTP
+  campaign API, bounded admission with per-tenant quotas, fair
+  scheduling, journal-backed crash recovery, graceful drain
 * :mod:`~repro.runtime.faults` — deterministic fault injection (tests the
   modules above, and nothing in production imports it)
 * :mod:`~repro.runtime.telemetry` — span tracing + metrics behind the
@@ -40,6 +45,7 @@ from .telemetry import (
     StepMeter,
     Telemetry,
     Tracer,
+    metrics_catalog_markdown,
     obs,
 )
 from .breaker import BreakerBoard, CircuitBreaker
@@ -58,7 +64,16 @@ from .executor import (
     RunOutcome,
     run_campaign,
 )
-from .faults import FaultPlan, FaultyBackend, FaultySimulation, ScanNoiseHost
+from .faults import (
+    DiskFaultPlan,
+    FaultPlan,
+    FaultyBackend,
+    FaultyOS,
+    FaultySimulation,
+    PowerLoss,
+    ScanNoiseHost,
+)
+from .journal import Journal, JournalError, ReplayResult, replay
 from .procworker import (
     ProcessAttemptResult,
     ResourceLimits,
@@ -66,6 +81,14 @@ from .procworker import (
     current_attempt,
     process_isolation_available,
     run_process_attempt,
+)
+from .service import (
+    Campaign,
+    CampaignSpec,
+    CoverageService,
+    ServiceConfig,
+    SpecError,
+    execute_spec,
 )
 from .validate import (
     QuarantineReport,
@@ -77,42 +100,56 @@ from .validate import (
 
 __all__ = [
     "BreakerBoard",
+    "Campaign",
     "CampaignResult",
+    "CampaignSpec",
     "Checkpointer",
     "CircuitBreaker",
     "Counter",
     "CoverDisagreement",
+    "CoverageService",
     "DifferentialResult",
     "DifferentialRunner",
+    "DiskFaultPlan",
     "DisagreementReport",
     "Executor",
     "FaultPlan",
     "FaultyBackend",
+    "FaultyOS",
     "FaultySimulation",
     "Gauge",
     "Histogram",
+    "Journal",
+    "JournalError",
     "METRICS",
     "MetricsRegistry",
+    "PowerLoss",
     "ProcessAttemptResult",
     "QuarantineReport",
     "QuarantinedShard",
+    "ReplayResult",
     "ResourceLimits",
     "RunJob",
     "RunOutcome",
     "SHARD_VERSION",
     "ScanNoiseHost",
+    "ServiceConfig",
     "Shard",
     "ShardError",
     "ShardIssue",
+    "SpecError",
     "StepMeter",
     "SupervisionPolicy",
     "Telemetry",
     "Tracer",
     "current_attempt",
+    "execute_spec",
     "merge_shards",
+    "metrics_catalog_markdown",
     "obs",
     "process_isolation_available",
     "quorum_merge",
+    "replay",
     "run_campaign",
     "run_process_attempt",
     "validate_shard_counts",

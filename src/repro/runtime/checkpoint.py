@@ -97,10 +97,20 @@ class Checkpointer:
 
     ``every`` is the checkpoint period in cycles (0 disables periodic
     checkpoints; final shards are still written on job completion).
+    ``fsync`` makes each shard durable before the atomic rename — the
+    coverage service turns it on so a power cut cannot surface a rename
+    pointing at unwritten data; the CLI default stays off (``os.replace``
+    atomicity alone already covers process crashes).  ``campaign`` labels
+    this checkpointer's metrics with the owning service campaign (empty
+    outside the service).  ``os_module`` is the fault-injection seam
+    (:class:`~repro.runtime.faults.FaultyOS`).
     """
 
     directory: Path
     every: int = 0
+    fsync: bool = False
+    campaign: str = ""
+    os_module: object = None
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
@@ -109,6 +119,7 @@ class Checkpointer:
         self.directory = Path(self.directory)
         if self.every < 0:
             raise ValueError(f"checkpoint period must be >= 0, got {self.every}")
+        self._os = self.os_module if self.os_module is not None else os
         self.directory.mkdir(parents=True, exist_ok=True)
 
     def shard_path(self, job_id: str) -> Path:
@@ -146,24 +157,40 @@ class Checkpointer:
             with self._lock:
                 if not shard.complete and self._has_complete_shard(path):
                     if obs.enabled:
-                        obs.inc("repro_checkpoint_writes_total", result="refused")
+                        obs.inc("repro_checkpoint_writes_total",
+                                result="refused", campaign=self.campaign)
                     return None
                 fd, tmp = tempfile.mkstemp(
                     dir=self.directory, prefix=path.name, suffix=".tmp"
                 )
+                closed = False
                 try:
-                    with os.fdopen(fd, "w") as handle:
-                        handle.write(shard.to_json())
-                        handle.write("\n")
-                    os.replace(tmp, path)
+                    data = (shard.to_json() + "\n").encode("utf-8")
+                    view = memoryview(data)
+                    while view:
+                        view = view[self._os.write(fd, view):]
+                    if self.fsync:
+                        self._os.fsync(fd)
+                    self._os.close(fd)
+                    closed = True
+                    self._os.replace(tmp, path)
                 except BaseException:
+                    # A failed or torn temp write never touches the real
+                    # shard: the rename is skipped and the temp is litter
+                    # at worst (unlinked here when the process survives).
+                    if not closed:
+                        try:
+                            self._os.close(fd)
+                        except OSError:
+                            pass
                     try:
                         os.unlink(tmp)
                     except OSError:
                         pass
                     raise
         if obs.enabled:
-            obs.inc("repro_checkpoint_writes_total", result="written")
+            obs.inc("repro_checkpoint_writes_total",
+                    result="written", campaign=self.campaign)
         shard.path = str(path)
         return path
 

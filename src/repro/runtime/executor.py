@@ -228,6 +228,8 @@ class Executor:
         max_missed_heartbeats: int = 5,
         heartbeat_cycles: int = 64,
         breaker: Optional[BreakerBoard] = None,
+        tenant: str = "",
+        campaign: str = "",
     ) -> None:
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive (or None to disable)")
@@ -251,6 +253,9 @@ class Executor:
         self.checkpointer = checkpointer
         self.isolation = isolation
         self.breaker = breaker
+        #: service identity labels on per-job metrics ("" outside the service)
+        self.tenant = tenant
+        self.campaign = campaign
         limits = None
         if mem_limit_mb or cpu_limit_s:
             limits = ResourceLimits(
@@ -286,7 +291,8 @@ class Executor:
         ):
             outcome = self._run_job(job)
         if obs.enabled:
-            obs.inc("repro_job_outcomes_total", status=outcome.status)
+            obs.inc("repro_job_outcomes_total", status=outcome.status,
+                    tenant=self.tenant, campaign=self.campaign)
         return outcome
 
     def _run_job(self, job: RunJob) -> RunOutcome:
@@ -541,7 +547,8 @@ class Executor:
                 existing = self._load_resumable(job.job_id)
                 if existing is not None:
                     if obs.enabled:
-                        obs.inc("repro_job_outcomes_total", status="resumed")
+                        obs.inc("repro_job_outcomes_total", status="resumed",
+                                tenant=self.tenant, campaign=self.campaign)
                     outcomes.append(
                         RunOutcome(
                             job_id=job.job_id,
@@ -563,7 +570,8 @@ class Executor:
                     obs.inc(
                         "repro_breaker_skips_total", backend=job.backend_name
                     )
-                    obs.inc("repro_job_outcomes_total", status="skipped")
+                    obs.inc("repro_job_outcomes_total", status="skipped",
+                            tenant=self.tenant, campaign=self.campaign)
                 outcomes.append(
                     RunOutcome(
                         job_id=job.job_id,

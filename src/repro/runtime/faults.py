@@ -14,6 +14,8 @@ crashes, hangs, and corruptions.
 
 from __future__ import annotations
 
+import errno
+import os
 import random
 import threading
 import time
@@ -25,6 +27,99 @@ from ..backends.api import (
     SimulationCrash,
     StepResult,
 )
+
+
+class PowerLoss(BaseException):
+    """The machine "died" mid-write (injected).
+
+    Deliberately *not* an :class:`OSError` — and not even an
+    :class:`Exception` — so that no error-handling path in the code under
+    test can run: a real power cut or ``kill -9`` executes nobody's
+    ``except`` clause.  Whatever bytes made it to disk before the cut
+    stay there, exactly as a torn write would leave them.
+    """
+
+
+@dataclass
+class DiskFaultPlan:
+    """What goes wrong on the filesystem, and when.
+
+    All byte thresholds are cumulative across every ``write`` call routed
+    through one :class:`FaultyOS` instance.
+
+    * ``power_cut_after_bytes`` — once this many bytes have been written,
+      the next write stores only the bytes up to the threshold and raises
+      :class:`PowerLoss` (a torn write: the partial frame stays on disk
+      and no cleanup code runs).
+    * ``enospc_after_bytes`` — the disk "fills": writes past the
+      threshold store what fits and raise ``OSError(ENOSPC)``.  Unlike a
+      power cut this is an ordinary error the code under test must handle
+      (the journal self-heals by truncating the partial frame).
+    * ``fsync_failures`` — the first N ``fsync`` calls raise
+      ``OSError(EIO)`` (models a dying disk or a lying NFS server).
+    """
+
+    power_cut_after_bytes: Optional[int] = None
+    enospc_after_bytes: Optional[int] = None
+    fsync_failures: int = 0
+
+
+class FaultyOS:
+    """Drop-in ``os``-module subset with injected disk faults.
+
+    :class:`~repro.runtime.journal.Journal` and
+    :class:`~repro.runtime.checkpoint.Checkpointer` route their raw file
+    operations through an ``os_module`` hook; handing them a ``FaultyOS``
+    makes torn writes, ``ENOSPC``, and fsync failures happen on demand,
+    deterministically, without touching the real filesystem layer.
+    Everything not overridden passes through to the real :mod:`os`.
+    """
+
+    def __init__(self, plan: DiskFaultPlan) -> None:
+        self.plan = plan
+        self.bytes_written = 0
+        self.fsync_calls = 0
+        self.writes_torn = 0
+
+    def _budget(self) -> Optional[int]:
+        """Bytes still writable before the nearest configured fault."""
+        limits = [
+            limit for limit in (
+                self.plan.power_cut_after_bytes,
+                self.plan.enospc_after_bytes,
+            ) if limit is not None
+        ]
+        if not limits:
+            return None
+        return max(0, min(limits) - self.bytes_written)
+
+    def write(self, fd: int, data) -> int:
+        budget = self._budget()
+        data = bytes(data)
+        if budget is None or len(data) <= budget:
+            written = os.write(fd, data)
+            self.bytes_written += written
+            return written
+        # The fault hits inside this write: store the surviving prefix
+        # (a torn write is a *partial* write), then fail.
+        if budget:
+            self.bytes_written += os.write(fd, data[:budget])
+        self.writes_torn += 1
+        cut = self.plan.power_cut_after_bytes
+        if cut is not None and self.bytes_written >= cut:
+            raise PowerLoss(
+                f"injected power cut after {self.bytes_written} bytes"
+            )
+        raise OSError(errno.ENOSPC, "injected: no space left on device")
+
+    def fsync(self, fd: int) -> None:
+        self.fsync_calls += 1
+        if self.fsync_calls <= self.plan.fsync_failures:
+            raise OSError(errno.EIO, "injected fsync failure")
+        os.fsync(fd)
+
+    def __getattr__(self, name: str):
+        return getattr(os, name)
 
 
 @dataclass

@@ -1,0 +1,329 @@
+"""Crash-safe append-only write-ahead journal for the coverage service.
+
+The service (:mod:`~repro.runtime.service`) must survive ``kill -9`` at
+any instant without losing an accepted campaign.  The journal is the
+mechanism: every state transition is appended — and fsync'd — *before*
+the service acknowledges it, so restart recovery is a pure replay.
+
+File layout::
+
+    magic (8 bytes, ``b"RPROWAL1"``)
+    record*                       where record :=
+        u32 LE  payload length
+        u32 LE  CRC-32 of the payload
+        bytes   payload (canonical JSON, UTF-8)
+
+Design points, each load-bearing for crash safety:
+
+* **Length-prefix + CRC** — a record is trusted only if its full frame is
+  present *and* its checksum matches.  A crash mid-append leaves a torn
+  tail that replay detects and discards; everything before it is intact.
+* **fsync'd appends** — :meth:`Journal.append` returns only after the
+  record is on stable storage (``fsync`` can be disabled for tests and
+  throwaway runs; the loss window is then the OS page cache).
+* **Self-healing failed appends** — if the write or fsync fails
+  (``ENOSPC``, I/O error), the journal truncates itself back to the last
+  good offset before re-raising, so a failed append can never poison the
+  history that follows it.
+* **Atomic snapshot compaction** — :meth:`Journal.compact` rewrites the
+  journal as a single snapshot record via write-temp + ``fsync`` +
+  ``os.replace`` + directory ``fsync``, so a crash during compaction
+  leaves either the old journal or the new one, never a mix.
+* **Torn-tail repair on open** — re-opening a journal whose tail is torn
+  truncates the file back to the last good record, so new appends start
+  from a consistent point.
+
+The ``os_module`` hook exists for fault injection
+(:class:`~repro.runtime.faults.FaultyOS`): tests drive torn writes,
+``ENOSPC``, and fsync failures through it without touching the real
+filesystem layer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from .telemetry import obs
+
+#: journal file magic: identifies the format and its version
+MAGIC = b"RPROWAL1"
+
+_FRAME = struct.Struct("<II")  # payload length, payload CRC-32
+
+#: refuse absurd lengths during replay — a corrupt length prefix must not
+#: make the reader try to allocate gigabytes
+MAX_RECORD_BYTES = 64 << 20
+
+
+class JournalError(ValueError):
+    """The journal file is unusable or an append could not be made durable."""
+
+
+@dataclass
+class ReplayResult:
+    """What a journal file yielded on replay.
+
+    ``good_bytes`` is the offset one past the last intact record —
+    the truncation point that repairs a torn tail.  ``torn`` describes
+    the tail damage (None for a cleanly-ended file).  Records after the
+    first damaged frame are untrusted by construction (the format has no
+    resynchronization marker) and are never returned.
+    """
+
+    records: list[dict] = field(default_factory=list)
+    good_bytes: int = len(MAGIC)
+    torn: Optional[str] = None
+
+    @property
+    def clean(self) -> bool:
+        return self.torn is None
+
+
+def encode_record(record: dict) -> bytes:
+    """One length-prefixed, CRC-framed journal record."""
+    payload = json.dumps(
+        record, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def replay(path) -> ReplayResult:
+    """Read every intact record from a journal file.
+
+    Raises :class:`JournalError` if the file exists but does not carry
+    the journal magic — repairing (truncating) a file that was never a
+    journal would destroy someone else's data.  A missing file replays
+    as empty-and-clean.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return ReplayResult(records=[], good_bytes=0, torn=None)
+    if len(data) < len(MAGIC):
+        if data and not MAGIC.startswith(data):
+            raise JournalError(f"{path}: not a journal (bad magic)")
+        return ReplayResult(
+            records=[], good_bytes=0,
+            torn=f"truncated magic ({len(data)} of {len(MAGIC)} bytes)",
+        )
+    if data[: len(MAGIC)] != MAGIC:
+        raise JournalError(f"{path}: not a journal (bad magic)")
+
+    result = ReplayResult()
+    offset = len(MAGIC)
+    while offset < len(data):
+        remaining = len(data) - offset
+        if remaining < _FRAME.size:
+            result.torn = (
+                f"torn record header at offset {offset} "
+                f"({remaining} of {_FRAME.size} bytes)"
+            )
+            break
+        length, crc = _FRAME.unpack_from(data, offset)
+        if length > MAX_RECORD_BYTES:
+            result.torn = (
+                f"implausible record length {length} at offset {offset}"
+            )
+            break
+        body_start = offset + _FRAME.size
+        if len(data) - body_start < length:
+            result.torn = (
+                f"torn record payload at offset {offset} "
+                f"({len(data) - body_start} of {length} bytes)"
+            )
+            break
+        payload = data[body_start:body_start + length]
+        if zlib.crc32(payload) != crc:
+            result.torn = f"CRC mismatch at offset {offset}"
+            break
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            # CRC passed but the payload is not JSON: treat as tail damage
+            # (a writer bug, not silent corruption) rather than crashing.
+            result.torn = f"undecodable record at offset {offset}: {error}"
+            break
+        result.records.append(record)
+        offset = body_start + length
+        result.good_bytes = offset
+    return result
+
+
+def fsync_directory(directory) -> None:
+    """Flush a directory entry to disk (best effort off POSIX)."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:  # pragma: no cover — platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover — fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+class Journal:
+    """An append-only, CRC-framed, fsync'd record log.
+
+    ``fsync=False`` trades the power-loss guarantee for speed (the
+    process-crash guarantee — ``kill -9`` — still holds: appends are
+    single ``write`` calls into the OS page cache).  ``os_module`` is the
+    fault-injection seam; production always passes the real :mod:`os`.
+    """
+
+    def __init__(self, path, fsync: bool = True, os_module=None) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._os = os_module if os_module is not None else os
+        self._lock = threading.Lock()
+        self.records_appended = 0
+        self.compactions = 0
+        self.recovered = replay(self.path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists()
+        self._fd = self._os.open(
+            str(self.path), os.O_RDWR | os.O_CREAT, 0o644
+        )
+        try:
+            if fresh or self.recovered.good_bytes == 0:
+                self._os.ftruncate(self._fd, 0)
+                self._write_all(MAGIC)
+                self._flush()
+                self._size = len(MAGIC)
+                if fresh:
+                    fsync_directory(self.path.parent)
+            else:
+                # Repair a torn tail: everything past the last intact
+                # record is a half-written frame from a crash mid-append.
+                if not self.recovered.clean:
+                    self._os.ftruncate(self._fd, self.recovered.good_bytes)
+                    self._flush()
+                self._size = self.recovered.good_bytes
+                self._os.lseek(self._fd, self._size, os.SEEK_SET)
+        except BaseException:
+            self._os.close(self._fd)
+            self._fd = None
+            raise
+
+    # -- append ----------------------------------------------------------------
+
+    def append(self, record: dict) -> int:
+        """Durably append ``record``; returns its byte offset in the file.
+
+        On any write/fsync failure the journal truncates itself back to
+        the pre-append offset and raises :class:`JournalError` — the
+        failed append leaves no trace, and the journal stays appendable
+        (e.g. once disk space returns).
+        """
+        if self._fd is None:
+            raise JournalError(f"{self.path}: journal is closed")
+        frame = encode_record(record)
+        with self._lock:
+            start = self._size
+            try:
+                self._write_all(frame)
+                self._flush()
+            except OSError as error:
+                # Self-heal: drop whatever partial frame made it to disk.
+                try:
+                    self._os.ftruncate(self._fd, start)
+                    self._os.lseek(self._fd, start, os.SEEK_SET)
+                    self._flush()
+                except OSError:  # pragma: no cover — heal failed too
+                    pass
+                raise JournalError(
+                    f"{self.path}: append failed ({error}); "
+                    "journal truncated back to last good record"
+                ) from error
+            self._size = start + len(frame)
+            self.records_appended += 1
+        if obs.enabled:
+            obs.inc(
+                "repro_serve_journal_appends_total",
+                type=str(record.get("type", "?")),
+            )
+        return start
+
+    # -- compaction ------------------------------------------------------------
+
+    def compact(self, snapshot: dict) -> None:
+        """Atomically replace the whole journal with one snapshot record.
+
+        The snapshot must carry everything replay needs (the caller owns
+        its schema).  Crash-safe: the new journal is written to a temp
+        file, fsync'd, and ``os.replace``'d over the old one, then the
+        directory entry is fsync'd — at every instant exactly one
+        complete journal exists at ``self.path``.
+        """
+        if self._fd is None:
+            raise JournalError(f"{self.path}: journal is closed")
+        frame = MAGIC + encode_record(snapshot)
+        tmp = self.path.with_name(self.path.name + ".compact.tmp")
+        with self._lock:
+            fd = self._os.open(
+                str(tmp), os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644
+            )
+            try:
+                view = memoryview(frame)
+                while view:
+                    view = view[self._os.write(fd, view):]
+                if self.fsync:
+                    self._os.fsync(fd)
+            except OSError as error:
+                self._os.close(fd)
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise JournalError(
+                    f"{self.path}: compaction failed ({error}); "
+                    "old journal left untouched"
+                ) from error
+            self._os.close(fd)
+            self._os.replace(str(tmp), str(self.path))
+            if self.fsync:
+                fsync_directory(self.path.parent)
+            # The old fd now points at an unlinked inode; reopen.
+            self._os.close(self._fd)
+            self._fd = self._os.open(str(self.path), os.O_RDWR, 0o644)
+            self._size = len(frame)
+            self._os.lseek(self._fd, self._size, os.SEEK_SET)
+            self.compactions += 1
+        if obs.enabled:
+            obs.inc("repro_serve_journal_compactions_total")
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        """Current journal length in bytes (magic + intact records)."""
+        return self._size
+
+    def close(self) -> None:
+        if self._fd is not None:
+            self._os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _write_all(self, data: bytes) -> None:
+        view = memoryview(data)
+        while view:
+            view = view[self._os.write(self._fd, view):]
+
+    def _flush(self) -> None:
+        if self.fsync:
+            self._os.fsync(self._fd)

@@ -64,6 +64,7 @@ __all__ = [
     "escape_help",
     "escape_label_value",
     "format_snapshot",
+    "metrics_catalog_markdown",
     "obs",
     "parse_prometheus",
 ]
@@ -98,8 +99,9 @@ METRICS: dict[str, tuple[str, tuple[str, ...], str]] = {
         "Wall-clock duration of one attempt (compile + run).",
     ),
     "repro_job_outcomes_total": (
-        "counter", ("status",),
-        "Finished jobs by final status (ok|partial|failed|resumed|skipped).",
+        "counter", ("status", "tenant", "campaign"),
+        "Finished jobs by final status (ok|partial|failed|resumed|skipped) "
+        "and owning service tenant/campaign ('' outside the service).",
     ),
     "repro_salvaged_jobs_total": (
         "counter", ("backend",),
@@ -112,9 +114,10 @@ METRICS: dict[str, tuple[str, tuple[str, ...], str]] = {
         "(each one leaks a daemon thread).",
     ),
     "repro_checkpoint_writes_total": (
-        "counter", ("result",),
-        "Checkpoint shard writes (written|refused); refused means an "
-        "incomplete snapshot tried to downgrade a complete shard.",
+        "counter", ("result", "campaign"),
+        "Checkpoint shard writes (written|refused) per service campaign "
+        "('' outside the service); refused means an incomplete snapshot "
+        "tried to downgrade a complete shard.",
     ),
     "repro_breaker_transitions_total": (
         "counter", ("backend", "to"),
@@ -177,7 +180,70 @@ METRICS: dict[str, tuple[str, tuple[str, ...], str]] = {
         "Unsuppressed lint findings emitted by the analysis framework, "
         "by rule ID and severity.",
     ),
+    "repro_serve_queue_depth": (
+        "gauge", ("tenant",),
+        "Campaigns waiting in the service admission queue, per tenant.",
+    ),
+    "repro_serve_active_campaigns": (
+        "gauge", (),
+        "Campaigns currently executing on the service worker pool.",
+    ),
+    "repro_serve_admission_rejections_total": (
+        "counter", ("tenant", "reason"),
+        "Campaign submissions refused by admission control "
+        "(queue-full|tenant-quota|draining).",
+    ),
+    "repro_serve_campaigns_total": (
+        "counter", ("tenant", "status"),
+        "Service campaigns reaching a terminal status "
+        "(done|failed|cancelled).",
+    ),
+    "repro_serve_breaker_deferrals_total": (
+        "counter", ("backend",),
+        "Campaign dispatches deferred (kept queued, not failed) because "
+        "the backend's circuit breaker was open.",
+    ),
+    "repro_serve_recovered_campaigns_total": (
+        "counter", ("outcome",),
+        "Campaigns recovered from the journal at startup: adopted (counts "
+        "re-read from a complete shard) or requeued (re-run to the same "
+        "deterministic counts).",
+    ),
+    "repro_serve_journal_appends_total": (
+        "counter", ("type",),
+        "Write-ahead journal records appended, by record type.",
+    ),
+    "repro_serve_journal_compactions_total": (
+        "counter", (),
+        "Journal snapshot compactions (append history folded into one "
+        "atomic snapshot record).",
+    ),
+    "repro_serve_requests_total": (
+        "counter", ("endpoint", "code"),
+        "HTTP requests served, by endpoint and response status code.",
+    ),
 }
+
+
+def metrics_catalog_markdown() -> str:
+    """The DESIGN.md §9 metric table, generated from :data:`METRICS`.
+
+    A drift test diffs this against the pasted table (same pattern as the
+    §10 lint-rule catalog), so declaring or relabeling a metric without
+    refreshing the docs fails CI.
+    """
+    lines = [
+        "| metric | type | labels | meaning |",
+        "|---|---|---|---|",
+    ]
+    for name in sorted(METRICS):
+        kind, labels, help_text = METRICS[name]
+        label_text = ", ".join(f"`{label}`" for label in labels) or "—"
+        lines.append(
+            f"| `{name}` | {kind} | {label_text} | "
+            f"{help_text.replace('|', chr(92) + '|')} |"
+        )
+    return "\n".join(lines)
 
 
 class MetricError(ValueError):

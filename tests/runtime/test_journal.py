@@ -1,0 +1,320 @@
+"""Write-ahead journal: framing, replay, torn tails, disk faults, compaction."""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.faults import DiskFaultPlan, FaultyOS, PowerLoss
+from repro.runtime.journal import (
+    MAGIC,
+    Journal,
+    JournalError,
+    encode_record,
+    replay,
+)
+
+RECORDS = [
+    {"type": "submit", "id": "c000001", "seq": 1, "spec": {"tenant": "a"}},
+    {"type": "finish", "id": "c000001", "status": "done", "cycles_run": 500},
+    {"type": "clean-shutdown", "queued": []},
+]
+
+
+def fill(journal, records=RECORDS):
+    for record in records:
+        journal.append(record)
+
+
+class TestAppendReplay:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with Journal(path) as journal:
+            fill(journal)
+        result = replay(path)
+        assert result.clean
+        assert result.records == RECORDS
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        result = replay(tmp_path / "nope.wal")
+        assert result.clean and result.records == []
+
+    def test_append_returns_offsets(self, tmp_path):
+        with Journal(tmp_path / "j.wal") as journal:
+            first = journal.append({"type": "a"})
+            second = journal.append({"type": "b"})
+        assert first == len(MAGIC)
+        assert second == first + len(encode_record({"type": "a"}))
+
+    def test_refuses_foreign_file(self, tmp_path):
+        path = tmp_path / "notes.txt"
+        path.write_bytes(b"this is somebody's notes file, not a journal")
+        with pytest.raises(JournalError, match="bad magic"):
+            replay(path)
+        with pytest.raises(JournalError, match="bad magic"):
+            Journal(path)
+        # Refusal must not modify the file.
+        assert path.read_bytes().startswith(b"this is somebody's")
+
+    def test_closed_journal_refuses_append(self, tmp_path):
+        journal = Journal(tmp_path / "j.wal")
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.append({"type": "a"})
+
+    def test_implausible_length_is_tail_damage(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with Journal(path) as journal:
+            journal.append(RECORDS[0])
+        import struct
+
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("<II", 1 << 30, 0) + b"xx")
+        result = replay(path)
+        assert result.records == [RECORDS[0]]
+        assert "implausible" in result.torn
+
+
+class TestTornTail:
+    def truncated_replay(self, data, cut, tmp_path):
+        path = tmp_path / "cut.wal"
+        path.write_bytes(data[:cut])
+        return replay(path)
+
+    def test_truncation_at_every_byte_loses_at_most_the_tail(self, tmp_path):
+        """Exhaustive version of the property test for one journal."""
+        path = tmp_path / "j.wal"
+        with Journal(path) as journal:
+            fill(journal)
+        data = path.read_bytes()
+        boundaries = [len(MAGIC)]
+        for record in RECORDS:
+            boundaries.append(boundaries[-1] + len(encode_record(record)))
+        for cut in range(len(data) + 1):
+            result = self.truncated_replay(data, cut, tmp_path)
+            # The intact prefix is exactly the records whose frames fit.
+            expect = sum(1 for b in boundaries[1:] if b <= cut)
+            assert result.records == RECORDS[:expect], f"cut at {cut}"
+            # Clean only at exact record boundaries; an existing file cut
+            # anywhere else (even inside the magic) is reported torn.
+            assert result.clean == (cut in boundaries)
+
+    def test_reopen_repairs_torn_tail_and_appends_continue(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with Journal(path) as journal:
+            fill(journal)
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 3)  # tear the last record's payload
+        with Journal(path) as journal:
+            assert journal.recovered.records == RECORDS[:2]
+            assert not journal.recovered.clean
+            journal.append({"type": "after-repair"})
+        result = replay(path)
+        assert result.clean
+        assert result.records == RECORDS[:2] + [{"type": "after-repair"}]
+
+    def test_corrupt_byte_stops_replay_before_it(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with Journal(path) as journal:
+            fill(journal)
+        data = bytearray(path.read_bytes())
+        # Flip a payload byte of the second record.
+        offset = len(MAGIC) + len(encode_record(RECORDS[0])) + 8 + 2
+        data[offset] ^= 0xFF
+        path.write_bytes(bytes(data))
+        result = replay(path)
+        assert result.records == [RECORDS[0]]
+        assert "CRC mismatch" in result.torn
+
+
+@st.composite
+def journal_contents(draw):
+    n = draw(st.integers(min_value=0, max_value=6))
+    return [
+        {"type": draw(st.sampled_from(["submit", "finish", "x"])),
+         "seq": i,
+         "blob": draw(st.text(max_size=20))}
+        for i in range(n)
+    ]
+
+
+class TestReplayProperties:
+    @given(records=journal_contents())
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_any_records(self, records, tmp_path_factory):
+        path = tmp_path_factory.mktemp("wal") / "j.wal"
+        with Journal(path, fsync=False) as journal:
+            fill(journal, records)
+        assert replay(path).records == records
+
+    @given(records=journal_contents(), data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_any_truncation_loses_at_most_torn_tail(
+        self, records, data, tmp_path_factory
+    ):
+        """Crash-safety property: prefix-truncation at ANY byte offset
+        yields an intact prefix of the history — never a gap, never a
+        record that was not appended, never reordered records."""
+        base = tmp_path_factory.mktemp("wal")
+        path = base / "j.wal"
+        with Journal(path, fsync=False) as journal:
+            fill(journal, records)
+        blob = path.read_bytes()
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob)))
+        torn = base / "torn.wal"
+        torn.write_bytes(blob[:cut])
+        replayed = replay(torn).records
+        assert replayed == records[: len(replayed)]  # an exact prefix
+        # At most the single record being appended at the cut is lost.
+        frames = 0
+        consumed = len(MAGIC)
+        for record in records:
+            end = consumed + len(encode_record(record))
+            if end <= cut:
+                frames += 1
+            consumed = end
+        assert len(replayed) == frames
+
+
+class TestDiskFaults:
+    def test_enospc_self_heals(self, tmp_path):
+        path = tmp_path / "j.wal"
+        faulty = FaultyOS(DiskFaultPlan(enospc_after_bytes=len(MAGIC) + 20))
+        journal = Journal(path, os_module=faulty)
+        with pytest.raises(JournalError, match="append failed"):
+            fill(journal)
+        journal.close()
+        # The partial frame was truncated away: the journal replays clean.
+        result = replay(path)
+        assert result.clean
+        # And appends work again once space returns.
+        with Journal(path) as journal:
+            assert journal.recovered.clean
+            journal.append({"type": "recovered"})
+        assert replay(path).records[-1] == {"type": "recovered"}
+
+    def test_power_cut_leaves_replayable_prefix(self, tmp_path):
+        path = tmp_path / "j.wal"
+        first = encode_record(RECORDS[0])
+        cut_at = len(MAGIC) + len(first) + 7  # mid-second-record
+        faulty = FaultyOS(DiskFaultPlan(power_cut_after_bytes=cut_at))
+        journal = Journal(path, os_module=faulty)
+        journal.append(RECORDS[0])
+        with pytest.raises(PowerLoss):
+            journal.append(RECORDS[1])
+        # No cleanup ran (PowerLoss is a BaseException): the torn frame is
+        # still on disk, exactly as a real power cut leaves it...
+        assert path.stat().st_size == cut_at
+        assert faulty.writes_torn == 1
+        # ...and reopening repairs it back to the intact prefix.
+        with Journal(path) as reopened:
+            assert reopened.recovered.records == [RECORDS[0]]
+            assert not reopened.recovered.clean
+        assert replay(path).records == [RECORDS[0]]
+
+    def test_fsync_failure_self_heals(self, tmp_path):
+        path = tmp_path / "j.wal"
+        # The open-time magic fsync succeeds; the first append's fails.
+        journal = Journal(path, os_module=FaultyOS(DiskFaultPlan()))
+        faulty = FaultyOS(DiskFaultPlan(fsync_failures=1))
+        journal._os = faulty
+        with pytest.raises(JournalError, match="append failed"):
+            journal.append(RECORDS[0])
+        journal.append(RECORDS[1])
+        journal.close()
+        assert replay(path).records == [RECORDS[1]]
+
+    def test_checkpointer_write_survives_power_cut(self, tmp_path):
+        from repro.runtime.checkpoint import Checkpointer, Shard
+
+        checkpointer = Checkpointer(tmp_path / "shards", fsync=True)
+        shard = Shard(job_id="j1", backend="treadle", cycle=100,
+                      counts={"a": 1}, complete=True)
+        assert checkpointer.write(shard) is not None
+        # A torn write of the *next* snapshot must leave the last good
+        # shard untouched (write-temp + rename means the tear hits the
+        # temp file only).
+        faulty = Checkpointer(
+            tmp_path / "shards", fsync=True,
+            os_module=FaultyOS(DiskFaultPlan(power_cut_after_bytes=10)),
+        )
+        with pytest.raises(PowerLoss):
+            faulty.write(Shard(job_id="j1", backend="treadle", cycle=200,
+                               counts={"a": 2}, complete=True))
+        survivor = checkpointer.load("j1")
+        assert survivor.cycle == 100 and survivor.counts == {"a": 1}
+
+    def test_checkpointer_write_survives_enospc(self, tmp_path):
+        from repro.runtime.checkpoint import Checkpointer, Shard
+
+        checkpointer = Checkpointer(tmp_path / "shards")
+        checkpointer.write(Shard(job_id="j1", backend="treadle", cycle=100,
+                                 counts={"a": 1}, complete=True))
+        faulty = Checkpointer(
+            tmp_path / "shards",
+            os_module=FaultyOS(DiskFaultPlan(enospc_after_bytes=5)),
+        )
+        with pytest.raises(OSError):
+            faulty.write(Shard(job_id="j1", backend="treadle", cycle=200,
+                               counts={"a": 2}, complete=True))
+        assert checkpointer.load("j1").cycle == 100
+        # The failed temp file was cleaned up, not left as litter.
+        litter = [p for p in (tmp_path / "shards").iterdir()
+                  if p.suffix == ".tmp"]
+        assert litter == []
+
+    def test_checkpointer_fsync_failure_keeps_old_shard(self, tmp_path):
+        from repro.runtime.checkpoint import Checkpointer, Shard
+
+        checkpointer = Checkpointer(tmp_path / "shards", fsync=True)
+        checkpointer.write(Shard(job_id="j1", backend="treadle", cycle=100,
+                                 counts={"a": 1}, complete=True))
+        faulty = Checkpointer(
+            tmp_path / "shards", fsync=True,
+            os_module=FaultyOS(DiskFaultPlan(fsync_failures=1)),
+        )
+        with pytest.raises(OSError):
+            faulty.write(Shard(job_id="j1", backend="treadle", cycle=200,
+                               counts={"a": 2}, complete=True))
+        assert checkpointer.load("j1").cycle == 100
+
+
+class TestCompaction:
+    def test_compact_replaces_history_with_snapshot(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with Journal(path) as journal:
+            fill(journal)
+            before = journal.size_bytes
+            snapshot = {"type": "snapshot", "next_seq": 2, "campaigns": []}
+            journal.compact(snapshot)
+            assert journal.size_bytes < before
+            # Appends continue against the new file.
+            journal.append({"type": "after"})
+        result = replay(path)
+        assert result.clean
+        assert result.records == [snapshot, {"type": "after"}]
+
+    def test_compact_failure_leaves_old_journal(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal = Journal(path)
+        fill(journal)
+        journal._os = FaultyOS(DiskFaultPlan(enospc_after_bytes=4))
+        with pytest.raises(JournalError, match="compaction failed"):
+            journal.compact({"type": "snapshot"})
+        journal._os = os
+        journal.close()
+        assert replay(path).records == RECORDS
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_unfsynced_journal_still_survives_process_crash(self, tmp_path):
+        """fsync=False drops the power-loss guarantee only: the bytes are
+        in the page cache, so a plain process crash loses nothing."""
+        path = tmp_path / "j.wal"
+        journal = Journal(path, fsync=False)
+        fill(journal)
+        # Simulate kill -9: no close(), no flush of anything buffered in
+        # the *process* (there is nothing: appends are direct os.write).
+        del journal
+        assert replay(path).records == RECORDS
