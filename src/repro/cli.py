@@ -399,9 +399,50 @@ def cmd_serve(args: argparse.Namespace) -> int:
         breaker_threshold=args.breaker_threshold,
         drain_grace=args.drain_grace,
         model_cache_dir=args.model_cache_dir,
+        cluster_port=args.cluster_port,
+        lease_s=args.lease_s,
+        cluster_heartbeat_s=args.cluster_heartbeat_s,
+        retry_after_s=args.retry_after,
+        compact_max_bytes=args.compact_max_bytes,
     )
     asyncio.run(CoverageService(config).run())
     return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Attach a remote execution worker to a running coverage service."""
+    from .runtime.cluster import ClusterWorker, WorkerConfig
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"--connect expects HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    config = WorkerConfig(
+        host=host,
+        port=int(port),
+        slots=args.slots,
+        state_dir=Path(args.state_dir) if args.state_dir else None,
+        isolation=args.isolation,
+        reconnect=args.reconnect,
+        seed=args.seed,
+        worker_id=args.worker_id,
+    )
+    worker = ClusterWorker(config)
+    print(f"repro worker: {worker.id} connecting to {host}:{port}",
+          flush=True)
+
+    import signal as _signal
+
+    def _stop(signum, frame):
+        worker.stop()
+
+    for sig in (_signal.SIGTERM, _signal.SIGINT):
+        try:
+            _signal.signal(sig, _stop)
+        except (ValueError, OSError):  # non-main thread / platform quirks
+            pass
+    return worker.run()
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -658,7 +699,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model-cache-dir", metavar="DIR",
                    help="content-addressed compiled-model cache shared by "
                         "all campaigns")
+    p.add_argument("--cluster-port", type=int, default=None, metavar="PORT",
+                   help="accept remote 'repro worker' connections on this "
+                        "TCP port (0 picks a free port; omit to disable "
+                        "the cluster and run purely on the local pool)")
+    p.add_argument("--lease-s", type=float, default=10.0,
+                   help="remote shard lease duration; a worker silent this "
+                        "long is presumed dead and its shard re-dispatched "
+                        "under a new fencing token")
+    p.add_argument("--cluster-heartbeat-s", type=float, default=2.0,
+                   help="heartbeat period workers are told to use")
+    p.add_argument("--retry-after", type=float, default=1.0, metavar="S",
+                   help="Retry-After hint stamped on 429/503 rejections")
+    p.add_argument("--compact-max-bytes", type=int, default=4 << 20,
+                   help="auto-compact the WAL journal once it grows past "
+                        "this many bytes (0 disables size-based compaction)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="attach a remote execution worker to a 'repro serve' cluster "
+             "coordinator (lease-fenced shards, streamed count deltas)",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="the coordinator's cluster address (the serve "
+                        "daemon prints it when --cluster-port is set)")
+    p.add_argument("--slots", type=int, default=2,
+                   help="campaign shards this worker runs concurrently")
+    p.add_argument("--state-dir", metavar="DIR",
+                   help="scratch directory for shard checkpoints "
+                        "(default: a private temp dir)")
+    p.add_argument("--isolation", choices=["thread", "process"],
+                   default="thread",
+                   help="attempt containment for shard jobs")
+    p.add_argument("--reconnect", type=int, default=0, metavar="N",
+                   help="reconnection attempts after losing the coordinator "
+                        "(0 = exit on first loss)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for reconnect backoff jitter")
+    p.add_argument("--worker-id", default="",
+                   help="stable worker name (default: pid-derived)")
+    p.set_defaults(fn=cmd_worker)
 
     p = sub.add_parser(
         "stats", help="pretty-print a metrics file from simulate --metrics-out"

@@ -28,6 +28,13 @@ Pieces:
 * :mod:`~repro.runtime.service` — the ``repro serve`` daemon: JSON/HTTP
   campaign API, bounded admission with per-tenant quotas, fair
   scheduling, journal-backed crash recovery, graceful drain
+* :mod:`~repro.runtime.protocol` — the newline-delimited JSON frames the
+  cluster speaks, plus the blocking :class:`LineChannel` transport
+* :mod:`~repro.runtime.cluster` — scale-out: the coordinator embedded in
+  the service (leases, fencing tokens, live delta merges) and the
+  ``repro worker`` remote execution node
+* :mod:`~repro.runtime.client` — retrying HTTP client that honors the
+  service's Retry-After back-pressure with jittered backoff
 * :mod:`~repro.runtime.faults` — deterministic fault injection (tests the
   modules above, and nothing in production imports it)
 * :mod:`~repro.runtime.telemetry` — span tracing + metrics behind the
@@ -50,6 +57,17 @@ from .telemetry import (
 )
 from .breaker import BreakerBoard, CircuitBreaker
 from .checkpoint import SHARD_VERSION, Checkpointer, Shard, ShardError
+from .client import ServiceClient, ServiceError, jittered_backoff
+from .cluster import (
+    ClusterCoordinator,
+    ClusterWorker,
+    Lease,
+    LeaseError,
+    LeaseTable,
+    LiveCoverage,
+    RemoteWorker,
+    WorkerConfig,
+)
 from .differential import (
     CoverDisagreement,
     DifferentialResult,
@@ -68,8 +86,10 @@ from .faults import (
     DiskFaultPlan,
     FaultPlan,
     FaultyBackend,
+    FaultyChannel,
     FaultyOS,
     FaultySimulation,
+    NetFaultPlan,
     PowerLoss,
     ScanNoiseHost,
 )
@@ -80,7 +100,15 @@ from .procworker import (
     SupervisionPolicy,
     current_attempt,
     process_isolation_available,
+    rlimit_as_enforceable,
     run_process_attempt,
+)
+from .protocol import (
+    PROTOCOL_VERSION,
+    LineChannel,
+    ProtocolError,
+    decode_message,
+    encode_message,
 )
 from .service import (
     Campaign,
@@ -105,6 +133,8 @@ __all__ = [
     "CampaignSpec",
     "Checkpointer",
     "CircuitBreaker",
+    "ClusterCoordinator",
+    "ClusterWorker",
     "Counter",
     "CoverDisagreement",
     "CoverageService",
@@ -115,25 +145,37 @@ __all__ = [
     "Executor",
     "FaultPlan",
     "FaultyBackend",
+    "FaultyChannel",
     "FaultyOS",
     "FaultySimulation",
     "Gauge",
     "Histogram",
     "Journal",
     "JournalError",
+    "Lease",
+    "LeaseError",
+    "LeaseTable",
+    "LineChannel",
+    "LiveCoverage",
     "METRICS",
     "MetricsRegistry",
+    "NetFaultPlan",
+    "PROTOCOL_VERSION",
     "PowerLoss",
     "ProcessAttemptResult",
+    "ProtocolError",
     "QuarantineReport",
     "QuarantinedShard",
+    "RemoteWorker",
     "ReplayResult",
     "ResourceLimits",
     "RunJob",
     "RunOutcome",
     "SHARD_VERSION",
     "ScanNoiseHost",
+    "ServiceClient",
     "ServiceConfig",
+    "ServiceError",
     "Shard",
     "ShardError",
     "ShardIssue",
@@ -142,14 +184,19 @@ __all__ = [
     "SupervisionPolicy",
     "Telemetry",
     "Tracer",
+    "WorkerConfig",
     "current_attempt",
+    "decode_message",
+    "encode_message",
     "execute_spec",
+    "jittered_backoff",
     "merge_shards",
     "metrics_catalog_markdown",
     "obs",
     "process_isolation_available",
     "quorum_merge",
     "replay",
+    "rlimit_as_enforceable",
     "run_campaign",
     "run_process_attempt",
     "validate_shard_counts",

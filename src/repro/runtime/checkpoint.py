@@ -38,7 +38,14 @@ class ShardError(ValueError):
 
 @dataclass
 class Shard:
-    """One job's (possibly partial) cover counts plus provenance."""
+    """One job's (possibly partial) cover counts plus provenance.
+
+    ``origin`` records *where* the counts were produced — empty for the
+    local pool, ``"<worker id>#<fencing token>"`` for a shard a cluster
+    worker computed under a lease.  Purely diagnostic provenance: merges
+    and validation ignore it, and shards written before the field existed
+    read back with the empty default.
+    """
 
     job_id: str
     backend: str
@@ -46,6 +53,7 @@ class Shard:
     counts: CoverCounts
     complete: bool = False
     path: Optional[str] = None
+    origin: str = ""
 
     def to_json(self) -> str:
         return json.dumps(
@@ -56,6 +64,7 @@ class Shard:
                 "cycle": self.cycle,
                 "complete": self.complete,
                 "counts": self.counts,
+                "origin": self.origin,
             },
             indent=2,
             sort_keys=True,
@@ -81,6 +90,9 @@ class Shard:
                           ("complete", bool), ("counts", dict)):
             if not isinstance(data.get(key), kind):
                 raise fail(f"missing or mistyped field {key!r}")
+        origin = data.get("origin", "")
+        if not isinstance(origin, str):
+            raise fail("mistyped field 'origin'")
         return Shard(
             job_id=data["job_id"],
             backend=data["backend"],
@@ -88,6 +100,7 @@ class Shard:
             counts=dict(data["counts"]),
             complete=data["complete"],
             path=path,
+            origin=origin,
         )
 
 

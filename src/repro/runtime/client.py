@@ -1,0 +1,184 @@
+"""A small, retrying HTTP client for the coverage service.
+
+The service sheds load with 429 (queue full, tenant over quota) and 503
+(draining), and since PR 7 stamps those rejections with a ``Retry-After``
+header.  This client is the well-behaved counterpart: it honors the
+server's hint when present (plus jitter, so a rejected thundering herd
+does not re-arrive as a synchronized thundering herd), and falls back to
+seeded exponential backoff when the server does not say.
+
+stdlib-only (urllib), usable from tests, scripts, and the worker-side
+tooling alike.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Optional
+
+
+class ServiceError(RuntimeError):
+    """A request failed after exhausting its retry budget."""
+
+    def __init__(self, message: str, code: Optional[int] = None,
+                 payload: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.payload = payload
+
+
+#: HTTP codes the client treats as transient back-pressure
+RETRYABLE = frozenset({429, 503})
+
+
+def jittered_backoff(base: float, attempt: int,
+                     rng: random.Random) -> float:
+    """Exponential backoff with full jitter, capped at 64x base."""
+    ceiling = base * (2 ** min(attempt, 6))
+    return rng.uniform(0, ceiling)
+
+
+class ServiceClient:
+    """Submit/poll helper that respects the service's back-pressure.
+
+    ``retries`` bounds how many 429/503 rejections a single call will
+    absorb before raising :class:`ServiceError`.  ``sleep`` is injectable
+    so tests assert the chosen delays instead of waiting them out.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        retries: int = 5,
+        backoff_base: float = 0.25,
+        seed: int = 0,
+        timeout: float = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.timeout = timeout
+        self._sleep = sleep
+        self._rng = random.Random(f"{seed}:client")
+
+    # -- transport -------------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> tuple[int, dict, Optional[dict]]:
+        """One HTTP round-trip: ``(status, headers, json payload)``.
+
+        Headers come back lower-cased.  Error statuses are returned, not
+        raised — retry policy lives in the callers.
+        """
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as r:
+                raw = r.read()
+                code = r.status
+                response_headers = {
+                    k.lower(): v for k, v in r.headers.items()
+                }
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            code = error.code
+            response_headers = {
+                k.lower(): v for k, v in error.headers.items()
+            }
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            payload = None
+        return code, response_headers, payload
+
+    def _retry_delay(self, headers: dict, payload: Optional[dict],
+                     attempt: int) -> float:
+        """The server's Retry-After hint (jittered), or our own backoff."""
+        hint = headers.get("retry-after")
+        if hint is None and isinstance(payload, dict):
+            hint = payload.get("retry_after")
+        if hint is not None:
+            try:
+                base = max(0.0, float(hint))
+            except (TypeError, ValueError):
+                base = self.backoff_base
+            # Jitter *around* the server's hint: everyone told "1s" must
+            # not come back in the same millisecond.
+            return base + self._rng.uniform(0, self.backoff_base)
+        return jittered_backoff(self.backoff_base, attempt, self._rng)
+
+    # -- high-level calls ------------------------------------------------------
+
+    def submit(self, spec: dict) -> str:
+        """Submit a campaign, absorbing 429/503 rejections; returns its id."""
+        last: tuple[int, Optional[dict]] = (0, None)
+        for attempt in range(self.retries + 1):
+            code, headers, payload = self.request("POST", "/submit", spec)
+            if code == 202 and isinstance(payload, dict):
+                return payload["id"]
+            if code not in RETRYABLE:
+                raise ServiceError(
+                    f"submit rejected with {code}: {payload}",
+                    code=code, payload=payload,
+                )
+            last = (code, payload)
+            if attempt < self.retries:
+                self._sleep(self._retry_delay(headers, payload, attempt))
+        raise ServiceError(
+            f"submit still rejected after {self.retries} retries "
+            f"(last: {last[0]} {last[1]})",
+            code=last[0], payload=last[1],
+        )
+
+    def status(self, campaign_id: str) -> dict:
+        code, _, payload = self.request("GET", f"/status/{campaign_id}")
+        if code != 200 or not isinstance(payload, dict):
+            raise ServiceError(f"status {campaign_id}: {code}", code=code,
+                               payload=payload)
+        return payload
+
+    def report(self, campaign_id: str) -> tuple[int, Optional[dict]]:
+        """The campaign's report: 200 (full or partial) or 409 (no data)."""
+        code, _, payload = self.request("GET", f"/report/{campaign_id}")
+        return code, payload
+
+    def cancel(self, campaign_id: str) -> tuple[int, Optional[dict]]:
+        code, _, payload = self.request("POST", f"/cancel/{campaign_id}")
+        return code, payload
+
+    def healthz(self) -> dict:
+        code, _, payload = self.request("GET", "/healthz")
+        if code != 200 or not isinstance(payload, dict):
+            raise ServiceError(f"healthz: {code}", code=code, payload=payload)
+        return payload
+
+    def metrics_text(self) -> str:
+        request = urllib.request.Request(self.base_url + "/metrics")
+        with urllib.request.urlopen(request, timeout=self.timeout) as r:
+            return r.read().decode("utf-8")
+
+    def wait(self, campaign_id: str, timeout: float = 60.0,
+             poll_s: float = 0.1) -> dict:
+        """Poll until the campaign reaches a terminal status."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status = self.status(campaign_id)
+            if status.get("status") in ("done", "failed", "cancelled"):
+                return status
+            self._sleep(poll_s)
+        raise ServiceError(
+            f"campaign {campaign_id} still {status.get('status')!r} "
+            f"after {timeout}s"
+        )

@@ -230,6 +230,7 @@ class Executor:
         breaker: Optional[BreakerBoard] = None,
         tenant: str = "",
         campaign: str = "",
+        progress: Optional[Callable[[str, int, CoverCounts], None]] = None,
     ) -> None:
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive (or None to disable)")
@@ -256,6 +257,12 @@ class Executor:
         #: service identity labels on per-job metrics ("" outside the service)
         self.tenant = tenant
         self.campaign = campaign
+        #: ``progress(job_id, cycle, counts)`` fires at every checkpoint
+        #: boundary with the live cover counts — the streaming seam the
+        #: coverage service and cluster workers use to serve partial
+        #: results mid-run.  Requires a periodic checkpointer (the hook
+        #: shares its cadence); exceptions are contained, never fatal.
+        self.progress = progress
         limits = None
         if mem_limit_mb or cpu_limit_s:
             limits = ResourceLimits(
@@ -428,6 +435,7 @@ class Executor:
                         complete=False,
                     )
                 )
+            self._report_progress(job.job_id, cycle, counts)
 
         result = run_process_attempt(
             job,
@@ -488,15 +496,17 @@ class Executor:
                 and self.checkpointer.due(cycle)
                 and not worker.abandoned.is_set()
             ):
+                counts = dict(sim.cover_counts())
                 self.checkpointer.write(
                     Shard(
                         job_id=job.job_id,
                         backend=job.backend_name,
                         cycle=cycle,
-                        counts=dict(sim.cover_counts()),
+                        counts=counts,
                         complete=False,
                     )
                 )
+                self._report_progress(job.job_id, cycle, counts)
             if result.stopped:
                 break
             if result.cycles == 0:
@@ -504,6 +514,14 @@ class Executor:
         if worker.abandoned.is_set():
             return
         worker.counts = dict(sim.cover_counts())
+
+    def _report_progress(self, job_id: str, cycle: int, counts) -> None:
+        if self.progress is None:
+            return
+        try:
+            self.progress(job_id, cycle, dict(counts))
+        except Exception:  # a broken observer must not fail the attempt
+            logger.debug("progress hook raised", exc_info=True)
 
     def _write_shard(self, outcome: RunOutcome) -> None:
         if self.checkpointer:

@@ -161,6 +161,7 @@ class FaultPlan:
     hang_hard_at: Optional[int] = None
     balloon_at: Optional[int] = None
     balloon_cap_mb: int = 512
+    balloon_chunk_mb: int = 16
     corrupt_keys: int = 0
     drop_keys: int = 0
     negate_keys: int = 0
@@ -242,14 +243,16 @@ class FaultySimulation:
         return StepResult(done)
 
     def _inflate_balloon(self) -> None:
-        """Allocate 16 MiB chunks until a memory cap stops us.
+        """Allocate fixed-size chunks until a memory cap stops us.
 
         With an in-worker ``RLIMIT_AS`` cap the allocation raises
         ``MemoryError``; the balloon is dropped *before* re-raising so the
         child process has headroom to report the failure over its pipe.
         Without a cap, the safety limit trips instead of eating the host.
+        The chunk size is part of the plan (``balloon_chunk_mb``) so tests
+        can bound how many allocations stand between them and the pop.
         """
-        chunk_mb = 16
+        chunk_mb = self.plan.balloon_chunk_mb
         try:
             while len(self._balloon) * chunk_mb < self.plan.balloon_cap_mb:
                 self._balloon.append(bytearray(chunk_mb << 20))
@@ -346,6 +349,179 @@ class FaultyBackend:
             self.plan,
             self._next_attempt(),
         )
+
+
+@dataclass
+class NetFaultPlan:
+    """What goes wrong on the wire, and when.
+
+    Applied to *outbound* frames of a cluster channel by
+    :class:`FaultyChannel` — the realistic seam, because a worker's view
+    of a partition is "my sends vanish"; the coordinator simply stops
+    hearing from it.  All choices are deterministic functions of
+    ``(seed, message index)``, so a chaos test replays identically.
+
+    * ``drop_p`` — each frame is silently discarded with this
+      probability (lossy link).
+    * ``dup_p`` — each frame is sent twice (retransmit storm; the
+      delta-merge contiguity check must make duplicates harmless).
+    * ``delay_p`` / ``delay_s`` — each frame is held for ``delay_s``
+      seconds before delivery (congestion; staleness the fencing tokens
+      must catch).
+    * ``reorder_p`` — each frame may be held back and sent *after* the
+      following frame (out-of-order delivery).
+    * ``partitions`` — ``(start_s, end_s)`` windows, measured from
+      channel creation, during which every matching frame is *buffered*
+      instead of sent; when a window ends the backlog floods out at
+      once.  This is the zombie-holder scenario: the worker keeps
+      computing and "sending" during the partition, the lease expires,
+      and the flood of stale frames arrives after re-dispatch — every
+      one must bounce off the fencing check.
+    * ``only_types`` — restrict the faults to these frame types (empty
+      = all).  Lets a test partition ``delta``/``heartbeat`` traffic
+      while leaving ``hello`` registration intact.
+    * ``seed`` — drives every random choice.
+    """
+
+    drop_p: float = 0.0
+    dup_p: float = 0.0
+    delay_p: float = 0.0
+    delay_s: float = 0.05
+    reorder_p: float = 0.0
+    partitions: tuple = ()
+    only_types: tuple = ()
+    seed: int = 0
+
+
+class FaultyChannel:
+    """Channel wrapper that injects :class:`NetFaultPlan` faults on send.
+
+    Wraps any object with ``send(msg)`` / ``recv()`` / ``close()``
+    (duck-typed to :class:`~repro.runtime.protocol.LineChannel`).
+    Inbound traffic passes through untouched — the coordinator's
+    ``revoke``/``fenced`` frames still arrive, as they would on an
+    asymmetric partition.
+
+    Frames deferred by a delay or partition window are released by a
+    daemon flusher thread, *not* lazily on the next send: a worker that
+    goes quiet after a partition (revoked, cancelled) must still flood
+    its buffered stale writes when the window lifts, or the zombie
+    scenario never exercises the fencing check.
+    """
+
+    _TICK = 0.02
+
+    def __init__(self, channel, plan: NetFaultPlan) -> None:
+        self._channel = channel
+        self.plan = plan
+        self._rng = random.Random(f"{plan.seed}:net")
+        self._born = time.monotonic()
+        self._lock = threading.Lock()
+        self._held: Optional[dict] = None   # reorder buffer (one frame)
+        self._deferred: list = []           # (due_at, seq, msg)
+        self._seq = 0
+        self._closed = False
+        self.sent = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+        self.reordered = 0
+        self.deferred_total = 0
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name="net-fault-flusher", daemon=True
+        )
+        self._flusher.start()
+
+    # -- fault application -----------------------------------------------------
+
+    def _in_partition(self, now: float) -> Optional[float]:
+        """The end of the active partition window, if any."""
+        age = now - self._born
+        for start, end in self.plan.partitions:
+            if start <= age < end:
+                return self._born + end
+        return None
+
+    def send(self, msg: dict) -> None:
+        plan = self.plan
+        if plan.only_types and msg.get("type") not in plan.only_types:
+            self._channel.send(msg)
+            return
+        # Draw every decision up front so the outcome depends only on the
+        # message index, not on which earlier branches were taken.
+        roll_drop = self._rng.random()
+        roll_dup = self._rng.random()
+        roll_delay = self._rng.random()
+        roll_reorder = self._rng.random()
+        now = time.monotonic()
+        window_end = self._in_partition(now)
+        if window_end is not None:
+            with self._lock:
+                self._seq += 1
+                self._deferred.append((window_end, self._seq, msg))
+                self.deferred_total += 1
+            return
+        if roll_drop < plan.drop_p:
+            self.dropped += 1
+            return
+        if roll_delay < plan.delay_p:
+            with self._lock:
+                self._seq += 1
+                self._deferred.append((now + plan.delay_s, self._seq, msg))
+                self.delayed += 1
+                self.deferred_total += 1
+            return
+        if roll_reorder < plan.reorder_p:
+            with self._lock:
+                if self._held is None:
+                    self._held = msg   # hold back; the next frame overtakes
+                    return
+        self._transmit(msg)
+        if roll_dup < plan.dup_p:
+            self.duplicated += 1
+            self._transmit(msg)
+        held = None
+        with self._lock:
+            if self._held is not None and self._held is not msg:
+                held, self._held = self._held, None
+                self.reordered += 1
+        if held is not None:
+            self._transmit(held)
+
+    def _transmit(self, msg: dict) -> None:
+        if self._closed:
+            return
+        try:
+            self._channel.send(msg)
+            self.sent += 1
+        except (OSError, ValueError):
+            pass  # the link died under us; the read loop notices EOF
+
+    def _flush_loop(self) -> None:
+        while not self._closed:
+            now = time.monotonic()
+            due = []
+            with self._lock:
+                keep = []
+                for item in self._deferred:
+                    (due if item[0] <= now else keep).append(item)
+                self._deferred = keep
+            for _, _, msg in sorted(due, key=lambda item: (item[0], item[1])):
+                self._transmit(msg)
+            time.sleep(self._TICK)
+
+    # -- pass-through ----------------------------------------------------------
+
+    def recv(self):
+        return self._channel.recv()
+
+    def close(self) -> None:
+        self._closed = True
+        self._channel.close()
+
+    @property
+    def closed(self) -> bool:
+        return getattr(self._channel, "closed", self._closed)
 
 
 class ScanNoiseHost:

@@ -180,13 +180,25 @@ class Journal:
     fault-injection seam; production always passes the real :mod:`os`.
     """
 
-    def __init__(self, path, fsync: bool = True, os_module=None) -> None:
+    def __init__(
+        self,
+        path,
+        fsync: bool = True,
+        os_module=None,
+        auto_compact_bytes: int = 0,
+        snapshot_provider=None,
+    ) -> None:
         self.path = Path(path)
         self.fsync = fsync
         self._os = os_module if os_module is not None else os
         self._lock = threading.Lock()
         self.records_appended = 0
         self.compactions = 0
+        #: auto-compact once the file grows past this size (0 disables);
+        #: ``snapshot_provider()`` must return the snapshot record
+        self.auto_compact_bytes = auto_compact_bytes
+        self.snapshot_provider = snapshot_provider
+        self._auto_compact_at = auto_compact_bytes
         self.recovered = replay(self.path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fresh = not self.path.exists()
@@ -251,7 +263,30 @@ class Journal:
                 "repro_serve_journal_appends_total",
                 type=str(record.get("type", "?")),
             )
+        self._maybe_autocompact()
         return start
+
+    def _maybe_autocompact(self) -> None:
+        """Fold the history into one snapshot once the file grows too big.
+
+        Runs outside ``self._lock`` (``compact`` takes it).  The re-arm
+        threshold is ``max(auto_compact_bytes, 2 * compacted size)`` so a
+        snapshot already bigger than the configured limit cannot trigger
+        a compaction on every subsequent append — the journal must earn
+        each compaction by doubling first.
+        """
+        if (
+            not self.auto_compact_bytes
+            or self.snapshot_provider is None
+            or self._size < self._auto_compact_at
+        ):
+            return
+        try:
+            self.compact(self.snapshot_provider())
+        except JournalError:
+            # Disk trouble: appends already self-heal; compaction retries
+            # at the next threshold crossing.
+            return
 
     # -- compaction ------------------------------------------------------------
 
@@ -298,6 +333,12 @@ class Journal:
             self._size = len(frame)
             self._os.lseek(self._fd, self._size, os.SEEK_SET)
             self.compactions += 1
+            # Re-arm auto-compaction: the journal must outgrow both the
+            # configured limit and double its fresh snapshot before the
+            # next one, so an oversized snapshot cannot thrash.
+            self._auto_compact_at = max(
+                self.auto_compact_bytes, self._size * 2
+            )
         if obs.enabled:
             obs.inc("repro_serve_journal_compactions_total")
 

@@ -80,6 +80,75 @@ def process_isolation_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def address_space_mb() -> Optional[int]:
+    """Current virtual address-space size (VmSize) of this process, in MiB.
+
+    Tests use this to set an ``RLIMIT_AS`` cap a known margin above the
+    interpreter's existing footprint, so an injected memory balloon pops
+    after a *deterministic* number of fixed-size chunks instead of racing
+    a watchdog.  Returns None where ``/proc`` is unavailable.
+    """
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmSize:"):
+                    return int(line.split()[1]) >> 10  # kB -> MiB
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+def rlimit_as_enforceable() -> bool:
+    """Whether ``RLIMIT_AS`` actually stops allocations on this platform.
+
+    Some sandboxes accept ``setrlimit(RLIMIT_AS, ...)`` and then ignore
+    it; a balloon test would hang against its watchdog instead of
+    popping.  Probe for real: fork a child, cap it slightly above the
+    current footprint, and check that a modest allocation burst dies
+    with ``MemoryError``.
+    """
+    if not process_isolation_available():
+        return False
+    try:
+        import resource  # noqa: F401
+    except ImportError:  # pragma: no cover — non-POSIX
+        return False
+    base = address_space_mb()
+    if base is None:
+        return False
+
+    def probe(conn) -> None:
+        chunks = []
+        try:
+            ResourceLimits(address_space_mb=base + 64).apply()
+            for _ in range(16):  # 16 * 16 MiB = 256 MiB >> the 64 MiB slack
+                chunks.append(bytearray(16 << 20))
+            conn.send(False)   # the cap never bit
+        except MemoryError:
+            chunks.clear()     # free before touching the pipe
+            conn.send(True)
+        except Exception:
+            conn.send(False)
+        finally:
+            conn.close()
+
+    ctx = multiprocessing.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    child = ctx.Process(target=probe, args=(child_conn,), daemon=True)
+    child.start()
+    child_conn.close()
+    enforced = False
+    try:
+        if parent_conn.poll(10):
+            enforced = bool(parent_conn.recv())
+    except (EOFError, OSError):
+        enforced = False
+    finally:
+        _kill_and_reap(child)
+        parent_conn.close()
+    return enforced
+
+
 def counts_digest(counts: CoverCounts) -> int:
     """CRC-32 over the sorted count map — the heartbeat progress digest."""
     crc = 0

@@ -1,0 +1,176 @@
+"""Wire protocol for the coverage fleet: newline-delimited JSON frames.
+
+The cluster coordinator (:mod:`~repro.runtime.cluster`) and its remote
+workers speak a deliberately boring protocol: one JSON object per line
+over a plain TCP socket.  Boring is the point — every frame is
+independently parseable, a torn connection can never corrupt a frame
+that already arrived, and the whole conversation can be replayed from a
+tcpdump with ``jq``.
+
+Frame inventory (``type`` field selects the schema):
+
+worker → coordinator
+    ``hello``      worker registration: ``worker`` id, ``slots``,
+                   protocol ``version``.
+    ``heartbeat``  liveness + per-shard progress: ``worker``,
+                   ``shards`` (``shard id -> {token, cycle}``),
+                   ``sent_at`` (sender wall clock, for lag estimation).
+    ``delta``      incremental cover counts for one lease: ``shard``,
+                   fencing ``token``, ``seq``, ``from_cycle``,
+                   ``to_cycle``, additive ``counts``, ``sent_at``.
+    ``done``       terminal result for one lease: ``shard``, ``token``,
+                   ``status``, ``detail``, full ``counts``,
+                   ``cycles_run``, ``attempts``, ``backend_ok``.
+
+coordinator → worker
+    ``welcome``    registration ack: ``version``, ``heartbeat_s``,
+                   ``lease_s``.
+    ``grant``      a lease: ``shard``, fencing ``token``, the campaign
+                   ``spec`` (JSON object), ``checkpoint_every``,
+                   ``timeout``, ``retries``.
+    ``revoke``     the coordinator gave the shard away (lease expired /
+                   campaign cancelled): ``shard``, ``token``,
+                   ``reason``.  The worker must stop and go quiet.
+    ``fenced``     a write carried a dead fencing token: ``shard``,
+                   ``token``, ``reason``.  Informational — the write
+                   was already rejected server-side.
+
+Unknown ``type`` values are *accepted* by :func:`decode_message` so a
+newer peer can add frames without breaking an older one; receivers
+ignore types they don't handle.  Known types are validated against
+:data:`REQUIRED_FIELDS` so a malformed frame fails loudly at the seam
+instead of as a ``KeyError`` deep in coordinator state.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Optional
+
+#: bumped when a frame schema changes incompatibly
+PROTOCOL_VERSION = 1
+
+#: refuse absurd frames — a delta for a huge design is megabytes, not
+#: gigabytes, and a corrupt peer must not make us buffer unbounded data
+MAX_LINE_BYTES = 32 << 20
+
+
+class ProtocolError(ValueError):
+    """A frame violated the wire protocol."""
+
+
+#: per-type required fields; unknown types pass through unvalidated
+REQUIRED_FIELDS = {
+    "hello": ("worker", "slots", "version"),
+    "heartbeat": ("worker", "shards", "sent_at"),
+    "delta": (
+        "shard", "token", "seq", "from_cycle", "to_cycle", "counts",
+        "sent_at",
+    ),
+    "done": (
+        "shard", "token", "status", "detail", "counts", "cycles_run",
+        "attempts", "backend_ok",
+    ),
+    "welcome": ("version", "heartbeat_s", "lease_s"),
+    "grant": (
+        "shard", "token", "spec", "checkpoint_every", "timeout", "retries",
+    ),
+    "revoke": ("shard", "token", "reason"),
+    "fenced": ("shard", "token", "reason"),
+}
+
+
+def encode_message(msg: dict) -> bytes:
+    """One wire frame: compact canonical JSON plus the line terminator."""
+    if "type" not in msg:
+        raise ProtocolError("message has no 'type'")
+    line = json.dumps(msg, sort_keys=True, separators=(",", ":"))
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"frame of {len(data)} bytes exceeds MAX_LINE_BYTES"
+        )
+    return data
+
+
+def decode_message(line: bytes) -> dict:
+    """Parse and validate one frame; raises :class:`ProtocolError`."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds MAX_LINE_BYTES"
+        )
+    try:
+        msg = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from error
+    if not isinstance(msg, dict):
+        raise ProtocolError(f"frame is {type(msg).__name__}, not an object")
+    kind = msg.get("type")
+    if not isinstance(kind, str) or not kind:
+        raise ProtocolError("frame has no 'type'")
+    required = REQUIRED_FIELDS.get(kind)
+    if required is not None:
+        missing = [f for f in required if f not in msg]
+        if missing:
+            raise ProtocolError(
+                f"{kind} frame missing field(s): {', '.join(missing)}"
+            )
+    return msg
+
+
+class LineChannel:
+    """Blocking newline-delimited JSON channel over a connected socket.
+
+    The worker side of the protocol (threads + blocking sockets — no
+    event loop in the worker process).  ``send`` is lock-guarded so the
+    shard threads and the heartbeat thread can share one channel;
+    ``recv`` is single-consumer (the worker's read loop).
+
+    ``recv`` returns ``None`` on EOF or a closed/broken socket — the
+    caller treats that as "connection over", never as an error to
+    retry on the same socket.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+        self._send_lock = threading.Lock()
+        self._closed = False
+
+    def send(self, msg: dict) -> None:
+        data = encode_message(msg)
+        with self._send_lock:
+            self._sock.sendall(data)
+
+    def recv(self) -> Optional[dict]:
+        try:
+            line = self._reader.readline(MAX_LINE_BYTES + 1)
+        except (OSError, ValueError):
+            return None
+        if not line or not line.endswith(b"\n"):
+            return None  # EOF, or a frame torn by connection loss
+        return decode_message(line.rstrip(b"\n"))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # shutdown() first: it needs no lock and forces a concurrent
+        # blocked readline() to return EOF.  Closing the buffered reader
+        # straight away would deadlock on the buffer lock that the
+        # blocked reader thread holds.
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        for closer in (self._reader.close, self._sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -31,6 +31,11 @@ The robustness contract:
   (:class:`~repro.runtime.breaker.BreakerBoard`) is open, its campaigns
   are *deferred* (kept queued, retried after the breaker's probe
   window), not failed.
+* **Scale-out** — with ``--cluster-port`` the service embeds a
+  :class:`~repro.runtime.cluster.ClusterCoordinator` and prefers
+  dispatching campaigns to remote workers under lease-fenced grants,
+  merging their streamed count deltas into a live partial-report view;
+  zero attached workers degrades back to the local thread pool.
 
 Endpoints: ``POST /submit``, ``GET /status/<id>``, ``GET /campaigns``,
 ``POST /cancel/<id>``, ``GET /report/<id>``, ``GET /metrics``
@@ -52,7 +57,8 @@ from pathlib import Path
 from typing import Optional
 
 from .breaker import BreakerBoard
-from .checkpoint import Checkpointer
+from .checkpoint import Checkpointer, Shard
+from .cluster import ClusterCoordinator, LiveCoverage
 from .executor import Executor, RunJob
 from .journal import Journal
 from .telemetry import obs
@@ -214,6 +220,11 @@ class Campaign:
     not_before: float = 0.0  # monotonic; breaker-deferral backoff
     cancel_event: threading.Event = field(default_factory=threading.Event)
     cancel_reason: str = ""
+    #: streaming partial counts while RUNNING (local or merged deltas)
+    live: Optional[LiveCoverage] = None
+    remote: bool = False       # currently leased to a cluster worker
+    worker: str = ""           # the leased worker's id (diagnostic)
+    lease_token: int = 0       # current fencing token (diagnostic)
 
     @property
     def terminal(self) -> bool:
@@ -231,6 +242,8 @@ class Campaign:
             "cycles_run": self.cycles_run,
             "attempts": self.attempts,
         }
+        if self.remote and self.worker:
+            out["worker"] = self.worker
         if self.counts is not None:
             out["covered"] = sum(1 for c in self.counts.values() if c)
             out["points"] = len(self.counts)
@@ -258,6 +271,7 @@ def execute_spec(
     isolation: str = "thread",
     timeout: Optional[float] = None,
     retries: int = 0,
+    progress=None,
 ) -> ExecutionOutcome:
     """Run one campaign spec to completion (or interruption).
 
@@ -267,9 +281,13 @@ def execute_spec(
     ``resume`` is always on: a complete shard left by a previous life of
     the daemon is adopted instead of re-run.
 
-    Shared by the service scheduler and by tests computing reference
-    counts (the bit-identical recovery check *is* this function run
-    twice).
+    ``progress`` (optional ``fn(job_id, cycle, counts)``) is forwarded to
+    the executor's checkpoint-boundary hook — the seam the service's live
+    partial reports and the cluster workers' delta streams hang off.
+
+    Shared by the service scheduler, the cluster worker, and tests
+    computing reference counts (the bit-identical recovery check *is*
+    this function run twice).
     """
     from ..backends import BACKENDS
     from ..coverage import all_cover_names, instrument
@@ -305,6 +323,7 @@ def execute_spec(
         isolation=isolation,
         tenant=spec.tenant,
         campaign=campaign_id,
+        progress=progress,
     )
     job = RunJob(
         job_id=campaign_id,
@@ -377,6 +396,17 @@ class ServiceConfig:
     max_body_bytes: int = 8 << 20
     model_cache_dir: Optional[str] = None
     telemetry: bool = True
+    #: TCP port for the cluster coordinator (None = no cluster, 0 = auto)
+    cluster_port: Optional[int] = None
+    #: remote shard lease duration; a worker silent this long is presumed
+    #: dead and its shard is re-dispatched under a new fencing token
+    lease_s: float = 10.0
+    #: heartbeat period handed to workers in the welcome frame
+    cluster_heartbeat_s: float = 2.0
+    #: Retry-After hint (seconds) stamped on 429/503 rejections
+    retry_after_s: float = 1.0
+    #: auto-compact the WAL once it grows past this many bytes (0 = off)
+    compact_max_bytes: int = 4 << 20
 
     def __post_init__(self) -> None:
         self.state_dir = Path(self.state_dir)
@@ -386,6 +416,14 @@ class ServiceConfig:
             raise ValueError("max_queue must be >= 1")
         if self.tenant_quota < 1:
             raise ValueError("tenant_quota must be >= 1")
+        if self.lease_s <= 0:
+            raise ValueError("lease_s must be positive")
+        if self.cluster_heartbeat_s <= 0:
+            raise ValueError("cluster_heartbeat_s must be positive")
+        if self.retry_after_s < 0:
+            raise ValueError("retry_after_s must be >= 0")
+        if self.compact_max_bytes < 0:
+            raise ValueError("compact_max_bytes must be >= 0")
 
 
 class CoverageService:
@@ -400,6 +438,9 @@ class CoverageService:
         self.journal: Optional[Journal] = None
         self.recovery: dict = {}
         self.port: Optional[int] = None
+        self.cluster: Optional[ClusterCoordinator] = None
+        self.cluster_port: Optional[int] = None
+        self._next_fence = 1  # monotonic fencing-token allocator (journaled)
         self._queue: list[Campaign] = []
         self._running: dict[str, Campaign] = {}
         self._tenant_served: dict[str, int] = {}
@@ -439,6 +480,12 @@ class CoverageService:
             self._handle_conn, self.config.host, self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.cluster_port is not None:
+            # After _recover(): the coordinator's lease table starts its
+            # fencing tokens at the journaled next_fence watermark.
+            self.cluster = ClusterCoordinator(self)
+            await self.cluster.start()
+            self.cluster_port = self.cluster.port
         self._scheduler_task = asyncio.create_task(self._scheduler_loop())
         logger.info(
             "serving on %s:%d (state: %s, recovered: %s)",
@@ -452,6 +499,12 @@ class CoverageService:
             f"repro serve: listening on http://{self.config.host}:{self.port}",
             flush=True,
         )
+        if self.cluster_port is not None:
+            print(
+                f"repro serve: cluster coordinator on "
+                f"{self.config.host}:{self.cluster_port}",
+                flush=True,
+            )
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGTERM, signal.SIGINT):
             try:
@@ -528,7 +581,21 @@ class CoverageService:
         if self._running:
             # Past grace: interrupt at the next cycle boundary.  The
             # campaigns stay journaled as in-flight and resume next start.
-            for campaign in self._running.values():
+            for campaign in list(self._running.values()):
+                if campaign.remote:
+                    # Remote shards are revoked, not waited for: the
+                    # journaled submit record resumes them next start.
+                    if self.cluster is not None:
+                        self.cluster.revoke(campaign.id, "drain")
+                    self._running.pop(campaign.id, None)
+                    campaign.status = QUEUED
+                    campaign.detail = (
+                        "interrupted by drain; will resume on restart"
+                    )
+                    campaign.remote = False
+                    campaign.live = None
+                    self._queue.append(campaign)
+                    continue
                 campaign.cancel_reason = "drain"
                 campaign.cancel_event.set()
             hard_deadline = time.monotonic() + 10.0
@@ -546,6 +613,8 @@ class CoverageService:
     def _abort(self) -> None:
         """Tear down the loop side without touching the journal."""
         self._stopping = True
+        if self.cluster is not None:
+            self.cluster.close()
         if self._server is not None:
             self._server.close()
         if self._scheduler_task is not None:
@@ -581,6 +650,8 @@ class CoverageService:
         self.journal = Journal(
             self.config.state_dir / "journal.wal",
             fsync=self.config.journal_fsync,
+            auto_compact_bytes=self.config.compact_max_bytes,
+            snapshot_provider=self._snapshot_record,
         )
         replayed = self.journal.recovered
         for record in replayed.records:
@@ -644,11 +715,21 @@ class CoverageService:
                 campaign.detail = str(record.get("detail", ""))
                 campaign.cycles_run = int(record.get("cycles_run", 0))
                 campaign.attempts = int(record.get("attempts", 0))
+        elif kind == "lease":
+            # A fencing token was armed before this journal life ended;
+            # the next token must land strictly above it, or a zombie
+            # holder could collide with a fresh grant.
+            self._next_fence = max(
+                self._next_fence, int(record.get("token", 0)) + 1
+            )
         elif kind == "clean-shutdown":
             self._clean_shutdown_seen = True
         elif kind == "snapshot":
             self.campaigns.clear()
             self._next_seq = max(1, int(record.get("next_seq", 1)))
+            self._next_fence = max(
+                self._next_fence, int(record.get("next_fence", 1))
+            )
             for entry in record.get("campaigns", []):
                 self._apply_record(dict(entry, type="submit"))
                 if entry.get("status") in TERMINAL:
@@ -679,6 +760,7 @@ class CoverageService:
         return {
             "type": "snapshot",
             "next_seq": self._next_seq,
+            "next_fence": self._next_fence,
             "campaigns": entries,
         }
 
@@ -691,6 +773,31 @@ class CoverageService:
             self._records_since_compact = 0
         except Exception:
             logger.exception("journal compaction failed; appends continue")
+
+    def _journal_lease(self, campaign_id: str, worker_id: str,
+                       token: int) -> bool:
+        """Durably arm a fencing token *before* the grant can exist.
+
+        Write-ahead for fencing: if this append fails the grant never
+        happens; if it succeeds and the coordinator dies, recovery
+        restarts token allocation strictly above it.  Returns False on
+        journal trouble (the caller falls back to the local pool).
+        """
+        try:
+            self.journal.append({
+                "type": "lease",
+                "id": campaign_id,
+                "worker": worker_id,
+                "token": token,
+            })
+        except Exception:
+            logger.exception(
+                "campaign %s: lease record failed; not granting", campaign_id
+            )
+            return False
+        self._next_fence = max(self._next_fence, token + 1)
+        self._maybe_compact()
+        return True
 
     # -- admission & scheduling ------------------------------------------------
 
@@ -761,6 +868,8 @@ class CoverageService:
     async def _scheduler_loop(self) -> None:
         try:
             while not self._stopping:
+                if self.cluster is not None:
+                    self.cluster.tick()
                 self._dispatch_ready()
                 try:
                     await asyncio.wait_for(self._wake.wait(), timeout=0.1)
@@ -770,16 +879,40 @@ class CoverageService:
         except asyncio.CancelledError:
             pass
 
+    def _local_running(self) -> int:
+        """In-flight campaigns occupying local thread-pool slots."""
+        return sum(1 for c in self._running.values() if not c.remote)
+
     def _dispatch_ready(self) -> None:
+        """Drain the queue onto remote workers first, local slots second.
+
+        Remote capacity is preferred (it is usually the larger pool and
+        keeps the local slots free for when the fleet shrinks); with zero
+        workers attached this degrades to exactly the pre-cluster local
+        scheduling.  A failed grant (journal trouble) falls back to a
+        local slot in the same pass.
+        """
         if self._draining or self._pause_dispatch:
             return
-        while len(self._running) < self.config.max_workers:
+        while True:
+            worker = (
+                self.cluster.pick_worker() if self.cluster is not None
+                else None
+            )
+            local_free = self._local_running() < self.config.max_workers
+            if worker is None and not local_free:
+                return
             campaign = self.pick_next()
             if campaign is None:
                 return
+            if worker is not None and self._dispatch_remote(campaign, worker):
+                continue
+            if not local_free:
+                return
             self._dispatch(campaign)
 
-    def _dispatch(self, campaign: Campaign) -> None:
+    def _start_running(self, campaign: Campaign) -> None:
+        """Shared queued→running bookkeeping for both dispatch paths."""
         self._queue.remove(campaign)
         self._gauge_queue(campaign.spec.tenant)
         campaign.status = RUNNING
@@ -789,6 +922,25 @@ class CoverageService:
         self._tenant_served[tenant] = self._tenant_served.get(tenant, 0) + 1
         if obs.enabled:
             obs.set_gauge("repro_serve_active_campaigns", len(self._running))
+
+    def _dispatch_remote(self, campaign: Campaign, worker) -> bool:
+        """Lease ``campaign`` to a cluster worker; False falls back local."""
+        if not self.cluster.dispatch(campaign, worker):
+            return False
+        self._start_running(campaign)
+        campaign.remote = True
+        campaign.worker = worker.id
+        lease = self.cluster.leases.get(campaign.id)
+        campaign.lease_token = lease.token if lease is not None else 0
+        if obs.enabled:
+            obs.inc("repro_cluster_dispatches_total", mode="remote")
+        return True
+
+    def _dispatch(self, campaign: Campaign) -> None:
+        self._start_running(campaign)
+        campaign.live = LiveCoverage(source="local")
+        if obs.enabled and self.cluster is not None:
+            obs.inc("repro_cluster_dispatches_total", mode="local")
         future = self._loop.run_in_executor(
             self._pool, self._execute, campaign
         )
@@ -798,6 +950,18 @@ class CoverageService:
 
     def _execute(self, campaign: Campaign) -> ExecutionOutcome:
         """Worker-thread body: run the campaign spec under the executor."""
+
+        def live_progress(job_id: str, cycle: int, counts: dict) -> None:
+            # Worker thread → loop-thread readers: LiveCoverage fields are
+            # replaced wholesale (never mutated in place), so /report sees
+            # either the previous checkpoint's view or this one.
+            live = campaign.live
+            if live is None:
+                return
+            live.counts = counts
+            live.cycle = cycle
+            live.updated_at = time.monotonic()
+
         try:
             return execute_spec(
                 campaign.spec,
@@ -807,10 +971,43 @@ class CoverageService:
                 isolation=self.config.isolation,
                 timeout=self.config.default_timeout,
                 retries=self.config.retries,
+                progress=live_progress,
             )
         except Exception as error:
             logger.exception("campaign %s: runner failed", campaign.id)
             return ExecutionOutcome(status=FAILED, detail=str(error))
+
+    def _finalize(self, campaign: Campaign, status: str, detail: str,
+                  counts: Optional[dict], cycles_run: int,
+                  attempts: int) -> None:
+        """Shared terminal path: set state, journal ``finish``, account."""
+        campaign.status = status
+        campaign.detail = detail
+        campaign.counts = counts
+        campaign.cycles_run = cycles_run
+        campaign.attempts = attempts
+        campaign.live = None
+        campaign.remote = False
+        try:
+            self.journal.append({
+                "type": "finish",
+                "id": campaign.id,
+                "status": status,
+                "detail": campaign.detail,
+                "cycles_run": campaign.cycles_run,
+                "attempts": campaign.attempts,
+            })
+        except Exception:
+            logger.exception(
+                "campaign %s: finish record failed; state is in-memory only",
+                campaign.id,
+            )
+        if obs.enabled:
+            obs.inc("repro_serve_campaigns_total",
+                    tenant=campaign.spec.tenant, status=status)
+        self._maybe_compact()
+        if self._wake is not None:
+            self._wake.set()
 
     def _on_done(self, campaign: Campaign, future) -> None:
         """Back on the loop thread: record the outcome durably."""
@@ -830,35 +1027,71 @@ class CoverageService:
             campaign.detail = "interrupted by drain; will resume on restart"
             campaign.cancel_event.clear()
             campaign.cancel_reason = ""
+            campaign.live = None
             self._queue.append(campaign)
             self._gauge_queue(campaign.spec.tenant)
             return
         status = (
             CANCELLED if outcome.status == "interrupted" else outcome.status
         )
-        campaign.status = status
-        campaign.detail = outcome.detail
-        campaign.counts = outcome.counts
-        campaign.cycles_run = outcome.cycles_run
-        campaign.attempts = outcome.attempts
-        try:
-            self.journal.append({
-                "type": "finish",
-                "id": campaign.id,
-                "status": status,
-                "detail": campaign.detail,
-                "cycles_run": campaign.cycles_run,
-                "attempts": campaign.attempts,
-            })
-        except Exception:
-            logger.exception(
-                "campaign %s: finish record failed; state is in-memory only",
-                campaign.id,
-            )
+        self._finalize(campaign, status, outcome.detail, outcome.counts,
+                       outcome.cycles_run, outcome.attempts)
+
+    # -- cluster callbacks (loop thread, called by the coordinator) -------------
+
+    def _finish_remote(self, campaign_id: str, *, status: str, detail: str,
+                       counts: Optional[dict], cycles_run: int, attempts: int,
+                       backend_ok: bool, worker: str, token: int) -> None:
+        """A fenced-valid ``done`` frame arrived for a remote campaign."""
+        campaign = self.campaigns.get(campaign_id)
+        if campaign is None or campaign.status != RUNNING or not campaign.remote:
+            return  # finished/cancelled while the frame was in flight
+        self._running.pop(campaign_id, None)
         if obs.enabled:
-            obs.inc("repro_serve_campaigns_total",
-                    tenant=campaign.spec.tenant, status=status)
-        self._maybe_compact()
+            obs.set_gauge("repro_serve_active_campaigns", len(self._running))
+        self.breakers.record(campaign.spec.backend, ok=backend_ok)
+        final = CANCELLED if status == "interrupted" else status
+        if final == DONE and counts is not None:
+            # Crash-recovery invariant (same as the local executor): the
+            # complete shard is on disk *before* the finish record, so a
+            # crash between the two re-adopts instead of re-running.
+            try:
+                self._checkpointer(campaign).write(Shard(
+                    job_id=campaign_id,
+                    backend=campaign.spec.backend,
+                    cycle=cycles_run,
+                    counts=dict(counts),
+                    complete=True,
+                    origin=f"{worker}#{token}",
+                ))
+            except Exception:
+                logger.exception(
+                    "campaign %s: persisting remote shard failed", campaign_id
+                )
+        self._finalize(campaign, final, detail, counts, cycles_run, attempts)
+
+    def _remote_lost(self, campaign_id: str, reason: str) -> None:
+        """A remote campaign's lease died (expiry/disconnect): requeue it.
+
+        Deterministic seeding makes the re-run — on any worker or the
+        local pool — bit-identical, so losing a worker costs time, never
+        correctness.
+        """
+        campaign = self.campaigns.get(campaign_id)
+        if campaign is None or campaign.status != RUNNING or not campaign.remote:
+            return
+        self._running.pop(campaign_id, None)
+        if obs.enabled:
+            obs.set_gauge("repro_serve_active_campaigns", len(self._running))
+        campaign.status = QUEUED
+        campaign.detail = f"requeued: {reason}"
+        campaign.remote = False
+        campaign.worker = ""
+        campaign.lease_token = 0
+        campaign.live = None
+        campaign.cancel_event.clear()
+        self._queue.append(campaign)
+        self._gauge_queue(campaign.spec.tenant)
         if self._wake is not None:
             self._wake.set()
 
@@ -910,7 +1143,20 @@ class CoverageService:
                 obs.inc("repro_serve_campaigns_total",
                         tenant=campaign.spec.tenant, status=CANCELLED)
             return 200, campaign.to_public()
-        # Running: flag it; the drive loop raises at the next cycle.
+        if campaign.remote:
+            # Remote: revoke the lease (the worker stops at its next cycle
+            # boundary and goes quiet) and finalize immediately — any late
+            # frame under the dead token is fenced off at the door.
+            if self.cluster is not None:
+                self.cluster.revoke(campaign.id, "cancelled by user")
+            self._running.pop(campaign.id, None)
+            if obs.enabled:
+                obs.set_gauge("repro_serve_active_campaigns",
+                              len(self._running))
+            self._finalize(campaign, CANCELLED, "cancelled by user", None,
+                           campaign.cycles_run, campaign.attempts)
+            return 200, campaign.to_public()
+        # Running locally: flag it; the drive loop raises at the next cycle.
         campaign.cancel_reason = "user"
         campaign.cancel_event.set()
         return 202, campaign.to_public()
@@ -990,7 +1236,8 @@ class CoverageService:
             if campaign is None:
                 code = 503 if reason == "draining" else 429
                 return code, {"error": f"admission refused: {reason}",
-                              "reason": reason}, None
+                              "reason": reason,
+                              "retry_after": self.config.retry_after_s}, None
             return 202, {"id": campaign.id, "status": campaign.status}, None
         if method == "GET" and head == "status" and len(parts) == 2:
             campaign = self.campaigns.get(parts[1])
@@ -1012,9 +1259,29 @@ class CoverageService:
             if campaign is None:
                 return 404, {"error": f"no campaign {parts[1]}"}, None
             if campaign.counts is None:
+                live = campaign.live
+                if (campaign.status == RUNNING and live is not None
+                        and live.updated_at > 0):
+                    # Mid-run: serve the streamed partial view, clearly
+                    # marked — advisory counts, exact ones come at finish.
+                    return 200, {
+                        "id": campaign.id,
+                        "status": campaign.status,
+                        "partial": True,
+                        "cycles_run": live.cycle,
+                        "counts": live.counts,
+                        "progress": round(
+                            live.cycle / max(1, campaign.spec.cycles), 4
+                        ),
+                        "staleness_s": round(
+                            max(0.0, time.monotonic() - live.updated_at), 3
+                        ),
+                        "source": live.source,
+                    }, None
                 return 409, {"error": f"campaign is {campaign.status}; "
                                       "no counts yet"}, None
             return 200, {"id": campaign.id, "status": campaign.status,
+                         "partial": False,
                          "cycles_run": campaign.cycles_run,
                          "counts": campaign.counts}, None
         if method == "GET" and head == "metrics":
@@ -1023,7 +1290,7 @@ class CoverageService:
             by_status: dict[str, int] = {}
             for c in self.campaigns.values():
                 by_status[c.status] = by_status.get(c.status, 0) + 1
-            return 200, {
+            out = {
                 "status": "draining" if self._draining else "ok",
                 "queued": len(self._queue),
                 "running": len(self._running),
@@ -1031,7 +1298,13 @@ class CoverageService:
                 "recovery": self.recovery,
                 "breakers": self.breakers.snapshot(),
                 "journal_bytes": self.journal.size_bytes,
-            }, None
+                "journal_compactions": self.journal.compactions,
+            }
+            if self.cluster is not None:
+                out["cluster"] = dict(
+                    self.cluster.snapshot(), port=self.cluster_port
+                )
+            return 200, out, None
         return 404, {"error": f"no route for {method} {path}"}, None
 
     async def _respond(self, writer, code: int, payload,
@@ -1047,10 +1320,17 @@ class CoverageService:
                   413: "Payload Too Large", 429: "Too Many Requests",
                   500: "Internal Server Error",
                   503: "Service Unavailable"}.get(code, "OK")
+        retry_after = ""
+        if code in (429, 503):
+            # Back-pressure responses tell the client when to come back;
+            # the client jitters around it so the herd does not re-sync.
+            hint = max(1, int(round(self.config.retry_after_s)))
+            retry_after = f"Retry-After: {hint}\r\n"
         head = (
             f"HTTP/1.1 {code} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{retry_after}"
             "Connection: close\r\n\r\n"
         )
         if obs.enabled:

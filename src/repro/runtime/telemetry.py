@@ -222,6 +222,41 @@ METRICS: dict[str, tuple[str, tuple[str, ...], str]] = {
         "counter", ("endpoint", "code"),
         "HTTP requests served, by endpoint and response status code.",
     ),
+    "repro_cluster_workers_live": (
+        "gauge", (),
+        "Remote workers currently registered with the cluster coordinator.",
+    ),
+    "repro_cluster_leases_granted_total": (
+        "counter", (),
+        "Shard leases granted to remote workers (each carries a fresh "
+        "monotonic fencing token).",
+    ),
+    "repro_cluster_leases_expired_total": (
+        "counter", ("reason",),
+        "Shard leases ended without a clean release "
+        "(expired|disconnected|revoked).",
+    ),
+    "repro_cluster_fenced_rejections_total": (
+        "counter", ("kind",),
+        "Writes rejected by the fencing check (delta|done) — a zombie "
+        "lease holder tried to write after its lease was given away.",
+    ),
+    "repro_cluster_deltas_merged_total": (
+        "counter", ("applied",),
+        "Streamed count deltas received from workers, by whether they "
+        "merged into the live view (yes) or were skipped as "
+        "non-contiguous duplicates/reorders (no).",
+    ),
+    "repro_cluster_delta_merge_lag_seconds": (
+        "histogram", (),
+        "Wall-clock age of a worker count delta when the coordinator "
+        "merged it (send-to-merge lag).",
+    ),
+    "repro_cluster_dispatches_total": (
+        "counter", ("mode",),
+        "Campaign dispatches, by execution venue: a remote worker lease "
+        "(remote) or the local thread pool (local).",
+    ),
 }
 
 

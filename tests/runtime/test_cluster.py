@@ -1,0 +1,312 @@
+"""Unit tests for the cluster building blocks: wire protocol frames,
+the lease/fencing state machine, and the seeded network fault channel.
+
+The lease table is additionally driven by a hypothesis stateful machine:
+random interleavings of grant/heartbeat/expire/re-grant must never
+produce two live leases for one shard, never reuse or decrease a fencing
+token, and must reject every write that does not carry the current live
+lease's exact identity.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.runtime.cluster import Lease, LeaseError, LeaseTable
+from repro.runtime.faults import FaultyChannel, NetFaultPlan
+from repro.runtime.protocol import (
+    MAX_LINE_BYTES,
+    LineChannel,
+    ProtocolError,
+    decode_message,
+    encode_message,
+)
+
+
+class TestProtocol:
+    def test_round_trip(self):
+        msg = {
+            "type": "delta", "shard": "c000001", "token": 3, "seq": 7,
+            "from_cycle": 500, "to_cycle": 1000,
+            "counts": {"l_0": 2, "l_1": 0}, "sent_at": 123.5,
+        }
+        assert decode_message(encode_message(msg).rstrip(b"\n")) == msg
+
+    def test_encoded_frame_is_one_line(self):
+        frame = encode_message({"type": "hello", "worker": "w\n1",
+                                "slots": 2, "version": 1})
+        assert frame.endswith(b"\n")
+        assert frame.count(b"\n") == 1  # embedded newline stays escaped
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ProtocolError, match="missing field.*slots"):
+            decode_message(b'{"type": "hello", "worker": "w1", "version": 1}')
+
+    def test_unknown_type_passes_for_forward_compat(self):
+        msg = decode_message(b'{"type": "gossip", "x": 1}')
+        assert msg["type"] == "gossip"
+
+    def test_non_object_and_garbage_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"[1, 2]")
+        with pytest.raises(ProtocolError):
+            decode_message(b"not json at all")
+        with pytest.raises(ProtocolError):
+            decode_message(b'{"no": "type"}')
+
+    def test_oversized_frame_refused_at_send(self):
+        big = {"type": "delta", "shard": "c1", "token": 1, "seq": 1,
+               "from_cycle": 0, "to_cycle": 1,
+               "counts": {"k": "x" * MAX_LINE_BYTES}, "sent_at": 0.0}
+        with pytest.raises(ProtocolError, match="frame of .* exceeds"):
+            encode_message(big)
+
+    def test_line_channel_over_socketpair(self):
+        left, right = socket.socketpair()
+        a, b = LineChannel(left), LineChannel(right)
+        try:
+            a.send({"type": "hello", "worker": "w1", "slots": 2,
+                    "version": 1})
+            msg = b.recv()
+            assert msg["worker"] == "w1"
+            a.close()
+            assert b.recv() is None  # EOF surfaces as None, not a raise
+        finally:
+            a.close()
+            b.close()
+        assert a.closed and b.closed
+
+
+class TestLeaseTable:
+    def test_grant_renew_release(self):
+        table = LeaseTable(lease_s=10.0)
+        lease = table.grant("c1", "w1", now=100.0)
+        assert lease.token == 1
+        assert lease.expires_at == 110.0
+        assert table.check_write("c1", "w1", 1) is None
+        assert table.renew("c1", "w1", 1, now=105.0)
+        assert table.get("c1").expires_at == 115.0
+        assert table.release("c1", 1)
+        assert table.check_write("c1", "w1", 1) == "no-live-lease"
+
+    def test_double_grant_refused(self):
+        table = LeaseTable(lease_s=10.0)
+        table.grant("c1", "w1", now=0.0)
+        with pytest.raises(LeaseError, match="already leased"):
+            table.grant("c1", "w2", now=0.0)
+
+    def test_expiry_then_regrant_fences_the_zombie(self):
+        table = LeaseTable(lease_s=5.0)
+        old = table.grant("c1", "w1", now=0.0)
+        dead = table.expire(now=5.0)
+        assert [l.token for l in dead] == [old.token]
+        new = table.grant("c1", "w2", now=6.0)
+        assert new.token > old.token
+        # the zombie's writes are rejected forever
+        assert table.check_write("c1", "w1", old.token) == "stale-token"
+        # even a forged current token from the wrong worker is refused
+        assert table.check_write("c1", "w1", new.token) == "wrong-holder"
+        assert table.check_write("c1", "w2", new.token) is None
+
+    def test_expired_lease_cannot_renew_or_release(self):
+        table = LeaseTable(lease_s=5.0)
+        lease = table.grant("c1", "w1", now=0.0)
+        table.expire(now=10.0)
+        assert not table.renew("c1", "w1", lease.token, now=10.0)
+        assert not table.release("c1", lease.token)
+
+    def test_tokens_strictly_increase_across_shards(self):
+        table = LeaseTable(lease_s=5.0)
+        tokens = [table.grant(f"c{i}", "w1", now=0.0).token for i in range(5)]
+        assert tokens == sorted(set(tokens))
+        table.revoke("c2")
+        assert table.grant("c2", "w2", now=1.0).token > max(tokens)
+
+    def test_next_token_watermark_respected(self):
+        # Recovery hands the table a journaled high-water mark: tokens
+        # must start at it even though the table itself is empty.
+        table = LeaseTable(lease_s=5.0, next_token=42)
+        assert table.grant("c1", "w1", now=0.0).token == 42
+
+
+class LeaseMachine(RuleBasedStateMachine):
+    """Random grant/renew/expire/write interleavings vs. the invariants."""
+
+    SHARDS = ("s0", "s1", "s2")
+    WORKERS = ("w0", "w1")
+
+    def __init__(self):
+        super().__init__()
+        self.table = LeaseTable(lease_s=10.0)
+        self.clock = 0.0
+        self.granted_tokens: set[int] = set()
+        #: shard -> (worker, token) for the lease we believe is live
+        self.model: dict[str, tuple[str, int]] = {}
+        #: every (shard, worker, token) triple that ever lost its lease
+        self.dead: list[tuple[str, str, int]] = []
+
+    shards = st.sampled_from(SHARDS)
+    workers = st.sampled_from(WORKERS)
+
+    @rule(shard=shards, worker=workers)
+    def grant(self, shard, worker):
+        if shard in self.model:
+            with pytest.raises(LeaseError):
+                self.table.grant(shard, worker, now=self.clock)
+            return
+        lease = self.table.grant(shard, worker, now=self.clock)
+        assert lease.token not in self.granted_tokens, "token reused"
+        assert not self.granted_tokens or lease.token > max(
+            self.granted_tokens
+        ), "tokens must increase monotonically"
+        self.granted_tokens.add(lease.token)
+        self.model[shard] = (worker, lease.token)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def heartbeat_renews(self, data):
+        shard = data.draw(st.sampled_from(sorted(self.model)))
+        worker, token = self.model[shard]
+        assert self.table.renew(shard, worker, token, now=self.clock)
+
+    @rule(advance=st.floats(min_value=0.1, max_value=15.0))
+    def time_passes(self, advance):
+        self.clock += advance
+        for lease in self.table.expire(now=self.clock):
+            worker, token = self.model.pop(lease.shard)
+            assert lease.token == token
+            self.dead.append((lease.shard, worker, token))
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def live_write_accepted(self, data):
+        shard = data.draw(st.sampled_from(sorted(self.model)))
+        worker, token = self.model[shard]
+        assert self.table.check_write(shard, worker, token) is None
+
+    @precondition(lambda self: self.dead)
+    @rule(data=st.data())
+    def stale_write_always_rejected(self, data):
+        shard, worker, token = data.draw(st.sampled_from(self.dead))
+        assert self.table.check_write(shard, worker, token) is not None
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def release(self, data):
+        shard = data.draw(st.sampled_from(sorted(self.model)))
+        worker, token = self.model.pop(shard)
+        assert self.table.release(shard, token)
+        self.dead.append((shard, worker, token))
+
+    @invariant()
+    def at_most_one_live_lease_per_shard(self):
+        assert len(self.table) == len(self.model)
+        for shard, (worker, token) in self.model.items():
+            lease = self.table.get(shard)
+            assert lease is not None
+            assert (lease.worker, lease.token) == (worker, token)
+
+    @invariant()
+    def dead_tokens_stay_dead(self):
+        for shard, worker, token in self.dead:
+            assert self.table.check_write(shard, worker, token) is not None
+
+
+TestLeaseStateMachine = LeaseMachine.TestCase
+TestLeaseStateMachine.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)
+
+
+class _Sink:
+    """A channel stub recording every frame that reaches the wire."""
+
+    def __init__(self):
+        self.sent = []
+        self.closed = False
+
+    def send(self, msg):
+        self.sent.append(msg)
+
+    def recv(self):
+        return None
+
+    def close(self):
+        self.closed = True
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestFaultyChannel:
+    def msg(self, seq):
+        return {"type": "delta", "shard": "c1", "token": 1, "seq": seq,
+                "from_cycle": 0, "to_cycle": 1, "counts": {}, "sent_at": 0.0}
+
+    def test_deterministic_drop(self):
+        results = []
+        for _ in range(2):
+            sink = _Sink()
+            channel = FaultyChannel(sink, NetFaultPlan(drop_p=0.5, seed=7))
+            for seq in range(40):
+                channel.send(self.msg(seq))
+            channel.close()
+            results.append([m["seq"] for m in sink.sent])
+        assert results[0] == results[1]  # same seed, same fate
+        assert 0 < len(results[0]) < 40  # some dropped, not all
+
+    def test_duplicates_are_byte_identical(self):
+        sink = _Sink()
+        channel = FaultyChannel(sink, NetFaultPlan(dup_p=1.0, seed=3))
+        channel.send(self.msg(1))
+        channel.close()
+        assert len(sink.sent) == 2
+        assert sink.sent[0] == sink.sent[1]
+
+    def test_partition_buffers_then_floods(self):
+        sink = _Sink()
+        plan = NetFaultPlan(partitions=((0.0, 0.3),), seed=1)
+        channel = FaultyChannel(sink, plan)
+        for seq in range(3):
+            channel.send(self.msg(seq))
+        assert sink.sent == []  # inside the window: nothing on the wire
+        assert wait_for(lambda: len(sink.sent) == 3, timeout=5.0)
+        assert [m["seq"] for m in sink.sent] == [0, 1, 2]  # flood in order
+        channel.close()
+
+    def test_only_types_filter_passes_other_frames(self):
+        sink = _Sink()
+        plan = NetFaultPlan(
+            drop_p=1.0, only_types=("delta",), seed=0
+        )
+        channel = FaultyChannel(sink, plan)
+        hello = {"type": "hello", "worker": "w", "slots": 1, "version": 1}
+        channel.send(hello)     # not a delta: passes untouched
+        channel.send(self.msg(1))  # delta: dropped
+        channel.close()
+        assert sink.sent == [hello]
+
+    def test_clean_plan_is_transparent(self):
+        sink = _Sink()
+        channel = FaultyChannel(sink, NetFaultPlan(seed=0))
+        frames = [self.msg(seq) for seq in range(10)]
+        for frame in frames:
+            channel.send(frame)
+        channel.close()
+        assert sink.sent == frames

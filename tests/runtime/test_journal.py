@@ -318,3 +318,94 @@ class TestCompaction:
         # the *process* (there is nothing: appends are direct os.write).
         del journal
         assert replay(path).records == RECORDS
+
+
+class TestAutoCompaction:
+    """PR 7: the journal folds itself once it outgrows a byte budget."""
+
+    def snapshot_provider(self):
+        return {"type": "snapshot", "next_seq": 99, "campaigns": []}
+
+    def test_threshold_crossing_compacts_to_snapshot(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with Journal(
+            path, auto_compact_bytes=2048,
+            snapshot_provider=self.snapshot_provider,
+        ) as journal:
+            for seq in range(200):
+                journal.append({"type": "submit", "id": f"c{seq:06d}",
+                                "seq": seq, "spec": {"tenant": "a"}})
+            # 200 * ~70-byte records would be ~14 KiB of history; the
+            # journal must have folded itself down along the way.
+            assert journal.compactions >= 1
+            assert journal.size_bytes < 4096
+            journal.append({"type": "after"})
+        result = replay(path)
+        assert result.clean
+        # History is gone; the snapshot plus the post-compaction suffix
+        # is all that remains.
+        assert result.records[0] == self.snapshot_provider()
+        assert result.records[-1] == {"type": "after"}
+        assert len(result.records) < 200
+
+    def test_oversized_snapshot_does_not_thrash(self, tmp_path):
+        """A snapshot already bigger than the limit must not trigger a
+        compaction on every append: the journal re-arms at 2x its own
+        compacted size."""
+        big = {"type": "snapshot", "blob": "x" * 4096}
+        with Journal(
+            tmp_path / "j.wal", auto_compact_bytes=1024,
+            snapshot_provider=lambda: big,
+        ) as journal:
+            fill(journal)  # crosses 1 KiB?  no — but the next loop does
+            for seq in range(40):
+                journal.append({"type": "submit", "id": f"c{seq:06d}",
+                                "seq": seq, "spec": {}})
+            first = journal.compactions
+            assert first >= 1
+            # The snapshot alone is ~4 KiB > the 1 KiB limit; appends
+            # short of doubling the file must not compact again.
+            for seq in range(10):
+                journal.append({"type": "noise", "seq": seq})
+            assert journal.compactions == first
+
+    def test_disabled_without_threshold_or_provider(self, tmp_path):
+        with Journal(tmp_path / "a.wal") as journal:
+            for seq in range(100):
+                journal.append({"type": "noise", "seq": seq})
+            assert journal.compactions == 0
+        with Journal(
+            tmp_path / "b.wal", auto_compact_bytes=64,
+            snapshot_provider=None,
+        ) as journal:
+            for seq in range(100):
+                journal.append({"type": "noise", "seq": seq})
+            assert journal.compactions == 0
+
+    def test_compaction_failure_is_absorbed_and_retried(self, tmp_path):
+        """Disk trouble during an auto-compaction must not fail the append
+        that triggered it; the journal keeps growing and retries on the
+        next append past the threshold."""
+        path = tmp_path / "j.wal"
+        journal = Journal(
+            path, auto_compact_bytes=512,
+            snapshot_provider=self.snapshot_provider,
+        )
+        real_compact = journal.compact
+        calls = []
+
+        def flaky_compact(snapshot):
+            calls.append(snapshot)
+            if len(calls) == 1:
+                raise JournalError("injected compaction failure")
+            return real_compact(snapshot)
+
+        journal.compact = flaky_compact
+        for seq in range(30):  # crosses 512 bytes twice over
+            journal.append({"type": "noise", "seq": seq})
+        # First attempt failed and was absorbed (no append raised); the
+        # very next append past the still-armed threshold retried and won.
+        assert len(calls) >= 2
+        assert journal.compactions == 1
+        journal.close()
+        assert replay(path).clean

@@ -27,7 +27,11 @@ from repro.runtime import (
     process_isolation_available,
     run_process_attempt,
 )
-from repro.runtime.procworker import counts_digest
+from repro.runtime.procworker import (
+    address_space_mb,
+    counts_digest,
+    rlimit_as_enforceable,
+)
 
 pytestmark = [
     pytest.mark.faults,
@@ -196,11 +200,24 @@ class TestHardHang:
 
 class TestResourceCaps:
     def test_memory_balloon_pops_on_rlimit(self, gcd_state):
-        backend = FaultyBackend(TreadleBackend(), FaultPlan(balloon_at=5, seed=5))
+        """The balloon must hit the address-space cap before heartbeat
+        supervision gives up on the silent child: the cap sits a fixed
+        margin above the worker's baseline VmSize and the balloon grows
+        in deterministic fixed-size chunks, so only a handful of
+        allocations (well under a second) pop it — no race against the
+        watchdog, no dependence on the machine's memory layout."""
+        if not rlimit_as_enforceable():
+            pytest.skip("platform does not enforce RLIMIT_AS for this user")
+        base_mb = address_space_mb()
+        assert base_mb is not None  # rlimit_as_enforceable() proved /proc works
+        backend = FaultyBackend(
+            TreadleBackend(),
+            FaultPlan(balloon_at=5, balloon_chunk_mb=16, seed=5),
+        )
         executor = Executor(
             isolation="process",
             timeout=30,
-            mem_limit_mb=512,
+            mem_limit_mb=base_mb + 96,  # ~6 chunks past baseline
             heartbeat_cycles=1,
         )
         outcome = executor.run_job(make_job(backend, gcd_state))
