@@ -8,10 +8,12 @@ telemetry layer itself — both the enabled overhead and the disabled-mode
 jitter (the acceptance bar is that instrumentation with telemetry *off*
 is unmeasurable against run-to-run noise).
 
-Two hard perf gates ride along (bench-smoke CI fails if they regress):
+Three hard perf gates ride along (bench-smoke CI fails if they regress):
 
 * the treadle JIT fast path must sustain >= 10x the tree-walking
-  interpreter's cycles/second, and
+  interpreter's cycles/second,
+* the native C backend must sustain >= 3x the treadle JIT on the same
+  replay (recorded as ``speedup_vs_jit``), and
 * a warm in-memory model-cache hit (what forked shards see after the
   parent's compile-before-fork) must be >= 5x faster than a cold compile.
 
@@ -25,6 +27,7 @@ from __future__ import annotations
 import time
 
 from repro.backends import (
+    CBackend,
     EssentBackend,
     ModelCache,
     TreadleBackend,
@@ -46,11 +49,13 @@ BACKENDS = {
     "treadle-jit": lambda: TreadleBackend(),
     "verilator": lambda: VerilatorBackend(),
     "essent": lambda: EssentBackend(),
+    "c": lambda: CBackend(),
 }
 
 #: the bench-smoke perf gates (see module docstring)
 JIT_MIN_SPEEDUP = 10.0
 WARM_CACHE_MIN_SPEEDUP = 5.0
+C_MIN_SPEEDUP_VS_JIT = 3.0
 
 #: timed repetitions per measurement (min is reported)
 REPS = 3
@@ -135,6 +140,17 @@ def test_bench_runtime_smallest_design(tmp_path):
     assert jit_speedup >= JIT_MIN_SPEEDUP, (
         f"treadle-jit only {jit_speedup:.1f}x the interpreter "
         f"(gate: >= {JIT_MIN_SPEEDUP}x)"
+    )
+
+    # Gate: native code must beat the JIT by >= 3x on the same replay.
+    c_speedup = (
+        backends["c"]["cycles_per_second"]
+        / backends["treadle-jit"]["cycles_per_second"]
+    )
+    backends["c"]["speedup_vs_jit"] = c_speedup
+    assert c_speedup >= C_MIN_SPEEDUP_VS_JIT, (
+        f"c backend only {c_speedup:.1f}x the treadle JIT "
+        f"(gate: >= {C_MIN_SPEEDUP_VS_JIT}x)"
     )
 
     # Gate: a warm cache hit must make recompilation negligible.

@@ -95,6 +95,7 @@ class FireSimSimulation:
 
     @property
     def cycle(self) -> int:
+        """Target cycles simulated so far (delegates to the host sim)."""
         return self._sim.cycle
 
     # -- the scan-out protocol ---------------------------------------------------
@@ -165,14 +166,17 @@ class FireSimTimingModel:
 
     @property
     def fmax_hz(self) -> float:
+        """Placed design frequency in Hz; RuntimeError if it failed to place."""
         if self.fmax.fmax_mhz is None:
             raise RuntimeError("design failed to place; no timing model")
         return self.fmax.fmax_mhz * 1e6
 
     def simulation_seconds(self, cycles: int) -> float:
+        """Wall-clock seconds to simulate ``cycles`` target cycles on the FPGA."""
         return cycles / self.fmax_hz
 
     def scan_out_seconds(self, scan_clock_hz: int = SCAN_CLOCK_HZ) -> float:
+        """Wall-clock seconds to shift the whole chain out at ``scan_clock_hz``."""
         return self.chain.length_bits / scan_clock_hz
 
 

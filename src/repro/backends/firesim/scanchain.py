@@ -56,6 +56,7 @@ class ScanChainInfo:
 
     @property
     def length_bits(self) -> int:
+        """Total chain length in bits (counter_width x number of covers)."""
         return self.counter_width * len(self.chain)
 
     def decode(self, bits: list[int]) -> dict[str, int]:
@@ -96,6 +97,7 @@ class CoverageScanChainPass(Pass):
         self.info: Optional[ScanChainInfo] = None
 
     def run(self, state: CompileState) -> CompileState:
+        """Rewrite covers into chained counters; fills ``self.info``."""
         circuit = state.circuit
         if len(circuit.modules) != 1:
             raise PassError("scan chain insertion requires a flattened circuit")

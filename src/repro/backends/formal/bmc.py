@@ -51,13 +51,16 @@ class BmcResult:
 
     @property
     def reachable(self) -> list[str]:
+        """Cover names proven reachable within the bound, sorted."""
         return sorted(n for n, t in self.traces.items() if t.reachable)
 
     @property
     def unreachable(self) -> list[str]:
+        """Cover names with no witness within the bound, sorted."""
         return sorted(n for n, t in self.traces.items() if not t.reachable)
 
     def format(self) -> str:
+        """Human-readable multi-line summary for CLI output."""
         lines = [
             f"bounded model check, k={self.bound}: "
             f"{len(self.reachable)} reachable, {len(self.unreachable)} unreachable "

@@ -34,14 +34,17 @@ class GateBuilder:
         self._cache: dict[tuple, Bit] = {}
 
     def new_bit(self) -> Bit:
+        """A fresh unconstrained SAT variable as a positive literal."""
         return self.solver.new_var() * 2
 
     def not_(self, a: Bit) -> Bit:
+        """Logical NOT: free (literal flip), folds constants."""
         if a in (0, 1):
             return 1 - a
         return a ^ 1
 
     def and_(self, a: Bit, b: Bit) -> Bit:
+        """Tseitin AND gate; constant-folded and structurally hashed."""
         if a == 0 or b == 0:
             return 0
         if a == 1:
@@ -65,9 +68,11 @@ class GateBuilder:
         return z
 
     def or_(self, a: Bit, b: Bit) -> Bit:
+        """Tseitin OR gate via De Morgan on :meth:`and_`."""
         return self.not_(self.and_(self.not_(a), self.not_(b)))
 
     def xor(self, a: Bit, b: Bit) -> Bit:
+        """Tseitin XOR gate; constant-folded and structurally hashed."""
         if a in (0, 1) and b in (0, 1):
             return a ^ b
         if a in (0, 1):
@@ -92,6 +97,7 @@ class GateBuilder:
         return z
 
     def mux(self, c: Bit, t: Bit, f: Bit) -> Bit:
+        """2:1 multiplexer: ``t`` when ``c`` else ``f``."""
         if c == 1:
             return t
         if c == 0:
@@ -117,11 +123,13 @@ class GateBuilder:
         return out
 
     def negate_word(self, a: Bits) -> Bits:
+        """Two's-complement negation of an LSB-first word."""
         inverted = [self.not_(bit) for bit in a]
         one = [1] + [0] * (len(a) - 1)
         return self.add_words(inverted, one)
 
     def equal_words(self, a: Bits, b: Bits) -> Bit:
+        """One bit: a == b over equal-length words."""
         assert len(a) == len(b)
         result: Bit = 1
         for bit_a, bit_b in zip(a, b):
@@ -139,18 +147,21 @@ class GateBuilder:
         return result
 
     def or_tree(self, bits: Sequence[Bit]) -> Bit:
+        """OR-reduce a sequence of bits (0 for the empty sequence)."""
         result: Bit = 0
         for bit in bits:
             result = self.or_(result, bit)
         return result
 
     def and_tree(self, bits: Sequence[Bit]) -> Bit:
+        """AND-reduce a sequence of bits (1 for the empty sequence)."""
         result: Bit = 1
         for bit in bits:
             result = self.and_(result, bit)
         return result
 
     def xor_tree(self, bits: Sequence[Bit]) -> Bit:
+        """XOR-reduce a sequence of bits (parity; 0 for empty)."""
         result: Bit = 0
         for bit in bits:
             result = self.xor(result, bit)
@@ -158,10 +169,12 @@ class GateBuilder:
 
 
 def const_bits(value: int, width: int) -> Bits:
+    """A constant as LSB-first bit list of ``width`` constant bits."""
     return [(value >> i) & 1 for i in range(width)]
 
 
 def bits_to_value(bits: Bits, model: dict[int, bool]) -> int:
+    """Evaluate an LSB-first bit list under a SAT model to an integer."""
     value = 0
     for i, bit in enumerate(bits):
         if bit == 1:
@@ -193,6 +206,7 @@ class ExprEncoder:
         return self._extend(self.encode(expr), width, is_signed(expr.tpe))
 
     def encode(self, expr: Expr) -> Bits:
+        """Encode an IR expression to an LSB-first bit list (memoized)."""
         key = id(expr)
         cached = self._memo.get(key)
         if cached is not None:

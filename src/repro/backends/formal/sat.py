@@ -18,14 +18,17 @@ from typing import Iterable, Optional
 
 
 def var_of(lit: int) -> int:
+    """The variable index of a literal (literals are ``2*var + sign``)."""
     return lit >> 1
 
 
 def neg(lit: int) -> int:
+    """The negation of a literal (flips the sign bit)."""
     return lit ^ 1
 
 
 def make_lit(var: int, positive: bool = True) -> int:
+    """Build a literal from a variable index and polarity."""
     return var * 2 + (0 if positive else 1)
 
 
@@ -34,6 +37,8 @@ UNASSIGNED = -1
 
 @dataclass
 class SolveResult:
+    """Outcome of one ``solve()`` call: verdict, model, and search stats."""
+
     sat: bool
     model: dict[int, bool] = field(default_factory=dict)
     conflicts: int = 0
@@ -75,6 +80,7 @@ class Solver:
     # -- problem construction ----------------------------------------------------
 
     def new_var(self) -> int:
+        """Allocate a fresh variable and return its index."""
         self.num_vars += 1
         self.assign.append(UNASSIGNED)
         self.level.append(0)

@@ -35,6 +35,8 @@ from ..passes.expand_whens import has_whens
 
 @dataclass
 class RegisterModel:
+    """One register: next/reset/init expressions plus width and signedness."""
+
     name: str
     width: int
     signed: bool
@@ -45,6 +47,8 @@ class RegisterModel:
 
 @dataclass
 class MemoryModel:
+    """One memory: backing-store shape and its (possibly guarded) writes."""
+
     name: str
     width: int
     depth: int
@@ -64,14 +68,18 @@ class MemoryModel:
 
     @property
     def needs_write_guard(self) -> bool:
-        """Whether writes need an ``addr < depth`` guard: only a
-        non-power-of-two depth has padding slots a masked address can
-        reach."""
+        """Whether writes need an ``addr < depth`` guard.
+
+        Only a non-power-of-two depth has padding slots a masked
+        address can reach.
+        """
         return self.padded_depth != self.depth
 
 
 @dataclass
 class CoverModel:
+    """One cover statement: firing condition plus its two name forms."""
+
     name: str  # canonical hierarchical name
     local_name: str  # flat statement name
     pred: Expr
@@ -80,6 +88,8 @@ class CoverModel:
 
 @dataclass
 class StopModel:
+    """One stop statement: firing condition and the exit code it reports."""
+
     name: str
     pred: Expr
     en: Expr
@@ -103,6 +113,7 @@ class CircuitModel:
 
     @property
     def port_names(self) -> set[str]:
+        """All top-level port names, inputs and outputs alike."""
         return {p.name for p in self.inputs} | {p.name for p in self.outputs}
 
 

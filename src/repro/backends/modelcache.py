@@ -115,6 +115,7 @@ class CacheEntry:
     runtime: dict = field(default_factory=dict, compare=False, repr=False)
 
     def payload(self) -> dict:
+        """The picklable on-disk form (runtime objects excluded)."""
         return {
             "format": CACHE_FORMAT_VERSION,
             "codegen_version": self.codegen_version,
@@ -189,8 +190,10 @@ class ModelCache:
             return self._load_disk(key, backend=None) is not None
 
     def clear_memory(self) -> None:
-        """Drop the in-process tier (disk entries survive) — lets tests
-        measure the warm-from-disk path explicitly."""
+        """Drop the in-process tier (disk entries survive).
+
+        Lets tests measure the warm-from-disk path explicitly.
+        """
         with self._lock:
             self._lru.clear()
 
@@ -310,6 +313,17 @@ def compile_cached(
     Resolves the effective cache (explicit, else the process default);
     with no cache configured this is exactly a fresh ``build()`` — the
     pre-cache behavior, entry-shaped.
+
+    The cache key is content-addressed over the printed circuit,
+    ``backend`` name, ``counter_width``, and ``options`` — backends put
+    every input that changes their generated artifact into ``options``
+    (the c backend includes its emitter version *and* ``cc --version``,
+    so a compiler upgrade misses instead of loading a stale ``.so``).
+    ``build`` runs at most once per key per process; concurrent
+    processes may race to build the same key, which is safe because
+    entries are written atomically and are bit-identical by
+    construction.  Raises whatever ``build()`` raises on a miss; never
+    raises on a hit.
     """
     effective = resolve_cache(cache)
     if effective is None:

@@ -49,9 +49,11 @@ class CodeBuilder:
         self.depth = 0
 
     def emit(self, text: str = "") -> None:
+        """Append one line at the current indentation depth."""
         self.lines.append("    " * self.depth + text if text else "")
 
     def source(self) -> str:
+        """The accumulated module source, newline-terminated."""
         return "\n".join(self.lines) + "\n"
 
 

@@ -598,7 +598,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("simulate", help="run a simulation, dump cover counts")
     p.add_argument("circuit")
-    p.add_argument("--backend", choices=["treadle", "verilator", "essent"],
+    p.add_argument("--backend", choices=["treadle", "verilator", "essent", "c"],
                    default="verilator")
     p.add_argument("--cycles", type=int, default=1000)
     p.add_argument("--no-jit", action="store_true",

@@ -163,6 +163,12 @@ METRICS: dict[str, tuple[str, tuple[str, ...], str]] = {
         "gauge", ("backend",),
         "Throughput of the most recent step() batch, per backend.",
     ),
+    "repro_backend_fallback_total": (
+        "counter", ("backend", "reason"),
+        "Compiles degraded to a slower tier (e.g. the c backend falling "
+        "back to the treadle JIT), by reason "
+        "(no-compiler|unsupported-width).",
+    ),
     "repro_shards_merged_total": (
         "counter", (),
         "Shards that passed validation and entered the merge.",

@@ -1,0 +1,84 @@
+"""README flag tables must cover exactly the argparse surface.
+
+Five PRs of flag growth drifted the README more than once (PR 6's
+``--model-cache-dir`` landed in the ``serve`` parser without a table
+row).  This test extracts every option string from the live
+``simulate``/``serve``/``worker`` subparsers and diffs it against the
+``### `repro <cmd>` flags`` table in README.md, in both directions:
+an undocumented flag and a documented-but-removed flag both fail.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+#: subcommands whose flags the README documents in a table
+DOCUMENTED = ("simulate", "serve", "worker")
+
+
+def _subparser(command: str):
+    parser = build_parser()
+    for action in parser._actions:
+        choices = getattr(action, "choices", None)
+        if choices and command in choices:
+            return choices[command]
+    raise AssertionError(f"no {command!r} subcommand in the CLI parser")
+
+
+def parser_flags(command: str) -> set[str]:
+    """Long option strings of one subcommand's parser (minus --help)."""
+    flags = set()
+    for action in _subparser(command)._actions:
+        for opt in action.option_strings:
+            if opt.startswith("--"):
+                flags.add(opt)
+    flags.discard("--help")
+    return flags
+
+
+def readme_flags(command: str) -> set[str]:
+    """Flags documented in the ``### `repro <command>` flags`` table."""
+    text = README.read_text()
+    heading = f"### `repro {command}` flags"
+    assert heading in text, f"README is missing the {heading!r} section"
+    section = text.split(heading, 1)[1]
+    # the table ends at the next heading
+    section = re.split(r"\n#{2,3} ", section, maxsplit=1)[0]
+    flags = {
+        match.group(1)
+        for match in re.finditer(r"^\| `(--[a-z][a-z0-9-]*)", section, re.M)
+    }
+    assert flags, f"no flag rows found under {heading!r}"
+    return flags
+
+
+@pytest.mark.parametrize("command", DOCUMENTED)
+def test_readme_table_matches_parser(command):
+    in_parser = parser_flags(command)
+    in_readme = readme_flags(command)
+    undocumented = sorted(in_parser - in_readme)
+    stale = sorted(in_readme - in_parser)
+    assert not undocumented and not stale, (
+        f"README `repro {command}` flags table drifted: "
+        f"undocumented={undocumented} stale={stale}"
+    )
+
+
+def test_backend_choices_documented():
+    """The simulate table's --backend row lists the real choices."""
+    choices = next(
+        action.choices
+        for action in _subparser("simulate")._actions
+        if "--backend" in action.option_strings
+    )
+    documented = f"`--backend {{{','.join(choices)}}}`"
+    assert documented in README.read_text(), (
+        f"README must document the --backend row as {documented}"
+    )
