@@ -13,9 +13,14 @@ Three hard perf gates ride along (bench-smoke CI fails if they regress):
 * the treadle JIT fast path must sustain >= 10x the tree-walking
   interpreter's cycles/second,
 * the native C backend must sustain >= 3x the treadle JIT on the same
-  replay (recorded as ``speedup_vs_jit``), and
+  replay (recorded as ``speedup_vs_jit``),
 * a warm in-memory model-cache hit (what forked shards see after the
-  parent's compile-before-fork) must be >= 5x faster than a cold compile.
+  parent's compile-before-fork) must be >= 5x faster than a cold compile,
+  and
+* minimal-basis instrumentation (DESIGN.md §15) must elide >= 25% of
+  the line-metric cover counters, with the reconstructed counts checked
+  bit-identical against full instrumentation inline (the cycles/second
+  delta of counting fewer covers is recorded as ``speedup_vs_full``).
 
 Uses the suite's smallest design (serv-chisel's SerialGcd analog, the
 bit-serial core) so the bench-smoke CI job stays fast, and the recorded
@@ -33,7 +38,7 @@ from repro.backends import (
     TreadleBackend,
     VerilatorBackend,
 )
-from repro.coverage import instrument
+from repro.coverage import InstanceTree, all_cover_names, instrument
 from repro.hcl import elaborate
 from repro.runtime.telemetry import obs
 
@@ -56,6 +61,7 @@ BACKENDS = {
 JIT_MIN_SPEEDUP = 10.0
 WARM_CACHE_MIN_SPEEDUP = 5.0
 C_MIN_SPEEDUP_VS_JIT = 3.0
+MIN_INSTRUMENT_MIN_REDUCTION_PCT = 25.0
 
 #: timed repetitions per measurement (min is reported)
 REPS = 3
@@ -187,6 +193,50 @@ def test_bench_runtime_smallest_design(tmp_path):
         "reps": REPS,
     }
 
+    # Gate: minimal-basis instrumentation must elide >= 25% of the
+    # line-metric counters, and reconstruction must be bit-identical.
+    # Uses the line metric alone: toggle covers are per-bit and carry no
+    # implication structure, so they are irreducible by construction.
+    (full_state, _full_db), _ = _timed(
+        lambda: instrument(circuit, metrics=["line"])
+    )
+    (min_state, min_db), minimize_s = _timed(
+        lambda: instrument(circuit, metrics=["line"], minimize=True)
+    )
+    counters_full = len(all_cover_names(full_state.circuit))
+    counters_min = len(all_cover_names(min_state.circuit))
+    reduction_pct = 100.0 * (counters_full - counters_min) / counters_full
+    assert reduction_pct >= MIN_INSTRUMENT_MIN_REDUCTION_PCT, (
+        f"minimal basis elided only {reduction_pct:.1f}% of "
+        f"{counters_full} line counters "
+        f"(gate: >= {MIN_INSTRUMENT_MIN_REDUCTION_PCT}%)"
+    )
+
+    jit_full = TreadleBackend().compile_state(full_state)
+    jit_min = TreadleBackend().compile_state(min_state)
+    full_best = min(_replay_seconds(jit_full.fork, replay))
+    min_best = min(_replay_seconds(jit_min.fork, replay))
+
+    sim_full, sim_min = jit_full.fork(), jit_min.fork()
+    replay.run(sim_full)
+    replay.run(sim_min)
+    reconstructed = min_db.reconstruct_counts(
+        sim_min.cover_counts(), InstanceTree(min_state.circuit)
+    )
+    assert reconstructed == sim_full.cover_counts(), (
+        "minimal-basis reconstruction diverged from full instrumentation"
+    )
+
+    min_instrument = {
+        "counters_full": counters_full,
+        "counters_min": counters_min,
+        "counter_reduction_pct": reduction_pct,
+        "minimize_instrument_s": minimize_s,
+        "full_cycles_per_second": replay.cycles / full_best,
+        "min_cycles_per_second": replay.cycles / min_best,
+        "speedup_vs_full": full_best / min_best if min_best > 0 else 0.0,
+    }
+
     record_runtime(
         SMALLEST,
         {
@@ -194,6 +244,7 @@ def test_bench_runtime_smallest_design(tmp_path):
             "backends": backends,
             "model_cache": model_cache,
             "telemetry": telemetry,
+            "min_instrument": min_instrument,
         },
     )
 

@@ -46,6 +46,16 @@ from .diagnostics import (
     register_rule,
     rule_catalog_markdown,
 )
+from .implication import (
+    MINIMIZER_VERSION,
+    MinimizeCoversPass,
+    MinimizeResult,
+    ModuleImplications,
+    analyze_module_covers,
+    check_redundant_covers,
+    minimize_basis,
+    minimize_circuit,
+)
 from .reachability import (
     ReachabilityResult,
     apply_verdicts,
@@ -95,6 +105,7 @@ def lint_circuit(
             if lowered is not None:
                 for module in lowered.modules:
                     semantic.check_lowered_module(module, diags)
+                    check_redundant_covers(module, diags)
     return diags
 
 
@@ -144,22 +155,30 @@ __all__ = [
     "Diagnostic",
     "Diagnostics",
     "LintPass",
+    "MINIMIZER_VERSION",
+    "MinimizeCoversPass",
+    "MinimizeResult",
     "ModuleAbstract",
     "ModuleDataflow",
+    "ModuleImplications",
     "RULES",
     "ReachabilityResult",
     "RuleSpec",
     "Severity",
     "SuppressionIndex",
+    "analyze_module_covers",
     "apply_verdicts",
     "build_circuit_dataflow",
     "build_module_dataflow",
+    "check_redundant_covers",
     "classify_covers",
     "clocks",
     "comb_loops",
     "deadcode",
     "get_dataflow",
     "lint_circuit",
+    "minimize_basis",
+    "minimize_circuit",
     "register_rule",
     "rule_catalog_markdown",
     "screen_module",

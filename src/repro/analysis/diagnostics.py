@@ -71,6 +71,22 @@ class RuleSpec:
     title: str
     description: str
     category: str = "lint"
+    #: optional illustrative snippet shown by ``repro lint --explain``
+    example: str = ""
+
+    def explain(self) -> str:
+        """The ``repro lint --explain <rule-id>`` catalog entry."""
+        lines = [
+            f"{self.rule_id} ({self.severity}, {self.category})",
+            f"  {self.title}",
+            "",
+            f"  {self.description}",
+        ]
+        if self.example:
+            lines.append("")
+            lines.append("  example:")
+            lines.extend(f"    {line}" for line in self.example.splitlines())
+        return "\n".join(lines)
 
 
 #: Stable rule-ID registry.  ``Diagnostics.emit`` refuses unregistered IDs.
@@ -83,11 +99,12 @@ def register_rule(
     title: str,
     description: str,
     category: str = "lint",
+    example: str = "",
 ) -> RuleSpec:
     """Declare a rule.  IDs are permanent: re-registering one is a bug."""
     if rule_id in RULES:
         raise ValueError(f"duplicate rule id {rule_id!r}")
-    spec = RuleSpec(rule_id, severity, title, description, category)
+    spec = RuleSpec(rule_id, severity, title, description, category, example)
     RULES[rule_id] = spec
     return spec
 
@@ -150,20 +167,41 @@ class Diagnostic:
 #: rule IDs; an empty list suppresses every rule on that line.
 SUPPRESS_MARKER = "lint: disable"
 
+#: The forward form: waives findings located on the *following* source
+#: line (for lines too dense to carry a trailing comment).
+SUPPRESS_NEXT_MARKER = "lint: disable-next-line"
 
-def _parse_suppression(line: str) -> Optional[set[str]]:
-    """Rule IDs waived by ``line``, or ``None`` if it has no marker.
 
-    An empty set means "suppress everything on this line".
-    """
-    index = line.find(SUPPRESS_MARKER)
-    if index < 0:
-        return None
-    rest = line[index + len(SUPPRESS_MARKER):]
+def _parse_ids(rest: str) -> set[str]:
+    """The comma-separated rule list after a marker (empty = waive all)."""
     if rest.startswith("="):
         ids = {part.strip() for part in rest[1:].split(",")}
         return {i for i in ids if i} or set()
     return set()
+
+
+def _parse_suppression(line: str) -> Optional[set[str]]:
+    """Rule IDs waived on ``line`` itself, or ``None`` if it has no marker.
+
+    An empty set means "suppress everything on this line".  The
+    ``disable-next-line`` form is parsed first so its suffix is never
+    misread as a bare ``lint: disable`` (which would waive *every* rule
+    on the marker's own line).
+    """
+    if SUPPRESS_NEXT_MARKER in line:
+        return None
+    index = line.find(SUPPRESS_MARKER)
+    if index < 0:
+        return None
+    return _parse_ids(line[index + len(SUPPRESS_MARKER):])
+
+
+def _parse_next_line_suppression(line: str) -> Optional[set[str]]:
+    """Rule IDs ``line`` waives on the line below it, or ``None``."""
+    index = line.find(SUPPRESS_NEXT_MARKER)
+    if index < 0:
+        return None
+    return _parse_ids(line[index + len(SUPPRESS_NEXT_MARKER):])
 
 
 class SuppressionIndex:
@@ -208,12 +246,16 @@ class SuppressionIndex:
         if not diag.info.file:
             return False
         text = self._source_line(diag.info.file, diag.info.line)
-        if text is None:
-            return False
-        waived = _parse_suppression(text)
-        if waived is None:
-            return False
-        return not waived or diag.rule in waived
+        if text is not None:
+            waived = _parse_suppression(text)
+            if waived is not None and (not waived or diag.rule in waived):
+                return True
+        above = self._source_line(diag.info.file, diag.info.line - 1)
+        if above is not None:
+            waived = _parse_next_line_suppression(above)
+            if waived is not None and (not waived or diag.rule in waived):
+                return True
+        return False
 
 
 class Diagnostics:

@@ -1,0 +1,547 @@
+"""Cover-implication analysis and minimal-basis instrumentation (DESIGN §15).
+
+The Ball–Larus observation, ported to RTL cover statements: after
+``ExpandWhens`` every cover's firing condition is a conjunction of branch
+predicates, and the branch structure makes most counters *derivable* from
+a small basis.  Three relations are provable statically:
+
+* **partition** — the two arms of a ``when`` split their parent's firing
+  set disjointly and exhaustively, so ``count(parent)`` equals
+  ``count(conseq) + count(alt)`` on *every* cycle (and therefore also for
+  checkpoint shards, WAL records, and streamed cluster deltas, which are
+  all prefixes or deltas of the same cycle sequence);
+* **equivalence** — two covers whose normalized conditions are the same
+  conjunction fire on exactly the same cycles;
+* **guard implication** — a nested cover's condition strictly extends its
+  parent's, so ``count(child) <= count(parent)`` (reported by lint, never
+  used for reconstruction: a difference is not computable from saturated
+  counters).
+
+The abstract interpreter strengthens all three by dropping proven-true
+literals and declaring covers with a proven-false literal dead; the
+reachability exclusion table contributes covers dead at every instance.
+Dead covers never enter the graph — they are elided with an *empty*
+recipe (reconstructed as 0).
+
+**Saturation soundness.**  Recipes are restricted to non-negative
+coefficients plus a final clamp at the counter limit ``L``: with true
+counts ``t_i`` and reported counts ``min(t_i, L)``, either every term is
+exact (sum below ``L`` on both sides) or some term saturated, in which
+case both the clamped sum and the parent's own counter report exactly
+``L``.  Subtraction recipes (``alt = parent - conseq``) are *not* bit
+identical under saturation, which is why the minimizer elides parents,
+duplicates, and dead covers only — never one arm of a partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..ir.nodes import Cover, Expr, Module, PrimOp, UIntLiteral, When
+from ..ir.traversal import walk_stmts
+from ..passes.base import CompileState, Pass
+
+#: Version of the minimization algorithm.  Part of the model-cache key:
+#: a new version may elide a different basis for the same circuit text,
+#: which changes the generated counter code.
+MINIMIZER_VERSION = 1
+
+#: One literal of a cover condition: (polarity, 1-bit expression).
+Atom = tuple[bool, Expr]
+
+#: A reconstruction recipe: non-negative ``(coefficient, basis_cover)``
+#: terms summed (then clamped at the saturation limit).  Empty = the
+#: cover is statically dead and reconstructs as 0.  Stored as signed
+#: integers in the CoverageDB schema; the current minimizer only emits
+#: coefficients >= 1 (see the saturation-soundness note above).
+Recipe = list[tuple[int, str]]
+
+
+def _is_true(expr: Expr) -> bool:
+    return isinstance(expr, UIntLiteral) and expr.value == 1 and expr.width == 1
+
+
+def _is_false(expr: Expr) -> bool:
+    return isinstance(expr, UIntLiteral) and expr.value == 0
+
+
+def decompose(expr: Expr, polarity: bool = True) -> Optional[frozenset[Atom]]:
+    """Split a 1-bit condition into polarity-tagged conjunction literals.
+
+    ``and`` nodes are flattened and ``not`` nodes peeled into the
+    polarity bit; anything else is an opaque atom (frozen Expr nodes
+    compare structurally, so syntactically identical predicates from
+    sibling branches collide as intended).  A negated conjunction is not
+    a conjunction of literals, so ``not(a and b)`` stays one atom.
+    Returns ``None`` for a constant-false condition (the caller treats
+    the cover as dead) and the empty set for constant true.
+    """
+    if isinstance(expr, PrimOp):
+        if expr.op == "not":
+            return decompose(expr.args[0], not polarity)
+        if expr.op == "and" and polarity:
+            left = decompose(expr.args[0], True)
+            right = decompose(expr.args[1], True)
+            if left is None or right is None:
+                return None
+            return left | right
+    if isinstance(expr, UIntLiteral) and expr.width == 1:
+        truthy = bool(expr.value) == polarity
+        return frozenset() if truthy else None
+    return frozenset({(polarity, expr)})
+
+
+def cover_atoms(cover: Cover) -> Optional[frozenset[Atom]]:
+    """Normalized literal set of ``pred AND en``, or ``None`` if dead.
+
+    A set containing both polarities of one expression is contradictory
+    (the cover can never fire) and also returns ``None``.
+    """
+    pred = decompose(cover.pred)
+    en = decompose(cover.en)
+    if pred is None or en is None:
+        return None
+    atoms = pred | en
+    exprs = {}
+    for polarity, expr in atoms:
+        if exprs.setdefault(expr, polarity) != polarity:
+            return None  # p and not(p): structurally unsatisfiable
+    return atoms
+
+
+@dataclass
+class ModuleImplications:
+    """The cover-implication graph of one module (module-local names)."""
+
+    module: str
+    #: live cover -> its normalized literal set
+    atoms: dict[str, frozenset]
+    #: covers proven unable to fire (structural contradiction, absint
+    #: always-false, or excluded by a reachability proof at every instance)
+    dead: set[str]
+    #: literal-set equivalence classes with >= 2 members (sorted names)
+    equivalences: list[list[str]]
+    #: parent cover -> (conseq-arm cover, alt-arm cover) partitions;
+    #: ``count(parent) == count(conseq) + count(alt)`` cycle-by-cycle
+    partitions: dict[str, tuple[str, str]]
+    #: child cover -> one immediate guard parent (``child <= parent``)
+    guards: dict[str, str]
+
+    def edge_count(self) -> int:
+        return (
+            len(self.partitions) * 2
+            + sum(len(c) - 1 for c in self.equivalences)
+            + len(self.guards)
+        )
+
+
+def analyze_module_covers(
+    module: Module,
+    dead_covers: Iterable[str] = (),
+    use_absint: bool = True,
+    dataflow=None,
+) -> ModuleImplications:
+    """Build the implication graph over ``module``'s cover statements.
+
+    ``dead_covers`` are names already proven unreachable (the composed
+    reachability exclusions); they never enter the graph.  With
+    ``use_absint`` the abstract interpreter prunes proven-true literals
+    (tightening equivalence/partition detection) and marks covers with a
+    proven-false literal dead.
+    """
+    covers = [s for s in walk_stmts(module.body) if isinstance(s, Cover)]
+    dead = {name for name in dead_covers}
+    atoms: dict[str, frozenset] = {}
+
+    abstract = None
+    if use_absint and covers:
+        from .absint import ModuleAbstract
+
+        try:
+            abstract = ModuleAbstract(module, dataflow)
+        except Exception:
+            abstract = None  # analysis is best-effort; structure still holds
+
+    def normalize(raw: frozenset) -> Optional[frozenset]:
+        if abstract is None:
+            return raw
+        kept = []
+        for polarity, expr in raw:
+            try:
+                value = abstract.eval(expr)
+            except Exception:
+                kept.append((polarity, expr))
+                continue
+            always_false = value.hi == 0
+            always_true = value.lo >= 1
+            if (polarity and always_false) or (not polarity and always_true):
+                return None  # one literal can never hold: cover is dead
+            if (polarity and always_true) or (not polarity and always_false):
+                continue  # literal always holds: drop it
+            kept.append((polarity, expr))
+        return frozenset(kept)
+
+    for cover in covers:
+        if cover.name in dead:
+            continue
+        raw = cover_atoms(cover)
+        normalized = normalize(raw) if raw is not None else None
+        if normalized is None:
+            dead.add(cover.name)
+        else:
+            atoms[cover.name] = normalized
+
+    # -- equivalences: identical normalized literal sets --------------------
+    by_set: dict[frozenset, list[str]] = {}
+    for name in sorted(atoms):
+        by_set.setdefault(atoms[name], []).append(name)
+    equivalences = [names for names in by_set.values() if len(names) > 1]
+
+    # -- partitions: parent = conseq + alt ----------------------------------
+    # ExpandWhens gives the alt arm a single negative literal ``not p``
+    # over the parent's set, and the conseq arm ``decompose(p)``.  So for
+    # every negative literal of every cover, check whether removing it
+    # yields an existing parent set and replacing it with the predicate's
+    # own decomposition yields an existing sibling set.
+    partitions: dict[str, tuple[str, str]] = {}
+    for atom_set, names in by_set.items():
+        for polarity, expr in atom_set:
+            if polarity:
+                continue
+            parent_set = atom_set - {(polarity, expr)}
+            parents = by_set.get(parent_set)
+            if not parents:
+                continue
+            conseq_extra = decompose(expr, True)
+            if conseq_extra is None:
+                continue
+            sibling_set = frozenset(parent_set | conseq_extra)
+            if sibling_set == atom_set or sibling_set == parent_set:
+                continue
+            siblings = by_set.get(sibling_set)
+            if not siblings:
+                continue
+            for parent in parents:
+                partitions.setdefault(parent, (siblings[0], names[0]))
+
+    # -- guard implications: strict superset => child <= parent -------------
+    guards: dict[str, str] = {}
+    for atom_set, names in by_set.items():
+        best: Optional[str] = None
+        for polarity, expr in atom_set:
+            parent_set = atom_set - {(polarity, expr)}
+            parents = by_set.get(parent_set)
+            if parents and parents[0] not in names:
+                best = parents[0]
+                break
+        if best is not None:
+            for name in names:
+                guards[name] = best
+
+    return ModuleImplications(
+        module=module.name,
+        atoms=atoms,
+        dead=dead,
+        equivalences=equivalences,
+        partitions=partitions,
+        guards=guards,
+    )
+
+
+@dataclass
+class MinimizeResult:
+    """Basis selection for one module: what to keep, how to rebuild the rest."""
+
+    basis: set[str]
+    #: elided cover -> fully resolved recipe over basis covers only
+    recipes: dict[str, Recipe] = field(default_factory=dict)
+
+
+def minimize_basis(analysis: ModuleImplications) -> MinimizeResult:
+    """Derive a minimal spanning basis from the implication graph.
+
+    Elides (a) dead covers (empty recipe), (b) equivalence-class
+    non-representatives (recipe: 1x representative) and (c) partition
+    parents (recipe: sum of the two arms), then resolves recipes
+    transitively so every term references a basis cover.  Resolution
+    terminates because equivalence points to a same-set representative
+    and partitions point to strictly larger literal sets; a resolution
+    cycle (which the construction should never produce) conservatively
+    re-materializes the cover instead of failing.
+    """
+    raw: dict[str, Recipe] = {name: [] for name in analysis.dead}
+    for names in analysis.equivalences:
+        rep = names[0]
+        for other in names[1:]:
+            raw[other] = [(1, rep)]
+    for parent, (conseq, alt) in analysis.partitions.items():
+        if parent in raw:
+            continue  # already elided as an equivalence duplicate
+        raw[parent] = [(1, conseq), (1, alt)]
+
+    resolved: dict[str, Recipe] = {}
+
+    def resolve(name: str, visiting: set[str]) -> Optional[dict[str, int]]:
+        """``basis cover -> coefficient`` for one elided cover, or None
+        on a resolution cycle."""
+        if name in visiting:
+            return None
+        terms: dict[str, int] = {}
+        visiting.add(name)
+        try:
+            for coefficient, target in raw[name]:
+                if target not in raw:
+                    terms[target] = terms.get(target, 0) + coefficient
+                    continue
+                inner = resolve(target, visiting)
+                if inner is None:
+                    return None
+                for basis_name, basis_coefficient in inner.items():
+                    terms[basis_name] = (
+                        terms.get(basis_name, 0)
+                        + coefficient * basis_coefficient
+                    )
+        finally:
+            visiting.discard(name)
+        return terms
+
+    dropped = True
+    while dropped:
+        dropped = False
+        resolved = {}
+        for name in sorted(raw):
+            flat = resolve(name, set())
+            if flat is None:
+                del raw[name]  # cycle: keep this cover materialized
+                dropped = True
+                break
+            resolved[name] = sorted(flat.items(), key=lambda kv: kv[0])
+            resolved[name] = [(c, n) for n, c in resolved[name]]
+
+    live = set(analysis.atoms) | analysis.dead
+    basis = {name for name in live if name not in resolved}
+    return MinimizeResult(basis=basis, recipes=resolved)
+
+
+def _strip_covers(block: list, names: set[str]) -> list:
+    out = []
+    for stmt in block:
+        if isinstance(stmt, Cover) and stmt.name in names:
+            continue
+        if isinstance(stmt, When):
+            stmt.conseq = _strip_covers(stmt.conseq, names)
+            stmt.alt = _strip_covers(stmt.alt, names)
+        out.append(stmt)
+    return out
+
+
+@dataclass
+class MinimizeSummary:
+    """What one minimization run did (stored under state.metadata)."""
+
+    total: int = 0
+    elided: int = 0
+    per_metric: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def reduction_pct(self) -> float:
+        return 100.0 * self.elided / self.total if self.total else 0.0
+
+
+class MinimizeCoversPass(Pass):
+    """Replace each module's covers with a minimal spanning basis.
+
+    Runs after every instrumentation pass (module-level, before any
+    flatten): elided ``Cover`` statements are removed from the module
+    bodies and their reconstruction recipes recorded in the
+    :class:`~repro.coverage.common.CoverageDB`, keyed module-locally so
+    reconstruction applies at every instance path.  Reachability
+    exclusions present in the DB compose in: a cover excluded at every
+    instance is elided with an empty recipe.
+    """
+
+    def __init__(self, db, use_absint: bool = True) -> None:
+        self.db = db
+        self.use_absint = use_absint
+
+    def run(self, state: CompileState) -> CompileState:
+        from ..coverage.common import InstanceTree, excluded_module_covers
+
+        tree = InstanceTree(state.circuit)
+        excluded = excluded_module_covers(self.db, tree)
+        metric_of: dict[tuple[str, str], str] = {}
+        for metric in self.db.metrics():
+            for module, name, _payload in self.db.covers_of(metric):
+                metric_of[(module, name)] = metric
+
+        summary = MinimizeSummary()
+        for module in state.circuit.modules:
+            cover_names = [
+                s.name for s in walk_stmts(module.body) if isinstance(s, Cover)
+            ]
+            if not cover_names:
+                continue
+            dead = {
+                local for (mod, local) in excluded if mod == module.name
+            }
+            analysis = analyze_module_covers(
+                module, dead_covers=dead, use_absint=self.use_absint
+            )
+            result = minimize_basis(analysis)
+            elided = set(result.recipes)
+            module.body = _strip_covers(module.body, elided)
+            for name, recipe in result.recipes.items():
+                self.db.add_recipe(module.name, name, recipe)
+            for name in cover_names:
+                metric = metric_of.get((module.name, name), "unknown")
+                total, gone = summary.per_metric.get(metric, (0, 0))
+                summary.per_metric[metric] = (
+                    total + 1, gone + (1 if name in elided else 0)
+                )
+            summary.total += len(cover_names)
+            summary.elided += len(elided)
+
+        state.metadata["minimize"] = summary
+        obs = _get_obs()
+        if obs.enabled:
+            for metric, (total, gone) in summary.per_metric.items():
+                obs.inc("repro_instrument_covers_total", total, metric=metric)
+                obs.inc(
+                    "repro_instrument_covers_elided_total", gone, metric=metric
+                )
+        return state
+
+
+def minimize_circuit(circuit, db=None, use_absint: bool = True):
+    """Minimize an already-instrumented circuit (the ``simulate`` path).
+
+    Returns ``(CompileState, CoverageDB)`` where the state's circuit
+    counts only basis covers and the DB carries the recipes needed to
+    reconstruct the full counts.  ``db`` may carry reachability
+    exclusions to compose in.
+    """
+    import copy
+
+    from ..coverage.common import CoverageDB
+
+    db = db if db is not None else CoverageDB()
+    state = CompileState(copy.deepcopy(circuit))
+    with _get_obs().span("minimize", cat="compile", circuit=circuit.main):
+        state = MinimizeCoversPass(db, use_absint=use_absint).run(state)
+    return state, db
+
+
+# -- lint integration --------------------------------------------------------
+
+from .diagnostics import Diagnostics, Severity, register_rule  # noqa: E402
+
+register_rule(
+    "cover-redundant-partition",
+    Severity.INFO,
+    "cover equals the sum of its branch arms",
+    "The cover's firing condition is partitioned exactly by a when's two "
+    "arms, so its count is the sum of the arm covers and its counter can "
+    "be elided (`--min-instrument` reconstructs it at report time).",
+    category="coverage",
+    example=(
+        "when p:   ; cover l_parent partitions into l_conseq (p) and\n"
+        "  ...     ; l_else (not p): count(l_parent) =\n"
+        "else:     ;   count(l_conseq) + count(l_else)\n"
+        "  ..."
+    ),
+)
+
+register_rule(
+    "cover-redundant-equiv",
+    Severity.INFO,
+    "cover always fires together with another cover",
+    "Two covers have the same normalized firing condition (after "
+    "abstract-interpretation literal pruning), so either counter alone "
+    "determines both counts.",
+    category="coverage",
+    example=(
+        "when x: cover a  ; a second `when x:` block later in the module\n"
+        "when x: cover b  ; gives b the same condition as a"
+    ),
+)
+
+register_rule(
+    "cover-redundant-implied",
+    Severity.INFO,
+    "cover is dominated by an enclosing guard's cover",
+    "The cover's condition strictly extends another cover's, so it can "
+    "only fire on cycles where the implying cover fires "
+    "(count(child) <= count(parent)); hitting the parent is necessary "
+    "but not sufficient for hitting this point.",
+    category="coverage",
+    example=(
+        "when p:        ; cover l_inner can only fire when l_outer\n"
+        "  cover l_outer; (condition p) fires: its condition is p and q\n"
+        "  when q:\n"
+        "    cover l_inner"
+    ),
+)
+
+
+def check_redundant_covers(
+    module: Module, diags: Diagnostics, use_absint: bool = True
+) -> None:
+    """Emit the ``cover-redundant-*`` rule family for one lowered module.
+
+    Info severity: these are opportunities (`--min-instrument` elides
+    partition parents and equivalence duplicates), not defects.  Each
+    finding names the implying cover(s).
+    """
+    infos = {
+        s.name: s.info for s in walk_stmts(module.body) if isinstance(s, Cover)
+    }
+    if not infos:
+        return
+    analysis = analyze_module_covers(module, use_absint=use_absint)
+    flagged: set[str] = set()
+    for parent, (conseq, alt) in sorted(analysis.partitions.items()):
+        diags.emit(
+            "cover-redundant-partition",
+            f"cover '{parent}' is implied by its branch arms: "
+            f"count({parent}) = count({conseq}) + count({alt})",
+            module=module.name,
+            info=infos.get(parent, next(iter(infos.values()))),
+            signal=parent,
+        )
+        flagged.add(parent)
+    for names in analysis.equivalences:
+        rep = names[0]
+        for other in names[1:]:
+            diags.emit(
+                "cover-redundant-equiv",
+                f"cover '{other}' always fires with cover '{rep}' "
+                f"(identical firing condition)",
+                module=module.name,
+                info=infos.get(other, next(iter(infos.values()))),
+                signal=other,
+            )
+            flagged.add(other)
+    for child, parent in sorted(analysis.guards.items()):
+        if child in flagged or parent in flagged:
+            continue
+        diags.emit(
+            "cover-redundant-implied",
+            f"cover '{child}' can only fire when cover '{parent}' fires "
+            f"(nested guard: count({child}) <= count({parent}))",
+            module=module.name,
+            info=infos.get(child, next(iter(infos.values()))),
+            signal=child,
+        )
+
+
+# Telemetry is imported lazily (same cycle-avoidance dance as passes/base.py).
+_obs_handle = None
+
+
+def _get_obs():
+    global _obs_handle
+    if _obs_handle is None:
+        from ..runtime.telemetry import obs as _o
+        _obs_handle = _o
+    return _obs_handle

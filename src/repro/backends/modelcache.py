@@ -89,8 +89,18 @@ def cache_key(
     ``options`` carries any further compile-affecting knobs (value-probe
     tuples, JIT mode, ...) — anything that changes the generated source
     must be in the key or two different compiles would collide.
+
+    The cover-minimizer version is part of the key: a minimized circuit
+    already fingerprints differently from the full one, but two *tool*
+    versions may derive different bases for the same circuit text, and a
+    stale cached model would then report the wrong counter set.
     """
-    tail = f"{backend}|cg{CODEGEN_VERSION}|cw{counter_width}|{options!r}"
+    from ..analysis.implication import MINIMIZER_VERSION
+
+    tail = (
+        f"{backend}|cg{CODEGEN_VERSION}|mv{MINIMIZER_VERSION}"
+        f"|cw{counter_width}|{options!r}"
+    )
     hasher = hashlib.sha256()
     hasher.update(circuit_fingerprint(circuit_or_state).encode())
     hasher.update(tail.encode())

@@ -21,6 +21,7 @@ from pathlib import Path
 
 from .coverage import (
     CoverageDB,
+    InstanceTree,
     all_cover_names,
     apply_exclusions,
     counts_from_json,
@@ -118,8 +119,24 @@ def cmd_verilog(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    from .analysis import Diagnostics, Severity, SuppressionIndex, lint_circuit
+    from .analysis import (
+        RULES,
+        Diagnostics,
+        Severity,
+        SuppressionIndex,
+        lint_circuit,
+    )
 
+    if args.explain:
+        spec = RULES.get(args.explain)
+        if spec is None:
+            print(f"unknown rule id {args.explain!r}; known rules:",
+                  file=sys.stderr)
+            for rule_id in sorted(RULES):
+                print(f"  {rule_id}", file=sys.stderr)
+            return 2
+        print(spec.explain())
+        return 0
     if not args.all_designs and not args.circuit:
         print("lint: give a circuit file/design name or --all-designs",
               file=sys.stderr)
@@ -134,6 +151,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
     suppressions = SuppressionIndex(search)
     combined = Diagnostics(suppressions)
     for _name, circuit in sorted(circuits.items()):
+        if args.metric:
+            # lint the instrumented circuit: this is how the
+            # cover-redundant family surfaces the implication graph for
+            # coverage covers (SARIF artifact in the minimize-smoke job)
+            inst_state, _db = instrument(circuit, metrics=args.metric)
+            circuit = inst_state.circuit
         combined.extend(
             lint_circuit(
                 circuit,
@@ -172,12 +195,21 @@ def cmd_reachability(args: argparse.Namespace) -> int:
 
 def cmd_instrument(args: argparse.Namespace) -> int:
     circuit = _load(args.circuit)
-    state, db = instrument(circuit, metrics=args.metric or ["line"])
+    state, db = instrument(circuit, metrics=args.metric or ["line"],
+                           minimize=args.min_instrument)
     output = args.output or "instrumented.fir"
     Path(output).write_text(print_circuit(state.circuit))
     Path(output + DB_SUFFIX).write_text(db.to_json())
     n = sum(db.count(m) for m in db.metrics())
-    print(f"wrote {output} (+{DB_SUFFIX}): {n} cover statements")
+    summary = state.metadata.get("minimize")
+    if summary is not None:
+        print(
+            f"wrote {output} (+{DB_SUFFIX}): {n} cover statements, "
+            f"{summary.elided} elided to recipes "
+            f"({summary.reduction_pct:.1f}% fewer counters)"
+        )
+    else:
+        print(f"wrote {output} (+{DB_SUFFIX}): {n} cover statements")
     return 0
 
 
@@ -242,6 +274,24 @@ def _simulate(args: argparse.Namespace) -> int:
     from .runtime import Checkpointer, DifferentialRunner, RunJob
 
     circuit = _load(args.circuit)
+    min_db = None
+    if args.min_instrument:
+        # count only the minimal basis; the shards, checkpoint files, and
+        # backend counters all carry fewer counters, and the recipes
+        # rebuild the full counts (bit-identical) before anything is
+        # written out
+        from .analysis.implication import minimize_circuit
+
+        min_state, min_db = minimize_circuit(circuit)
+        circuit = min_state.circuit
+
+    def reconstruct(counts):
+        if min_db is None:
+            return counts
+        return min_db.reconstruct_counts(
+            counts, InstanceTree(circuit), counter_width=args.counter_width
+        )
+
     inputs = [
         p.name
         for p in circuit.top.inputs
@@ -297,8 +347,9 @@ def _simulate(args: argparse.Namespace) -> int:
         runner = DifferentialRunner(executor)
         leg_factories = {b: make_sim_for(b) for b in backends}
         warm_cache(leg_factories.values())
+        min_tag = "-min" if args.min_instrument else ""
         diff = runner.run(
-            job_id=f"{Path(args.circuit).stem}-s{args.seed}",
+            job_id=f"{Path(args.circuit).stem}-s{args.seed}{min_tag}",
             make_sims=leg_factories,
             cycles=args.cycles,
             stimulus=stimulus,
@@ -314,7 +365,7 @@ def _simulate(args: argparse.Namespace) -> int:
             print("no quorum on any cover; refusing to write counts",
                   file=sys.stderr)
             return 1
-        counts = diff.merged
+        counts = reconstruct(diff.merged)
         if args.merge_with:
             counts = merge_counts(
                 counts,
@@ -330,8 +381,9 @@ def _simulate(args: argparse.Namespace) -> int:
         )
         return 0
 
+    min_tag = "-min" if args.min_instrument else ""
     job = RunJob(
-        job_id=f"{Path(args.circuit).stem}-{args.backend}-s{args.seed}",
+        job_id=f"{Path(args.circuit).stem}-{args.backend}-s{args.seed}{min_tag}",
         backend_name=args.backend,
         make_sim=make_sim_for(args.backend),
         cycles=args.cycles,
@@ -361,7 +413,7 @@ def _simulate(args: argparse.Namespace) -> int:
         print("every shard was quarantined; refusing to write counts",
               file=sys.stderr)
         return 1
-    counts = result.merged
+    counts = reconstruct(result.merged)
     if args.merge_with:
         counts = merge_counts(
             counts,
@@ -404,6 +456,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cluster_heartbeat_s=args.cluster_heartbeat_s,
         retry_after_s=args.retry_after,
         compact_max_bytes=args.compact_max_bytes,
+        min_instrument=args.min_instrument,
     )
     asyncio.run(CoverageService(config).run())
     return 0
@@ -427,6 +480,7 @@ def cmd_worker(args: argparse.Namespace) -> int:
         reconnect=args.reconnect,
         seed=args.seed,
         worker_id=args.worker_id,
+        min_instrument=args.min_instrument,
     )
     worker = ClusterWorker(config)
     print(f"repro worker: {worker.id} connecting to {host}:{port}",
@@ -477,6 +531,10 @@ def cmd_report(args: argparse.Namespace) -> int:
     db_path = args.db or args.circuit + DB_SUFFIX
     db = CoverageDB.from_json(Path(db_path).read_text(), source=db_path)
     counts = counts_from_json(Path(args.counts).read_text(), source=args.counts)
+    # counts written by a --min-instrument run are already reconstructed;
+    # this covers basis-count files produced by other tooling (no-op when
+    # the DB has no recipes or the keys are already present)
+    counts = db.reconstruct_counts(counts, InstanceTree(circuit))
     if args.html:
         Path(args.html).write_text(html_report(db, counts, circuit))
         print(f"wrote {args.html}")
@@ -566,6 +624,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="lint every bundled example design")
     p.add_argument("--no-semantic", action="store_true",
                    help="skip the abstract-interpretation tier")
+    p.add_argument("-m", "--metric", action="append",
+                   choices=["line", "toggle", "fsm", "ready_valid", "mux_toggle"],
+                   help="instrument with these metrics before linting "
+                        "(surfaces the cover-redundant implication graph)")
+    p.add_argument("--explain", metavar="RULE-ID",
+                   help="print a rule's catalog entry (description, "
+                        "severity, example) and exit")
     p.add_argument("-o", "--output")
     _add_format_arg(p)
     p.set_defaults(fn=cmd_lint)
@@ -593,6 +658,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("circuit")
     p.add_argument("-m", "--metric", action="append",
                    choices=["line", "toggle", "fsm", "ready_valid", "mux_toggle"])
+    p.add_argument("--min-instrument", action="store_true",
+                   help="materialize only a minimal spanning basis of "
+                        "counters; elided covers get reconstruction "
+                        "recipes in the coverage DB and reports rebuild "
+                        "them bit-identically")
     p.add_argument("-o", "--output")
     p.set_defaults(fn=cmd_instrument)
 
@@ -605,6 +675,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the treadle backend as the pure tree-walking "
                         "interpreter instead of its compiled fast path "
                         "(the semantics reference; ~100x slower)")
+    p.add_argument("--min-instrument", action="store_true",
+                   help="count only the statically minimal cover basis "
+                        "(fewer counters in the backend, shards, and "
+                        "checkpoint files) and reconstruct the full "
+                        "counts bit-identically before writing")
     p.add_argument("--model-cache-dir", metavar="DIR",
                    help="content-addressed compiled-model cache: compiled "
                         "models are pickled here and reused across shards, "
@@ -714,6 +789,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compact-max-bytes", type=int, default=4 << 20,
                    help="auto-compact the WAL journal once it grows past "
                         "this many bytes (0 disables size-based compaction)")
+    p.add_argument("--min-instrument", action="store_true",
+                   help="default submitted campaigns to minimal-basis cover "
+                        "counting (specs may still opt out explicitly); "
+                        "reported counts are reconstructed bit-identically")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -739,6 +818,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed for reconnect backoff jitter")
     p.add_argument("--worker-id", default="",
                    help="stable worker name (default: pid-derived)")
+    p.add_argument("--min-instrument", action="store_true",
+                   help="run leased shards with minimal-basis cover counting "
+                        "even when the spec does not request it; the final "
+                        "counts a shard reports are reconstructed and "
+                        "bit-identical either way")
     p.set_defaults(fn=cmd_worker)
 
     p = sub.add_parser(

@@ -74,11 +74,21 @@ def instrument(
     flatten: bool = False,
     toggle_categories: Iterable[str] = ("io", "reg", "wire"),
     use_alias_analysis: bool = True,
+    minimize: bool = False,
 ) -> tuple[CompileState, CoverageDB]:
     """Instrument ``circuit`` with the requested coverage metrics.
 
     Returns the lowered (optionally flattened) compile state plus the
     coverage metadata database the report generators consume.
+
+    With ``minimize=True`` the cover-implication minimizer
+    (:mod:`repro.analysis.implication`) runs after every metric pass:
+    only a spanning basis of counters is materialized, the rest are
+    recorded as reconstruction recipes in the returned DB, and
+    :meth:`CoverageDB.reconstruct_counts` (called by every report
+    generator) rebuilds the full counts — bit-identical to full
+    instrumentation.  Reachability exclusions already present in ``db``
+    compose in: covers dead at every instance are elided outright.
     """
     import copy
 
@@ -106,6 +116,12 @@ def instrument(
         pipeline.append(
             ToggleCoveragePass(db, toggle_categories, use_alias_analysis)
         )
+    if minimize:
+        from ..analysis.implication import MinimizeCoversPass
+
+        # after every cover-inserting pass, before flatten: recipes are
+        # module-local, so reconstruction applies at every instance path
+        pipeline.append(MinimizeCoversPass(db))
     if flatten:
         pipeline.append(InlineInstances())
 

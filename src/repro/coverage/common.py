@@ -51,13 +51,64 @@ class CoverageDB:
     from :mod:`repro.analysis.reachability`.  Canonical (not module-level)
     keys matter: a module instantiated twice can be dead in one instance
     and live in the other (the paper's read-only-I$ finding, §5.5).
+
+    ``recipes`` is the minimal-basis reconstruction table written by
+    :class:`~repro.analysis.implication.MinimizeCoversPass`:
+    ``recipes[module][elided_cover]`` is a list of signed
+    ``[coefficient, basis_cover]`` terms (module-local names) whose
+    clamped sum reproduces the elided cover's count at every instance
+    path.  An empty list marks a statically dead cover (reconstructs as
+    0).  See :meth:`reconstruct_counts` and DESIGN.md §15.
     """
 
     entries: dict[str, dict[str, dict[str, Any]]] = field(default_factory=dict)
     exclusions: dict[str, str] = field(default_factory=dict)
+    recipes: dict[str, dict[str, list]] = field(default_factory=dict)
 
     def add(self, metric: str, module: str, cover_name: str, payload: Any) -> None:
         self.entries.setdefault(metric, {}).setdefault(module, {})[cover_name] = payload
+
+    def add_recipe(self, module: str, cover_name: str, terms: Iterable) -> None:
+        """Record how an elided cover is reconstructed from basis counts."""
+        self.recipes.setdefault(module, {})[cover_name] = [
+            [int(coefficient), str(basis)] for coefficient, basis in terms
+        ]
+
+    def reconstruct_counts(
+        self,
+        counts: CoverCounts,
+        tree: "InstanceTree",
+        counter_width: Optional[int] = None,
+    ) -> CoverCounts:
+        """Fill in elided covers from basis counts via the recipe table.
+
+        For every instance path of every module with recipes, the elided
+        cover's canonical key gets the recipe's term sum, clamped at the
+        ``counter_width`` saturation limit when one is given (which makes
+        reconstruction bit-identical to a materialized saturating
+        counter — see the soundness note in
+        :mod:`repro.analysis.implication`).  Keys already present in
+        ``counts`` are kept untouched, so merging full and minimized
+        shards stays safe and repeated reconstruction is idempotent.
+        A no-op (returning a copy) when the DB carries no recipes.
+        """
+        out: CoverCounts = dict(counts)
+        if not self.recipes:
+            return out
+        limit = (1 << counter_width) - 1 if counter_width is not None else None
+        for module, module_recipes in self.recipes.items():
+            for path in tree.instance_paths(module):
+                for name, terms in module_recipes.items():
+                    key = f"{path}{name}"
+                    if key in out:
+                        continue
+                    total = 0
+                    for coefficient, basis in terms:
+                        total += coefficient * out.get(f"{path}{basis}", 0)
+                    if limit is not None:
+                        total = max(0, min(total, limit))
+                    out[key] = total
+        return out
 
     def exclude(self, cover_key: str, reason: str) -> None:
         """Mark a canonical cover key as excluded from denominators."""
@@ -92,7 +143,11 @@ class CoverageDB:
         mis-locate every report line for that cover, so the collision
         raises :class:`CoverageDBError` naming the key instead.
         """
-        merged = CoverageDB(json.loads(json.dumps(self.entries)), dict(self.exclusions))
+        merged = CoverageDB(
+            json.loads(json.dumps(self.entries)),
+            dict(self.exclusions),
+            json.loads(json.dumps(self.recipes)),
+        )
         for metric, modules in other.entries.items():
             for module, covers in modules.items():
                 existing = merged.entries.get(metric, {}).get(module, {})
@@ -108,6 +163,19 @@ class CoverageDB:
         # first reason wins (both agree the point is out of the denominator)
         for key, reason in other.exclusions.items():
             merged.exclusions.setdefault(key, reason)
+        # recipes describe the same static structure, so — like entries —
+        # a shared key must carry an identical recipe on both sides
+        for module, module_recipes in other.recipes.items():
+            existing_recipes = merged.recipes.get(module, {})
+            for name, terms in module_recipes.items():
+                if name in existing_recipes and existing_recipes[name] != terms:
+                    raise CoverageDBError(
+                        f"conflicting recipes for ({module!r}, {name!r}) "
+                        f"in merge: {existing_recipes[name]!r} != {terms!r}"
+                    )
+                merged.recipes.setdefault(module, {})[name] = json.loads(
+                    json.dumps(terms)
+                )
         return merged
 
     # -- serialization ---------------------------------------------------------
@@ -119,6 +187,8 @@ class CoverageDB:
         }
         if self.exclusions:
             payload["exclusions"] = self.exclusions
+        if self.recipes:
+            payload["recipes"] = self.recipes
         return json.dumps(payload, indent=2, sort_keys=True)
 
     @staticmethod
@@ -170,7 +240,25 @@ class CoverageDB:
         for key, reason in exclusions.items():
             if not isinstance(reason, str):
                 raise fail(f"exclusion {key!r}: reason must be a string")
-        return CoverageDB(entries, exclusions)
+        recipes = data.get("recipes", {})
+        if not isinstance(recipes, dict):
+            raise fail(f"non-object 'recipes' field (got {type(recipes).__name__})")
+        for module, module_recipes in recipes.items():
+            if not isinstance(module_recipes, dict):
+                raise fail(f"recipes for module {module!r}: expected an object")
+            for name, terms in module_recipes.items():
+                if not isinstance(terms, list) or not all(
+                    isinstance(t, list)
+                    and len(t) == 2
+                    and type(t[0]) is int
+                    and isinstance(t[1], str)
+                    for t in terms
+                ):
+                    raise fail(
+                        f"recipe ({module!r}, {name!r}): expected a list of "
+                        "[coefficient, basis-cover] pairs"
+                    )
+        return CoverageDB(entries, exclusions, recipes)
 
 
 class InstanceTree:

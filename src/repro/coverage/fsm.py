@@ -291,6 +291,8 @@ def fsm_report(db: CoverageDB, counts, circuit: Circuit) -> FsmCoverageReport:
     from .common import InstanceTree, aggregate_by_module, excluded_module_covers
 
     tree = InstanceTree(circuit)
+    # minimal-basis runs report basis counters only: rebuild elided covers
+    counts = db.reconstruct_counts(counts, tree)
     by_module = aggregate_by_module(counts, tree)
     excluded = excluded_module_covers(db, tree)
     fsms: dict[tuple[str, str], dict] = {}

@@ -140,6 +140,10 @@ def html_report(
     ``sources`` optionally maps file names to source lines for annotated
     line coverage.  The output is a single self-contained page.
     """
+    from .common import InstanceTree
+
+    # minimal-basis runs report basis counters only: rebuild elided covers
+    counts = db.reconstruct_counts(counts, InstanceTree(circuit))
     counts, excluded = apply_exclusions(counts, db)
     summary = (
         f"<p>{len(counts)} cover points, "

@@ -159,6 +159,8 @@ def line_report(db: CoverageDB, counts: CoverCounts, circuit: Circuit) -> LineCo
     from .common import excluded_module_covers
 
     tree = InstanceTree(circuit)
+    # minimal-basis runs report basis counters only: rebuild elided covers
+    counts = db.reconstruct_counts(counts, tree)
     by_module = aggregate_by_module(counts, tree)
     excluded = excluded_module_covers(db, tree)
     files: dict[str, FileLineCoverage] = {}

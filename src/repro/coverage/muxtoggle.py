@@ -92,6 +92,8 @@ def mux_toggle_report(db: CoverageDB, counts, circuit: Circuit) -> MuxToggleRepo
     from .common import InstanceTree, aggregate_by_module
 
     tree = InstanceTree(circuit)
+    # minimal-basis runs report basis counters only: rebuild elided covers
+    counts = db.reconstruct_counts(counts, tree)
     by_module = aggregate_by_module(counts, tree)
     selects: dict[tuple[str, int], dict[str, int]] = {}
     for module, cover_name, payload in db.covers_of(METRIC):

@@ -100,6 +100,8 @@ def ready_valid_report(db: CoverageDB, counts, circuit: Circuit) -> ReadyValidRe
     from .common import InstanceTree, aggregate_by_module, excluded_module_covers
 
     tree = InstanceTree(circuit)
+    # minimal-basis runs report basis counters only: rebuild elided covers
+    counts = db.reconstruct_counts(counts, tree)
     by_module = aggregate_by_module(counts, tree)
     excluded = excluded_module_covers(db, tree)
     bundles: dict[tuple[str, str], int] = {}

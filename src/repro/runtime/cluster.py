@@ -47,7 +47,7 @@ import socket
 import tempfile
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Optional
 
@@ -556,6 +556,10 @@ class WorkerConfig:
     worker_id: str = ""
     fault_plan: Optional[NetFaultPlan] = None
     telemetry: bool = False
+    #: force minimal-basis counting on leased shards even when the spec
+    #: does not request it; the ``done`` frame still carries full counts
+    #: because :func:`~repro.runtime.service.execute_spec` reconstructs
+    min_instrument: bool = False
 
     def __post_init__(self) -> None:
         if self.slots < 1:
@@ -723,6 +727,8 @@ class ClusterWorker:
             from .service import CampaignSpec, execute_spec
 
             spec = CampaignSpec.from_json_obj(grant["spec"])
+            if self.config.min_instrument and not spec.min_instrument:
+                spec = replace(spec, min_instrument=True)
             # Fresh scratch per (shard, token): a re-granted shard starts
             # from cycle 0 and replays the same seeded stimulus, which is
             # what makes bounced shards bit-identical.

@@ -108,6 +108,10 @@ class CampaignSpec:
     reset_cycles: int = 1
     counter_width: Optional[int] = None
     checkpoint_every: int = 0
+    #: count only the minimal cover basis; shards, WAL records, and
+    #: cluster delta streams then carry fewer counters, and the final
+    #: counts are reconstructed (bit-identical) before being reported
+    min_instrument: bool = False
 
     def to_json_obj(self) -> dict:
         return {
@@ -124,6 +128,7 @@ class CampaignSpec:
             "reset_cycles": self.reset_cycles,
             "counter_width": self.counter_width,
             "checkpoint_every": self.checkpoint_every,
+            "min_instrument": self.min_instrument,
         }
 
     @staticmethod
@@ -202,6 +207,7 @@ class CampaignSpec:
             reset_cycles=reset_cycles,
             counter_width=counter_width,
             checkpoint_every=checkpoint_every,
+            min_instrument=bool(data.get("min_instrument", False)),
         )
 
 
@@ -291,13 +297,33 @@ def execute_spec(
     """
     from ..backends import BACKENDS
     from ..coverage import all_cover_names, instrument
+    from ..coverage.common import InstanceTree
     from ..ir import parse_circuit
 
     circuit = parse_circuit(spec.circuit)
+    min_db = None
     if spec.metrics:
-        state, _db = instrument(circuit, metrics=list(spec.metrics))
+        state, db = instrument(
+            circuit, metrics=list(spec.metrics), minimize=spec.min_instrument
+        )
+        circuit = state.circuit
+        if spec.min_instrument:
+            min_db = db
+    elif spec.min_instrument:
+        from ..analysis.implication import minimize_circuit
+
+        state, min_db = minimize_circuit(circuit)
         circuit = state.circuit
     names = all_cover_names(circuit)
+
+    def reconstruct(counts: dict) -> dict:
+        # shards/WAL/deltas carried basis counters only; rebuild the
+        # elided covers so the service API stays bit-identical
+        if min_db is None:
+            return dict(counts)
+        return min_db.reconstruct_counts(
+            counts, InstanceTree(circuit), counter_width=spec.counter_width
+        )
     backend = BACKENDS[spec.backend]()
     rng = random.Random(spec.seed)
     inputs = [
@@ -357,13 +383,13 @@ def execute_spec(
         return ExecutionOutcome(
             status=DONE,
             detail="resumed from complete shard" if outcome.status == "resumed" else "",
-            counts=dict(result.merged),
+            counts=reconstruct(result.merged),
             cycles_run=outcome.cycles_run,
             attempts=outcome.attempts,
             backend_ok=True,
         )
     detail = "; ".join(f.format() for f in outcome.failures[-2:]) or outcome.status
-    partial = dict(result.merged) if outcome.contributed else None
+    partial = reconstruct(result.merged) if outcome.contributed else None
     return ExecutionOutcome(
         status=FAILED,
         detail=(f"partial ({outcome.cycles_run} cycles salvaged): {detail}"
@@ -396,6 +422,8 @@ class ServiceConfig:
     max_body_bytes: int = 8 << 20
     model_cache_dir: Optional[str] = None
     telemetry: bool = True
+    #: default ``min_instrument`` for submitted specs that omit the key
+    min_instrument: bool = False
     #: TCP port for the cluster coordinator (None = no cluster, 0 = auto)
     cluster_port: Optional[int] = None
     #: remote shard lease duration; a worker silent this long is presumed
@@ -1223,9 +1251,19 @@ class CoverageService:
         head = parts[0] if parts else ""
         if method == "POST" and head == "submit":
             try:
-                spec = CampaignSpec.from_json_obj(json.loads(body or b"{}"))
+                obj = json.loads(body or b"{}")
             except json.JSONDecodeError as error:
                 return 400, {"error": f"body is not JSON: {error}"}, None
+            if (
+                self.config.min_instrument
+                and isinstance(obj, dict)
+                and "min_instrument" not in obj
+            ):
+                # server-wide default: submitters may still opt out with
+                # an explicit "min_instrument": false
+                obj["min_instrument"] = True
+            try:
+                spec = CampaignSpec.from_json_obj(obj)
             except SpecError as error:
                 return 400, {"error": str(error)}, None
             try:

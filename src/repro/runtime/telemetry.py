@@ -186,6 +186,17 @@ METRICS: dict[str, tuple[str, tuple[str, ...], str]] = {
         "Unsuppressed lint findings emitted by the analysis framework, "
         "by rule ID and severity.",
     ),
+    "repro_instrument_covers_total": (
+        "counter", ("metric",),
+        "Cover statements seen by the minimal-basis minimizer, by metric "
+        "(before elision; only minimize=True instrumentation runs count).",
+    ),
+    "repro_instrument_covers_elided_total": (
+        "counter", ("metric",),
+        "Cover statements elided by the minimal-basis minimizer, by "
+        "metric; each carries a recipe reconstructing its count from the "
+        "basis at report time.",
+    ),
     "repro_serve_queue_depth": (
         "gauge", ("tenant",),
         "Campaigns waiting in the service admission queue, per tenant.",

@@ -104,6 +104,54 @@ class TestSuppression:
         diags = lint_circuit(circuit, suppressions=SuppressionIndex([tmp_path]))
         assert [d.rule for d in diags.unsuppressed] == ["width-trunc"]
 
+    def test_comma_list_suppresses_each_listed_rule(self, tmp_path):
+        src = tmp_path / "design.py"
+        src.write_text(
+            "x\nout <<= wide  # lint: disable=sign-mix, width-trunc\n"
+        )
+        circuit = _truncating_circuit("design.py", 2)
+        diags = lint_circuit(circuit, suppressions=SuppressionIndex([tmp_path]))
+        assert not diags.unsuppressed
+
+    def test_comma_list_without_the_rule_does_not_suppress(self, tmp_path):
+        src = tmp_path / "design.py"
+        src.write_text(
+            "x\nout <<= wide  # lint: disable=sign-mix,dead-signal\n"
+        )
+        circuit = _truncating_circuit("design.py", 2)
+        diags = lint_circuit(circuit, suppressions=SuppressionIndex([tmp_path]))
+        assert [d.rule for d in diags.unsuppressed] == ["width-trunc"]
+
+    def test_disable_next_line_waives_the_line_below(self, tmp_path):
+        src = tmp_path / "design.py"
+        src.write_text(
+            "# lint: disable-next-line=width-trunc\nout <<= wide\n"
+        )
+        circuit = _truncating_circuit("design.py", 2)
+        diags = lint_circuit(circuit, suppressions=SuppressionIndex([tmp_path]))
+        found = diags.by_rule("width-trunc")
+        assert len(found) == 1 and found[0].suppressed
+        assert not diags.unsuppressed
+
+    def test_bare_disable_next_line_waives_everything_below(self, tmp_path):
+        src = tmp_path / "design.py"
+        src.write_text("# lint: disable-next-line\nout <<= wide\n")
+        circuit = _truncating_circuit("design.py", 2)
+        diags = lint_circuit(circuit, suppressions=SuppressionIndex([tmp_path]))
+        assert not diags.unsuppressed
+
+    def test_disable_next_line_does_not_waive_its_own_line(self, tmp_path):
+        # regression: the same-line parser used to see the
+        # "lint: disable" prefix inside "lint: disable-next-line=..."
+        # and treat it as a bare suppress-everything marker
+        src = tmp_path / "design.py"
+        src.write_text(
+            "x\nout <<= wide  # lint: disable-next-line=width-trunc\n"
+        )
+        circuit = _truncating_circuit("design.py", 2)
+        diags = lint_circuit(circuit, suppressions=SuppressionIndex([tmp_path]))
+        assert [d.rule for d in diags.unsuppressed] == ["width-trunc"]
+
 
 class TestRendering:
     def test_text_format_carries_rule_and_locator(self):

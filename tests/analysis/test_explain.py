@@ -1,0 +1,56 @@
+"""`repro lint --explain` must track the rule registry and DESIGN.md §10.
+
+Every registered rule must explain successfully, the explanation must
+carry the registry's own title/severity/description (not a hand-written
+copy that can drift), and — because the §10 catalog is itself
+drift-guarded against the registry — each explained title must appear
+verbatim in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro.analysis  # noqa: F401  (registers every lint rule)
+import repro.passes.check as check
+from repro.analysis import RULES
+from repro.cli import main
+
+check._register_check_rules()
+
+
+def _catalog_block() -> str:
+    design = Path(__file__).resolve().parents[2] / "DESIGN.md"
+    text = design.read_text()
+    return text.split("<!-- rule-catalog:begin -->", 1)[1].split(
+        "<!-- rule-catalog:end -->", 1
+    )[0]
+
+
+CATALOG = _catalog_block()
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULES))
+def test_explain_matches_registry_and_design_catalog(rule_id, capsys):
+    assert main(["lint", "--explain", rule_id]) == 0
+    out = capsys.readouterr().out
+    spec = RULES[rule_id]
+    assert rule_id in out
+    assert str(spec.severity) in out
+    assert spec.title in out
+    assert spec.description in out
+    if spec.example:
+        assert "example:" in out
+    # §10 lists the same registry row (test_catalog_drift.py pins the
+    # full table; this pins that --explain and the table agree)
+    assert f"`{rule_id}`" in CATALOG
+    assert spec.description in CATALOG
+
+
+def test_explain_unknown_rule_lists_known_ids(capsys):
+    assert main(["lint", "--explain", "no-such-rule"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule id" in err
+    assert "width-trunc" in err
