@@ -8,12 +8,15 @@ telemetry layer itself — both the enabled overhead and the disabled-mode
 jitter (the acceptance bar is that instrumentation with telemetry *off*
 is unmeasurable against run-to-run noise).
 
-Three hard perf gates ride along (bench-smoke CI fails if they regress):
+Five hard perf gates ride along (bench-smoke CI fails if they regress):
 
 * the treadle JIT fast path must sustain >= 10x the tree-walking
   interpreter's cycles/second,
 * the native C backend must sustain >= 3x the treadle JIT on the same
   replay (recorded as ``speedup_vs_jit``),
+* the bit-parallel swarm backend must sustain >= 8x the treadle JIT in
+  *aggregate* lanes x cycles/second on the same replay broadcast across
+  all lanes (recorded as ``aggregate_lane_cycles_per_second``),
 * a warm in-memory model-cache hit (what forked shards see after the
   parent's compile-before-fork) must be >= 5x faster than a cold compile,
   and
@@ -35,6 +38,7 @@ from repro.backends import (
     CBackend,
     EssentBackend,
     ModelCache,
+    SwarmBackend,
     TreadleBackend,
     VerilatorBackend,
 )
@@ -61,7 +65,12 @@ BACKENDS = {
 JIT_MIN_SPEEDUP = 10.0
 WARM_CACHE_MIN_SPEEDUP = 5.0
 C_MIN_SPEEDUP_VS_JIT = 3.0
+SWARM_MIN_SPEEDUP_VS_JIT = 8.0
 MIN_INSTRUMENT_MIN_REDUCTION_PCT = 25.0
+
+#: swarm pack width for the aggregate-throughput gate — wide enough to
+#: amortize Python dispatch over the packed ops, well under MAX_LANES
+SWARM_LANES = 512
 
 #: timed repetitions per measurement (min is reported)
 REPS = 3
@@ -157,6 +166,30 @@ def test_bench_runtime_smallest_design(tmp_path):
     assert c_speedup >= C_MIN_SPEEDUP_VS_JIT, (
         f"c backend only {c_speedup:.1f}x the treadle JIT "
         f"(gate: >= {C_MIN_SPEEDUP_VS_JIT}x)"
+    )
+
+    # Gate: swarm lanes must multiply throughput: with the same replay
+    # broadcast to every lane, aggregate lanes x cycles/second must be
+    # >= 8x what the scalar JIT sustains.
+    swarm_sim, swarm_compile_s = _timed(
+        lambda: SwarmBackend(lanes=SWARM_LANES).compile_state(state)
+    )
+    swarm_best = min(_replay_seconds(swarm_sim.fork, replay))
+    lane_cps = SWARM_LANES * replay.cycles / swarm_best
+    swarm_speedup = lane_cps / backends["treadle-jit"]["cycles_per_second"]
+    backends["swarm"] = {
+        "compile_s": swarm_compile_s,
+        "run_s": swarm_best,
+        "cycles": replay.cycles,
+        "lanes": SWARM_LANES,
+        "cycles_per_second": replay.cycles / swarm_best,
+        "aggregate_lane_cycles_per_second": lane_cps,
+        "speedup_vs_jit": swarm_speedup,
+    }
+    assert swarm_speedup >= SWARM_MIN_SPEEDUP_VS_JIT, (
+        f"swarm only {swarm_speedup:.1f}x the treadle JIT in aggregate "
+        f"lane-cycles/s at {SWARM_LANES} lanes "
+        f"(gate: >= {SWARM_MIN_SPEEDUP_VS_JIT}x)"
     )
 
     # Gate: a warm cache hit must make recompilation negligible.

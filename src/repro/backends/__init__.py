@@ -12,6 +12,7 @@ essent     ESSENT (activity-driven simulator)   compiled + activity gate
 firesim    FireSim (FPGA-accelerated)           scan-chain counters
 formal     SymbiYosys (BMC cover traces)        proves/finds reachability
 c          native codegen (cc + ctypes)         slow build, fastest run
+swarm      bit-parallel packed lanes            N stimuli per wide-int op
 ========== ==================================== =======================
 
 The authoritative capability matrix lives in :data:`BACKEND_MATRIX`
@@ -47,6 +48,7 @@ from .modelcache import (
     set_default_cache,
 )
 from .cbackend import CBackend, CSimulation
+from .swarm import SwarmBackend, SwarmSimulation
 from .treadle import TreadleBackend, TreadleSimulation
 from .verilator import (
     VerilatorBackend,
@@ -62,6 +64,7 @@ BACKENDS = {
     "essent": EssentBackend,
     "firesim": FireSimBackend,
     "c": CBackend,
+    "swarm": SwarmBackend,
 }
 
 BACKEND_INFO = [
@@ -71,6 +74,7 @@ BACKEND_INFO = [
     BackendInfo("firesim", "scan-chain counters + host driver", "fpga", "synthesis"),
     BackendInfo("formal", "SAT-based bounded model checking", "formal", "encode"),
     BackendInfo("c", "compiles the circuit to native code", "compiled", "compile"),
+    BackendInfo("swarm", "bit-parallel packed-lane simulation", "compiled", "compile"),
 ]
 
 
@@ -113,6 +117,9 @@ BACKEND_MATRIX = [
     BackendCapabilities(
         "c", "cc-compiled shared object (ctypes)", True, True, True,
         "model + C source + .so artifact", True, "treadle JIT"),
+    BackendCapabilities(
+        "swarm", "packed bit-parallel lanes (wide ints)", True, True, True,
+        "model + Python source (keyed by lane count)", True, "-"),
 ]
 
 
@@ -162,6 +169,8 @@ __all__ = [
     "SimulationTimeout",
     "SimulatorBackend",
     "StepResult",
+    "SwarmBackend",
+    "SwarmSimulation",
     "has_port",
     "TreadleBackend",
     "TreadleSimulation",

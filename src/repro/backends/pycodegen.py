@@ -192,3 +192,353 @@ def _trem(a, b):
         return a
     return a - _tdiv(a, b) * b
 '''
+
+
+# -- swarm (bit-parallel lane) emission ---------------------------------------
+
+#: Version of the swarm emitter's generated-code contract.  Mixed into the
+#: swarm backend's cache-key options (alongside the lane count), so swarm
+#: lowering changes invalidate swarm entries without touching the scalar
+#: backends' cache space.
+SWARM_EMITTER_VERSION = 1
+
+#: ops with no packed lowering: per-lane products/quotients and data-dependent
+#: shifts genuinely need per-lane arithmetic, and ``xorr`` is a parity
+#: reduction with no carry trick.  Everything else stays a handful of
+#: wide-int operations regardless of the lane count.
+TRANSPOSED_OPS = frozenset({"mul", "div", "rem", "dshl", "dshr", "xorr"})
+
+SWARM_RUNTIME_HELPERS = '''
+def _sx(x, sh, ext):
+    """Packed sign-extension: OR each lane's sign bit, spread over ``ext``.
+
+    ``sh`` is the sign-bit position inside the lane, ``ext`` the (scalar)
+    extension-bit mask; multiplying the lane-base sign bits by it fills
+    every negative lane's extension bits in one operation.
+    """
+    return x | (((x >> sh) & _R1) * ext)
+
+
+def _nz(x):
+    """Per-lane ``value != 0``, as a lane-base bit mask.
+
+    Adding ``2**(_S-1) - 1`` to each lane carries into the (always spare)
+    top lane bit exactly when the lane is non-zero; lanes never overflow
+    into each other because packed values use at most ``_S - 2`` bits.
+    """
+    return ((x + _HALF) & _TOP) >> _SHS
+
+
+def _sel(c, t, f, m, km):
+    """Packed 2:1 mux: ``c`` holds lane-base condition bits.
+
+    ``m`` is the scalar result mask, ``km`` its lane-replicated form;
+    ``c * m`` spreads each set condition bit across its whole lane.
+    """
+    s = c * m
+    return (t & s) | (f & (s ^ km))
+
+
+def _t1(f, a, ma):
+    """Transpose a unary op: apply scalar ``f`` to every lane of ``a``."""
+    r = 0
+    sh = 0
+    for _ in range(_L):
+        r |= f((a >> sh) & ma) << sh
+        sh += _S
+    return r
+
+
+def _t2(f, a, ma, b, mb):
+    """Transpose a binary op lane by lane (see :data:`TRANSPOSED_OPS`)."""
+    r = 0
+    sh = 0
+    for _ in range(_L):
+        r |= f((a >> sh) & ma, (b >> sh) & mb) << sh
+        sh += _S
+    return r
+
+
+def _mr(banks, a, ma):
+    """Per-lane memory read: lane ``l`` reads its own backing store."""
+    r = 0
+    sh = 0
+    for bank in banks:
+        r |= bank[(a >> sh) & ma] << sh
+        sh += _S
+    return r
+
+
+def _vadd(planes, m):
+    """Carry-save add of a lane-base firing mask into a vertical counter.
+
+    ``planes[k]`` holds bit ``k`` of every lane's count; ripple the mask
+    upward, growing the list on overflow, so counters never saturate in
+    the hot loop — clamping happens at read time like the scalar backends.
+    """
+    i = 0
+    while m:
+        if i == len(planes):
+            planes.append(m)
+            return
+        c = planes[i] & m
+        planes[i] ^= m
+        m = c
+        i += 1
+'''
+
+
+class SwarmEmitter:
+    """Lane-transposed expression emission over a uniform lane stride.
+
+    Packs ``lanes`` independent simulations into one Python integer per
+    signal: lane ``l`` occupies bits ``[l*stride, l*stride + width)`` and
+    holds exactly the raw masked value the scalar codegen maintains — the
+    per-lane invariant is the scalar invariant, verbatim.  The stride is
+    *uniform* across every signal (max node width in the design, plus two
+    spare bits), which is what keeps width-changing ops — slices, ``cat``,
+    constant shifts, pads — single shift-and-mask operations, and lets
+    add/sub/compare run as SWAR arithmetic whose carries the spare bits
+    absorb.  Only the ops in :data:`TRANSPOSED_OPS` (and memory ports)
+    loop per lane, through scalar lambdas produced by :func:`gen_expr`,
+    so their per-lane semantics are the scalar backends' by construction.
+
+    Replicated constants (``value`` repeated in every lane) and transpose
+    lambdas are hoisted into module-level names, deduplicated by value.
+    """
+
+    def __init__(self, lanes: int, stride: int, ref: RefFn, mem: MemFn) -> None:
+        self.lanes = lanes
+        self.stride = stride
+        self.ref = ref
+        self.mem = mem
+        self._consts: dict[int, str] = {}
+        self._lambdas: dict[str, str] = {}
+
+    # -- hoisting -------------------------------------------------------------
+
+    def rep(self, value: int) -> str:
+        """The name of the hoisted lane-replicated constant for ``value``."""
+        if value == 0:
+            return "0"
+        name = self._consts.get(value)
+        if name is None:
+            name = self._consts[value] = f"_K{len(self._consts)}"
+        return name
+
+    def _lam(self, params: str, body: str) -> str:
+        """The name of the hoisted scalar lambda ``lambda params: body``."""
+        source = f"lambda {params}: {body}"
+        name = self._lambdas.get(source)
+        if name is None:
+            name = self._lambdas[source] = f"_F{len(self._lambdas)}"
+        return name
+
+    def prelude_lines(self) -> list[str]:
+        """Hoisted assignments; emit after ``_R1`` is defined."""
+        lines = [
+            f"{name} = {value} * _R1"
+            for value, name in self._consts.items()
+        ]
+        lines += [
+            f"{name} = {source}" for source, name in self._lambdas.items()
+        ]
+        return lines
+
+    # -- packed re-encoding ----------------------------------------------------
+
+    def extend(self, text: str, tpe, width: int) -> str:
+        """Zero/sign-extend a packed raw value to ``width`` bits per lane."""
+        w = bit_width(tpe)
+        if is_signed(tpe) and w < width:
+            return f"_sx({text}, {w - 1}, {mask(width) ^ mask(w)})"
+        return text
+
+    def fit(self, text: str, tpe, width: int) -> str:
+        """Packed analog of the scalar backends' register ``_fit``."""
+        w = bit_width(tpe)
+        if is_signed(tpe) and w < width:
+            return self.extend(text, tpe, width)
+        if w > width:
+            return f"({text} & {self.rep(mask(width))})"
+        return text
+
+    # -- expression emission ---------------------------------------------------
+
+    def gen(self, expr: Expr) -> str:
+        """Generate a packed expression computing ``expr`` in every lane."""
+        if isinstance(expr, Ref):
+            return self.ref(expr.name)
+        if isinstance(expr, UIntLiteral):
+            return self.rep(expr.value)
+        if isinstance(expr, SIntLiteral):
+            return self.rep(expr.value & mask(expr.width))
+        if isinstance(expr, Mux):
+            width = bit_width(expr.type)
+            cond = self.gen(expr.cond)
+            arms = [
+                self.extend(self.gen(arm), arm.tpe, width)
+                for arm in (expr.tval, expr.fval)
+            ]
+            return (
+                f"_sel({cond}, {arms[0]}, {arms[1]}, "
+                f"{mask(width)}, {self.rep(mask(width))})"
+            )
+        if isinstance(expr, MemRead):
+            addr = self.gen(expr.addr)
+            addr_mask = mask(bit_width(expr.addr.tpe))
+            return f"_mr({self.mem(expr.mem)}, {addr}, {addr_mask})"
+        if isinstance(expr, PrimOp):
+            return self._gen_primop(expr)
+        raise TypeError(f"cannot generate swarm code for {expr!r}")
+
+    def predicate(self, pred: Expr, en: Expr) -> str:
+        """A packed firing mask, dropping a constant-true enable."""
+        pred_text = self.gen(pred)
+        if isinstance(en, UIntLiteral) and en.value == 1:
+            return pred_text
+        return f"({self.gen(en)} & {pred_text})"
+
+    def _transpose(self, expr: PrimOp, texts: list[str]) -> str:
+        """Per-lane fallback: a scalar lambda applied lane by lane.
+
+        The lambda body comes from :func:`gen_expr` on a copy of the op
+        whose args are plain parameter refs, so per-lane semantics equal
+        the scalar backends' bit for bit.
+        """
+        params = ("_a", "_b")[: len(expr.args)]
+        synthetic = PrimOp(
+            expr.op,
+            tuple(Ref(p, a.tpe) for p, a in zip(params, expr.args)),
+            expr.consts,
+            expr.type,
+        )
+        body = gen_expr(synthetic, lambda n: n, lambda n: n)
+        fname = self._lam(", ".join(params), body)
+        operands = ", ".join(
+            f"{text}, {mask(bit_width(a.tpe))}"
+            for text, a in zip(texts, expr.args)
+        )
+        return f"_t{len(expr.args)}({fname}, {operands})"
+
+    def _gen_primop(self, expr: PrimOp) -> str:
+        op = expr.op
+        args = expr.args
+        texts = [self.gen(a) for a in args]
+        result_w = bit_width(expr.type)
+
+        if op in TRANSPOSED_OPS:
+            return self._transpose(expr, texts)
+        if op in ("add", "sub"):
+            # SWAR: extend both args to the result width (per-arg sign,
+            # exactly the scalar `_val` semantics mod 2**result_w), then
+            # one packed add; subtraction biases the minuend by 2**w per
+            # lane so borrows can never cross a lane boundary.
+            exts = [
+                self.extend(t, a.tpe, result_w) for t, a in zip(texts, args)
+            ]
+            if op == "add":
+                if any(is_signed(a.tpe) for a in args):
+                    return (
+                        f"(({exts[0]} + {exts[1]}) & "
+                        f"{self.rep(mask(result_w))})"
+                    )
+                # unsigned sum already fits the (max+1)-bit result width
+                return f"({exts[0]} + {exts[1]})"
+            return (
+                f"(({exts[0]} + {self.rep(1 << result_w)} - {exts[1]}) & "
+                f"{self.rep(mask(result_w))})"
+            )
+        if op in ("lt", "leq", "gt", "geq"):
+            return self._gen_compare(op, args, texts)
+        if op in ("eq", "neq"):
+            k = max(bit_width(a.tpe) for a in args)
+            # one extra bit disambiguates sign: -1 (raw all-ones) must not
+            # compare equal to the same-width unsigned all-ones value
+            if any(is_signed(a.tpe) for a in args):
+                k += 1
+            exts = [self.extend(t, a.tpe, k) for t, a in zip(texts, args)]
+            diff = f"({exts[0]} ^ {exts[1]})"
+            return f"(_nz{diff} ^ _R1)" if op == "eq" else f"_nz{diff}"
+        if op in ("and", "or", "xor"):
+            symbol = {"and": "&", "or": "|", "xor": "^"}[op]
+            exts = [
+                self.extend(t, a.tpe, result_w) for t, a in zip(texts, args)
+            ]
+            return f"({exts[0]} {symbol} {exts[1]})"
+        if op == "not":
+            return f"({texts[0]} ^ {self.rep(mask(result_w))})"
+        if op == "neg":
+            ext = self.extend(texts[0], args[0].tpe, result_w)
+            return (
+                f"(({self.rep(1 << result_w)} - {ext}) & "
+                f"{self.rep(mask(result_w))})"
+            )
+        if op in ("asUInt", "asSInt"):
+            return texts[0]
+        if op == "cat":
+            lo_w = bit_width(args[1].tpe)
+            return f"(({texts[0]} << {lo_w}) | {texts[1]})"
+        if op == "bits":
+            hi, lo = expr.consts
+            if lo == 0:
+                return f"({texts[0]} & {self.rep(mask(hi + 1))})"
+            return f"(({texts[0]} >> {lo}) & {self.rep(mask(hi - lo + 1))})"
+        if op == "head":
+            (count,) = expr.consts
+            shift = bit_width(args[0].tpe) - count
+            return f"(({texts[0]} >> {shift}) & {self.rep(mask(count))})"
+        if op == "tail":
+            (count,) = expr.consts
+            keep = bit_width(args[0].tpe) - count
+            return f"({texts[0]} & {self.rep(mask(keep))})"
+        if op == "shl":
+            (count,) = expr.consts
+            return texts[0] if count == 0 else f"({texts[0]} << {count})"
+        if op == "shr":
+            # unlike the scalar emitter a packed right shift drags the
+            # next lane's low bits in, so the result is always masked
+            (count,) = expr.consts
+            width = bit_width(args[0].tpe)
+            if count == 0:
+                return texts[0]
+            if count >= width:
+                if is_signed(args[0].tpe):
+                    return f"(({texts[0]} >> {width - 1}) & _R1)"
+                return "0"
+            return f"(({texts[0]} >> {count}) & {self.rep(mask(width - count))})"
+        if op == "andr":
+            width = bit_width(args[0].tpe)
+            return f"(_nz({texts[0]} ^ {self.rep(mask(width))}) ^ _R1)"
+        if op == "orr":
+            return f"_nz({texts[0]})"
+        if op == "pad":
+            return self.extend(texts[0], args[0].tpe, result_w)
+        raise TypeError(f"cannot generate swarm code for primop {op}")
+
+    def _gen_compare(self, op: str, args, texts: list[str]) -> str:
+        """Packed ordered compare via the SWAR borrow trick.
+
+        Per lane, bit ``k`` of ``a + 2**k - b`` is set exactly when
+        ``a >= b`` for ``k``-bit operands; signedness is handled by
+        sign-extending to a common width and flipping the sign bit
+        (mapping two's complement onto the same unsigned order).
+        """
+        k = max(bit_width(a.tpe) for a in args)
+        if any(is_signed(a.tpe) for a in args):
+            k += 1
+            bias = self.rep(1 << (k - 1))
+            exts = [
+                f"({self.extend(t, a.tpe, k)} ^ {bias})"
+                for t, a in zip(texts, args)
+            ]
+        else:
+            exts = [
+                self.extend(t, a.tpe, k) for t, a in zip(texts, args)
+            ]
+        if op in ("leq", "gt"):  # leq(a, b) == geq(b, a)
+            exts.reverse()
+        geq = f"((({exts[0]} + {self.rep(1 << k)} - {exts[1]}) >> {k}) & _R1)"
+        if op in ("geq", "leq"):
+            return geq
+        return f"({geq} ^ _R1)"

@@ -1,0 +1,562 @@
+"""Swarm backend: N bit-parallel simulation lanes packed per signal.
+
+The §5.4 fuzzing workload is "same netlist, many stimuli" — embarrassingly
+SIMD.  This backend packs ``lanes`` independent executions into one Python
+integer per signal at a uniform lane stride (see
+:class:`~repro.backends.pycodegen.SwarmEmitter`): gate-level ops run as a
+single wide-int ``&``/``|``/``^`` regardless of the lane count, arithmetic
+and comparisons run as SWAR carry-contained ops, and cover predicates
+accumulate into vertical (bit-plane) counters whose per-lane values are
+bit-identical to the scalar backends' saturating counters — popcounting a
+plane set yields aggregate counts directly.
+
+Per-lane semantics are exactly the scalar contract: lane ``l`` poked and
+stepped through :class:`SwarmSimulation`'s ``poke_lane``/``peek_lane``/
+``cover_counts(lane)`` behaves like one :class:`TreadleSimulation` fed the
+same stimulus, including stop statements (each lane latches the first stop
+that fires for it and leaves the active set) and counter saturation
+(clamped at read time).  The aggregate ``cover_counts()`` is the
+:func:`~repro.coverage.common.merge_counts` of all lanes.
+
+Two per-lane caveats, documented rather than papered over:
+
+* registers of a stopped/retired lane keep free-running (the active mask
+  gates cover sampling, stop claiming, and memory writes — not register
+  commit), so ``peek_lane`` of an inactive lane reflects that free-run;
+  its *counts* are frozen, which is what the bit-identity contract
+  covers, and
+* ``watch_values`` value probes are unsupported — the packed hot loop has
+  no per-cycle scalar observation point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.traversal import walk_expr
+from ..ir.types import bit_width, mask
+from ..runtime.telemetry import StepMeter, obs
+from .api import CoverCounts, StepResult, metered_step, saturate
+from .model import CircuitModel, build_model
+from .modelcache import CacheEntry, ModelCache, compile_cached
+from .pycodegen import (
+    RUNTIME_HELPERS,
+    SWARM_EMITTER_VERSION,
+    SWARM_RUNTIME_HELPERS,
+    CodeBuilder,
+    SwarmEmitter,
+    pynames,
+)
+
+#: lane-count bounds: 1 is the degenerate scalar case (still packed form),
+#: the ceiling keeps a single packed signal under ~0.5 Mbit on wide designs
+MAX_LANES = 4096
+
+
+def _model_exprs(model: CircuitModel):
+    """Every expression the generated code will evaluate."""
+    for _, expr in model.comb:
+        yield expr
+    for reg in model.registers:
+        yield reg.next
+        if reg.reset is not None:
+            yield reg.reset
+        if reg.init is not None:
+            yield reg.init
+    for cover in model.covers:
+        yield cover.pred
+        yield cover.en
+    for stop in model.stops:
+        yield stop.pred
+        yield stop.en
+    for memory in model.memories:
+        for write in memory.writes:
+            yield write.addr
+            yield write.data
+            yield write.en
+
+
+def lane_stride(model: CircuitModel) -> int:
+    """The uniform per-lane stride for ``model``.
+
+    Max bit width over every signal *and every intermediate expression
+    node*, plus two spare bits: one absorbs SWAR carries (add/sub/compare
+    intermediates reach ``2**(w+1)``), one is the always-free lane top bit
+    the packed non-zero test carries into.
+    """
+    widest = 1
+    for width in model.widths.values():
+        widest = max(widest, width)
+    for memory in model.memories:
+        widest = max(widest, memory.width)
+    for expr in _model_exprs(model):
+        for node in walk_expr(expr):
+            widest = max(widest, bit_width(node.tpe))
+    return widest + 2
+
+
+def generate_swarm_source(model: CircuitModel, lanes: int) -> str:
+    """Generate the packed ``settle``/``run`` module for ``model``.
+
+    Mirrors the treadle JIT's fused ``run`` loop — same evaluation order
+    (settle, covers, stops, register/memory commit), same state-dict ABI —
+    except every value is a packed integer, cover counters are vertical
+    plane lists, and a ``ctl`` dict carries the active-lane mask plus
+    per-lane stop bookkeeping across calls.
+    """
+    stride = lane_stride(model)
+    all_names = (
+        [p.name for p in model.inputs]
+        + [r.name for r in model.registers]
+        + [name for name, _ in model.comb]
+    )
+    py = pynames(all_names)
+    mems = {m.name: f"m_{i}" for i, m in enumerate(model.memories)}
+    emitter = SwarmEmitter(lanes, stride, lambda n: py[n], lambda n: mems[n])
+    gen = emitter.gen
+
+    state_names = [p.name for p in model.inputs] + [
+        r.name for r in model.registers
+    ]
+
+    body = CodeBuilder()
+
+    def load(names: list[str]) -> None:
+        for name in names:
+            body.emit(f"{py[name]} = values[{name!r}]")
+        for memory in model.memories:
+            body.emit(f"{mems[memory.name]} = mems[{memory.name!r}]")
+
+    # -- settle: one combinational sweep, written back into `values` --------
+    body.emit("def settle(values, mems):")
+    body.depth += 1
+    load(state_names)
+    for name, expr in model.comb:
+        body.emit(f"{py[name]} = {gen(expr)}")
+        body.emit(f"values[{name!r}] = {py[name]}")
+    if not (state_names or model.comb or model.memories):
+        body.emit("pass")
+    body.depth -= 1
+    body.emit()
+
+    def emit_run(fname: str, masked: bool) -> None:
+        """The fused packed hot loop.
+
+        ``masked`` ANDs cover/stop/memory-write masks with the active-lane
+        set; the unmasked variant is emitted for stop-free models, where
+        ``active`` cannot change inside one ``run`` call — when every lane
+        is live the masking would be pure overhead (one extra wide-int op
+        per cover per cycle, the dominant cost on toggle-instrumented
+        designs).
+        """
+        body.emit(f"def {fname}(values, mems, counts, ctl, cycles):")
+        body.depth += 1
+        load(state_names)
+        for i, cover in enumerate(model.covers):
+            body.emit(f"c_{i} = counts[{cover.name!r}]")
+        body.emit("active = ctl['active']")
+        if model.stops:
+            body.emit("stop_lane = ctl['stop_lane']")
+            body.emit("stop_cycle = ctl['stop_cycle']")
+        body.emit("base = ctl['cycle']")
+        body.emit("done = 0")
+        body.emit("for _ in range(cycles):")
+        body.depth += 1
+        if masked:
+            body.emit("if not active: break")
+        for name, expr in model.comb:
+            body.emit(f"{py[name]} = {gen(expr)}")
+        # covers first, then stops: the stop cycle's covers still count,
+        # and the mask used for sampling is the mask at cycle start —
+        # exactly the scalar order (sample, then check stops, then commit)
+        for i, cover in enumerate(model.covers):
+            fire = emitter.predicate(cover.pred, cover.en)
+            if masked:
+                fire = f"{fire} & active"
+            body.emit(f"_m = {fire}")
+            body.emit(f"if _m: _vadd(c_{i}, _m)")
+        for index, stop in enumerate(model.stops):
+            # claim in statement order: a lane removed by an earlier stop
+            # is invisible to later ones, like the scalar if/elif chain
+            body.emit(
+                f"_f = {emitter.predicate(stop.pred, stop.en)} & active"
+            )
+            body.emit("if _f:")
+            body.depth += 1
+            body.emit("active &= ~_f")
+            body.emit("while _f:")
+            body.depth += 1
+            body.emit("_b = _f & -_f")
+            body.emit("_i = (_b.bit_length() - 1) // _S")
+            body.emit(f"stop_lane[_i] = {index}")
+            body.emit("stop_cycle[_i] = base + done")
+            body.emit("_f ^= _b")
+            body.depth -= 2
+        for i, reg in enumerate(model.registers):
+            next_text = emitter.fit(gen(reg.next), reg.next.tpe, reg.width)
+            if reg.reset is not None and reg.init is not None:
+                init_text = emitter.fit(
+                    gen(reg.init), reg.init.tpe, reg.width
+                )
+                select = (
+                    f"_sel({gen(reg.reset)}, {init_text}, {next_text}, "
+                    f"{mask(reg.width)}, {emitter.rep(mask(reg.width))})"
+                )
+                body.emit(f"n_{i} = {select}")
+            else:
+                body.emit(f"n_{i} = {next_text}")
+        for memory in model.memories:
+            for write in memory.writes:
+                addr_mask = mask(bit_width(write.addr.tpe))
+                en = gen(write.en)
+                body.emit(f"_e = {en} & active" if masked else f"_e = {en}")
+                body.emit("if _e:")
+                body.depth += 1
+                body.emit(f"_wa = {gen(write.addr)}")
+                body.emit(f"_wd = {gen(write.data)}")
+                body.emit("while _e:")
+                body.depth += 1
+                body.emit("_b = _e & -_e")
+                body.emit("_p = _b.bit_length() - 1")
+                body.emit(f"_a = (_wa >> _p) & {addr_mask}")
+                store = (
+                    f"{mems[memory.name]}[_p // _S][_a] = "
+                    f"(_wd >> _p) & {mask(memory.width)}"
+                )
+                if memory.needs_write_guard:
+                    body.emit(f"if _a < {memory.depth}: {store}")
+                else:
+                    body.emit(store)
+                body.emit("_e ^= _b")
+                body.depth -= 2
+        for i, reg in enumerate(model.registers):
+            body.emit(f"{py[reg.name]} = n_{i}")
+        body.emit("done += 1")
+        body.depth -= 1
+        for reg in model.registers:
+            body.emit(f"values[{reg.name!r}] = {py[reg.name]}")
+        body.emit("ctl['active'] = active")
+        body.emit("ctl['cycle'] = base + done")
+        body.emit("return done")
+        body.depth -= 1
+        body.emit()
+
+    emit_run("run", masked=True)
+    if not model.stops:
+        emit_run("run_full", masked=False)
+
+    head = CodeBuilder()
+    head.emit('"""Generated by repro.backends.swarm — do not edit."""')
+    for line in RUNTIME_HELPERS.strip().splitlines():
+        head.emit(line)
+    head.emit()
+    head.emit(f"_L = {lanes}")
+    head.emit(f"_S = {stride}")
+    head.emit("_R1 = ((1 << (_L * _S)) - 1) // ((1 << _S) - 1)")
+    head.emit("_HALF = ((1 << (_S - 1)) - 1) * _R1")
+    head.emit("_TOP = (1 << (_S - 1)) * _R1")
+    head.emit("_SHS = _S - 1")
+    for line in SWARM_RUNTIME_HELPERS.strip().splitlines():
+        head.emit(line)
+    head.emit()
+    for line in emitter.prelude_lines():
+        head.emit(line)
+    head.emit()
+    return head.source() + body.source()
+
+
+class _SwarmPlan:
+    """The exec'd packed closures for one (model, lanes) pair."""
+
+    __slots__ = ("source", "settle", "run", "run_full", "lanes", "stride", "rep1")
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        namespace: dict = {}
+        exec(compile(source, "<generated-swarm>", "exec"), namespace)
+        self.settle = namespace["settle"]
+        self.run = namespace["run"]
+        self.run_full = namespace.get("run_full")
+        self.lanes = namespace["_L"]
+        self.stride = namespace["_S"]
+        self.rep1 = namespace["_R1"]
+
+
+class SwarmSimulation:
+    """``lanes`` independent simulations advancing in lock step.
+
+    The scalar :class:`~repro.backends.api.Simulation` protocol applies
+    with broadcast semantics: ``poke`` drives every lane, ``peek`` samples
+    lane 0, ``cover_counts()`` returns the lane-merged aggregate.  The
+    lane-addressed surface — ``poke_lane``/``poke_lanes``/``peek_lane``/
+    ``cover_counts(lane)``/``retire_lane``/``lane_active``/``lane_stop``
+    — is what batch harnesses (the fuzzer) drive.
+    """
+
+    def __init__(
+        self,
+        model: CircuitModel,
+        counter_width: Optional[int] = None,
+        plan: Optional[_SwarmPlan] = None,
+    ) -> None:
+        assert plan is not None
+        self._model = model
+        self._counter_width = counter_width
+        self._plan = plan
+        self.lanes = plan.lanes
+        self._stride = plan.stride
+        self._rep1 = plan.rep1
+        self._values: dict[str, int] = {}
+        self._mems: dict[str, list[list[int]]] = {
+            m.name: [[0] * m.padded_depth for _ in range(self.lanes)]
+            for m in model.memories
+        }
+        #: vertical counters: cover name -> list of bit planes
+        self._counts: dict[str, list[int]] = {
+            c.name: [] for c in model.covers
+        }
+        self._ctl: dict = {
+            "active": plan.rep1,
+            "cycle": 0,
+            "stop_lane": [None] * self.lanes,
+            "stop_cycle": [None] * self.lanes,
+        }
+        self._dirty = True
+        self._input_names = {p.name for p in model.inputs}
+        self._meter = StepMeter("swarm", lanes=self.lanes)
+        for port in model.inputs:
+            self._values[port.name] = 0
+        for reg in model.registers:
+            self._values[reg.name] = 0
+
+    # -- broadcast (scalar-protocol) API -------------------------------------
+
+    def poke(self, port: str, value: int) -> None:
+        """Drive every lane of a top-level input with the same value."""
+        width = self._check_input(port)
+        self._values[port] = (value & mask(width)) * self._rep1
+        self._dirty = True
+
+    def peek(self, port: str) -> int:
+        """Sample lane 0 of a top-level port."""
+        return self.peek_lane(port, 0)
+
+    def step(self, cycles: int = 1) -> StepResult:
+        return metered_step(
+            self._meter, lambda: self._step(cycles), lambda r: r.cycles
+        )
+
+    def cover_counts(self, lane: int = 0) -> CoverCounts:
+        """Saturated cover counts for one lane (lane 0 by default).
+
+        Defaulting to lane 0 keeps the scalar :class:`Simulation`
+        protocol exact: under broadcast ``poke`` every lane sees the same
+        stimulus, so lane 0 *is* the scalar run and swarm can stand in as
+        a differential-runner leg.  Use :meth:`merged_cover_counts` for
+        the campaign-wide view.
+        """
+        self._check_lane(lane)
+        slot = lane * self._stride
+        return {
+            name: saturate(self._lane_count(planes, slot), self._counter_width)
+            for name, planes in self._counts.items()
+        }
+
+    def merged_cover_counts(self) -> CoverCounts:
+        """Cover counts merged across every lane.
+
+        Follows :func:`~repro.coverage.common.merge_counts` semantics
+        exactly — per-lane counts clamp to the counter width, their sum
+        clamps again — so a swarm run merges transparently with scalar
+        shards.
+        """
+        return {
+            name: self._aggregate(planes)
+            for name, planes in self._counts.items()
+        }
+
+    @property
+    def stopped(self) -> bool:
+        """Whether every lane has stopped or been retired."""
+        return not self._ctl["active"]
+
+    @property
+    def cycle(self) -> int:
+        """Clock cycles stepped so far (shared by every lane)."""
+        return self._ctl["cycle"]
+
+    def fork(self) -> "SwarmSimulation":
+        """A fresh swarm of the same design (shares the compiled plan)."""
+        return SwarmSimulation(self._model, self._counter_width, self._plan)
+
+    # -- lane-addressed API ---------------------------------------------------
+
+    def poke_lane(self, port: str, lane: int, value: int) -> None:
+        """Drive one lane of a top-level input."""
+        width = self._check_input(port)
+        self._check_lane(lane)
+        slot = lane * self._stride
+        hole = self._values[port] & ~(mask(width) << slot)
+        self._values[port] = hole | ((value & mask(width)) << slot)
+        self._dirty = True
+
+    def poke_lanes(self, port: str, values) -> None:
+        """Drive the leading lanes of an input with per-lane values.
+
+        Lanes beyond ``len(values)`` are driven to 0.
+        """
+        width = self._check_input(port)
+        if len(values) > self.lanes:
+            raise ValueError(
+                f"{len(values)} values for {self.lanes}-lane swarm"
+            )
+        packed = 0
+        slot = 0
+        for value in values:
+            packed |= (value & mask(width)) << slot
+            slot += self._stride
+        self._values[port] = packed
+        self._dirty = True
+
+    def peek_lane(self, port: str, lane: int) -> int:
+        """Sample one lane of a top-level port as a raw bit pattern."""
+        if port not in self._model.port_names:
+            raise KeyError(f"no such port: {port}")
+        self._check_lane(lane)
+        self._settle()
+        width = self._model.widths.get(port, 1)
+        return (self._values.get(port, 0) >> (lane * self._stride)) & mask(width)
+
+    def lane_active(self, lane: int) -> bool:
+        """Whether a lane is still running (not stopped, not retired)."""
+        self._check_lane(lane)
+        return bool((self._ctl["active"] >> (lane * self._stride)) & 1)
+
+    def lane_stop(self, lane: int):
+        """``(stop_name, exit_code, cycle)`` for a stopped lane, else None."""
+        self._check_lane(lane)
+        index = self._ctl["stop_lane"][lane]
+        if index is None:
+            return None
+        stop = self._model.stops[index]
+        return (stop.name, stop.exit_code, self._ctl["stop_cycle"][lane])
+
+    def retire_lane(self, lane: int) -> None:
+        """Remove a lane from the active set (its counts freeze)."""
+        self._check_lane(lane)
+        self._ctl["active"] &= ~(1 << (lane * self._stride))
+
+    # -- internals -------------------------------------------------------------
+
+    def _check_input(self, port: str) -> int:
+        width = self._model.widths.get(port)
+        if width is None or port not in self._input_names:
+            raise KeyError(f"no such input port: {port}")
+        return width
+
+    def _check_lane(self, lane: int) -> None:
+        if not 0 <= lane < self.lanes:
+            raise IndexError(f"lane {lane} out of range [0, {self.lanes})")
+
+    def _settle(self) -> None:
+        if not self._dirty:
+            return
+        self._plan.settle(self._values, self._mems)
+        self._dirty = False
+
+    def _step(self, cycles: int) -> StepResult:
+        if cycles <= 0:
+            return StepResult(0)
+        ctl = self._ctl
+        if not ctl["active"]:
+            return StepResult(0, True, *self._halt_info())
+        run = self._plan.run
+        if self._plan.run_full is not None and ctl["active"] == self._rep1:
+            run = self._plan.run_full
+        done = run(self._values, self._mems, self._counts, ctl, cycles)
+        if done:
+            self._dirty = True
+        if not ctl["active"]:
+            return StepResult(done, True, *self._halt_info())
+        return StepResult(done)
+
+    def _halt_info(self):
+        for index in self._ctl["stop_lane"]:
+            if index is not None:
+                stop = self._model.stops[index]
+                return (stop.name, stop.exit_code)
+        return (None, 0)
+
+    def _lane_count(self, planes: list[int], slot: int) -> int:
+        count = 0
+        for k, plane in enumerate(planes):
+            count |= ((plane >> slot) & 1) << k
+        return count
+
+    def _aggregate(self, planes: list[int]) -> int:
+        width = self._counter_width
+        if width is None:
+            # unbounded counters: the lane sum is a pure popcount reduction
+            return sum(p.bit_count() << k for k, p in enumerate(planes))
+        total = 0
+        for lane in range(self.lanes):
+            total += saturate(
+                self._lane_count(planes, lane * self._stride), width
+            )
+        return saturate(total, width)
+
+
+class SwarmBackend:
+    """Factory for bit-parallel swarm simulations.
+
+    ``lanes`` is the pack width (default 64 — one lane per host word bit
+    is the classic swarm-testing sweet spot; anything up to
+    :data:`MAX_LANES` works, larger packs amortize Python dispatch better
+    until big-int arithmetic dominates).  ``cache`` overrides the
+    process-default model cache; the lane count and swarm emitter version
+    are part of the cache key, so differently-sized swarms never collide
+    with each other or with the scalar backends.
+    """
+
+    name = "swarm"
+
+    def __init__(
+        self, lanes: int = 64, cache: Optional[ModelCache] = None
+    ) -> None:
+        if not 1 <= lanes <= MAX_LANES:
+            raise ValueError(
+                f"lanes must be in [1, {MAX_LANES}], got {lanes}"
+            )
+        self.lanes = lanes
+        self._cache = cache
+
+    def compile(self, circuit, counter_width: Optional[int] = None) -> SwarmSimulation:
+        return self._compile(circuit, counter_width)
+
+    def compile_state(self, state, counter_width: Optional[int] = None) -> SwarmSimulation:
+        """Build a swarm simulation from an already-lowered CompileState."""
+        return self._compile(state, counter_width)
+
+    def _compile(self, circuit_or_state, counter_width) -> SwarmSimulation:
+        def build() -> CacheEntry:
+            with obs.span("compile", cat="compile", backend=self.name):
+                model = build_model(circuit_or_state)
+                source = generate_swarm_source(model, self.lanes)
+            return CacheEntry(
+                key="", backend=self.name, model=model, source=source
+            )
+
+        entry = compile_cached(
+            circuit_or_state,
+            self.name,
+            build,
+            cache=self._cache,
+            options=(f"swarm{SWARM_EMITTER_VERSION}", f"lanes={self.lanes}"),
+        )
+        plan = entry.runtime.get("plan")
+        if plan is None:
+            source = entry.source or generate_swarm_source(
+                entry.model, self.lanes
+            )
+            plan = entry.runtime["plan"] = _SwarmPlan(source)
+        return SwarmSimulation(entry.model, counter_width, plan=plan)

@@ -327,6 +327,9 @@ def _simulate(args: argparse.Namespace) -> int:
             for factory in factories:
                 factory()
 
+    if args.backend == "swarm" and not args.differential:
+        return _simulate_swarm(args, circuit, inputs, widths, reconstruct)
+
     checkpointer = None
     if args.checkpoint_every or args.resume or args.shard_dir:
         shard_dir = args.shard_dir or (args.circuit + ".shards")
@@ -429,6 +432,60 @@ def _simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _simulate_swarm(args, circuit, inputs, widths, reconstruct) -> int:
+    """``--backend swarm``: N independently-seeded lanes in one process.
+
+    Lane *l* replays the stimulus stream of ``--seed`` + *l*, so a swarm
+    run is exactly ``--lanes`` scalar campaigns merged — the counts file
+    it writes follows :func:`merge_counts` semantics and can be merged
+    onward with scalar shards.
+    """
+    from .backends.swarm import SwarmBackend
+
+    try:
+        backend = SwarmBackend(lanes=args.lanes)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    sim = backend.compile(circuit, counter_width=args.counter_width)
+    if args.reset_cycles and "reset" in {p.name for p in circuit.top.inputs}:
+        sim.poke("reset", 1)
+        sim.step(args.reset_cycles)
+        sim.poke("reset", 0)
+    if args.random_inputs:
+        rngs = [
+            random.Random(args.seed + lane) for lane in range(args.lanes)
+        ]
+        cycles_run = 0
+        for _ in range(args.cycles):
+            for name in inputs:
+                width = widths.get(name, 1) or 1
+                sim.poke_lanes(
+                    name, [rng.getrandbits(width) for rng in rngs]
+                )
+            result = sim.step(1)
+            cycles_run += result.cycles
+            if result.stopped:
+                break
+    else:
+        cycles_run = sim.step(args.cycles).cycles
+    counts = reconstruct(sim.merged_cover_counts())
+    if args.merge_with:
+        counts = merge_counts(
+            counts,
+            counts_from_json(Path(args.merge_with).read_text(),
+                             source=args.merge_with),
+        )
+    _write(counts_to_json(counts) + "\n", args.counts)
+    covered = sum(1 for c in counts.values() if c)
+    print(
+        f"simulated {cycles_run} cycles x {args.lanes} lanes "
+        f"({cycles_run * args.lanes} lane-cycles): "
+        f"{covered}/{len(counts)} points covered"
+    )
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the coverage-as-a-service daemon (see DESIGN.md §12)."""
     import asyncio
@@ -497,6 +554,70 @@ def cmd_worker(args: argparse.Namespace) -> int:
         except (ValueError, OSError):  # non-main thread / platform quirks
             pass
     return worker.run()
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Coverage-directed fuzzing: instrument, then drive the AFL loop."""
+    from .backends import BACKENDS
+    from .fuzz import AflFuzzer, FuzzHarness, metric_filter
+
+    circuit = _load(args.circuit)
+    metrics = args.metric or ["line"]
+    state, db = instrument(circuit, metrics=metrics)
+    backend = None
+    if args.backend:
+        if args.backend == "swarm":
+            backend = BACKENDS["swarm"](
+                lanes=args.lanes if args.lanes > 1 else 64
+            )
+        else:
+            backend = BACKENDS[args.backend]()
+    try:
+        harness = FuzzHarness(
+            state,
+            backend=backend,
+            max_cycles=args.max_cycles,
+            reset_cycles=args.reset_cycles,
+            lanes=args.lanes,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.feedback == "none":
+        feedback = None
+    elif args.feedback == "all":
+        feedback = lambda counts: counts  # noqa: E731 — identity filter
+    else:
+        if args.feedback not in metrics:
+            print(
+                f"--feedback {args.feedback} requires -m {args.feedback}",
+                file=sys.stderr,
+            )
+            return 2
+        feedback = metric_filter(db, state, args.feedback)
+    fuzzer = AflFuzzer(
+        harness.execute,
+        feedback=feedback,
+        seed=args.seed,
+        execute_batch=harness.execute_batch,
+    )
+    stats = fuzzer.run(args.executions, batch=harness.lanes)
+    if args.stats_out:
+        payload = {
+            "executions": stats.executions,
+            "queue_size": stats.queue_size,
+            "covered": sorted(stats.covered),
+            "coverage_curve": stats.coverage_curve,
+            "cycles_executed": harness.cycles_executed,
+            "lanes": harness.lanes,
+        }
+        Path(args.stats_out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"{stats.executions} executions "
+        f"({harness.cycles_executed} design cycles, {harness.lanes} lane(s)): "
+        f"{len(stats.covered)} cover points hit, queue {stats.queue_size}"
+    )
+    return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -668,9 +789,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("simulate", help="run a simulation, dump cover counts")
     p.add_argument("circuit")
-    p.add_argument("--backend", choices=["treadle", "verilator", "essent", "c"],
+    p.add_argument("--backend",
+                   choices=["treadle", "verilator", "essent", "c", "swarm"],
                    default="verilator")
     p.add_argument("--cycles", type=int, default=1000)
+    p.add_argument("--lanes", type=int, default=64,
+                   help="swarm pack width: with --backend swarm, run this "
+                        "many independently-seeded stimulus lanes in one "
+                        "packed simulation and merge their counts")
     p.add_argument("--no-jit", action="store_true",
                    help="run the treadle backend as the pure tree-walking "
                         "interpreter instead of its compiled fast path "
@@ -727,6 +853,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write campaign metrics: Prometheus text, or a "
                         "JSON snapshot if FILE ends in .json")
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="coverage-directed fuzzing: instrument, then run the "
+             "AFL-style loop with cover counts as feedback (§5.4)",
+    )
+    p.add_argument("circuit")
+    p.add_argument("-m", "--metric", action="append",
+                   choices=["line", "toggle", "fsm", "ready_valid",
+                            "mux_toggle"],
+                   help="metric(s) to instrument before fuzzing "
+                        "(default: line)")
+    p.add_argument("--feedback",
+                   choices=["all", "none", "line", "toggle", "fsm",
+                            "ready_valid", "mux_toggle"],
+                   default="all",
+                   help="which metric's counts steer the search: a metric "
+                        "name (must also be instrumented), 'all' counters, "
+                        "or 'none' for the random-fuzzing baseline")
+    p.add_argument("--executions", type=int, default=256,
+                   help="fuzz-input execution budget")
+    p.add_argument("--lanes", type=int, default=1,
+                   help="pack this many queue entries per simulation via "
+                        "the bit-parallel swarm backend (1 = scalar)")
+    p.add_argument("--backend",
+                   choices=["treadle", "verilator", "essent", "c", "swarm"],
+                   help="execution backend (default: swarm when --lanes > "
+                        "1, else verilator)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="mutation RNG seed")
+    p.add_argument("--max-cycles", type=int, default=512,
+                   help="cap on decoded cycles per fuzz input")
+    p.add_argument("--reset-cycles", type=int, default=1)
+    p.add_argument("--stats-out", metavar="FILE",
+                   help="write the coverage curve and campaign stats as "
+                        "JSON")
+    p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser(
         "serve",

@@ -85,6 +85,9 @@ class AflFuzzer:
             entirely — the random-fuzzing baseline.
         track: filters counts down to the metric used for *evaluation*
             (Figure 11 tracks line coverage regardless of feedback).
+        execute_batch: list of byte strings -> index-aligned list of
+            cover counts (e.g. ``FuzzHarness.execute_batch`` over swarm
+            lanes).  Enables ``run(..., batch=N)``.
     """
 
     def __init__(
@@ -94,8 +97,12 @@ class AflFuzzer:
         track: Optional[Callable[[CoverCounts], CoverCounts]] = None,
         seeds: Iterable[bytes] = (b"\x00" * 16,),
         seed: int = 0,
+        execute_batch: Optional[
+            Callable[[list[bytes]], list[CoverCounts]]
+        ] = None,
     ) -> None:
         self.execute = execute
+        self.execute_batch = execute_batch
         self.feedback = feedback
         self.track = track if track is not None else (lambda c: c)
         self.rng = random.Random(seed)
@@ -104,9 +111,8 @@ class AflFuzzer:
         self.stats = FuzzStats()
         self._seeds = list(seeds)
 
-    def _run_one(self, data: bytes) -> bool:
-        """Execute an input; returns True if it found new coverage."""
-        counts = self.execute(data)
+    def _ingest(self, data: bytes, counts: CoverCounts) -> bool:
+        """Account one executed input; returns True on new coverage."""
         self.stats.executions += 1
         execution = self.stats.executions
         self.stats.record(execution, self.track(counts))
@@ -121,8 +127,28 @@ class AflFuzzer:
             return True
         return False
 
-    def run(self, max_executions: int) -> FuzzStats:
-        """Fuzz until the execution budget is exhausted."""
+    def _run_one(self, data: bytes) -> bool:
+        """Execute an input; returns True if it found new coverage."""
+        return self._ingest(data, self.execute(data))
+
+    def _run_batch(self, batch: list[bytes]) -> None:
+        """Execute a batch in one backend call, ingest in queue order."""
+        for data, counts in zip(batch, self.execute_batch(batch)):
+            self._ingest(data, counts)
+
+    def run(self, max_executions: int, batch: int = 1) -> FuzzStats:
+        """Fuzz until the execution budget is exhausted.
+
+        ``batch`` > 1 (requires ``execute_batch``) groups that many
+        pending inputs per backend call — swarm lanes make them one
+        packed simulation.  Mutations for a batch are derived from the
+        queue as it stood when the batch was assembled, so the schedule
+        can diverge from ``batch=1`` even though per-input counts are
+        bit-identical; coverage feedback still lands before the next
+        batch is drawn.
+        """
+        if batch > 1 and self.execute_batch is not None:
+            return self._run_batched(max_executions, batch)
         for seed_data in self._seeds:
             if self.stats.executions >= max_executions:
                 return self.stats
@@ -149,4 +175,48 @@ class AflFuzzer:
                 if self.stats.executions >= max_executions:
                     return self.stats
                 self._run_one(mutations.havoc(entry.data, self.rng))
+        return self.stats
+
+    def _run_batched(self, max_executions: int, batch: int) -> FuzzStats:
+        """The ``run`` loop restructured around ``execute_batch`` calls."""
+        pending: list[bytes] = []
+
+        def budget() -> int:
+            return max_executions - self.stats.executions - len(pending)
+
+        def flush(limit: int = 1) -> None:
+            while len(pending) >= limit and pending:
+                self._run_batch(pending[:batch])
+                del pending[:batch]
+
+        for seed_data in self._seeds:
+            if budget() <= 0:
+                break
+            pending.append(seed_data)
+            flush(batch)
+        flush()
+        if self.feedback is None:
+            while budget() > 0:
+                base = self.rng.choice(self._seeds)
+                pending.append(mutations.havoc(base, self.rng))
+                flush(batch)
+            flush()
+            return self.stats
+        if not self.queue:
+            self.queue.append(QueueEntry(self._seeds[0], frozenset(), 0))
+        cursor = 0
+        while budget() > 0:
+            entry = self.queue[cursor % len(self.queue)]
+            cursor += 1
+            for mutated in mutations.bitflips(entry.data):
+                if budget() <= 0:
+                    break
+                pending.append(mutated)
+                break  # only a taste — havoc drives most progress
+            for _ in range(16):
+                if budget() <= 0:
+                    break
+                pending.append(mutations.havoc(entry.data, self.rng))
+            flush(batch)
+        flush()
         return self.stats

@@ -4,12 +4,21 @@ Following rfuzz and RTL Fuzz Lab, a fuzz input is an opaque byte string
 that the harness deterministically decodes into per-cycle values for every
 top-level input port: each clock cycle consumes ``ceil(total_input_bits/8)``
 bytes, sliced bitwise across the ports.  The design is reset once, then
-driven until the input bytes run out.
+driven until the input bytes run out (a partial trailing chunk is
+zero-padded and still counts as a cycle, so every appended byte changes
+the decoded stimulus).
 
 The *feedback* function is pluggable: because every metric is just cover
 statements behind the shared API, any instrumented metric — line, toggle,
 FSM, ready/valid, rfuzz's own mux toggle — can serve as the fuzzer's
 coverage map.  That interchangeability is the point of §5.4.
+
+When the backend is a :class:`~repro.backends.swarm.SwarmBackend`,
+:meth:`FuzzHarness.execute_batch` packs up to ``lanes`` queue entries
+into one swarm simulation: each input becomes one lane, lanes retire as
+their bytes run out (or their design stops), and the per-lane counts are
+bit-identical to running each input through :meth:`FuzzHarness.execute`
+scalar-style — the batch is purely a throughput multiplier.
 """
 
 from __future__ import annotations
@@ -29,7 +38,14 @@ class PortSpec:
 
 
 class FuzzHarness:
-    """Compiles the instrumented design once; executes byte-string inputs."""
+    """Compiles the instrumented design once; executes byte-string inputs.
+
+    ``lanes`` > 1 selects the bit-parallel swarm backend (when ``backend``
+    is None) so :meth:`execute_batch` runs that many inputs per settle.
+    A backend that cannot ``fork()`` its compiled template is routed
+    through the content-addressed model cache, so N executions still cost
+    exactly one compile.
+    """
 
     def __init__(
         self,
@@ -37,19 +53,42 @@ class FuzzHarness:
         backend=None,
         max_cycles: int = 512,
         reset_cycles: int = 1,
+        lanes: int = 1,
     ) -> None:
         if backend is None:
-            from ..backends.verilator import VerilatorBackend
+            if lanes > 1:
+                from ..backends.swarm import SwarmBackend
 
-            backend = VerilatorBackend()
+                backend = SwarmBackend(lanes=lanes)
+            else:
+                from ..backends.verilator import VerilatorBackend
+
+                backend = VerilatorBackend()
         from ..backends.model import build_model
+        from ..backends.modelcache import ModelCache, default_cache
 
         self._model = build_model(state)
         self._backend = backend
+        # Arm an in-memory model cache before the first compile: if the
+        # template turns out not to fork(), every execution re-enters
+        # backend.compile_state, and without a cache each one would be a
+        # full recompile inside the fuzz loop.
+        if (
+            hasattr(backend, "compile_state")
+            and getattr(backend, "_cache", False) is None
+            and default_cache() is None
+        ):
+            backend._cache = ModelCache()
         self._template = backend.compile_state(state) if hasattr(backend, "compile_state") else None
         self._state = state
         self.max_cycles = max_cycles
         self.reset_cycles = reset_cycles
+        self.lanes = (
+            getattr(backend, "lanes", 1)
+            if hasattr(self._template, "poke_lanes")
+            else 1
+        )
+        self._input_names = {p.name for p in self._model.inputs}
         self.ports = [
             PortSpec(p.name, self._model.widths[p.name])
             for p in self._model.inputs
@@ -61,9 +100,15 @@ class FuzzHarness:
         self.cycles_executed = 0
 
     def decode(self, data: bytes) -> list[dict[str, int]]:
-        """Deterministically decode bytes into per-cycle input vectors."""
+        """Deterministically decode bytes into per-cycle input vectors.
+
+        Ceil division: a partial trailing chunk is zero-padded into a
+        full cycle rather than dropped, so appending a single byte to an
+        input always changes the decoded stimulus.
+        """
         vectors = []
-        n_cycles = min(max(len(data) // self.bytes_per_cycle, 1), self.max_cycles)
+        n_cycles = -(-len(data) // self.bytes_per_cycle)
+        n_cycles = min(max(n_cycles, 1), self.max_cycles)
         for cycle in range(n_cycles):
             chunk = data[cycle * self.bytes_per_cycle : (cycle + 1) * self.bytes_per_cycle]
             value = int.from_bytes(chunk.ljust(self.bytes_per_cycle, b"\0"), "little")
@@ -80,16 +125,21 @@ class FuzzHarness:
         if template is not None and hasattr(template, "fork"):
             return template.fork()
         if hasattr(self._backend, "compile_state"):
+            # warm by construction: __init__ armed a model cache before
+            # the template compile, so this is a cache hit, not a rebuild
             return self._backend.compile_state(self._state)
         raise RuntimeError("backend cannot create simulations from a compile state")
+
+    def _reset(self, sim) -> None:
+        if self.reset_cycles and "reset" in self._input_names:
+            sim.poke("reset", 1)
+            sim.step(self.reset_cycles)
+            sim.poke("reset", 0)
 
     def execute(self, data: bytes) -> CoverCounts:
         """Run one fuzz input from reset; returns this run's cover counts."""
         sim = self._fresh_sim()
-        if self.reset_cycles:
-            sim.poke("reset", 1)
-            sim.step(self.reset_cycles)
-            sim.poke("reset", 0)
+        self._reset(sim)
         vectors = self.decode(data)
         for frame in vectors:
             for name, value in frame.items():
@@ -100,6 +150,66 @@ class FuzzHarness:
                 break
         self.executions += 1
         return sim.cover_counts()
+
+    def execute_batch(self, batch: list[bytes]) -> list[CoverCounts]:
+        """Counts for each input, packing ``lanes`` inputs per swarm step.
+
+        On a scalar backend this degrades to a loop over
+        :meth:`execute`; either way the returned list is index-aligned
+        with ``batch`` and bit-identical between the two paths.
+        """
+        if self.lanes <= 1:
+            return [self.execute(data) for data in batch]
+        results: list[CoverCounts] = []
+        for start in range(0, len(batch), self.lanes):
+            results.extend(self._execute_swarm(batch[start : start + self.lanes]))
+        return results
+
+    def _execute_swarm(self, chunk: list[bytes]) -> list[CoverCounts]:
+        """One packed run: lane *l* replays ``chunk[l]`` scalar-exactly."""
+        sim = self._fresh_sim()
+        n = len(chunk)
+        for lane in range(n, sim.lanes):
+            sim.retire_lane(lane)
+        self._reset(sim)
+        frames = [self.decode(data) for data in chunk]
+        done = [False] * n
+        cycle = 0
+        while True:
+            live = []
+            for lane in range(n):
+                if done[lane]:
+                    continue
+                if cycle >= len(frames[lane]):
+                    # bytes ran out: freeze the lane's counts, exactly
+                    # where the scalar run would have returned them
+                    sim.retire_lane(lane)
+                    done[lane] = True
+                    continue
+                live.append(lane)
+            if not live:
+                break
+            for port in self.ports:
+                sim.poke_lanes(
+                    port.name,
+                    [
+                        frames[lane][cycle][port.name]
+                        if not done[lane] and cycle < len(frames[lane])
+                        else 0
+                        for lane in range(n)
+                    ],
+                )
+            sim.step(1)
+            # every live lane attempted this cycle — including a lane
+            # that turns out to have already stopped, matching the
+            # scalar loop's step-then-check accounting
+            self.cycles_executed += len(live)
+            for lane in live:
+                if not sim.lane_active(lane):
+                    done[lane] = True
+            cycle += 1
+        self.executions += n
+        return [sim.cover_counts(lane) for lane in range(n)]
 
 
 def metric_filter(db: CoverageDB, state: CompileState, metric: str) -> Callable[[CoverCounts], CoverCounts]:

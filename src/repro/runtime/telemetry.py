@@ -1117,13 +1117,21 @@ class StepMeter:
     flushes to ``repro_backend_cycles_total`` /
     ``repro_backend_cycles_per_second`` once ``flush_cycles`` cycles
     accrue, so the gauge reads as recent-window throughput.
+
+    ``lanes`` is the bit-parallel multiplier: a swarm simulation advancing
+    one clock edge advances ``lanes`` independent executions, so both the
+    counter and the gauge report aggregate lane-cycles (lanes x cycles),
+    keeping throughput comparable across scalar and packed backends.
     """
 
-    __slots__ = ("backend", "flush_cycles", "_cycles", "_seconds")
+    __slots__ = ("backend", "flush_cycles", "lanes", "_cycles", "_seconds")
 
-    def __init__(self, backend: str, flush_cycles: int = 256) -> None:
+    def __init__(
+        self, backend: str, flush_cycles: int = 256, lanes: int = 1
+    ) -> None:
         self.backend = backend
         self.flush_cycles = flush_cycles
+        self.lanes = lanes
         self._cycles = 0
         self._seconds = 0.0
 
@@ -1138,14 +1146,15 @@ class StepMeter:
         """Push the accumulated sample into the metrics registry now."""
         if not self._cycles:
             return
+        lane_cycles = self._cycles * self.lanes
         obs.inc(
             "repro_backend_cycles_total",
-            amount=self._cycles, backend=self.backend,
+            amount=lane_cycles, backend=self.backend,
         )
         if self._seconds > 0:
             obs.set_gauge(
                 "repro_backend_cycles_per_second",
-                self._cycles / self._seconds, backend=self.backend,
+                lane_cycles / self._seconds, backend=self.backend,
             )
         self._cycles = 0
         self._seconds = 0.0

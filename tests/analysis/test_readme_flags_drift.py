@@ -3,7 +3,7 @@
 Five PRs of flag growth drifted the README more than once (PR 6's
 ``--model-cache-dir`` landed in the ``serve`` parser without a table
 row).  This test extracts every option string from the live
-``simulate``/``serve``/``worker`` subparsers and diffs it against the
+``simulate``/``fuzz``/``serve``/``worker`` subparsers and diffs it against the
 ``### `repro <cmd>` flags`` table in README.md, in both directions:
 an undocumented flag and a documented-but-removed flag both fail.
 """
@@ -20,7 +20,7 @@ from repro.cli import build_parser
 README = Path(__file__).resolve().parents[2] / "README.md"
 
 #: subcommands whose flags the README documents in a table
-DOCUMENTED = ("simulate", "serve", "worker")
+DOCUMENTED = ("simulate", "fuzz", "serve", "worker")
 
 
 def _subparser(command: str):
